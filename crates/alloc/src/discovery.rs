@@ -1,0 +1,178 @@
+//! Replica discovery and selection for a requesting user.
+//!
+//! "When users attempt to access data that are not currently in the replica
+//! partition, the client makes a call to an allocation server to discover
+//! the location of an available and suitable replica" (Section V-A).
+//! Selection ranks online replicas by social hop distance, then network
+//! latency, then availability.
+
+use scdn_graph::traversal::bfs_distances;
+use scdn_graph::{Graph, NodeId};
+
+/// Per-candidate information used in ranking.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The replica-hosting node.
+    pub node: NodeId,
+    /// `true` if the node is currently online.
+    pub online: bool,
+    /// One-way latency from the requester in milliseconds.
+    pub latency_ms: f64,
+    /// Long-run availability fraction of the node.
+    pub availability: f64,
+}
+
+/// Outcome of a replica selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Selection {
+    /// The chosen replica node.
+    pub node: NodeId,
+    /// Social hop distance from the requester (`None` = socially
+    /// unreachable; selected on latency only).
+    pub social_hops: Option<u32>,
+    /// Latency to the chosen replica.
+    pub latency_ms: f64,
+}
+
+/// Pick the best online replica for `requester`.
+///
+/// Ordering: reachable beats unreachable; then fewer social hops; then
+/// lower latency; then higher availability; then smaller node id.
+/// Returns `None` when no candidate is online.
+pub fn select_replica(
+    social: &Graph,
+    requester: NodeId,
+    candidates: &[Candidate],
+) -> Option<Selection> {
+    if candidates.iter().all(|c| !c.online) {
+        return None;
+    }
+    let dist = bfs_distances(social, requester);
+    let mut best: Option<(&Candidate, Option<u32>)> = None;
+    for c in candidates.iter().filter(|c| c.online) {
+        let hops = dist.get(c.node.index()).copied().flatten();
+        let better = match &best {
+            None => true,
+            Some((b, bh)) => {
+                let key_new = rank_key(hops, c);
+                let key_old = rank_key(*bh, b);
+                key_new < key_old
+            }
+        };
+        if better {
+            best = Some((c, hops));
+        }
+    }
+    best.map(|(c, hops)| Selection {
+        node: c.node,
+        social_hops: hops,
+        latency_ms: c.latency_ms,
+    })
+}
+
+/// Lexicographic ranking key (lower is better).
+fn rank_key(hops: Option<u32>, c: &Candidate) -> (u32, u64, u64, u32) {
+    let h = hops.unwrap_or(u32::MAX);
+    // Latency in microseconds, availability inverted to "unavailability"
+    // per-million, then node id.
+    (
+        h,
+        (c.latency_ms * 1000.0) as u64,
+        ((1.0 - c.availability) * 1_000_000.0) as u64,
+        c.node.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdn_graph::Graph;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+    }
+
+    fn cand(node: u32, online: bool, latency_ms: f64, availability: f64) -> Candidate {
+        Candidate {
+            node: NodeId(node),
+            online,
+            latency_ms,
+            availability,
+        }
+    }
+
+    #[test]
+    fn prefers_social_proximity_over_latency() {
+        let g = path4();
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(1, true, 100.0, 0.9), cand(3, true, 1.0, 0.9)],
+        )
+        .expect("someone online");
+        assert_eq!(sel.node, NodeId(1));
+        assert_eq!(sel.social_hops, Some(1));
+    }
+
+    #[test]
+    fn latency_breaks_hop_ties() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (0, 2, 1)]);
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(1, true, 50.0, 0.9), cand(2, true, 10.0, 0.9)],
+        )
+        .expect("online");
+        assert_eq!(sel.node, NodeId(2));
+    }
+
+    #[test]
+    fn availability_breaks_full_ties() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (0, 2, 1)]);
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(1, true, 10.0, 0.5), cand(2, true, 10.0, 0.99)],
+        )
+        .expect("online");
+        assert_eq!(sel.node, NodeId(2));
+    }
+
+    #[test]
+    fn offline_candidates_skipped() {
+        let g = path4();
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(1, false, 1.0, 0.9), cand(3, true, 50.0, 0.9)],
+        )
+        .expect("one online");
+        assert_eq!(sel.node, NodeId(3));
+    }
+
+    #[test]
+    fn all_offline_is_none() {
+        let g = path4();
+        assert_eq!(
+            select_replica(&g, NodeId(0), &[cand(1, false, 1.0, 0.9)]),
+            None
+        );
+    }
+
+    #[test]
+    fn unreachable_candidates_rank_last() {
+        let g = Graph::from_edges(4, [(0, 1, 1)]); // 2, 3 disconnected
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(2, true, 1.0, 0.99), cand(1, true, 80.0, 0.5)],
+        )
+        .expect("online");
+        assert_eq!(sel.node, NodeId(1));
+        // But if only unreachable nodes are online, we still serve.
+        let sel2 = select_replica(&g, NodeId(0), &[cand(2, true, 1.0, 0.99)])
+            .expect("online");
+        assert_eq!(sel2.node, NodeId(2));
+        assert_eq!(sel2.social_hops, None);
+    }
+}

@@ -1,0 +1,218 @@
+//! A replicated group of allocation servers.
+//!
+//! "One or more allocation servers act as catalogs for global datasets (for
+//! a particular Social Cloud); **together** they maintain a list of current
+//! replicas" (Section V). The group provides:
+//!
+//! * round-robin selection of a serving server per operation (load
+//!   spreading across trusted third-party hosts);
+//! * version-based gossip synchronization so catalog updates converge;
+//! * fail-over: operations retry on the next server if one is marked down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use scdn_graph::NodeId;
+use scdn_storage::object::DatasetId;
+
+use crate::server::{AllocationError, AllocationServer, RepositoryInfo};
+
+/// A group of allocation servers with round-robin dispatch and gossip sync.
+pub struct ServerGroup {
+    servers: Vec<AllocationServer>,
+    cursor: AtomicUsize,
+    down: Vec<std::sync::atomic::AtomicBool>,
+}
+
+impl ServerGroup {
+    /// A group of `n` empty servers (n ≥ 1).
+    pub fn new(n: usize) -> ServerGroup {
+        assert!(n >= 1, "a group needs at least one server");
+        ServerGroup {
+            servers: (0..n).map(|_| AllocationServer::new()).collect(),
+            cursor: AtomicUsize::new(0),
+            down: (0..n)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    /// Number of servers in the group.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// `true` if the group is a single server.
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees >= 1
+    }
+
+    /// Direct access to server `i` (tests, manual sync).
+    pub fn server(&self, i: usize) -> &AllocationServer {
+        &self.servers[i]
+    }
+
+    /// Mark a server down (it will be skipped) or back up.
+    pub fn set_down(&self, i: usize, down: bool) {
+        self.down[i].store(down, Ordering::Relaxed);
+    }
+
+    /// Pick the next live server round-robin. Returns `None` if every
+    /// server is down.
+    pub fn pick(&self) -> Option<&AllocationServer> {
+        let n = self.servers.len();
+        for _ in 0..n {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+            if !self.down[i].load(Ordering::Relaxed) {
+                return Some(&self.servers[i]);
+            }
+        }
+        None
+    }
+
+    /// Register a repository on every live server (registration is
+    /// broadcast; it is idempotent).
+    pub fn register_repository(&self, info: RepositoryInfo) {
+        for (i, s) in self.servers.iter().enumerate() {
+            if !self.down[i].load(Ordering::Relaxed) {
+                s.register_repository(info.clone());
+            }
+        }
+    }
+
+    /// Register a dataset via one live server (it spreads on sync).
+    pub fn register_dataset(
+        &self,
+        dataset: DatasetId,
+        segments: u32,
+        primary: NodeId,
+    ) -> Result<(), AllocationError> {
+        let server = self.pick().ok_or(AllocationError::UnknownDataset(dataset))?;
+        server.register_dataset(dataset, segments, primary)
+    }
+
+    /// One gossip round: every live server pulls from its live successor.
+    /// A few rounds make all catalogs converge.
+    pub fn gossip_round(&self) {
+        let n = self.servers.len();
+        for i in 0..n {
+            if self.down[i].load(Ordering::Relaxed) {
+                continue;
+            }
+            // Pull from the next live server after i.
+            for step in 1..n {
+                let j = (i + step) % n;
+                if !self.down[j].load(Ordering::Relaxed) {
+                    self.servers[i].sync_from(&self.servers[j]);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Run gossip until every live server agrees on the dataset count (at
+    /// most `rounds` rounds).
+    pub fn converge(&self, rounds: usize) {
+        for _ in 0..rounds {
+            self.gossip_round();
+            let counts: Vec<usize> = self
+                .servers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.down[*i].load(Ordering::Relaxed))
+                .map(|(_, s)| s.dataset_count())
+                .collect();
+            if counts.windows(2).all(|w| w[0] == w[1]) {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdn_social::author::AuthorId;
+
+    fn repo_info(node: u32) -> RepositoryInfo {
+        RepositoryInfo {
+            node: NodeId(node),
+            owner: AuthorId(node),
+            capacity: 1 << 20,
+            availability: 0.9,
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let g = ServerGroup::new(3);
+        // Three picks land on three different servers.
+        let a = g.pick().expect("live") as *const _;
+        let b = g.pick().expect("live") as *const _;
+        let c = g.pick().expect("live") as *const _;
+        assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn registration_broadcasts() {
+        let g = ServerGroup::new(3);
+        g.register_repository(repo_info(0));
+        for i in 0..3 {
+            assert_eq!(g.server(i).repository_count(), 1);
+        }
+    }
+
+    #[test]
+    fn gossip_converges_dataset_catalogs() {
+        let g = ServerGroup::new(3);
+        for node in 0..5 {
+            g.register_repository(repo_info(node));
+        }
+        // Different datasets registered on different servers.
+        g.server(0)
+            .register_dataset(DatasetId(0), 1, NodeId(0))
+            .expect("ok");
+        g.server(1)
+            .register_dataset(DatasetId(1), 1, NodeId(1))
+            .expect("ok");
+        g.server(2)
+            .register_dataset(DatasetId(2), 1, NodeId(2))
+            .expect("ok");
+        g.converge(8);
+        for i in 0..3 {
+            assert_eq!(g.server(i).dataset_count(), 3, "server {i}");
+        }
+    }
+
+    #[test]
+    fn failover_skips_down_servers() {
+        let g = ServerGroup::new(2);
+        g.set_down(0, true);
+        for _ in 0..4 {
+            let s = g.pick().expect("one live");
+            assert!(std::ptr::eq(s, g.server(1)));
+        }
+        g.set_down(1, true);
+        assert!(g.pick().is_none());
+        g.set_down(0, false);
+        assert!(g.pick().is_some());
+    }
+
+    #[test]
+    fn catalog_survives_server_loss() {
+        let g = ServerGroup::new(3);
+        g.register_repository(repo_info(0));
+        g.register_dataset(DatasetId(7), 2, NodeId(0)).expect("ok");
+        g.converge(8);
+        // Kill the server that happened to take the registration; the
+        // survivors still know the dataset.
+        g.set_down(0, true);
+        let survivor = g.pick().expect("live");
+        assert_eq!(survivor.segments_of(DatasetId(7)).expect("replicated"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_group_rejected() {
+        let _ = ServerGroup::new(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # scdn-alloc — allocation servers and placement algorithms
+//!
+//! The Allocation Server component of the S-CDN architecture (Section V-B)
+//! and the replica selection / data allocation algorithms of Section V-D:
+//!
+//! * [`placement`] — replica placement over the social graph: the four
+//!   case-study algorithms (Random, Node Degree, Community Node Degree,
+//!   Clustering Coefficient) plus the extensions the paper discusses
+//!   (betweenness, social score, PageRank, My3-style availability cover);
+//! * [`server`] — the allocation server: repository registry, dataset →
+//!   replica catalog, request resolution, demand tracking, and replica
+//!   migration;
+//! * [`partitioning`] — data-segment partitioning across replicas: hash
+//!   partitioning and the socially-informed community partitioner;
+//! * [`replication`] — demand-driven replication level policies;
+//! * [`discovery`] — replica selection for a requesting user (social
+//!   distance, then latency, then availability).
+
+pub mod discovery;
+pub mod group;
+pub mod partitioning;
+pub mod placement;
+pub mod replication;
+pub mod server;
+
+pub use placement::PlacementAlgorithm;
+pub use group::ServerGroup;
+pub use server::{AllocationError, AllocationServer, RepositoryInfo};

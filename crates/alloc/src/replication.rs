@@ -1,0 +1,137 @@
+//! Demand-driven replication policy.
+//!
+//! "Allocation servers are responsible for ensuring availability by
+//! increasing the number of replicas needed (and selecting their locations)
+//! based on demand and migrating replicas when required" (Section V-B).
+
+/// Policy mapping observed demand to a target replica count.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicationPolicy {
+    /// Minimum replicas per dataset (redundancy floor).
+    pub min_replicas: usize,
+    /// Maximum replicas per dataset (cost ceiling).
+    pub max_replicas: usize,
+    /// Requests per observation window that justify one extra replica.
+    pub requests_per_replica: u64,
+    /// Miss-rate (0..=1) above which one extra replica is added regardless
+    /// of volume.
+    pub miss_rate_trigger: f64,
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        ReplicationPolicy {
+            min_replicas: 1,
+            max_replicas: 10,
+            requests_per_replica: 100,
+            miss_rate_trigger: 0.5,
+        }
+    }
+}
+
+/// Demand observed for one dataset over a window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DemandWindow {
+    /// Requests served within one social hop (hits).
+    pub hits: u64,
+    /// Requests that had to travel further (misses).
+    pub misses: u64,
+}
+
+impl DemandWindow {
+    /// Total requests in the window.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate (0 when no requests).
+    pub fn miss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.total() as f64
+        }
+    }
+}
+
+impl ReplicationPolicy {
+    /// Target replica count for a dataset given its current count and the
+    /// demand window.
+    pub fn target_replicas(&self, current: usize, demand: DemandWindow) -> usize {
+        let volume_driven = 1 + (demand.total() / self.requests_per_replica.max(1)) as usize;
+        let mut target = volume_driven.max(self.min_replicas).max(current.min(self.max_replicas));
+        if demand.miss_rate() > self.miss_rate_trigger && demand.total() > 0 {
+            target = target.max(current + 1);
+        }
+        target.clamp(self.min_replicas, self.max_replicas)
+    }
+
+    /// `true` if the dataset should shed a replica (demand far below the
+    /// next-lower tier and above the floor).
+    pub fn should_shrink(&self, current: usize, demand: DemandWindow) -> bool {
+        if current <= self.min_replicas {
+            return false;
+        }
+        let sustainable = 1 + (demand.total() / self.requests_per_replica.max(1)) as usize;
+        current > sustainable + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_and_ceiling_respected() {
+        let p = ReplicationPolicy::default();
+        let quiet = DemandWindow::default();
+        assert_eq!(p.target_replicas(0, quiet), 1);
+        let storm = DemandWindow {
+            hits: 100_000,
+            misses: 0,
+        };
+        assert_eq!(p.target_replicas(1, storm), 10);
+    }
+
+    #[test]
+    fn volume_scales_replicas() {
+        let p = ReplicationPolicy::default();
+        let d = DemandWindow {
+            hits: 250,
+            misses: 50,
+        };
+        // 300 requests / 100 per replica → 1 + 3 = 4.
+        assert_eq!(p.target_replicas(1, d), 4);
+    }
+
+    #[test]
+    fn high_miss_rate_forces_growth() {
+        let p = ReplicationPolicy::default();
+        let d = DemandWindow {
+            hits: 5,
+            misses: 45,
+        };
+        // Low volume, but 90% miss rate → current + 1.
+        assert_eq!(p.target_replicas(3, d), 4);
+    }
+
+    #[test]
+    fn never_shrinks_below_floor() {
+        let p = ReplicationPolicy::default();
+        assert!(!p.should_shrink(1, DemandWindow::default()));
+        assert!(p.should_shrink(5, DemandWindow::default()));
+        let busy = DemandWindow {
+            hits: 500,
+            misses: 0,
+        };
+        assert!(!p.should_shrink(5, busy));
+    }
+
+    #[test]
+    fn current_count_is_sticky_within_bounds() {
+        // Moderate demand does not tear down existing replicas directly.
+        let p = ReplicationPolicy::default();
+        let d = DemandWindow { hits: 10, misses: 0 };
+        assert_eq!(p.target_replicas(3, d), 3);
+    }
+}

@@ -1,0 +1,550 @@
+//! The allocation server: repository registry, replica catalog, demand
+//! tracking, and catalog synchronization between servers.
+//!
+//! "One or more allocation servers act as catalogs for global datasets …
+//! together they maintain a list of current replicas and place, move,
+//! update, and maintain replicas." (Section V.)
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use scdn_graph::{Graph, NodeId};
+use scdn_social::author::AuthorId;
+use scdn_storage::object::DatasetId;
+
+use crate::discovery::{select_replica, Candidate, Selection};
+use crate::placement::PlacementAlgorithm;
+use crate::replication::{DemandWindow, ReplicationPolicy};
+
+/// Registry entry for a contributed repository.
+#[derive(Clone, Debug)]
+pub struct RepositoryInfo {
+    /// The owner's node in the social graph (also the network node index).
+    pub node: NodeId,
+    /// Owning author.
+    pub owner: AuthorId,
+    /// Contributed capacity in bytes.
+    pub capacity: u64,
+    /// Monitored long-run availability fraction (from the CDN client's
+    /// "system statistics … sent to allocation servers").
+    pub availability: f64,
+}
+
+/// Catalog entry for one dataset.
+#[derive(Clone, Debug)]
+struct CatalogEntry {
+    replicas: Vec<NodeId>,
+    segments: u32,
+    demand: DemandWindow,
+    /// Version for inter-server sync (higher wins).
+    version: u64,
+}
+
+/// Errors from allocation operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AllocationError {
+    /// Dataset is not in the catalog.
+    UnknownDataset(DatasetId),
+    /// The node is not a registered repository.
+    UnknownRepository(NodeId),
+    /// No online replica could serve the request.
+    NoReplicaAvailable(DatasetId),
+    /// Dataset already registered.
+    DuplicateDataset(DatasetId),
+}
+
+impl std::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocationError::UnknownDataset(d) => write!(f, "unknown dataset {d:?}"),
+            AllocationError::UnknownRepository(n) => write!(f, "unknown repository {n:?}"),
+            AllocationError::NoReplicaAvailable(d) => {
+                write!(f, "no online replica for {d:?}")
+            }
+            AllocationError::DuplicateDataset(d) => write!(f, "dataset {d:?} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+#[derive(Default)]
+struct State {
+    repositories: HashMap<NodeId, RepositoryInfo>,
+    catalog: HashMap<DatasetId, CatalogEntry>,
+    version_counter: u64,
+}
+
+/// An allocation server. Thread-safe.
+#[derive(Default)]
+pub struct AllocationServer {
+    state: RwLock<State>,
+}
+
+impl AllocationServer {
+    /// New empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or update) a contributed repository.
+    pub fn register_repository(&self, info: RepositoryInfo) {
+        self.state.write().repositories.insert(info.node, info);
+    }
+
+    /// Registered repository count.
+    pub fn repository_count(&self) -> usize {
+        self.state.read().repositories.len()
+    }
+
+    /// Fetch a repository record.
+    pub fn repository(&self, node: NodeId) -> Option<RepositoryInfo> {
+        self.state.read().repositories.get(&node).cloned()
+    }
+
+    /// Update a repository's monitored availability (CDN-client telemetry).
+    pub fn report_availability(&self, node: NodeId, availability: f64) -> Result<(), AllocationError> {
+        let mut s = self.state.write();
+        let info = s
+            .repositories
+            .get_mut(&node)
+            .ok_or(AllocationError::UnknownRepository(node))?;
+        info.availability = availability.clamp(0.0, 1.0);
+        Ok(())
+    }
+
+    /// Register a dataset with its segment count and initial (primary)
+    /// replica — the publishing researcher's own repository.
+    pub fn register_dataset(
+        &self,
+        dataset: DatasetId,
+        segments: u32,
+        primary: NodeId,
+    ) -> Result<(), AllocationError> {
+        let mut s = self.state.write();
+        if !s.repositories.contains_key(&primary) {
+            return Err(AllocationError::UnknownRepository(primary));
+        }
+        if s.catalog.contains_key(&dataset) {
+            return Err(AllocationError::DuplicateDataset(dataset));
+        }
+        s.version_counter += 1;
+        let version = s.version_counter;
+        s.catalog.insert(
+            dataset,
+            CatalogEntry {
+                replicas: vec![primary],
+                segments,
+                demand: DemandWindow::default(),
+                version,
+            },
+        );
+        Ok(())
+    }
+
+    /// Number of datasets in the catalog.
+    pub fn dataset_count(&self) -> usize {
+        self.state.read().catalog.len()
+    }
+
+    /// Current replica locations of a dataset.
+    pub fn replicas_of(&self, dataset: DatasetId) -> Result<Vec<NodeId>, AllocationError> {
+        self.state
+            .read()
+            .catalog
+            .get(&dataset)
+            .map(|e| e.replicas.clone())
+            .ok_or(AllocationError::UnknownDataset(dataset))
+    }
+
+    /// Segment count of a dataset.
+    pub fn segments_of(&self, dataset: DatasetId) -> Result<u32, AllocationError> {
+        self.state
+            .read()
+            .catalog
+            .get(&dataset)
+            .map(|e| e.segments)
+            .ok_or(AllocationError::UnknownDataset(dataset))
+    }
+
+    /// Grow a dataset to `k` replicas using `algorithm` over the social
+    /// graph, keeping existing replicas. Only registered repositories are
+    /// eligible; candidates already hosting the dataset are skipped.
+    /// Returns the nodes *added*.
+    pub fn place_replicas(
+        &self,
+        dataset: DatasetId,
+        k: usize,
+        algorithm: PlacementAlgorithm,
+        social: &Graph,
+        seed: u64,
+    ) -> Result<Vec<NodeId>, AllocationError> {
+        let mut s = self.state.write();
+        if !s.catalog.contains_key(&dataset) {
+            return Err(AllocationError::UnknownDataset(dataset));
+        }
+        // Over-provision the ranking so skipped candidates don't starve us.
+        let ranked = algorithm.place(social, k + s.catalog[&dataset].replicas.len(), seed);
+        let eligible: Vec<NodeId> = ranked
+            .into_iter()
+            .filter(|n| s.repositories.contains_key(n))
+            .collect();
+        s.version_counter += 1;
+        let version = s.version_counter;
+        let entry = s.catalog.get_mut(&dataset).expect("checked above");
+        let mut added = Vec::new();
+        for n in eligible {
+            if entry.replicas.len() >= k {
+                break;
+            }
+            if !entry.replicas.contains(&n) {
+                entry.replicas.push(n);
+                added.push(n);
+            }
+        }
+        entry.version = version;
+        Ok(added)
+    }
+
+    /// Add a single replica location for `dataset` (used by the system
+    /// runtime after a successful replication transfer). Returns `false`
+    /// if the node already hosts the dataset.
+    pub fn add_replica(&self, dataset: DatasetId, node: NodeId) -> Result<bool, AllocationError> {
+        let mut s = self.state.write();
+        if !s.repositories.contains_key(&node) {
+            return Err(AllocationError::UnknownRepository(node));
+        }
+        s.version_counter += 1;
+        let version = s.version_counter;
+        let entry = s
+            .catalog
+            .get_mut(&dataset)
+            .ok_or(AllocationError::UnknownDataset(dataset))?;
+        if entry.replicas.contains(&node) {
+            return Ok(false);
+        }
+        entry.replicas.push(node);
+        entry.version = version;
+        Ok(true)
+    }
+
+    /// Remove a replica location for `dataset`. Returns `true` if removed.
+    pub fn remove_replica(
+        &self,
+        dataset: DatasetId,
+        node: NodeId,
+    ) -> Result<bool, AllocationError> {
+        let mut s = self.state.write();
+        s.version_counter += 1;
+        let version = s.version_counter;
+        let entry = s
+            .catalog
+            .get_mut(&dataset)
+            .ok_or(AllocationError::UnknownDataset(dataset))?;
+        let before = entry.replicas.len();
+        entry.replicas.retain(|&n| n != node);
+        entry.version = version;
+        Ok(entry.replicas.len() != before)
+    }
+
+    /// Move a replica from one node to another (migration).
+    pub fn migrate_replica(
+        &self,
+        dataset: DatasetId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), AllocationError> {
+        let mut s = self.state.write();
+        if !s.repositories.contains_key(&to) {
+            return Err(AllocationError::UnknownRepository(to));
+        }
+        s.version_counter += 1;
+        let version = s.version_counter;
+        let entry = s
+            .catalog
+            .get_mut(&dataset)
+            .ok_or(AllocationError::UnknownDataset(dataset))?;
+        let Some(pos) = entry.replicas.iter().position(|&n| n == from) else {
+            return Err(AllocationError::UnknownRepository(from));
+        };
+        if entry.replicas.contains(&to) {
+            entry.replicas.remove(pos);
+        } else {
+            entry.replicas[pos] = to;
+        }
+        entry.version = version;
+        Ok(())
+    }
+
+    /// Resolve a request: pick the best online replica for `requester`.
+    /// `online` reports current liveness per node. Records demand (hit =
+    /// within 1 social hop).
+    pub fn resolve(
+        &self,
+        dataset: DatasetId,
+        requester: NodeId,
+        social: &Graph,
+        online: impl Fn(NodeId) -> bool,
+        latency_ms: impl Fn(NodeId) -> f64,
+    ) -> Result<Selection, AllocationError> {
+        let candidates: Vec<Candidate> = {
+            let s = self.state.read();
+            let entry = s
+                .catalog
+                .get(&dataset)
+                .ok_or(AllocationError::UnknownDataset(dataset))?;
+            entry
+                .replicas
+                .iter()
+                .map(|&n| Candidate {
+                    node: n,
+                    online: online(n),
+                    latency_ms: latency_ms(n),
+                    availability: s
+                        .repositories
+                        .get(&n)
+                        .map(|r| r.availability)
+                        .unwrap_or(0.0),
+                })
+                .collect()
+        };
+        let sel = select_replica(social, requester, &candidates)
+            .ok_or(AllocationError::NoReplicaAvailable(dataset))?;
+        let mut s = self.state.write();
+        if let Some(entry) = s.catalog.get_mut(&dataset) {
+            if matches!(sel.social_hops, Some(h) if h <= 1) {
+                entry.demand.hits += 1;
+            } else {
+                entry.demand.misses += 1;
+            }
+        }
+        Ok(sel)
+    }
+
+    /// All datasets with a replica on `node` (used for departure repair).
+    pub fn datasets_hosted_by(&self, node: NodeId) -> Vec<DatasetId> {
+        let s = self.state.read();
+        let mut out: Vec<DatasetId> = s
+            .catalog
+            .iter()
+            .filter_map(|(&d, e)| e.replicas.contains(&node).then_some(d))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Demand window of a dataset (for the replication policy).
+    pub fn demand_of(&self, dataset: DatasetId) -> Result<DemandWindow, AllocationError> {
+        self.state
+            .read()
+            .catalog
+            .get(&dataset)
+            .map(|e| e.demand)
+            .ok_or(AllocationError::UnknownDataset(dataset))
+    }
+
+    /// Reset all demand windows (start of a new observation period).
+    pub fn reset_demand(&self) {
+        for e in self.state.write().catalog.values_mut() {
+            e.demand = DemandWindow::default();
+        }
+    }
+
+    /// Datasets whose replica count should change under `policy`:
+    /// `(dataset, current, target)`.
+    pub fn rebalance_plan(&self, policy: &ReplicationPolicy) -> Vec<(DatasetId, usize, usize)> {
+        let s = self.state.read();
+        let mut plan: Vec<(DatasetId, usize, usize)> = s
+            .catalog
+            .iter()
+            .filter_map(|(&d, e)| {
+                let current = e.replicas.len();
+                let target = policy.target_replicas(current, e.demand);
+                let target = if policy.should_shrink(current, e.demand) {
+                    target.min(current.saturating_sub(1)).max(policy.min_replicas)
+                } else {
+                    target
+                };
+                (target != current).then_some((d, current, target))
+            })
+            .collect();
+        plan.sort_by_key(|&(d, _, _)| d);
+        plan
+    }
+
+    /// Merge another server's catalog into this one (gossip-style sync):
+    /// for each dataset the entry with the higher version wins; repository
+    /// registrations are unioned.
+    pub fn sync_from(&self, other: &AllocationServer) {
+        let other_state = other.state.read();
+        let mut s = self.state.write();
+        for (node, info) in &other_state.repositories {
+            s.repositories.entry(*node).or_insert_with(|| info.clone());
+        }
+        for (d, e) in &other_state.catalog {
+            match s.catalog.get(d) {
+                Some(mine) if mine.version >= e.version => {}
+                _ => {
+                    s.catalog.insert(*d, e.clone());
+                }
+            }
+        }
+        let max_v = other_state.version_counter.max(s.version_counter);
+        s.version_counter = max_v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdn_graph::generators::barabasi_albert;
+
+    fn server_with_repos(g: &Graph) -> AllocationServer {
+        let srv = AllocationServer::new();
+        for v in g.nodes() {
+            srv.register_repository(RepositoryInfo {
+                node: v,
+                owner: AuthorId(v.0),
+                capacity: 1 << 30,
+                availability: 0.9,
+            });
+        }
+        srv
+    }
+
+    #[test]
+    fn register_and_place() {
+        let g = barabasi_albert(100, 2, 1);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 8, NodeId(5)).expect("registers");
+        let added = srv
+            .place_replicas(DatasetId(0), 4, PlacementAlgorithm::NodeDegree, &g, 0)
+            .expect("places");
+        assert_eq!(added.len(), 3); // primary + 3 = 4
+        let reps = srv.replicas_of(DatasetId(0)).expect("known");
+        assert_eq!(reps.len(), 4);
+        assert!(reps.contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn duplicate_dataset_rejected() {
+        let g = barabasi_albert(10, 2, 1);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(1), 1, NodeId(0)).expect("ok");
+        assert_eq!(
+            srv.register_dataset(DatasetId(1), 1, NodeId(1)).unwrap_err(),
+            AllocationError::DuplicateDataset(DatasetId(1))
+        );
+    }
+
+    #[test]
+    fn unknown_primary_rejected() {
+        let srv = AllocationServer::new();
+        assert_eq!(
+            srv.register_dataset(DatasetId(0), 1, NodeId(3)).unwrap_err(),
+            AllocationError::UnknownRepository(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn placement_skips_unregistered_nodes() {
+        let g = barabasi_albert(50, 2, 2);
+        let srv = AllocationServer::new();
+        // Register only even nodes.
+        for v in g.nodes().filter(|v| v.0 % 2 == 0) {
+            srv.register_repository(RepositoryInfo {
+                node: v,
+                owner: AuthorId(v.0),
+                capacity: 1,
+                availability: 1.0,
+            });
+        }
+        srv.register_dataset(DatasetId(0), 1, NodeId(0)).expect("ok");
+        srv.place_replicas(DatasetId(0), 5, PlacementAlgorithm::NodeDegree, &g, 0)
+            .expect("places");
+        for n in srv.replicas_of(DatasetId(0)).expect("known") {
+            assert_eq!(n.0 % 2, 0, "only registered repos may host");
+        }
+    }
+
+    #[test]
+    fn resolve_tracks_demand() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(0)).expect("ok");
+        // Requester 1 is adjacent to the replica on 0 → hit.
+        srv.resolve(DatasetId(0), NodeId(1), &g, |_| true, |_| 10.0)
+            .expect("resolves");
+        // Requester 3 is 3 hops away → miss.
+        srv.resolve(DatasetId(0), NodeId(3), &g, |_| true, |_| 10.0)
+            .expect("resolves");
+        let d = srv.demand_of(DatasetId(0)).expect("known");
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.misses, 1);
+    }
+
+    #[test]
+    fn resolve_fails_when_all_offline() {
+        let g = Graph::from_edges(2, [(0, 1, 1)]);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(0)).expect("ok");
+        assert_eq!(
+            srv.resolve(DatasetId(0), NodeId(1), &g, |_| false, |_| 1.0)
+                .unwrap_err(),
+            AllocationError::NoReplicaAvailable(DatasetId(0))
+        );
+    }
+
+    #[test]
+    fn migration_moves_replica() {
+        let g = barabasi_albert(10, 2, 3);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(2)).expect("ok");
+        srv.migrate_replica(DatasetId(0), NodeId(2), NodeId(7)).expect("migrates");
+        assert_eq!(srv.replicas_of(DatasetId(0)).expect("known"), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn rebalance_plan_grows_hot_datasets() {
+        let g = barabasi_albert(20, 2, 4);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(0)).expect("ok");
+        // Simulate heavy demand with misses.
+        for _ in 0..250 {
+            let _ = srv.resolve(DatasetId(0), NodeId(15), &g, |_| true, |_| 1.0);
+        }
+        let plan = srv.rebalance_plan(&ReplicationPolicy::default());
+        assert_eq!(plan.len(), 1);
+        let (d, current, target) = plan[0];
+        assert_eq!(d, DatasetId(0));
+        assert_eq!(current, 1);
+        assert!(target > 1, "target = {target}");
+    }
+
+    #[test]
+    fn sync_converges_catalogs() {
+        let g = barabasi_albert(10, 2, 5);
+        let a = server_with_repos(&g);
+        let b = AllocationServer::new();
+        a.register_dataset(DatasetId(0), 4, NodeId(1)).expect("ok");
+        b.sync_from(&a);
+        assert_eq!(b.dataset_count(), 1);
+        assert_eq!(b.repository_count(), 10);
+        // A later change on b propagates back to a.
+        b.migrate_replica(DatasetId(0), NodeId(1), NodeId(3)).expect("ok");
+        a.sync_from(&b);
+        assert_eq!(a.replicas_of(DatasetId(0)).expect("known"), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn availability_reports_update_registry() {
+        let g = barabasi_albert(5, 2, 6);
+        let srv = server_with_repos(&g);
+        srv.report_availability(NodeId(2), 0.42).expect("ok");
+        assert!((srv.repository(NodeId(2)).expect("known").availability - 0.42).abs() < 1e-12);
+        assert_eq!(
+            srv.report_availability(NodeId(99), 0.5).unwrap_err(),
+            AllocationError::UnknownRepository(NodeId(99))
+        );
+    }
+}

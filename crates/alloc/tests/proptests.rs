@@ -1,0 +1,108 @@
+//! Property-based tests for placement, partitioning, and replication.
+
+use proptest::prelude::*;
+use scdn_alloc::partitioning::{hash_partition, social_partition, AccessLog};
+use scdn_alloc::placement::PlacementAlgorithm;
+use scdn_alloc::replication::{DemandWindow, ReplicationPolicy};
+use scdn_graph::community::Partition;
+use scdn_graph::{Graph, NodeId};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..80)
+            .prop_map(move |edges| {
+                Graph::from_edges(n, edges.into_iter().map(|(a, b)| (a, b, 1)))
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn placements_are_distinct_in_range(g in arb_graph(), k in 1usize..12, seed in 0u64..50) {
+        for alg in PlacementAlgorithm::PAPER_SET
+            .into_iter()
+            .chain(PlacementAlgorithm::EXTENDED_SET)
+        {
+            let p = alg.place(&g, k, seed);
+            prop_assert_eq!(p.len(), k.min(g.node_count()), "{:?}", alg);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), p.len(), "{:?} duplicated", alg);
+            for v in &p {
+                prop_assert!(v.index() < g.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_algorithms_ignore_seed(g in arb_graph(), k in 1usize..8) {
+        for alg in [
+            PlacementAlgorithm::NodeDegree,
+            PlacementAlgorithm::CommunityNodeDegree,
+            PlacementAlgorithm::ClusteringCoefficient,
+            PlacementAlgorithm::KCore,
+        ] {
+            prop_assert_eq!(alg.place(&g, k, 1), alg.place(&g, k, 999), "{:?}", alg);
+        }
+    }
+
+    #[test]
+    fn node_degree_placement_is_sorted_by_degree(g in arb_graph(), k in 1usize..8) {
+        let p = PlacementAlgorithm::NodeDegree.place(&g, k, 0);
+        for w in p.windows(2) {
+            prop_assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+    }
+
+    #[test]
+    fn hash_partition_covers_all_replicas(segments in 1u32..100, replicas in 1usize..10) {
+        let assignment = hash_partition(segments, replicas);
+        prop_assert_eq!(assignment.len(), segments as usize);
+        for &r in &assignment {
+            prop_assert!(r < replicas);
+        }
+        // With segments >= replicas every replica gets something.
+        if segments as usize >= replicas {
+            let mut used = vec![false; replicas];
+            for &r in &assignment {
+                used[r] = true;
+            }
+            prop_assert!(used.into_iter().all(|u| u));
+        }
+    }
+
+    #[test]
+    fn social_partition_assignments_valid(g in arb_graph(), segments in 1u32..20) {
+        let labels: Vec<u32> = (0..g.node_count() as u32).map(|i| i % 3).collect();
+        let communities = Partition::from_labels(&labels);
+        let replicas: Vec<NodeId> = g.nodes().take(3).collect();
+        if replicas.is_empty() {
+            return Ok(());
+        }
+        let mut log = AccessLog::new();
+        for v in g.nodes().take(10) {
+            log.record(v, v.0 % segments);
+        }
+        let assignment = social_partition(&g, &communities, &replicas, segments, &log);
+        prop_assert_eq!(assignment.len(), segments as usize);
+        for &r in &assignment {
+            prop_assert!(r < replicas.len());
+        }
+    }
+
+    #[test]
+    fn replication_targets_bounded(current in 0usize..20, hits in 0u64..10_000, misses in 0u64..10_000) {
+        let policy = ReplicationPolicy::default();
+        let d = DemandWindow { hits, misses };
+        let target = policy.target_replicas(current, d);
+        prop_assert!(target >= policy.min_replicas);
+        prop_assert!(target <= policy.max_replicas);
+        // More demand never lowers the target.
+        let d2 = DemandWindow {
+            hits: hits + 500,
+            misses,
+        };
+        prop_assert!(policy.target_replicas(current, d2) >= target);
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion benches: synthetic corpus generation, coauthorship graph
+//! construction, trust-subgraph pruning, and the text-format round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scdn_social::coauthorship::build_coauthorship;
+use scdn_social::dblp_format::{from_text, to_text};
+use scdn_social::generator::{generate, CaseStudyParams};
+use scdn_social::trustgraph::{build_trust_subgraph, TrustFilter};
+
+fn corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("social/generate");
+    group.sample_size(10);
+    group.bench_function("paper-corpus", |b| {
+        b.iter(|| generate(std::hint::black_box(&CaseStudyParams::default())));
+    });
+    group.finish();
+}
+
+fn coauthorship_build(c: &mut Criterion) {
+    let g = generate(&CaseStudyParams::default());
+    let mut group = c.benchmark_group("social/coauthorship");
+    group.sample_size(10);
+    group.bench_function("build-train-graph", |b| {
+        b.iter(|| build_coauthorship(std::hint::black_box(&g.corpus), 2009..=2010, |_| true));
+    });
+    group.finish();
+}
+
+fn trust_pruning(c: &mut Criterion) {
+    let g = generate(&CaseStudyParams::default());
+    let mut group = c.benchmark_group("social/trust-subgraph");
+    group.sample_size(10);
+    for filter in TrustFilter::paper_set() {
+        group.bench_function(filter.name(), |b| {
+            b.iter(|| {
+                build_trust_subgraph(
+                    std::hint::black_box(&g.corpus),
+                    g.seed_author,
+                    3,
+                    2009..=2010,
+                    filter,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn text_round_trip(c: &mut Criterion) {
+    let g = generate(&CaseStudyParams::default());
+    let text = to_text(&g.corpus);
+    let mut group = c.benchmark_group("social/sdblp-format");
+    group.sample_size(10);
+    group.bench_function("serialize", |b| {
+        b.iter(|| to_text(std::hint::black_box(&g.corpus)));
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| from_text(std::hint::black_box(&text)).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    corpus_generation,
+    coauthorship_build,
+    trust_pruning,
+    text_round_trip
+);
+criterion_main!(benches);

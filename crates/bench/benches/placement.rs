@@ -1,0 +1,66 @@
+//! Criterion benches: replica placement algorithm cost on social graphs,
+//! including the calibrated case-study baseline graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scdn_alloc::placement::PlacementAlgorithm;
+use scdn_graph::generators::barabasi_albert;
+use scdn_social::trustgraph::{build_trust_subgraph, TrustFilter};
+
+fn placement_on_ba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/ba-2000");
+    group.sample_size(20);
+    let g = barabasi_albert(2000, 4, 7);
+    for alg in [
+        PlacementAlgorithm::Random,
+        PlacementAlgorithm::NodeDegree,
+        PlacementAlgorithm::CommunityNodeDegree,
+        PlacementAlgorithm::ClusteringCoefficient,
+        PlacementAlgorithm::SocialScore,
+        PlacementAlgorithm::PageRank,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+            b.iter(|| alg.place(std::hint::black_box(&g), 10, 42));
+        });
+    }
+    group.finish();
+}
+
+fn betweenness_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/betweenness");
+    group.sample_size(10);
+    for n in [200usize, 600] {
+        let g = barabasi_albert(n, 3, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| PlacementAlgorithm::Betweenness.place(std::hint::black_box(g), 10, 0));
+        });
+    }
+    group.finish();
+}
+
+fn placement_on_case_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement/case-study-baseline");
+    group.sample_size(10);
+    let synthetic = scdn_bench::paper_corpus();
+    let sub = build_trust_subgraph(
+        &synthetic.corpus,
+        synthetic.seed_author,
+        3,
+        2009..=2010,
+        TrustFilter::Baseline,
+    )
+    .expect("seed present");
+    for alg in PlacementAlgorithm::PAPER_SET {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+            b.iter(|| alg.place(std::hint::black_box(&sub.graph), 10, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    placement_on_ba,
+    betweenness_placement,
+    placement_on_case_study
+);
+criterion_main!(benches);

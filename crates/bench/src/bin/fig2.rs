@@ -1,0 +1,66 @@
+//! Regenerates **Fig. 2** of the paper: the topology of the three trust
+//! subgraphs.
+//!
+//! Prints the structural statistics the figure conveys (node/edge counts,
+//! maximum span, isolated islands, the highlighted seed's degree) and
+//! writes Graphviz DOT files (`fig2_<name>.dot`) with the seed node and its
+//! first-degree edges highlighted in red, matching the paper's rendering.
+//!
+//! ```text
+//! cargo run -p scdn-bench --release --bin fig2
+//! ```
+
+use scdn_bench::paper_corpus;
+use scdn_graph::components::island_stats;
+use scdn_graph::dot::{to_dot, DotOptions};
+use scdn_graph::metrics::{global_clustering_coefficient, mean_degree};
+use scdn_graph::traversal::max_span;
+use scdn_social::trustgraph::build_paper_subgraphs;
+
+fn main() {
+    let g = paper_corpus();
+    let subs = build_paper_subgraphs(&g.corpus, g.seed_author, 3, 2009..=2010)
+        .expect("seed author present");
+    let names = ["baseline", "double_coauthorship", "number_of_authors"];
+    println!("Fig. 2: subgraph topologies (statistics + DOT export)");
+    println!();
+    println!(
+        "{:<28} {:>6} {:>7} {:>5} {:>8} {:>9} {:>10} {:>10}",
+        "graph", "nodes", "edges", "span", "islands", "seed-deg", "mean-deg", "transitiv."
+    );
+    for (s, name) in subs.iter().zip(names) {
+        let seed_node = s
+            .node_of(g.seed_author)
+            .expect("seed survives every pruning in the calibrated corpus");
+        let isl = island_stats(&s.graph);
+        println!(
+            "{:<28} {:>6} {:>7} {:>5} {:>8} {:>9} {:>10.2} {:>10.3}",
+            s.filter.name(),
+            s.graph.node_count(),
+            s.graph.edge_count(),
+            max_span(&s.graph),
+            isl.islands,
+            s.graph.degree(seed_node),
+            mean_degree(&s.graph),
+            global_clustering_coefficient(&s.graph),
+        );
+        let dot = to_dot(
+            &s.graph,
+            &DotOptions {
+                name: name.to_string(),
+                highlight: Some(seed_node),
+                highlight_incident_edges: true,
+                ..Default::default()
+            },
+        );
+        std::fs::create_dir_all("results").expect("create results dir");
+        let path = format!("results/fig2_{name}.dot");
+        std::fs::write(&path, dot).expect("write DOT file");
+        println!("  -> wrote {path}");
+    }
+    println!();
+    println!("Paper observations to verify:");
+    println!("  * the maximum span stays ~6 hops in every subgraph;");
+    println!("  * the double-coauthorship graph fragments into isolated islands;");
+    println!("  * the other two remain a single connected supercluster.");
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table I** of the paper: the number of nodes,
+//! publications, and edges in each trust subgraph.
+//!
+//! ```text
+//! cargo run -p scdn-bench --release --bin table1
+//! ```
+
+use scdn_bench::paper_corpus;
+use scdn_social::trustgraph::build_paper_subgraphs;
+
+fn main() {
+    let g = paper_corpus();
+    let subs = build_paper_subgraphs(&g.corpus, g.seed_author, 3, 2009..=2010)
+        .expect("seed author present");
+    // Paper values for side-by-side comparison.
+    let paper = [
+        ("Baseline", 2335, 1163, 17973),
+        ("Double-Author", 811, 881, 5123),
+        ("Number of Authors", 604, 435, 1988),
+    ];
+    println!("TABLE I: THE NUMBER OF NODES AND EDGES IN EACH OF THE SUBGRAPHS");
+    println!();
+    println!(
+        "{:<28} {:>7} {:>13} {:>8}   {:>24}",
+        "Graph", "Nodes", "Publications", "Edges", "(paper: n / p / e)"
+    );
+    for (s, (label, pn, pp, pe)) in subs.iter().zip(paper) {
+        let st = s.stats();
+        println!(
+            "{:<28} {:>7} {:>13} {:>8}   {:>8} /{:>6} /{:>6}",
+            label, st.nodes, st.publications, st.edges, pn, pp, pe
+        );
+    }
+    println!();
+    println!(
+        "corpus: {} authors, {} publications ({} training 2009-10, {} test 2011)",
+        g.corpus.author_count(),
+        g.corpus.publication_count(),
+        g.corpus.publications_in(2009..=2010).count(),
+        g.corpus.publications_in(2011..=2011).count()
+    );
+}

@@ -1,0 +1,242 @@
+//! Event-driven simulation of a running S-CDN.
+//!
+//! Where [`crate::scenario`] steps through a request list imperatively,
+//! this module drives the system from the discrete-event queue of
+//! `scdn-sim`: requests, periodic maintenance, telemetry reporting, and
+//! member departures are all scheduled events, popped in timestamp order
+//! with the system clock advanced between them. Deterministic for a given
+//! schedule.
+
+use scdn_graph::NodeId;
+use scdn_sim::engine::{EventQueue, SimTime};
+use scdn_sim::workload::Request;
+use scdn_storage::object::DatasetId;
+
+use crate::system::Scdn;
+
+/// Events the simulation processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A member requests a dataset.
+    Request {
+        /// Requesting member node.
+        node: NodeId,
+        /// Requested dataset.
+        dataset: DatasetId,
+    },
+    /// A maintenance cycle (demand-driven replication / shedding).
+    Maintenance,
+    /// CDN clients flush telemetry to the allocation server.
+    Telemetry,
+    /// A member leaves the Social Cloud permanently (repair follows).
+    Depart(NodeId),
+}
+
+/// Counters from an event-driven run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events processed in total.
+    pub events: u64,
+    /// Requests served.
+    pub served: u64,
+    /// Requests that failed (policy, availability, transfer).
+    pub failed: u64,
+    /// Replica changes made by maintenance.
+    pub maintenance_changes: u64,
+    /// Replicas restored by post-departure repair.
+    pub repairs: u64,
+    /// Members that departed.
+    pub departures: u64,
+}
+
+/// The event-driven driver: a queue of [`SimEvent`]s over a running
+/// [`Scdn`].
+pub struct EventDrivenSim {
+    /// The system under simulation.
+    pub scdn: Scdn,
+    queue: EventQueue<SimEvent>,
+}
+
+impl EventDrivenSim {
+    /// Wrap a running system.
+    pub fn new(scdn: Scdn) -> EventDrivenSim {
+        EventDrivenSim {
+            scdn,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Schedule one event at an absolute time.
+    pub fn schedule(&mut self, at: SimTime, event: SimEvent) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedule a workload: each request maps to a [`SimEvent::Request`]
+    /// (the workload's dataset index is resolved modulo `datasets`).
+    pub fn schedule_workload(&mut self, workload: &[Request], datasets: &[DatasetId]) {
+        assert!(!datasets.is_empty(), "need at least one dataset");
+        for r in workload {
+            self.queue.schedule(
+                r.at,
+                SimEvent::Request {
+                    node: NodeId(r.user as u32),
+                    dataset: datasets[r.dataset % datasets.len()],
+                },
+            );
+        }
+    }
+
+    /// Schedule periodic events of one kind from `start` to `horizon`.
+    pub fn schedule_periodic(&mut self, event: SimEvent, every_ms: u64, horizon: SimTime) {
+        assert!(every_ms > 0, "period must be positive");
+        let mut t = every_ms;
+        while t <= horizon.as_millis() {
+            self.queue.schedule(SimTime::from_millis(t), event);
+            t += every_ms;
+        }
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run until the queue drains. Returns the counters.
+    pub fn run(&mut self) -> RunStats {
+        let mut stats = RunStats::default();
+        while let Some((at, event)) = self.queue.pop() {
+            // Advance the system clock to the event's timestamp.
+            let dt = at.since(self.scdn.now());
+            if dt > 0 {
+                self.scdn.tick(dt);
+            }
+            stats.events += 1;
+            match event {
+                SimEvent::Request { node, dataset } => {
+                    match self.scdn.request(node, dataset) {
+                        Ok(_) => stats.served += 1,
+                        Err(_) => stats.failed += 1,
+                    }
+                }
+                SimEvent::Maintenance => {
+                    stats.maintenance_changes += self.scdn.maintain() as u64;
+                }
+                SimEvent::Telemetry => {
+                    self.scdn.report_telemetry();
+                }
+                SimEvent::Depart(node) => {
+                    if self.scdn.depart(node).is_ok() {
+                        stats.departures += 1;
+                        stats.repairs += self.scdn.repair() as u64;
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Scdn, ScdnConfig};
+    use bytes::Bytes;
+    use scdn_sim::workload::{generate_requests, WorkloadConfig};
+    use scdn_social::generator::{generate, CaseStudyParams};
+    use scdn_social::trustgraph::{build_trust_subgraph, TrustFilter};
+    use scdn_storage::object::Sensitivity;
+
+    fn system() -> (Scdn, Vec<DatasetId>) {
+        let mut params = CaseStudyParams::default();
+        params.level2_prob = 0.3;
+        params.level3_prob = 0.0;
+        params.mega_pub_authors = 0;
+        params.rng_seed = 21;
+        let c = generate(&params);
+        let sub = build_trust_subgraph(
+            &c.corpus,
+            c.seed_author,
+            3,
+            2009..=2010,
+            TrustFilter::Baseline,
+        )
+        .expect("seed present");
+        let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+        let mut datasets = Vec::new();
+        for i in 0..4u32 {
+            let id = scdn
+                .publish(
+                    NodeId(i),
+                    &format!("ds{i}"),
+                    Bytes::from(vec![i as u8; 4096]),
+                    Sensitivity::Public,
+                    None,
+                )
+                .expect("publishes");
+            scdn.replicate(id).expect("replicates");
+            datasets.push(id);
+        }
+        (scdn, datasets)
+    }
+
+    #[test]
+    fn drains_workload_in_time_order() {
+        let (scdn, datasets) = system();
+        let members = scdn.member_count();
+        let mut sim = EventDrivenSim::new(scdn);
+        let workload = generate_requests(&WorkloadConfig {
+            users: members,
+            datasets: datasets.len(),
+            count: 120,
+            ..Default::default()
+        });
+        sim.schedule_workload(&workload, &datasets);
+        assert_eq!(sim.pending(), 120);
+        let stats = sim.run();
+        assert_eq!(stats.events, 120);
+        assert_eq!(stats.served + stats.failed, 120);
+        assert_eq!(stats.served, 120, "always-on fabric serves everything");
+        assert_eq!(sim.pending(), 0);
+        // The clock ends at or slightly past the last request's timestamp
+        // (transfers consume additional simulated time).
+        assert!(sim.scdn.now() >= workload.last().expect("non-empty").at);
+    }
+
+    #[test]
+    fn periodic_maintenance_and_telemetry_fire() {
+        let (scdn, datasets) = system();
+        let members = scdn.member_count();
+        let mut sim = EventDrivenSim::new(scdn);
+        let workload = generate_requests(&WorkloadConfig {
+            users: members,
+            datasets: datasets.len(),
+            count: 50,
+            mean_interarrival_ms: 100.0,
+            ..Default::default()
+        });
+        sim.schedule_workload(&workload, &datasets);
+        let horizon = workload.last().expect("non-empty").at;
+        sim.schedule_periodic(SimEvent::Maintenance, 1_000, horizon);
+        sim.schedule_periodic(SimEvent::Telemetry, 500, horizon);
+        let stats = sim.run();
+        assert!(stats.events > 50, "periodic events must have fired");
+    }
+
+    #[test]
+    fn departures_trigger_repairs() {
+        let (scdn, datasets) = system();
+        let replicas_before = scdn.replicas_of(datasets[0]).expect("known");
+        let victim = *replicas_before
+            .iter()
+            .find(|&&n| n != NodeId(0))
+            .expect("a non-owner replica exists");
+        let mut sim = EventDrivenSim::new(scdn);
+        sim.schedule(SimTime::from_millis(10), SimEvent::Depart(victim));
+        let stats = sim.run();
+        assert_eq!(stats.departures, 1);
+        assert!(stats.repairs >= 1, "repair must restore the lost replica");
+        let after = sim.scdn.replicas_of(datasets[0]).expect("known");
+        assert_eq!(after.len(), replicas_before.len());
+        assert!(!after.contains(&victim));
+    }
+}

@@ -1,0 +1,751 @@
+//! The S-CDN runtime: the four architecture components wired together.
+//!
+//! Nodes of the trust subgraph double as network endpoints: each author
+//! contributes a [`StorageRepository`], registers with the
+//! [`SocialPlatform`], and authenticates through the [`Middleware`]. The
+//! [`AllocationServer`] places replicas with a social placement algorithm
+//! and resolves requests; the [`TransferEngine`] moves checksummed
+//! segments; availability churn and all Section V-E metrics are recorded.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scdn_alloc::placement::PlacementAlgorithm;
+use scdn_alloc::replication::ReplicationPolicy;
+use scdn_alloc::server::{AllocationError, AllocationServer, RepositoryInfo};
+use scdn_graph::{Graph, NodeId};
+use scdn_middleware::audit::AuditLog;
+use scdn_middleware::auth::{Middleware, MiddlewareError};
+use scdn_middleware::authz::{AccessDecision, AccessPolicy};
+use scdn_net::failure::FailureModel;
+use scdn_net::overlay::{PeerCertificate, SocialOverlay};
+use scdn_net::topology::{LinkQuality, Topology};
+use scdn_net::transfer::{TransferEngine, TransferError};
+use scdn_sim::availability::{AvailabilityModel, PeriodicChurn};
+use scdn_sim::engine::SimTime;
+use scdn_sim::metrics::{CdnMetrics, SocialMetrics};
+use scdn_social::author::AuthorId;
+use scdn_social::corpus::Corpus;
+use scdn_social::platform::SocialPlatform;
+use scdn_social::trustgraph::TrustSubgraph;
+use scdn_storage::object::{Dataset, DatasetId, SegmentId, Sensitivity};
+use scdn_storage::repository::{Partition, RepoError, StorageRepository};
+use scdn_trust::interaction::InteractionLedger;
+use scdn_trust::model::{TrustModel, TrustParams};
+
+/// Availability regime of the contributed repositories.
+#[derive(Clone, Copy, Debug)]
+pub enum AvailabilityConfig {
+    /// Idealized always-on fabric.
+    AlwaysOn,
+    /// Deterministic churn: every node cycles with the given period and
+    /// duty fraction (decorrelated phases).
+    Periodic {
+        /// Cycle length in milliseconds.
+        period_ms: u64,
+        /// Online fraction per cycle.
+        duty: f64,
+    },
+}
+
+/// Configuration of an S-CDN instance.
+#[derive(Clone, Debug)]
+pub struct ScdnConfig {
+    /// Capacity of each contributed repository, bytes.
+    pub repo_capacity: u64,
+    /// Segment size for published datasets, bytes.
+    pub segment_size: usize,
+    /// Replica placement algorithm.
+    pub placement: PlacementAlgorithm,
+    /// Target replica count per dataset.
+    pub replicas_per_dataset: usize,
+    /// Transfer failure model.
+    pub failure: FailureModel,
+    /// Repository availability regime.
+    pub availability: AvailabilityConfig,
+    /// Replication policy for maintenance cycles.
+    pub replication: ReplicationPolicy,
+    /// When set, requests are only served over the social overlay: a
+    /// replica that is socially unreachable from the requester (e.g. in a
+    /// different island of a pruned trust graph) cannot serve it — "data
+    /// stays within the bounds of a particular project" (Section V).
+    pub enforce_social_boundary: bool,
+    /// Opportunistic caching: after a successful remote fetch, the
+    /// requester's downloaded copy is promoted into its replica partition
+    /// and registered with the catalog ("they may … also be copied to the
+    /// replica partition if so instructed by an allocation server",
+    /// Section V-A). Subsequent requests from that neighborhood then hit.
+    pub opportunistic_caching: bool,
+    /// Master RNG seed (placement + workload side).
+    pub seed: u64,
+}
+
+impl Default for ScdnConfig {
+    fn default() -> Self {
+        ScdnConfig {
+            repo_capacity: 64 << 20,
+            segment_size: 256 << 10,
+            placement: PlacementAlgorithm::CommunityNodeDegree,
+            replicas_per_dataset: 3,
+            failure: FailureModel::reliable(),
+            availability: AvailabilityConfig::AlwaysOn,
+            replication: ReplicationPolicy::default(),
+            enforce_social_boundary: false,
+            opportunistic_caching: false,
+            seed: 7,
+        }
+    }
+}
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum ScdnError {
+    /// Authentication / session failure.
+    Auth(MiddlewareError),
+    /// Access denied by policy.
+    Access(AccessDecision),
+    /// Allocation layer failure.
+    Alloc(AllocationError),
+    /// Transfer layer failure.
+    Transfer(TransferError),
+    /// Storage layer failure.
+    Repo(RepoError),
+    /// Node index outside the membership.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for ScdnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScdnError::Auth(e) => write!(f, "auth: {e}"),
+            ScdnError::Access(d) => write!(f, "access denied: {d:?}"),
+            ScdnError::Alloc(e) => write!(f, "allocation: {e}"),
+            ScdnError::Transfer(e) => write!(f, "transfer: {e}"),
+            ScdnError::Repo(e) => write!(f, "storage: {e}"),
+            ScdnError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ScdnError {}
+
+impl From<AllocationError> for ScdnError {
+    fn from(e: AllocationError) -> Self {
+        ScdnError::Alloc(e)
+    }
+}
+
+impl From<TransferError> for ScdnError {
+    fn from(e: TransferError) -> Self {
+        ScdnError::Transfer(e)
+    }
+}
+
+impl From<MiddlewareError> for ScdnError {
+    fn from(e: MiddlewareError) -> Self {
+        ScdnError::Auth(e)
+    }
+}
+
+/// Outcome of a data request.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestOutcome {
+    /// Replica node that served the request.
+    pub served_by: NodeId,
+    /// `true` if the replica was within one social hop.
+    pub social_hit: bool,
+    /// End-to-end response time, ms.
+    pub response_ms: f64,
+    /// Bytes delivered.
+    pub bytes: u64,
+}
+
+struct DatasetMeta {
+    owner: NodeId,
+    policy: AccessPolicy,
+}
+
+enum Availability {
+    AlwaysOn,
+    Periodic(PeriodicChurn),
+}
+
+impl Availability {
+    fn is_online(&self, node: usize, t: SimTime) -> bool {
+        match self {
+            Availability::AlwaysOn => true,
+            Availability::Periodic(p) => p.is_online(node, t),
+        }
+    }
+
+    fn fraction(&self, _node: usize) -> f64 {
+        match self {
+            Availability::AlwaysOn => 1.0,
+            Availability::Periodic(p) => p.duty,
+        }
+    }
+}
+
+/// A running Social CDN over one trust subgraph.
+pub struct Scdn {
+    config: ScdnConfig,
+    /// The social graph (node ids index everything below).
+    pub social: Graph,
+    /// Node → author mapping.
+    pub authors: Vec<AuthorId>,
+    platform: Arc<SocialPlatform>,
+    middleware: Middleware,
+    sessions: Vec<u64>,
+    repos: Vec<Arc<StorageRepository>>,
+    engine: TransferEngine,
+    alloc: AllocationServer,
+    availability: Availability,
+    overlay: SocialOverlay,
+    departed: Vec<bool>,
+    clients: Vec<crate::client::MonitoringClient>,
+    clock: SimTime,
+    datasets: HashMap<DatasetId, DatasetMeta>,
+    next_dataset: u32,
+    ledger: InteractionLedger,
+    trust_model: TrustModel,
+    audit: AuditLog,
+    /// CDN quality metrics.
+    pub cdn_metrics: CdnMetrics,
+    /// Social collaboration metrics.
+    pub social_metrics: SocialMetrics,
+}
+
+impl Scdn {
+    /// Build a running S-CDN from a trust subgraph and its corpus.
+    ///
+    /// Every subgraph author joins the Social Cloud: a platform account is
+    /// registered (password = login, as a simulation shortcut), a session
+    /// is established, a repository is contributed and registered with the
+    /// allocation server, and the trust ledger is seeded from the
+    /// training-period publications.
+    pub fn build(sub: &TrustSubgraph, corpus: &Corpus, config: ScdnConfig) -> Scdn {
+        let n = sub.graph.node_count();
+        let platform = Arc::new(SocialPlatform::new());
+        let middleware = Middleware::new(platform.clone());
+        let mut sessions = Vec::with_capacity(n);
+        let mut repos = Vec::with_capacity(n);
+        let mut positions = Vec::with_capacity(n);
+        let availability = match config.availability {
+            AvailabilityConfig::AlwaysOn => Availability::AlwaysOn,
+            AvailabilityConfig::Periodic { period_ms, duty } => {
+                Availability::Periodic(PeriodicChurn {
+                    period_ms,
+                    duty,
+                    seed: config.seed,
+                })
+            }
+        };
+        let alloc = AllocationServer::new();
+        let mut social_metrics = SocialMetrics::default();
+        for (i, &author) in sub.authors.iter().enumerate() {
+            let a = corpus.author(author);
+            let inst = corpus.institution(a.institution);
+            positions.push((inst.lat, inst.lon));
+            let login = format!("user-{}", author.0);
+            let user = platform
+                .register(&login, &a.name, &login, Some(author))
+                .expect("generated logins are unique");
+            for topic in corpus.interests_of(author) {
+                platform.add_interest(user, topic).expect("user just registered");
+            }
+            let token = platform.login(&login, &login).expect("credentials just set");
+            let session = middleware
+                .establish_session(&token)
+                .expect("fresh token validates");
+            sessions.push(session.id);
+            repos.push(Arc::new(StorageRepository::new(config.repo_capacity)));
+            let node = NodeId(i as u32);
+            alloc.register_repository(RepositoryInfo {
+                node,
+                owner: author,
+                capacity: config.repo_capacity,
+                availability: availability.fraction(i),
+            });
+            social_metrics.contributed_bytes += config.repo_capacity;
+            let region_idx = inst.region as usize;
+            *social_metrics.region_capacity.entry(region_idx).or_insert(0) +=
+                config.repo_capacity;
+        }
+        // Mirror the social graph into platform relationships.
+        let users: Vec<_> = sub
+            .authors
+            .iter()
+            .map(|&a| platform.user_of_author(a).expect("registered above"))
+            .collect();
+        for (a, b, _) in sub.graph.edges() {
+            platform
+                .befriend(users[a.index()], users[b.index()])
+                .expect("users exist");
+        }
+        let mut ledger = InteractionLedger::new();
+        ledger.seed_from_corpus(corpus, 1900..=2100);
+        let topology = Topology::uniform(positions, LinkQuality::default());
+        let engine = TransferEngine {
+            topology,
+            failure: config.failure,
+            max_attempts: 3,
+            concurrency: 1,
+        };
+        let clients = (0..n)
+            .map(|i| crate::client::MonitoringClient::new(NodeId(i as u32), 0.05))
+            .collect();
+        // Bring up the SocialVPN-style overlay: every member publishes a
+        // certificate and links come up for every social edge.
+        let mut overlay = SocialOverlay::new(n);
+        for (i, &author) in sub.authors.iter().enumerate() {
+            overlay.publish_certificate(PeerCertificate::from_key(
+                NodeId(i as u32),
+                format!("scdn-key-{}", author.0).as_bytes(),
+            ));
+        }
+        overlay.establish_all(&sub.graph);
+        Scdn {
+            social: sub.graph.clone(),
+            authors: sub.authors.clone(),
+            platform,
+            middleware,
+            sessions,
+            repos,
+            engine,
+            alloc,
+            availability,
+            overlay,
+            departed: vec![false; n],
+            clients,
+            clock: SimTime::ZERO,
+            datasets: HashMap::new(),
+            next_dataset: 0,
+            ledger,
+            trust_model: TrustModel::new(TrustParams::default()),
+            audit: AuditLog::new(),
+            cdn_metrics: CdnMetrics::default(),
+            social_metrics,
+            config,
+        }
+    }
+
+    /// Number of member nodes.
+    pub fn member_count(&self) -> usize {
+        self.repos.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advance the simulation clock by `ms` milliseconds, sample fabric
+    /// availability into the metrics, and feed each node's CDN client.
+    pub fn tick(&mut self, ms: u64) {
+        self.clock = self.clock.plus_millis(ms);
+        let mut online = 0usize;
+        for i in 0..self.repos.len() {
+            let up = !self.departed[i] && self.availability.is_online(i, self.clock);
+            self.clients[i].sample_online(up);
+            online += usize::from(up);
+        }
+        if !self.repos.is_empty() {
+            self.cdn_metrics
+                .availability_samples
+                .record(online as f64 / self.repos.len() as f64);
+        }
+    }
+
+    /// `true` if `node` is online at the current clock (departed members
+    /// never come back).
+    pub fn is_online(&self, node: NodeId) -> bool {
+        !self.departed[node.index()] && self.availability.is_online(node.index(), self.clock)
+    }
+
+    /// Flush every CDN client's telemetry (EWMA availability, usage
+    /// counters) to the allocation server, as the clients of Section V-A
+    /// periodically do.
+    pub fn report_telemetry(&mut self) {
+        for c in &mut self.clients {
+            c.report(&self.alloc);
+        }
+    }
+
+    /// A member leaves the Social Cloud permanently: its repository goes
+    /// dark and its replicas are dropped from the catalog. Returns the
+    /// datasets that lost a replica (candidates for [`Self::repair`]).
+    pub fn depart(&mut self, node: NodeId) -> Result<Vec<DatasetId>, ScdnError> {
+        self.check_node(node)?;
+        self.departed[node.index()] = true;
+        let affected = self.alloc.datasets_hosted_by(node);
+        for &d in &affected {
+            let _ = self.alloc.remove_replica(d, node);
+        }
+        Ok(affected)
+    }
+
+    /// Re-replicate every dataset below the configured replica count
+    /// (post-departure repair). Returns the number of replicas restored.
+    pub fn repair(&mut self) -> usize {
+        let datasets: Vec<DatasetId> = {
+            let mut v: Vec<DatasetId> = self.datasets.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut restored = 0;
+        for d in datasets {
+            if let Ok(added) = self.replicate(d) {
+                restored += added.len();
+            }
+        }
+        restored
+    }
+
+    /// The repository contributed by `node`.
+    pub fn repo(&self, node: NodeId) -> Result<&Arc<StorageRepository>, ScdnError> {
+        self.repos
+            .get(node.index())
+            .ok_or(ScdnError::UnknownNode(node))
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), ScdnError> {
+        if node.index() >= self.repos.len() {
+            Err(ScdnError::UnknownNode(node))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Publish a dataset from `node`'s repository: segments are stored in
+    /// the owner's user partition and the dataset is registered with the
+    /// allocation server under `policy` (pass `None` for a public dataset).
+    pub fn publish(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        content: bytes::Bytes,
+        sensitivity: Sensitivity,
+        policy: Option<AccessPolicy>,
+    ) -> Result<DatasetId, ScdnError> {
+        self.check_node(node)?;
+        self.middleware.authorize_op(self.sessions[node.index()])?;
+        let id = DatasetId(self.next_dataset);
+        self.next_dataset += 1;
+        let dataset = Dataset::from_bytes(id, name, sensitivity, content, self.config.segment_size);
+        for seg in &dataset.segments {
+            self.repos[node.index()]
+                .store(Partition::User, seg.clone())
+                .map_err(ScdnError::Repo)?;
+        }
+        self.social_metrics.allocated_bytes += dataset.total_bytes();
+        self.alloc
+            .register_dataset(id, dataset.segment_count() as u32, node)?;
+        let policy = policy.unwrap_or_else(|| AccessPolicy {
+            sensitivity,
+            owner: self.authors[node.index()],
+            group: None,
+            grants: Vec::new(),
+            trust: None,
+        });
+        self.datasets.insert(
+            id,
+            DatasetMeta {
+                owner: node,
+                policy,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Segment ids of a dataset (from the catalog).
+    fn segment_ids(&self, dataset: DatasetId) -> Result<Vec<SegmentId>, ScdnError> {
+        let n = self.alloc.segments_of(dataset)?;
+        Ok((0..n)
+            .map(|ordinal| SegmentId { dataset, ordinal })
+            .collect())
+    }
+
+    /// Replicate a dataset to the configured replica count using the
+    /// configured placement algorithm. Hosting requests to offline nodes
+    /// are rejected (and recorded as such); accepted hosts receive the
+    /// full segment set via third-party transfers.
+    ///
+    /// Returns the nodes that now host new replicas.
+    pub fn replicate(&mut self, dataset: DatasetId) -> Result<Vec<NodeId>, ScdnError> {
+        let meta = self
+            .datasets
+            .get(&dataset)
+            .ok_or(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)))?;
+        let owner = meta.owner;
+        let current = self.alloc.replicas_of(dataset)?;
+        let want = self.config.replicas_per_dataset;
+        if current.len() >= want {
+            return Ok(Vec::new());
+        }
+        // Over-provision the ranking: offline or already-hosting nodes are
+        // skipped.
+        let ranked = self
+            .config
+            .placement
+            .place(&self.social, want + current.len() + 4, self.config.seed);
+        let segments = self.segment_ids(dataset)?;
+        let mut added = Vec::new();
+        let mut have = current.len();
+        for cand in ranked {
+            if have >= want {
+                break;
+            }
+            if current.contains(&cand) || cand == owner {
+                continue;
+            }
+            let online = self.is_online(cand);
+            let latency = self
+                .engine
+                .topology
+                .latency_ms(owner.index(), cand.index());
+            self.social_metrics.record_hosting_request(
+                online,
+                online.then(|| SimTime::from_millis(latency as u64)),
+            );
+            if !online {
+                continue;
+            }
+            // Third-party transfer of every segment into the host.
+            let src_repo = self.repos[owner.index()].clone();
+            let dst_repo = self.repos[cand.index()].clone();
+            let mut total_ms = 0.0;
+            let mut total_bytes = 0u64;
+            let mut failed = false;
+            for &s in &segments {
+                match self.engine.transfer_segment(
+                    owner.index(),
+                    cand.index(),
+                    &src_repo,
+                    &dst_repo,
+                    s,
+                ) {
+                    Ok(r) => {
+                        total_ms += r.duration_ms;
+                        total_bytes += r.bytes;
+                    }
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            self.social_metrics.record_exchange(
+                owner.index(),
+                cand.index(),
+                total_bytes,
+                !failed,
+            );
+            self.cdn_metrics.bytes_transferred += total_bytes;
+            self.clock = self.clock.plus_millis(total_ms as u64);
+            if failed {
+                continue;
+            }
+            self.alloc.add_replica(dataset, cand)?;
+            added.push(cand);
+            have += 1;
+        }
+        let replica_count = self.alloc.replicas_of(dataset)?.len();
+        self.cdn_metrics.redundancy.record(replica_count as f64);
+        Ok(added)
+    }
+
+    /// Request a dataset from `node`: authenticate, check access policy,
+    /// resolve the best online replica, and transfer every segment into
+    /// the requester's user partition.
+    pub fn request(&mut self, node: NodeId, dataset: DatasetId) -> Result<RequestOutcome, ScdnError> {
+        self.check_node(node)?;
+        let user = self.middleware.authorize_op(self.sessions[node.index()])?;
+        let meta = self
+            .datasets
+            .get(&dataset)
+            .ok_or(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)))?;
+        let decision = meta.policy.check(
+            &self.platform,
+            user,
+            Some(self.authors[node.index()]),
+            &self.trust_model,
+            &self.ledger,
+            self.clock.as_secs_f64(),
+        );
+        self.audit
+            .record(self.clock.as_millis(), user, dataset, decision.clone());
+        if !decision.allowed() {
+            return Err(ScdnError::Access(decision));
+        }
+        let clock = self.clock;
+        let availability = &self.availability;
+        let topology = &self.engine.topology;
+        let selection = match self.alloc.resolve(
+            dataset,
+            node,
+            &self.social,
+            |n| availability.is_online(n.index(), clock),
+            |n| topology.latency_ms(node.index(), n.index()),
+        ) {
+            Ok(sel) => sel,
+            Err(e) => {
+                self.cdn_metrics.failures += 1;
+                return Err(ScdnError::Alloc(e));
+            }
+        };
+        if self.config.enforce_social_boundary
+            && selection.node != node
+            && self.overlay.route(selection.node, node).is_none()
+        {
+            // No verified overlay path: the data may not leave the
+            // project's social boundary.
+            self.cdn_metrics.failures += 1;
+            return Err(ScdnError::Alloc(AllocationError::NoReplicaAvailable(
+                dataset,
+            )));
+        }
+        let segments = self.segment_ids(dataset)?;
+        let src_repo = self.repos[selection.node.index()].clone();
+        let dst_repo = self.repos[node.index()].clone();
+        let mut total_ms = 0.0;
+        let mut total_bytes = 0u64;
+        for &s in &segments {
+            // Self-service (the requester already hosts a replica) is free.
+            if selection.node == node {
+                break;
+            }
+            match self.engine.transfer_segment_into(
+                selection.node.index(),
+                node.index(),
+                &src_repo,
+                &dst_repo,
+                s,
+                Partition::User,
+            ) {
+                Ok(r) => {
+                    total_ms += r.duration_ms;
+                    total_bytes += r.bytes;
+                }
+                Err(e) => {
+                    self.cdn_metrics.failures += 1;
+                    self.social_metrics.record_exchange(
+                        selection.node.index(),
+                        node.index(),
+                        0,
+                        false,
+                    );
+                    return Err(ScdnError::Transfer(e));
+                }
+            }
+        }
+        let hit = matches!(selection.social_hops, Some(h) if h <= 1);
+        if hit {
+            self.cdn_metrics.hits += 1;
+        } else {
+            self.cdn_metrics.misses += 1;
+        }
+        self.cdn_metrics.response_time_ms.record(total_ms.max(selection.latency_ms));
+        self.cdn_metrics.bytes_transferred += total_bytes;
+        if selection.node != node {
+            self.social_metrics.record_exchange(
+                selection.node.index(),
+                node.index(),
+                total_bytes,
+                true,
+            );
+            self.clients[selection.node.index()].record_served(total_bytes);
+        }
+        self.clock = self.clock.plus_millis(total_ms as u64);
+        if self.config.opportunistic_caching && selection.node != node {
+            // Promote the freshly downloaded copy into the requester's
+            // replica partition and tell the catalog about it.
+            let repo = self.repos[node.index()].clone();
+            let mut promoted = true;
+            for &s in &segments {
+                if repo.promote(s).is_err() {
+                    promoted = false;
+                    break;
+                }
+            }
+            if promoted {
+                let _ = self.alloc.add_replica(dataset, node);
+            }
+        }
+        Ok(RequestOutcome {
+            served_by: selection.node,
+            social_hit: hit,
+            response_ms: total_ms.max(selection.latency_ms),
+            bytes: total_bytes,
+        })
+    }
+
+    /// Run one maintenance cycle: apply the replication policy to every
+    /// dataset (growing hot datasets, shrinking idle ones), then reset the
+    /// demand windows. Returns the number of replica changes made.
+    pub fn maintain(&mut self) -> usize {
+        let plan = self.alloc.rebalance_plan(&self.config.replication);
+        let mut changes = 0usize;
+        for (dataset, current, target) in plan {
+            if target > current {
+                let before = self.alloc.replicas_of(dataset).map(|r| r.len()).unwrap_or(0);
+                let want = self.config.replicas_per_dataset.max(target);
+                let saved = self.config.replicas_per_dataset;
+                self.config.replicas_per_dataset = want;
+                let _ = self.replicate(dataset);
+                self.config.replicas_per_dataset = saved;
+                let after = self.alloc.replicas_of(dataset).map(|r| r.len()).unwrap_or(0);
+                changes += after.saturating_sub(before);
+            } else if target < current {
+                // Shed the last-added replica(s).
+                if let Ok(replicas) = self.alloc.replicas_of(dataset) {
+                    for &n in replicas.iter().rev().take(current - target) {
+                        if self.alloc.remove_replica(dataset, n).unwrap_or(false) {
+                            // Evict the stored segments (CDN-initiated).
+                            if let Ok(segments) = self.segment_ids(dataset) {
+                                for s in segments {
+                                    let _ = self.repos[n.index()].remove(
+                                        Partition::Replica,
+                                        s,
+                                        false,
+                                    );
+                                }
+                            }
+                            changes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.alloc.reset_demand();
+        changes
+    }
+
+    /// The allocation server (read access for tests and experiments).
+    pub fn allocation(&self) -> &AllocationServer {
+        &self.alloc
+    }
+
+    /// The social platform handle.
+    pub fn platform(&self) -> &Arc<SocialPlatform> {
+        &self.platform
+    }
+
+    /// The verified social overlay (SocialVPN-style peer links).
+    pub fn overlay(&self) -> &SocialOverlay {
+        &self.overlay
+    }
+
+    /// The access audit trail (every grant and denial, in order).
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Current replica nodes of a dataset.
+    pub fn replicas_of(&self, dataset: DatasetId) -> Result<Vec<NodeId>, ScdnError> {
+        Ok(self.alloc.replicas_of(dataset)?)
+    }
+}
+
+#[cfg(test)]
+#[path = "system_tests.rs"]
+mod system_tests;

@@ -1,0 +1,402 @@
+//! Unit tests for the S-CDN runtime (kept in a separate file to keep
+//! `system.rs` readable; included via `#[cfg(test)] mod system_tests`).
+
+use bytes::Bytes;
+use scdn_alloc::placement::PlacementAlgorithm;
+use scdn_graph::NodeId;
+use scdn_social::generator::{generate, CaseStudyParams};
+use scdn_social::trustgraph::{build_trust_subgraph, TrustFilter, TrustSubgraph};
+use scdn_social::SyntheticDblp;
+use scdn_storage::object::Sensitivity;
+use scdn_storage::repository::Partition;
+
+use crate::system::{AvailabilityConfig, Scdn, ScdnConfig, ScdnError};
+
+fn community() -> (SyntheticDblp, TrustSubgraph) {
+    let mut params = CaseStudyParams::default();
+    params.level2_prob = 0.3;
+    params.level3_prob = 0.0;
+    params.mega_pub_authors = 0;
+    params.rng_seed = 77;
+    let c = generate(&params);
+    let sub = build_trust_subgraph(&c.corpus, c.seed_author, 3, 2009..=2010, TrustFilter::Baseline)
+        .expect("seed present");
+    (c, sub)
+}
+
+#[test]
+fn build_registers_everyone() {
+    let (c, sub) = community();
+    let scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    assert_eq!(scdn.member_count(), sub.graph.node_count());
+    assert_eq!(scdn.allocation().repository_count(), sub.graph.node_count());
+    assert_eq!(scdn.platform().user_count(), sub.graph.node_count());
+    // Contributed capacity is recorded for the social metrics.
+    assert_eq!(
+        scdn.social_metrics.contributed_bytes,
+        sub.graph.node_count() as u64 * ScdnConfig::default().repo_capacity
+    );
+    // Relationships mirror the coauthorship edges.
+    let (a, b, _) = sub.graph.edges().next().expect("has edges");
+    let ua = scdn
+        .platform()
+        .user_of_author(sub.author_of(a))
+        .expect("registered");
+    let ub = scdn
+        .platform()
+        .user_of_author(sub.author_of(b))
+        .expect("registered");
+    assert!(scdn.platform().are_friends(ua, ub));
+}
+
+#[test]
+fn publish_stores_segments_in_user_partition() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let owner = NodeId(3);
+    let id = scdn
+        .publish(
+            owner,
+            "segmented",
+            Bytes::from(vec![1u8; 700 << 10]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    let repo = scdn.repo(owner).expect("repo");
+    // 700 KiB at the default 256 KiB segment size = 3 segments.
+    assert_eq!(repo.segment_count(Partition::User), 3);
+    assert_eq!(repo.segment_count(Partition::Replica), 0);
+    assert_eq!(scdn.allocation().segments_of(id).expect("known"), 3);
+    assert_eq!(scdn.replicas_of(id).expect("known"), vec![owner]);
+}
+
+#[test]
+fn publish_to_unknown_node_fails() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let bogus = NodeId(scdn.member_count() as u32 + 5);
+    match scdn.publish(bogus, "x", Bytes::new(), Sensitivity::Public, None) {
+        Err(ScdnError::UnknownNode(n)) => assert_eq!(n, bogus),
+        other => panic!("expected unknown node, got ok={}", other.is_ok()),
+    }
+}
+
+#[test]
+fn replicate_respects_target_count_and_skips_owner() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.replicas_per_dataset = 4;
+    config.placement = PlacementAlgorithm::NodeDegree;
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let owner = NodeId(0);
+    let id = scdn
+        .publish(owner, "r4", Bytes::from(vec![0u8; 1024]), Sensitivity::Public, None)
+        .expect("publishes");
+    let added = scdn.replicate(id).expect("replicates");
+    assert_eq!(added.len(), 3);
+    assert!(!added.contains(&owner));
+    // Idempotent: a second call adds nothing.
+    assert!(scdn.replicate(id).expect("noop").is_empty());
+    // Each added host holds the segment in its replica partition.
+    for &h in &added {
+        assert_eq!(scdn.repo(h).expect("repo").segment_count(Partition::Replica), 1);
+    }
+}
+
+#[test]
+fn replication_records_hosting_and_exchanges() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let id = scdn
+        .publish(NodeId(0), "m", Bytes::from(vec![0u8; 64 << 10]), Sensitivity::Public, None)
+        .expect("publishes");
+    scdn.replicate(id).expect("replicates");
+    assert!(scdn.social_metrics.hosting_requests >= 2);
+    assert_eq!(scdn.social_metrics.acceptance_rate(), 100.0);
+    assert!(scdn.social_metrics.exchanges_ok >= 2);
+    assert!(scdn.cdn_metrics.bytes_transferred > 0);
+    assert!(scdn.cdn_metrics.redundancy.mean() >= 3.0);
+}
+
+#[test]
+fn offline_hosts_rejected_during_replication() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.availability = AvailabilityConfig::Periodic {
+        period_ms: 10_000,
+        duty: 0.3,
+    };
+    config.replicas_per_dataset = 5;
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let id = scdn
+        .publish(NodeId(0), "c", Bytes::from(vec![0u8; 1024]), Sensitivity::Public, None)
+        .expect("publishes");
+    scdn.tick(1_000);
+    let _ = scdn.replicate(id);
+    // With 30% duty some hosting requests must have been rejected.
+    assert!(
+        scdn.social_metrics.hosting_requests > scdn.social_metrics.hosting_accepted,
+        "expected rejections: {} vs {}",
+        scdn.social_metrics.hosting_requests,
+        scdn.social_metrics.hosting_accepted
+    );
+    assert!(scdn.social_metrics.acceptance_rate() < 100.0);
+}
+
+#[test]
+fn request_hits_when_neighbor_hosts() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let owner = NodeId(0);
+    let id = scdn
+        .publish(owner, "n", Bytes::from(vec![0u8; 2048]), Sensitivity::Public, None)
+        .expect("publishes");
+    // A direct neighbor of the owner is a social hit even pre-replication.
+    let neighbor = sub.graph.neighbors(owner)[0].to;
+    let outcome = scdn.request(neighbor, id).expect("served");
+    assert!(outcome.social_hit);
+    assert_eq!(outcome.served_by, owner);
+    assert_eq!(scdn.cdn_metrics.hits, 1);
+}
+
+#[test]
+fn clock_advances_with_traffic() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let t0 = scdn.now();
+    scdn.tick(5_000);
+    assert_eq!(scdn.now().since(t0), 5_000);
+    let id = scdn
+        .publish(NodeId(0), "t", Bytes::from(vec![0u8; 512 << 10]), Sensitivity::Public, None)
+        .expect("publishes");
+    scdn.replicate(id).expect("replicates");
+    assert!(scdn.now().since(t0) > 5_000, "transfers consume time");
+}
+
+#[test]
+fn availability_sampling_tracks_duty() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.availability = AvailabilityConfig::Periodic {
+        period_ms: 20_000,
+        duty: 0.6,
+    };
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    for _ in 0..200 {
+        scdn.tick(457);
+    }
+    let mean = scdn.cdn_metrics.availability_samples.mean();
+    assert!((mean - 0.6).abs() < 0.1, "mean availability {mean}");
+}
+
+#[test]
+fn maintenance_sheds_idle_replicas() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.replicas_per_dataset = 6;
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let id = scdn
+        .publish(NodeId(0), "idle", Bytes::from(vec![0u8; 1024]), Sensitivity::Public, None)
+        .expect("publishes");
+    scdn.replicate(id).expect("replicates");
+    assert_eq!(scdn.replicas_of(id).expect("known").len(), 6);
+    // No demand at all: the policy sheds down toward sustainable levels.
+    let changes = scdn.maintain();
+    assert!(changes > 0, "idle dataset should shed a replica");
+    assert!(scdn.replicas_of(id).expect("known").len() < 6);
+}
+
+#[test]
+fn departure_and_repair_restore_redundancy() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let id = scdn
+        .publish(NodeId(0), "d", Bytes::from(vec![0u8; 2048]), Sensitivity::Public, None)
+        .expect("publishes");
+    let added = scdn.replicate(id).expect("replicates");
+    assert_eq!(scdn.replicas_of(id).expect("known").len(), 3);
+    // A replica host leaves permanently.
+    let victim = added[0];
+    let affected = scdn.depart(victim).expect("departs");
+    assert_eq!(affected, vec![id]);
+    assert!(!scdn.is_online(victim));
+    assert_eq!(scdn.replicas_of(id).expect("known").len(), 2);
+    // Repair restores the configured replica count on a live node.
+    let restored = scdn.repair();
+    assert_eq!(restored, 1);
+    let replicas = scdn.replicas_of(id).expect("known");
+    assert_eq!(replicas.len(), 3);
+    assert!(!replicas.contains(&victim), "departed node must not host");
+}
+
+#[test]
+fn telemetry_reaches_allocation_server() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.availability = AvailabilityConfig::Periodic {
+        period_ms: 10_000,
+        duty: 0.5,
+    };
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    for _ in 0..400 {
+        scdn.tick(333);
+    }
+    scdn.report_telemetry();
+    // The server's registry now reflects ~50% availability estimates.
+    let mut sum = 0.0;
+    let n = scdn.member_count();
+    for i in 0..n {
+        sum += scdn
+            .allocation()
+            .repository(NodeId(i as u32))
+            .expect("registered")
+            .availability;
+    }
+    let mean = sum / n as f64;
+    assert!((mean - 0.5).abs() < 0.15, "mean reported availability {mean}");
+}
+
+#[test]
+fn departed_nodes_report_zero_availability() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    scdn.depart(NodeId(1)).expect("departs");
+    for _ in 0..100 {
+        scdn.tick(100);
+    }
+    scdn.report_telemetry();
+    let a = scdn
+        .allocation()
+        .repository(NodeId(1))
+        .expect("still registered")
+        .availability;
+    assert!(a < 0.05, "departed node availability {a}");
+}
+
+#[test]
+fn overlay_links_mirror_social_edges() {
+    let (c, sub) = community();
+    let scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    assert_eq!(scdn.overlay().link_count(), sub.graph.edge_count());
+    let first_edge = sub.graph.edges().next();
+    if let Some((a, b, _)) = first_edge {
+        assert!(scdn.overlay().linked(a, b));
+    }
+}
+
+#[test]
+fn social_boundary_blocks_cross_island_service() {
+    // Build on the double-coauthorship graph, which fragments into
+    // islands; with the boundary enforced, a replica in another island
+    // cannot serve a requester.
+    let mut params = CaseStudyParams::default();
+    params.rng_seed = 13;
+    let c = generate(&params);
+    let sub = build_trust_subgraph(
+        &c.corpus,
+        c.seed_author,
+        3,
+        2009..=2010,
+        TrustFilter::MinJointPubs(2),
+    )
+    .expect("seed present");
+    let comps = scdn_graph::components::connected_components(&sub.graph);
+    assert!(comps.count > 1, "double graph must fragment");
+    let mut config = ScdnConfig::default();
+    config.enforce_social_boundary = true;
+    config.replicas_per_dataset = 1; // keep the data on the owner only
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    // Owner in the giant component; requester in a different island.
+    let owner = sub.node_of(c.seed_author).expect("seed in graph");
+    let owner_comp = comps.component_of(owner);
+    let requester = scdn
+        .social
+        .nodes()
+        .find(|&v| comps.component_of(v) != owner_comp)
+        .expect("another island exists");
+    let id = scdn
+        .publish(owner, "island", Bytes::from(vec![1u8; 512]), Sensitivity::Public, None)
+        .expect("publishes");
+    match scdn.request(requester, id) {
+        Err(ScdnError::Alloc(_)) => {}
+        other => panic!("expected boundary denial, got ok={}", other.is_ok()),
+    }
+    // A member of the owner's own island is served.
+    let insider = scdn
+        .social
+        .nodes()
+        .find(|&v| v != owner && comps.component_of(v) == owner_comp)
+        .expect("insider exists");
+    assert!(scdn.request(insider, id).is_ok());
+}
+
+#[test]
+fn audit_trail_records_grants_and_denials() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let owner = sub.node_of(c.seed_author).expect("seed node");
+    let policy = scdn_middleware::authz::AccessPolicy {
+        sensitivity: Sensitivity::Restricted,
+        owner: c.seed_author,
+        group: None, // no group configured: everyone is denied
+        grants: vec![],
+        trust: None,
+    };
+    let id = scdn
+        .publish(owner, "audited", Bytes::from(vec![0u8; 256]), Sensitivity::Restricted, Some(policy))
+        .expect("publishes");
+    let requester = NodeId(5);
+    assert!(scdn.request(requester, id).is_err());
+    let public = scdn
+        .publish(owner, "open", Bytes::from(vec![0u8; 256]), Sensitivity::Public, None)
+        .expect("publishes");
+    assert!(scdn.request(requester, public).is_ok());
+    let audit = scdn.audit();
+    assert_eq!(audit.len(), 2);
+    assert_eq!(audit.denials().len(), 1);
+    assert!((audit.grant_ratio() - 0.5).abs() < 1e-12);
+    assert_eq!(audit.by_dataset(id).len(), 1);
+}
+
+#[test]
+fn opportunistic_caching_turns_misses_into_hits() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.opportunistic_caching = true;
+    config.replicas_per_dataset = 1; // only the owner holds it initially
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let owner = NodeId(0);
+    let id = scdn
+        .publish(owner, "cacheable", Bytes::from(vec![0u8; 8192]), Sensitivity::Public, None)
+        .expect("publishes");
+    // Find a requester at distance >= 2 (a miss) with a neighbor.
+    let dist = scdn_graph::traversal::bfs_distances(&scdn.social, owner);
+    let far = scdn
+        .social
+        .nodes()
+        .find(|v| matches!(dist[v.index()], Some(d) if d >= 2) && scdn.social.degree(*v) > 0)
+        .expect("far node exists");
+    let first = scdn.request(far, id).expect("served remotely");
+    assert!(!first.social_hit, "first fetch is a miss");
+    // The fetched copy became a replica at `far`.
+    assert!(scdn.replicas_of(id).expect("known").contains(&far));
+    // A neighbor of `far` now hits.
+    let neighbor = scdn.social.neighbors(far)[0].to;
+    let second = scdn.request(neighbor, id).expect("served");
+    assert!(second.social_hit, "neighbor of the cache hits");
+}
+
+#[test]
+fn caching_disabled_keeps_catalog_stable() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.replicas_per_dataset = 1;
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let id = scdn
+        .publish(NodeId(0), "plain", Bytes::from(vec![0u8; 1024]), Sensitivity::Public, None)
+        .expect("publishes");
+    let far = NodeId((scdn.member_count() - 1) as u32);
+    scdn.request(far, id).expect("served");
+    assert_eq!(scdn.replicas_of(id).expect("known"), vec![NodeId(0)]);
+}

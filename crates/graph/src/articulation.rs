@@ -1,0 +1,167 @@
+//! Articulation points (cut vertices) and bridges — resilience analysis
+//! for the CDN overlay: an articulation point whose repository churns away
+//! disconnects part of the community from the replicas behind it.
+
+use crate::graph::{Graph, NodeId};
+
+/// State for the iterative Tarjan lowlink DFS.
+struct Dfs {
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    timer: u32,
+    is_cut: Vec<bool>,
+    bridges: Vec<(NodeId, NodeId)>,
+}
+
+/// Articulation points and bridges of the graph.
+#[derive(Clone, Debug, Default)]
+pub struct CutStructure {
+    /// Cut vertices (removal increases the component count).
+    pub articulation_points: Vec<NodeId>,
+    /// Bridge edges (removal increases the component count), as `(a, b)`
+    /// with `a < b`.
+    pub bridges: Vec<(NodeId, NodeId)>,
+}
+
+/// Compute articulation points and bridges (iterative Tarjan, handles
+/// disconnected graphs).
+pub fn cut_structure(g: &Graph) -> CutStructure {
+    let n = g.node_count();
+    let mut st = Dfs {
+        disc: vec![u32::MAX; n],
+        low: vec![0; n],
+        timer: 0,
+        is_cut: vec![false; n],
+        bridges: Vec::new(),
+    };
+    for root in 0..n {
+        if st.disc[root] != u32::MAX {
+            continue;
+        }
+        // Iterative DFS frame: (node, parent, next neighbor index).
+        let mut stack: Vec<(usize, Option<usize>, usize)> = vec![(root, None, 0)];
+        let mut root_children = 0usize;
+        st.disc[root] = st.timer;
+        st.low[root] = st.timer;
+        st.timer += 1;
+        while let Some(&mut (v, parent, ref mut idx)) = stack.last_mut() {
+            let neighbors = g.neighbors(NodeId(v as u32));
+            if *idx < neighbors.len() {
+                let u = neighbors[*idx].to.index();
+                *idx += 1;
+                if st.disc[u] == u32::MAX {
+                    if v == root {
+                        root_children += 1;
+                    }
+                    st.disc[u] = st.timer;
+                    st.low[u] = st.timer;
+                    st.timer += 1;
+                    stack.push((u, Some(v), 0));
+                } else if Some(u) != parent {
+                    st.low[v] = st.low[v].min(st.disc[u]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    st.low[p] = st.low[p].min(st.low[v]);
+                    if st.low[v] >= st.disc[p] && p != root {
+                        st.is_cut[p] = true;
+                    }
+                    if st.low[v] > st.disc[p] {
+                        let (a, b) = if p < v { (p, v) } else { (v, p) };
+                        st.bridges.push((NodeId(a as u32), NodeId(b as u32)));
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            st.is_cut[root] = true;
+        }
+    }
+    let mut bridges = st.bridges;
+    bridges.sort_unstable();
+    CutStructure {
+        articulation_points: st
+            .is_cut
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| c.then_some(NodeId(i as u32)))
+            .collect(),
+        bridges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::generators::erdos_renyi;
+    use crate::graph::Graph;
+
+    #[test]
+    fn path_interior_nodes_are_cuts() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(cs.bridges.len(), 3);
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let cs = cut_structure(&g);
+        assert!(cs.articulation_points.is_empty());
+        assert!(cs.bridges.is_empty());
+    }
+
+    #[test]
+    fn two_triangles_joined_at_a_node() {
+        // Node 2 joins triangles {0,1,2} and {2,3,4}.
+        let g = Graph::from_edges(
+            5,
+            [(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1), (3, 4, 1), (2, 4, 1)],
+        );
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![NodeId(2)]);
+        assert!(cs.bridges.is_empty());
+    }
+
+    #[test]
+    fn bridge_between_cliques() {
+        let g = Graph::from_edges(
+            6,
+            [(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 1), (4, 5, 1), (3, 5, 1), (2, 3, 1)],
+        );
+        let cs = cut_structure(&g);
+        assert_eq!(cs.bridges, vec![(NodeId(2), NodeId(3))]);
+        assert_eq!(cs.articulation_points, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn cut_removal_really_disconnects() {
+        // Property-style check on random graphs: removing a reported cut
+        // vertex increases the component count.
+        for seed in 0..5 {
+            let g = erdos_renyi(30, 0.08, seed);
+            let before = connected_components(&g).count;
+            for &cut in &cut_structure(&g).articulation_points {
+                let keep: Vec<bool> = (0..g.node_count()).map(|i| i != cut.index()).collect();
+                let (sub, _) = g.induced_subgraph(&keep);
+                let after = connected_components(&sub).count;
+                // Removing one node also removes it from the count, so a
+                // genuine cut yields at least `before + 1` components.
+                assert!(
+                    after > before,
+                    "seed {seed}: {cut:?} did not disconnect ({before} -> {after})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        let g = Graph::from_edges(6, [(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]);
+        let cs = cut_structure(&g);
+        assert_eq!(cs.articulation_points, vec![NodeId(1), NodeId(4)]);
+    }
+}

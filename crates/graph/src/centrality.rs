@@ -1,0 +1,262 @@
+//! Node centrality measures: degree, closeness, harmonic, and Brandes
+//! betweenness (sequential and parallel).
+//!
+//! Section V-D of the paper lists "centrality and betweenness values derived
+//! from the social connectivity graph" as social placement metrics; the
+//! extended placement algorithms in `scdn-alloc` rank nodes by these scores.
+
+use crate::graph::{Graph, NodeId};
+use crate::parallel::par_map_reduce;
+
+/// Degree centrality: `deg(v) / (n - 1)` (0 when `n < 2`).
+pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    g.nodes().map(|v| g.degree(v) as f64 / denom).collect()
+}
+
+/// Closeness centrality with the Wasserman–Faust correction for
+/// disconnected graphs:
+/// `C(v) = ((r - 1) / (n - 1)) * ((r - 1) / sum_dist)` where `r` is the
+/// number of nodes reachable from `v`.
+pub fn closeness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    if n < 2 {
+        return out;
+    }
+    for v in g.nodes() {
+        let dist = crate::traversal::bfs_distances(g, v);
+        let mut reach = 0u64;
+        let mut total = 0u64;
+        for d in dist.into_iter().flatten() {
+            if d > 0 {
+                reach += 1;
+                total += d as u64;
+            }
+        }
+        if total > 0 {
+            let r = reach as f64;
+            out[v.index()] = (r / (n as f64 - 1.0)) * (r / total as f64);
+        }
+    }
+    out
+}
+
+/// Harmonic centrality: `sum over u != v of 1 / d(v, u)`, unreachable pairs
+/// contribute 0. Robust to disconnection without correction factors.
+pub fn harmonic_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    for v in g.nodes() {
+        let dist = crate::traversal::bfs_distances(g, v);
+        out[v.index()] = dist
+            .into_iter()
+            .flatten()
+            .filter(|&d| d > 0)
+            .map(|d| 1.0 / d as f64)
+            .sum();
+    }
+    out
+}
+
+/// Betweenness accumulation from a single source (one Brandes iteration).
+fn brandes_from_source(g: &Graph, s: NodeId, bc: &mut [f64]) {
+    let n = g.node_count();
+    let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i32; n];
+    sigma[s.index()] = 1.0;
+    dist[s.index()] = 0;
+    let mut queue = std::collections::VecDeque::with_capacity(64);
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        stack.push(v);
+        let dv = dist[v.index()];
+        for e in g.neighbors(v) {
+            let w = e.to;
+            if dist[w.index()] < 0 {
+                dist[w.index()] = dv + 1;
+                queue.push_back(w);
+            }
+            if dist[w.index()] == dv + 1 {
+                sigma[w.index()] += sigma[v.index()];
+                preds[w.index()].push(v);
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    while let Some(w) = stack.pop() {
+        for &v in &preds[w.index()] {
+            delta[v.index()] +=
+                sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+        }
+        if w != s {
+            bc[w.index()] += delta[w.index()];
+        }
+    }
+}
+
+/// Exact betweenness centrality (Brandes 2001), sequential.
+///
+/// Undirected convention: each pair is counted twice by the algorithm, so
+/// scores are halved before returning.
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut bc = vec![0.0; n];
+    for s in g.nodes() {
+        brandes_from_source(g, s, &mut bc);
+    }
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Exact betweenness centrality, parallel over sources (crossbeam scoped
+/// threads; each worker accumulates privately and results are summed).
+/// Produces the same values as [`betweenness`] up to floating-point
+/// summation order.
+pub fn betweenness_parallel(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut bc = par_map_reduce(
+        n,
+        8,
+        || vec![0.0f64; n],
+        |i, acc| brandes_from_source(g, NodeId(i as u32), acc),
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    );
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Approximate betweenness by sampling `k` pivot sources (Brandes–Pich).
+/// Scores are scaled by `n / k` so magnitudes are comparable with the exact
+/// values. `seeds` selects the pivots deterministically.
+pub fn betweenness_sampled(g: &Graph, pivots: &[NodeId]) -> Vec<f64> {
+    let n = g.node_count();
+    let mut bc = vec![0.0; n];
+    if pivots.is_empty() {
+        return bc;
+    }
+    for &s in pivots {
+        brandes_from_source(g, s, &mut bc);
+    }
+    let scale = n as f64 / pivots.len() as f64 / 2.0;
+    for b in &mut bc {
+        *b *= scale;
+    }
+    bc
+}
+
+/// Indices of the top-`k` nodes by `score` (descending), ties broken by
+/// smaller node id for determinism.
+pub fn top_k_by_score(scores: &[f64], k: usize) -> Vec<NodeId> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.into_iter().take(k).map(|i| NodeId(i as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)])
+    }
+
+    #[test]
+    fn degree_centrality_star() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let dc = degree_centrality(&g);
+        assert!((dc[0] - 1.0).abs() < 1e-12);
+        assert!((dc[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betweenness_path_center() {
+        let g = path5();
+        let bc = betweenness(&g);
+        // Path betweenness: endpoints 0, then 3, 4, 3.
+        assert!((bc[0]).abs() < 1e-9);
+        assert!((bc[1] - 3.0).abs() < 1e-9);
+        assert!((bc[2] - 4.0).abs() < 1e-9);
+        assert!((bc[3] - 3.0).abs() < 1e-9);
+        assert!((bc[4]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = crate::generators::barabasi_albert(200, 3, 42);
+        let seq = betweenness(&g);
+        let par = betweenness_parallel(&g);
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sampled_with_all_pivots_matches_exact() {
+        let g = path5();
+        let pivots: Vec<_> = g.nodes().collect();
+        let exact = betweenness(&g);
+        let sampled = betweenness_sampled(&g, &pivots);
+        for (a, b) in exact.iter().zip(&sampled) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn closeness_center_of_path_highest() {
+        let g = path5();
+        let c = closeness(&g);
+        assert!(c[2] > c[1] && c[1] > c[0]);
+    }
+
+    #[test]
+    fn closeness_disconnected_is_finite() {
+        let g = Graph::from_edges(4, [(0, 1, 1)]);
+        let c = closeness(&g);
+        assert!(c.iter().all(|x| x.is_finite()));
+        assert_eq!(c[2], 0.0);
+    }
+
+    #[test]
+    fn harmonic_complete_graph() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let h = harmonic_centrality(&g);
+        for x in h {
+            assert!((x - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_k_deterministic_ties() {
+        let scores = vec![1.0, 2.0, 2.0, 0.5];
+        let top = top_k_by_score(&scores, 2);
+        assert_eq!(top, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn betweenness_empty_and_single() {
+        assert!(betweenness(&Graph::new(0)).is_empty());
+        assert_eq!(betweenness(&Graph::new(1)), vec![0.0]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Community detection and modularity.
+//!
+//! Section V-D / VI-C: the allocation servers "parse trusted subgraphs to
+//! identify groups of users with similar data usage requirements". We
+//! provide (a) weighted label propagation, (b) Newman modularity to score a
+//! partition, and (c) a simple greedy modularity merge for small graphs.
+
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::graph::{Graph, NodeId};
+
+/// A node partition: `assignment[v]` is the community id of `v` (dense ids).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Per-node community id.
+    pub assignment: Vec<u32>,
+    /// Number of communities.
+    pub count: usize,
+}
+
+impl Partition {
+    /// Build a partition from raw (possibly sparse) labels, compacting to
+    /// dense community ids in first-seen order.
+    pub fn from_labels(labels: &[u32]) -> Partition {
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut assignment = Vec::with_capacity(labels.len());
+        for &l in labels {
+            let next = remap.len() as u32;
+            let id = *remap.entry(l).or_insert(next);
+            assignment.push(id);
+        }
+        Partition {
+            count: remap.len(),
+            assignment,
+        }
+    }
+
+    /// Members of community `c`.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == c).then_some(NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Sizes of all communities.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.assignment {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Community of node `v`.
+    pub fn community_of(&self, v: NodeId) -> u32 {
+        self.assignment[v.index()]
+    }
+}
+
+/// Weighted Newman modularity `Q` of a partition.
+///
+/// `Q = (1/2W) Σ_ij [A_ij − s_i s_j / 2W] δ(c_i, c_j)` where `W` is the
+/// total edge weight and `s` the weighted degree.
+pub fn modularity(g: &Graph, p: &Partition) -> f64 {
+    let two_w = 2.0 * g.total_weight() as f64;
+    if two_w == 0.0 {
+        return 0.0;
+    }
+    // Intra-community weight and community strength sums.
+    let mut intra = vec![0.0f64; p.count];
+    let mut strength = vec![0.0f64; p.count];
+    for (a, b, w) in g.edges() {
+        if p.assignment[a.index()] == p.assignment[b.index()] {
+            intra[p.assignment[a.index()] as usize] += w as f64;
+        }
+    }
+    for v in g.nodes() {
+        strength[p.assignment[v.index()] as usize] += g.strength(v) as f64;
+    }
+    let mut q = 0.0;
+    for c in 0..p.count {
+        q += intra[c] / (two_w / 2.0) - (strength[c] / two_w).powi(2);
+    }
+    q
+}
+
+/// Weighted asynchronous label propagation (deterministic given `seed`).
+///
+/// Each node repeatedly adopts the label with the highest total edge weight
+/// among its neighbors (ties broken by smallest label). Stops when no label
+/// changes or after `max_iters` sweeps.
+pub fn label_propagation(g: &Graph, seed: u64, max_iters: usize) -> Partition {
+    let n = g.node_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return Partition {
+            assignment: labels,
+            count: 0,
+        };
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut weight_by_label: std::collections::HashMap<u32, u64> =
+        std::collections::HashMap::new();
+    for _ in 0..max_iters {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &order {
+            let neigh = g.neighbors(NodeId(v as u32));
+            if neigh.is_empty() {
+                continue;
+            }
+            weight_by_label.clear();
+            for e in neigh {
+                *weight_by_label.entry(labels[e.to.index()]).or_insert(0) += e.weight as u64;
+            }
+            let best = weight_by_label
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .map(|(&l, _)| l)
+                .expect("non-empty neighbor labels");
+            if best != labels[v] {
+                labels[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Partition::from_labels(&labels)
+}
+
+/// Greedy agglomerative modularity optimization (CNM-style, O(n² m) naive):
+/// repeatedly merge the pair of communities whose merge most increases `Q`,
+/// until no merge improves it. Intended for small/medium graphs (≤ a few
+/// thousand nodes) such as the case-study subgraphs.
+pub fn greedy_modularity(g: &Graph) -> Partition {
+    let n = g.node_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return Partition {
+            assignment: labels,
+            count: 0,
+        };
+    }
+    let two_w = 2.0 * g.total_weight() as f64;
+    if two_w == 0.0 {
+        return Partition::from_labels(&labels);
+    }
+    // community -> (strength sum); pair weights between communities.
+    let mut strength: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for v in g.nodes() {
+        *strength.entry(labels[v.index()]).or_insert(0.0) += g.strength(v) as f64;
+    }
+    let mut between: std::collections::HashMap<(u32, u32), f64> =
+        std::collections::HashMap::new();
+    for (a, b, w) in g.edges() {
+        let (ca, cb) = (labels[a.index()], labels[b.index()]);
+        let key = if ca < cb { (ca, cb) } else { (cb, ca) };
+        *between.entry(key).or_insert(0.0) += w as f64;
+    }
+    loop {
+        // Find best merge: ΔQ = 2*(e_ij/2W − s_i s_j / (2W)²)
+        let mut best: Option<((u32, u32), f64)> = None;
+        for (&(i, j), &eij) in &between {
+            if i == j {
+                continue;
+            }
+            let dq = 2.0 * (eij / two_w - strength[&i] * strength[&j] / (two_w * two_w));
+            if best.map(|(_, b)| dq > b).unwrap_or(dq > 1e-12) {
+                best = Some(((i, j), dq));
+            }
+        }
+        let Some(((i, j), _)) = best else { break };
+        // Merge j into i.
+        for l in &mut labels {
+            if *l == j {
+                *l = i;
+            }
+        }
+        let sj = strength.remove(&j).unwrap_or(0.0);
+        *strength.entry(i).or_insert(0.0) += sj;
+        // Rebuild j's between entries onto i.
+        let keys: Vec<(u32, u32)> = between.keys().copied().collect();
+        for key in keys {
+            if key.0 == j || key.1 == j {
+                let w = between.remove(&key).expect("key present");
+                let other = if key.0 == j { key.1 } else { key.0 };
+                if other == i {
+                    continue; // now internal
+                }
+                let nk = if i < other { (i, other) } else { (other, i) };
+                *between.entry(nk).or_insert(0.0) += w;
+            }
+        }
+    }
+    Partition::from_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::planted_partition;
+    use crate::graph::Graph;
+
+    #[test]
+    fn partition_from_sparse_labels() {
+        let p = Partition::from_labels(&[7, 3, 7, 9]);
+        assert_eq!(p.count, 3);
+        assert_eq!(p.assignment, vec![0, 1, 0, 2]);
+        assert_eq!(p.members(0), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(p.sizes(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn modularity_of_two_cliques() {
+        // Two triangles joined by one edge; the natural split has high Q.
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 1),
+            ],
+        );
+        let good = Partition::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let bad = Partition::from_labels(&[0, 1, 0, 1, 0, 1]);
+        assert!(modularity(&g, &good) > modularity(&g, &bad));
+        assert!(modularity(&g, &good) > 0.3);
+    }
+
+    #[test]
+    fn modularity_single_community_zero_or_less() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 1)]);
+        let p = Partition::from_labels(&[0, 0, 0]);
+        assert!(modularity(&g, &p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn label_propagation_separates_cliques() {
+        let g = planted_partition(4, 25, 0.8, 0.005, 7);
+        let p = label_propagation(&g, 1, 50);
+        // Should find roughly 4 communities (allow some merging noise).
+        assert!(p.count >= 2 && p.count <= 12, "count = {}", p.count);
+        let q = modularity(&g, &p);
+        assert!(q > 0.4, "q = {q}");
+    }
+
+    #[test]
+    fn greedy_modularity_two_cliques() {
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 1),
+            ],
+        );
+        let p = greedy_modularity(&g);
+        assert_eq!(p.count, 2);
+        assert_eq!(p.community_of(NodeId(0)), p.community_of(NodeId(2)));
+        assert_eq!(p.community_of(NodeId(3)), p.community_of(NodeId(5)));
+        assert_ne!(p.community_of(NodeId(0)), p.community_of(NodeId(5)));
+    }
+
+    #[test]
+    fn empty_graph_partitions() {
+        let g = Graph::new(0);
+        assert_eq!(label_propagation(&g, 0, 10).count, 0);
+        assert_eq!(greedy_modularity(&g).count, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Connected components and "island" statistics.
+//!
+//! The double-coauthorship trust graph in the paper fragments into isolated
+//! islands (Fig. 2(b)); the allocation algorithms must be aware of this
+//! because a replica placed in one island is unreachable from the others.
+
+use crate::graph::{Graph, NodeId};
+use crate::union_find::UnionFind;
+
+/// Component labelling: `labels[v]` is the component id of node `v`;
+/// component ids are dense `0..count`.
+#[derive(Clone, Debug)]
+pub struct ComponentLabels {
+    /// Per-node component id.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl ComponentLabels {
+    /// Size of each component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of component `c`.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == c).then_some(NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Component id of `v`.
+    pub fn component_of(&self, v: NodeId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// `true` if `a` and `b` are in the same component.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.labels[a.index()] == self.labels[b.index()]
+    }
+}
+
+/// Label connected components via union–find.
+pub fn connected_components(g: &Graph) -> ComponentLabels {
+    let mut uf = UnionFind::new(g.node_count());
+    for (a, b, _) in g.edges() {
+        uf.union(a.index(), b.index());
+    }
+    // Compress representatives to dense ids in first-seen order.
+    let mut rep_to_label: Vec<Option<u32>> = vec![None; g.node_count()];
+    let mut labels = vec![0u32; g.node_count()];
+    let mut next = 0u32;
+    for (v, slot) in labels.iter_mut().enumerate() {
+        let r = uf.find(v);
+        *slot = match rep_to_label[r] {
+            Some(l) => l,
+            None => {
+                let l = next;
+                rep_to_label[r] = Some(l);
+                next += 1;
+                l
+            }
+        };
+    }
+    ComponentLabels {
+        labels,
+        count: next as usize,
+    }
+}
+
+/// Nodes of the largest connected component (ties broken by smallest id).
+pub fn largest_component(g: &Graph) -> Vec<NodeId> {
+    let comps = connected_components(g);
+    if comps.count == 0 {
+        return Vec::new();
+    }
+    let sizes = comps.sizes();
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, s)| (*s, usize::MAX - i))
+        .map(|(i, _)| i as u32)
+        .expect("non-empty");
+    comps.members(best)
+}
+
+/// Island statistics used by the Fig. 2 topology report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IslandStats {
+    /// Number of connected components with ≥ 2 nodes.
+    pub islands: usize,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated_nodes: usize,
+    /// Size of the largest component.
+    pub largest: usize,
+    /// Fraction of nodes inside the largest component.
+    pub largest_fraction: f64,
+}
+
+/// Compute [`IslandStats`] for a graph.
+pub fn island_stats(g: &Graph) -> IslandStats {
+    let comps = connected_components(g);
+    let sizes = comps.sizes();
+    let islands = sizes.iter().filter(|&&s| s >= 2).count();
+    let isolated = sizes.iter().filter(|&&s| s == 1).count();
+    let largest = sizes.iter().copied().max().unwrap_or(0);
+    let n = g.node_count();
+    IslandStats {
+        islands,
+        isolated_nodes: isolated,
+        largest,
+        largest_fraction: if n == 0 {
+            0.0
+        } else {
+            largest as f64 / n as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 1)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert!(c.same_component(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn multiple_components_and_isolated() {
+        let g = Graph::from_edges(6, [(0, 1, 1), (2, 3, 1), (3, 4, 1)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1}, {2,3,4}, {5}
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert!(!c.same_component(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn largest_component_members() {
+        let g = Graph::from_edges(6, [(0, 1, 1), (2, 3, 1), (3, 4, 1)]);
+        let l = largest_component(&g);
+        assert_eq!(l, vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn island_statistics() {
+        let g = Graph::from_edges(7, [(0, 1, 1), (2, 3, 1), (3, 4, 1)]);
+        let s = island_stats(&g);
+        assert_eq!(s.islands, 2);
+        assert_eq!(s.isolated_nodes, 2);
+        assert_eq!(s.largest, 3);
+        assert!((s.largest_fraction - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::new(0);
+        let s = island_stats(&g);
+        assert_eq!(s.islands, 0);
+        assert_eq!(s.largest, 0);
+        assert_eq!(s.largest_fraction, 0.0);
+        assert!(largest_component(&g).is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Covering heuristics for availability-aware replica selection.
+//!
+//! Section V-D describes the My3-inspired scheme: build a graph whose edges
+//! connect nodes with overlapping availability windows, weight edges by
+//! transfer "distance", and pick a subset of nodes that covers the whole
+//! graph with the lowest-cost edges. Dominating set is NP-hard, so we use
+//! the standard greedy ln(n)-approximation, plus a weighted variant that
+//! scores candidates by (new coverage) / (node cost).
+
+use crate::graph::{Graph, NodeId};
+
+/// Greedy minimum dominating set: repeatedly take the node covering the most
+/// uncovered nodes (itself + neighbors). Ties break toward smaller ids.
+pub fn greedy_dominating_set(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut covered = vec![false; n];
+    let mut chosen = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in g.nodes() {
+            let mut gain = usize::from(!covered[v.index()]);
+            for e in g.neighbors(v) {
+                gain += usize::from(!covered[e.to.index()]);
+            }
+            if gain > 0 {
+                match best {
+                    Some((bg, _)) if bg >= gain => {}
+                    _ => best = Some((gain, v)),
+                }
+            }
+        }
+        let (gain, v) = best.expect("uncovered nodes must have a coverer");
+        chosen.push(v);
+        if !covered[v.index()] {
+            covered[v.index()] = true;
+            remaining -= 1;
+        }
+        for e in g.neighbors(v) {
+            if !covered[e.to.index()] {
+                covered[e.to.index()] = true;
+                remaining -= 1;
+            }
+        }
+        debug_assert!(gain > 0);
+    }
+    chosen
+}
+
+/// Cost-aware greedy dominating set: maximize (newly covered) / cost(v).
+/// `cost[v]` might be the inverse availability or expected transfer latency
+/// of hosting a replica on `v`. Costs must be positive.
+pub fn greedy_weighted_dominating_set(g: &Graph, cost: &[f64]) -> Vec<NodeId> {
+    assert_eq!(cost.len(), g.node_count(), "cost length mismatch");
+    assert!(
+        cost.iter().all(|&c| c > 0.0 && c.is_finite()),
+        "costs must be positive and finite"
+    );
+    let n = g.node_count();
+    let mut covered = vec![false; n];
+    let mut chosen = Vec::new();
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut best: Option<(f64, NodeId)> = None;
+        for v in g.nodes() {
+            let mut gain = usize::from(!covered[v.index()]);
+            for e in g.neighbors(v) {
+                gain += usize::from(!covered[e.to.index()]);
+            }
+            if gain == 0 {
+                continue;
+            }
+            let score = gain as f64 / cost[v.index()];
+            match best {
+                Some((bs, bv)) if bs > score || (bs == score && bv <= v) => {}
+                _ => best = Some((score, v)),
+            }
+        }
+        let (_, v) = best.expect("uncovered nodes must have a coverer");
+        chosen.push(v);
+        if !covered[v.index()] {
+            covered[v.index()] = true;
+            remaining -= 1;
+        }
+        for e in g.neighbors(v) {
+            if !covered[e.to.index()] {
+                covered[e.to.index()] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    chosen
+}
+
+/// Check whether `set` dominates the graph (every node is in the set or
+/// adjacent to a member).
+pub fn is_dominating_set(g: &Graph, set: &[NodeId]) -> bool {
+    let mut covered = vec![false; g.node_count()];
+    for &v in set {
+        covered[v.index()] = true;
+        for e in g.neighbors(v) {
+            covered[e.to.index()] = true;
+        }
+    }
+    covered.into_iter().all(|c| c)
+}
+
+/// Greedy 2-approximation of minimum vertex cover (take both endpoints of an
+/// uncovered edge). Useful as a coarse "relay placement" baseline.
+pub fn greedy_vertex_cover(g: &Graph) -> Vec<NodeId> {
+    let mut in_cover = vec![false; g.node_count()];
+    let mut cover = Vec::new();
+    for (a, b, _) in g.edges() {
+        if !in_cover[a.index()] && !in_cover[b.index()] {
+            in_cover[a.index()] = true;
+            in_cover[b.index()] = true;
+            cover.push(a);
+            cover.push(b);
+        }
+    }
+    cover
+}
+
+/// Check whether `set` is a vertex cover.
+pub fn is_vertex_cover(g: &Graph, set: &[NodeId]) -> bool {
+    let mut in_set = vec![false; g.node_count()];
+    for &v in set {
+        in_set[v.index()] = true;
+    }
+    g.edges().all(|(a, b, _)| in_set[a.index()] || in_set[b.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, erdos_renyi};
+    use crate::graph::Graph;
+
+    #[test]
+    fn star_dominated_by_center() {
+        let g = Graph::from_edges(5, [(0, 1, 1), (0, 2, 1), (0, 3, 1), (0, 4, 1)]);
+        let ds = greedy_dominating_set(&g);
+        assert_eq!(ds, vec![NodeId(0)]);
+        assert!(is_dominating_set(&g, &ds));
+    }
+
+    #[test]
+    fn isolated_nodes_must_self_cover() {
+        let g = Graph::from_edges(3, [(0, 1, 1)]); // node 2 isolated
+        let ds = greedy_dominating_set(&g);
+        assert!(ds.contains(&NodeId(2)));
+        assert!(is_dominating_set(&g, &ds));
+    }
+
+    #[test]
+    fn dominating_set_on_random_graphs() {
+        for seed in 0..5 {
+            let g = erdos_renyi(60, 0.08, seed);
+            let ds = greedy_dominating_set(&g);
+            assert!(is_dominating_set(&g, &ds));
+            assert!(ds.len() <= g.node_count());
+        }
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_nodes() {
+        // Two centers both dominate everything; costs should pick node 0.
+        let g = Graph::from_edges(4, [(0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (0, 1, 1)]);
+        let cheap0 = greedy_weighted_dominating_set(&g, &[0.5, 5.0, 5.0, 5.0]);
+        assert_eq!(cheap0[0], NodeId(0));
+        assert!(is_dominating_set(&g, &cheap0));
+    }
+
+    #[test]
+    fn vertex_cover_valid_on_scale_free() {
+        let g = barabasi_albert(120, 2, 11);
+        let vc = greedy_vertex_cover(&g);
+        assert!(is_vertex_cover(&g, &vc));
+    }
+
+    #[test]
+    fn empty_graph_covers() {
+        let g = Graph::new(0);
+        assert!(greedy_dominating_set(&g).is_empty());
+        assert!(greedy_vertex_cover(&g).is_empty());
+        assert!(is_dominating_set(&g, &[]));
+    }
+}

@@ -1,0 +1,127 @@
+//! Graphviz DOT export for topology figures (Fig. 2 of the paper highlights
+//! the seed node in red plus its first-degree edges).
+
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, NodeId};
+
+/// Styling options for [`to_dot`].
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Graph name in the DOT header.
+    pub name: String,
+    /// Node rendered highlighted (filled red) — the ego seed in Fig. 2.
+    pub highlight: Option<NodeId>,
+    /// Edges incident to `highlight` drawn red, as in the paper's figure.
+    pub highlight_incident_edges: bool,
+    /// Include per-node labels (`labels[v]`); node ids are used otherwise.
+    pub labels: Option<Vec<String>>,
+    /// Emit edge weights as labels.
+    pub edge_weights: bool,
+}
+
+/// Render the graph as an undirected Graphviz DOT document.
+pub fn to_dot(g: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::with_capacity(64 + g.node_count() * 16 + g.edge_count() * 16);
+    let name = if opts.name.is_empty() {
+        "scdn"
+    } else {
+        opts.name.as_str()
+    };
+    writeln!(out, "graph {name} {{").expect("write to string");
+    writeln!(out, "  node [shape=point, width=0.08];").expect("write to string");
+    for v in g.nodes() {
+        let mut attrs: Vec<String> = Vec::new();
+        if let Some(labels) = &opts.labels {
+            if let Some(l) = labels.get(v.index()) {
+                attrs.push(format!("label=\"{}\"", escape(l)));
+                attrs.push("shape=ellipse".to_string());
+                attrs.push("width=0.3".to_string());
+            }
+        }
+        if opts.highlight == Some(v) {
+            attrs.push("color=red".to_string());
+            attrs.push("style=filled".to_string());
+            attrs.push("fillcolor=red".to_string());
+            attrs.push("width=0.2".to_string());
+        }
+        if attrs.is_empty() {
+            writeln!(out, "  {};", v.0).expect("write to string");
+        } else {
+            writeln!(out, "  {} [{}];", v.0, attrs.join(", ")).expect("write to string");
+        }
+    }
+    for (a, b, w) in g.edges() {
+        let mut attrs: Vec<String> = Vec::new();
+        if opts.highlight_incident_edges {
+            if let Some(h) = opts.highlight {
+                if a == h || b == h {
+                    attrs.push("color=red".to_string());
+                    attrs.push("penwidth=2".to_string());
+                }
+            }
+        }
+        if opts.edge_weights {
+            attrs.push(format!("label=\"{w}\""));
+        }
+        if attrs.is_empty() {
+            writeln!(out, "  {} -- {};", a.0, b.0).expect("write to string");
+        } else {
+            writeln!(out, "  {} -- {} [{}];", a.0, b.0, attrs.join(", "))
+                .expect("write to string");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn basic_structure() {
+        let g = Graph::from_edges(3, [(0, 1, 2), (1, 2, 1)]);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("graph scdn {"));
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("1 -- 2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn highlight_seed_and_edges() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 1)]);
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                highlight: Some(NodeId(1)),
+                highlight_incident_edges: true,
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("1 [color=red"));
+        assert!(dot.contains("0 -- 1 [color=red"));
+        assert!(dot.contains("1 -- 2 [color=red"));
+    }
+
+    #[test]
+    fn labels_and_weights() {
+        let g = Graph::from_edges(2, [(0, 1, 7)]);
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                labels: Some(vec!["A \"x\"".into(), "B".into()]),
+                edge_weights: true,
+                ..Default::default()
+            },
+        );
+        assert!(dot.contains("label=\"A \\\"x\\\"\""));
+        assert!(dot.contains("label=\"7\""));
+    }
+}

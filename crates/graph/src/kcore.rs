@@ -1,0 +1,144 @@
+//! k-core decomposition.
+//!
+//! The k-core (maximal subgraph where every node has degree ≥ k) identifies
+//! the "stable collaboration core" of a coauthorship network — an
+//! alternative trust heuristic to the paper's edge-weight pruning, used by
+//! the extended placement ablations.
+
+use crate::graph::{Graph, NodeId};
+
+/// Core number of every node (the largest `k` such that the node belongs
+/// to the k-core). Computed with the standard peeling algorithm in
+/// `O(n + m)` using bucket sort.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(NodeId(v as u32))).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0usize; n];
+    for v in 0..n {
+        pos[v] = bins[degree[v]];
+        order[pos[v]] = v;
+        bins[degree[v]] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bins.len()).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i];
+        core[v] = degree[v] as u32;
+        for e in g.neighbors(NodeId(v as u32)) {
+            let u = e.to.index();
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with the first node of its
+                // current bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = order[pw];
+                if u != w {
+                    order[pu] = w;
+                    order[pw] = u;
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Nodes of the k-core (possibly empty).
+pub fn k_core(g: &Graph, k: u32) -> Vec<NodeId> {
+    core_numbers(g)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(v, c)| (c >= k).then_some(NodeId(v as u32)))
+        .collect()
+}
+
+/// Degeneracy of the graph: the largest `k` with a non-empty k-core.
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::complete;
+    use crate::graph::Graph;
+
+    #[test]
+    fn clique_core_numbers() {
+        let g = complete(5);
+        assert_eq!(core_numbers(&g), vec![4, 4, 4, 4, 4]);
+        assert_eq!(degeneracy(&g), 4);
+        assert_eq!(k_core(&g, 4).len(), 5);
+        assert!(k_core(&g, 5).is_empty());
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // Triangle 0-1-2 plus pendant 3 attached to 0.
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (0, 2, 1), (0, 3, 1)]);
+        let c = core_numbers(&g);
+        assert_eq!(c[0], 2);
+        assert_eq!(c[1], 2);
+        assert_eq!(c[2], 2);
+        assert_eq!(c[3], 1);
+        assert_eq!(k_core(&g, 2), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero_core() {
+        let g = Graph::from_edges(3, [(0, 1, 1)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn two_tier_structure() {
+        // A 4-clique with a path hanging off it.
+        let mut g = Graph::from_edges(
+            7,
+            [(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+        );
+        g.add_edge(NodeId(3), NodeId(4), 1);
+        g.add_edge(NodeId(4), NodeId(5), 1);
+        g.add_edge(NodeId(5), NodeId(6), 1);
+        let c = core_numbers(&g);
+        assert_eq!(&c[..4], &[3, 3, 3, 3]);
+        assert_eq!(&c[4..], &[1, 1, 1]);
+        assert_eq!(degeneracy(&g), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(core_numbers(&Graph::new(0)).is_empty());
+        assert_eq!(degeneracy(&Graph::new(0)), 0);
+    }
+}

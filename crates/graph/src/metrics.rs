@@ -1,0 +1,197 @@
+//! Structural graph metrics: clustering coefficients, degree distributions,
+//! and degree assortativity.
+//!
+//! The clustering coefficient is one of the paper's four replica-placement
+//! keys (and is shown to be a *bad* one — Section VI-B), so its definition
+//! here matches the paper's: the likelihood that two neighbors of a node are
+//! themselves connected.
+
+use crate::graph::{Graph, NodeId};
+
+/// Local clustering coefficient of `v`:
+/// `2 * triangles(v) / (deg(v) * (deg(v) - 1))`, and 0 when `deg(v) < 2`.
+pub fn local_clustering_coefficient(g: &Graph, v: NodeId) -> f64 {
+    let neigh = g.neighbors(v);
+    let d = neigh.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    // Sorted adjacency lets us count pair connections with binary search.
+    for (i, a) in neigh.iter().enumerate() {
+        for b in &neigh[i + 1..] {
+            if g.has_edge(a.to, b.to) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d * (d - 1)) as f64
+}
+
+/// Local clustering coefficient for every node.
+pub fn all_clustering_coefficients(g: &Graph) -> Vec<f64> {
+    g.nodes().map(|v| local_clustering_coefficient(g, v)).collect()
+}
+
+/// Average of local clustering coefficients (Watts–Strogatz definition).
+pub fn average_clustering_coefficient(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    all_clustering_coefficients(g).iter().sum::<f64>() / n as f64
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 * triangles / connected triples`.
+pub fn global_clustering_coefficient(g: &Graph) -> f64 {
+    let mut triangles = 0u64; // counted once per triangle
+    let mut triples = 0u64;
+    for v in g.nodes() {
+        let d = g.degree(v) as u64;
+        triples += d * d.saturating_sub(1) / 2;
+        let neigh = g.neighbors(v);
+        for (i, a) in neigh.iter().enumerate() {
+            for b in &neigh[i + 1..] {
+                if g.has_edge(a.to, b.to) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    // Each triangle contributes one closed pair at each of its 3 corners,
+    // so `triangles` here is already 3 × (#distinct triangles).
+    if triples == 0 {
+        0.0
+    } else {
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Number of distinct triangles in the graph.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut corners = 0u64;
+    for v in g.nodes() {
+        let neigh = g.neighbors(v);
+        for (i, a) in neigh.iter().enumerate() {
+            for b in &neigh[i + 1..] {
+                if g.has_edge(a.to, b.to) {
+                    corners += 1;
+                }
+            }
+        }
+    }
+    corners / 3
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Mean degree (`2m / n`); 0 for the empty graph.
+pub fn mean_degree(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        0.0
+    } else {
+        2.0 * g.edge_count() as f64 / g.node_count() as f64
+    }
+}
+
+/// Pearson degree assortativity over edges (Newman). Returns 0 for graphs
+/// where the correlation is undefined (no edges or zero variance).
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m = g.edge_count();
+    if m == 0 {
+        return 0.0;
+    }
+    let mut sum_xy = 0.0;
+    let mut sum_x = 0.0;
+    let mut sum_x2 = 0.0;
+    // Treat each undirected edge as two ordered pairs for symmetry.
+    for (a, b, _) in g.edges() {
+        let (da, db) = (g.degree(a) as f64, g.degree(b) as f64);
+        sum_xy += 2.0 * da * db;
+        sum_x += da + db;
+        sum_x2 += da * da + db * db;
+    }
+    let inv = 1.0 / (2.0 * m as f64);
+    let num = inv * sum_xy - (inv * sum_x).powi(2);
+    let den = inv * sum_x2 - (inv * sum_x).powi(2);
+    if den.abs() < 1e-12 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = triangle();
+        for v in g.nodes() {
+            assert!((local_clustering_coefficient(&g, v) - 1.0).abs() < 1e-12);
+        }
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+        assert!((average_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        assert_eq!(local_clustering_coefficient(&g, NodeId(0)), 0.0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn clustering_low_degree_zero() {
+        let g = Graph::from_edges(2, [(0, 1, 1)]);
+        assert_eq!(local_clustering_coefficient(&g, NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn paw_graph_transitivity() {
+        // Triangle 0-1-2 plus pendant 3 on 0.
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (0, 2, 1), (0, 3, 1)]);
+        // triples: deg(0)=3 -> 3, deg(1)=2 -> 1, deg(2)=2 -> 1, deg(3)=1 -> 0 => 5
+        // closed corners = 3 (one per triangle corner)
+        assert!((global_clustering_coefficient(&g) - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn histogram_and_mean() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 3, 0, 1]);
+        assert!((mean_degree(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assortativity_bounds() {
+        // A path has negative assortativity; check it's within [-1, 1].
+        let g = Graph::from_edges(5, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]);
+        let r = degree_assortativity(&g);
+        assert!((-1.0..=1.0).contains(&r), "r = {r}");
+    }
+
+    #[test]
+    fn assortativity_empty_is_zero() {
+        let g = Graph::new(3);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Breadth-first traversal primitives: hop distances, ego networks,
+//! eccentricity, and the "maximum span" statistic the paper reports for its
+//! trust subgraphs (6 hops in all three).
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// Hop distance from `src` to every node; `None` for unreachable nodes.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    if src.index() >= g.node_count() {
+        return dist;
+    }
+    let mut q = VecDeque::with_capacity(64);
+    dist[src.index()] = Some(0);
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        let dv = dist[v.index()].expect("queued nodes have distances");
+        for e in g.neighbors(v) {
+            if dist[e.to.index()].is_none() {
+                dist[e.to.index()] = Some(dv + 1);
+                q.push_back(e.to);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS: hop distance from the *nearest* of `sources`.
+///
+/// This is how the case study scores hits: an author is a hit if its
+/// distance to the nearest replica is ≤ 1.
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut q = VecDeque::with_capacity(sources.len().max(16));
+    for &s in sources {
+        if s.index() < g.node_count() && dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            q.push_back(s);
+        }
+    }
+    while let Some(v) = q.pop_front() {
+        let dv = dist[v.index()].expect("queued nodes have distances");
+        for e in g.neighbors(v) {
+            if dist[e.to.index()].is_none() {
+                dist[e.to.index()] = Some(dv + 1);
+                q.push_back(e.to);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes within `radius` hops of `seed` (the seed itself included).
+///
+/// This implements the paper's "explode his authorship network to a maximum
+/// social distance of 3 hops".
+pub fn ego_nodes(g: &Graph, seed: NodeId, radius: u32) -> Vec<NodeId> {
+    let dist = bfs_distances(g, seed);
+    dist.iter()
+        .enumerate()
+        .filter_map(|(i, d)| match d {
+            Some(d) if *d <= radius => Some(NodeId(i as u32)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Node-induced ego network of `seed` with the given hop `radius`.
+///
+/// Returns the subgraph and the `new_id -> old_id` mapping.
+pub fn ego_network(g: &Graph, seed: NodeId, radius: u32) -> (Graph, Vec<NodeId>) {
+    let dist = bfs_distances(g, seed);
+    let keep: Vec<bool> = dist
+        .iter()
+        .map(|d| matches!(d, Some(d) if *d <= radius))
+        .collect();
+    g.induced_subgraph(&keep)
+}
+
+/// Eccentricity of `v`: greatest hop distance to any node reachable from it.
+/// Returns 0 for isolated nodes.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// Maximum span (diameter of the largest connected part, ignoring
+/// unreachable pairs): the largest eccentricity over all nodes.
+///
+/// The paper notes all three trust subgraphs keep a maximum span of 6 hops.
+/// Exact over all nodes — `O(n (n + m))`; fine at case-study scale
+/// (thousands of nodes).
+pub fn max_span(g: &Graph) -> u32 {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Cheap lower-bound estimate of [`max_span`] by a double BFS sweep from
+/// `start` (pick a far node, then measure from it). Exact on trees.
+pub fn span_estimate(g: &Graph, start: NodeId) -> u32 {
+    let d1 = bfs_distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (i, d)))
+        .max_by_key(|&(_, d)| d)
+        .map(|(i, _)| NodeId(i as u32));
+    match far {
+        Some(f) => eccentricity(g, f),
+        None => 0,
+    }
+}
+
+/// Depth-first preorder from `src` (iterative; neighbor order = id order).
+pub fn dfs_preorder(g: &Graph, src: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    while let Some(v) = stack.pop() {
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        out.push(v);
+        // Push in reverse so the smallest-id neighbor is visited first.
+        for e in g.neighbors(v).iter().rev() {
+            if !seen[e.to.index()] {
+                stack.push(e.to);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path4();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1, 1)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = path4();
+        let d = multi_source_bfs(&g, &[NodeId(0), NodeId(3)]);
+        assert_eq!(d, vec![Some(0), Some(1), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let g = path4();
+        let d = multi_source_bfs(&g, &[]);
+        assert!(d.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn ego_radius_clips() {
+        let g = path4();
+        assert_eq!(ego_nodes(&g, NodeId(0), 0), vec![NodeId(0)]);
+        assert_eq!(ego_nodes(&g, NodeId(0), 2).len(), 3);
+        let (sub, map) = ego_network(&g, NodeId(0), 1);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(map, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn eccentricity_and_span() {
+        let g = path4();
+        assert_eq!(eccentricity(&g, NodeId(0)), 3);
+        assert_eq!(eccentricity(&g, NodeId(1)), 2);
+        assert_eq!(max_span(&g), 3);
+        assert_eq!(span_estimate(&g, NodeId(1)), 3);
+    }
+
+    #[test]
+    fn span_ignores_disconnection() {
+        // Two disjoint paths: span is that of the longer one.
+        let g = Graph::from_edges(7, [(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1), (5, 6, 1)]);
+        assert_eq!(max_span(&g), 3);
+    }
+
+    #[test]
+    fn dfs_visits_component() {
+        let g = path4();
+        let order = dfs_preorder(&g, NodeId(0));
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

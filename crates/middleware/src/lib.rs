@@ -1,0 +1,15 @@
+//! # scdn-middleware — the social middleware layer
+//!
+//! "The social middleware adds a layer of abstraction between users and the
+//! S-CDN … and provides authentication and authorization for the platform"
+//! (Section V). It bridges the Social Network Platform's credentials into
+//! CDN sessions ([`auth`]) and enforces data-access policy from group
+//! membership, dataset sensitivity, and trust ([`authz`]).
+
+pub mod audit;
+pub mod auth;
+pub mod authz;
+
+pub use audit::{AuditEntry, AuditLog};
+pub use auth::{Middleware, MiddlewareError, Session};
+pub use authz::{AccessDecision, AccessPolicy};

@@ -1,0 +1,132 @@
+//! Failure injection for the transfer layer.
+//!
+//! Deterministic per-attempt outcomes: the decision for attempt `k` of a
+//! given (source, dest, segment) triple is a pure hash of the model seed
+//! and those coordinates, so simulations replay identically.
+
+/// Per-attempt failure model.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureModel {
+    /// Probability an attempt fails outright (connection drop).
+    pub loss_prob: f64,
+    /// Probability an attempt delivers corrupted bytes (caught by the
+    /// destination's checksum verification, counted as a failed attempt).
+    pub corruption_prob: f64,
+    /// Seed for the deterministic outcome hash.
+    pub seed: u64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel {
+            loss_prob: 0.0,
+            corruption_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a single transfer attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Bytes delivered intact.
+    Delivered,
+    /// Connection dropped; nothing delivered.
+    Lost,
+    /// Bytes delivered but corrupted in flight.
+    Corrupted,
+}
+
+impl FailureModel {
+    /// A model that never fails.
+    pub fn reliable() -> FailureModel {
+        FailureModel::default()
+    }
+
+    /// Deterministic outcome of attempt `attempt` for the transfer
+    /// identified by `(src, dst, key)`.
+    pub fn outcome(&self, src: usize, dst: usize, key: u64, attempt: u32) -> AttemptOutcome {
+        let u = self.unit(src, dst, key, attempt);
+        if u < self.loss_prob {
+            AttemptOutcome::Lost
+        } else if u < self.loss_prob + self.corruption_prob {
+            AttemptOutcome::Corrupted
+        } else {
+            AttemptOutcome::Delivered
+        }
+    }
+
+    /// Uniform value in [0, 1) from a SplitMix64-style hash.
+    fn unit(&self, src: usize, dst: usize, key: u64, attempt: u32) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add((src as u64).wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add((dst as u64).wrapping_mul(0xc2b2ae3d27d4eb4f))
+            .wrapping_add(key.wrapping_mul(0x165667b19e3779f9))
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_always_delivers() {
+        let m = FailureModel::reliable();
+        for a in 0..100 {
+            assert_eq!(m.outcome(0, 1, 42, a), AttemptOutcome::Delivered);
+        }
+    }
+
+    #[test]
+    fn outcomes_are_deterministic() {
+        let m = FailureModel {
+            loss_prob: 0.3,
+            corruption_prob: 0.2,
+            seed: 9,
+        };
+        for a in 0..32 {
+            assert_eq!(m.outcome(3, 7, 11, a), m.outcome(3, 7, 11, a));
+        }
+    }
+
+    #[test]
+    fn empirical_rates_match() {
+        let m = FailureModel {
+            loss_prob: 0.25,
+            corruption_prob: 0.10,
+            seed: 4,
+        };
+        let mut lost = 0;
+        let mut corrupted = 0;
+        const N: u32 = 20_000;
+        for a in 0..N {
+            match m.outcome(0, 1, a as u64, 0) {
+                AttemptOutcome::Lost => lost += 1,
+                AttemptOutcome::Corrupted => corrupted += 1,
+                AttemptOutcome::Delivered => {}
+            }
+        }
+        let lf = lost as f64 / N as f64;
+        let cf = corrupted as f64 / N as f64;
+        assert!((lf - 0.25).abs() < 0.02, "loss frac = {lf}");
+        assert!((cf - 0.10).abs() < 0.02, "corrupt frac = {cf}");
+    }
+
+    #[test]
+    fn different_attempts_can_differ() {
+        let m = FailureModel {
+            loss_prob: 0.5,
+            corruption_prob: 0.0,
+            seed: 1,
+        };
+        let outcomes: Vec<AttemptOutcome> = (0..64).map(|a| m.outcome(0, 1, 5, a)).collect();
+        assert!(outcomes.contains(&AttemptOutcome::Delivered));
+        assert!(outcomes.contains(&AttemptOutcome::Lost));
+    }
+}

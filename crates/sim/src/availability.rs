@@ -1,0 +1,309 @@
+//! Node availability models and availability-overlap analysis.
+//!
+//! The paper (Section V-A) expects user-supplied repositories to have "much
+//! lower availability … compared to an Akamai-supported CDN", and proposes
+//! (Section V-D, after My3) building a graph whose edges connect nodes with
+//! overlapping availability windows, then choosing replicas as a low-cost
+//! cover of that graph. This module supplies the uptime models and overlap
+//! computations; the cover itself lives in `scdn_graph::cover`.
+
+use crate::engine::SimTime;
+
+/// A node uptime model: deterministic function of (node, time).
+pub trait AvailabilityModel {
+    /// `true` if `node` is online at `t`.
+    fn is_online(&self, node: usize, t: SimTime) -> bool;
+
+    /// Fraction of `[0, horizon)` during which `node` is online, sampled at
+    /// `samples` evenly spaced instants.
+    fn availability_fraction(&self, node: usize, horizon: SimTime, samples: usize) -> f64 {
+        if samples == 0 || horizon.as_millis() == 0 {
+            return 0.0;
+        }
+        let step = horizon.as_millis() / samples as u64;
+        let step = step.max(1);
+        let mut online = 0usize;
+        let mut count = 0usize;
+        let mut t = 0u64;
+        while t < horizon.as_millis() {
+            if self.is_online(node, SimTime::from_millis(t)) {
+                online += 1;
+            }
+            count += 1;
+            t += step;
+        }
+        online as f64 / count as f64
+    }
+}
+
+/// Every node is always online (an idealized Akamai-like fabric; the
+/// baseline the paper contrasts user-supplied storage against).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysOn;
+
+impl AvailabilityModel for AlwaysOn {
+    fn is_online(&self, _node: usize, _t: SimTime) -> bool {
+        true
+    }
+}
+
+/// Each node cycles deterministically through on/off periods; the phase is
+/// node-dependent so nodes are decorrelated. `duty` is the fraction of each
+/// `period` the node is up.
+#[derive(Clone, Copy, Debug)]
+pub struct PeriodicChurn {
+    /// Cycle length in milliseconds.
+    pub period_ms: u64,
+    /// Fraction of the period the node is online (0..=1).
+    pub duty: f64,
+    /// Seed mixed into each node's phase offset.
+    pub seed: u64,
+}
+
+impl PeriodicChurn {
+    fn phase(&self, node: usize) -> u64 {
+        // SplitMix64-style hash of (node, seed) for a stable phase.
+        let mut z = (node as u64).wrapping_add(self.seed).wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl AvailabilityModel for PeriodicChurn {
+    fn is_online(&self, node: usize, t: SimTime) -> bool {
+        if self.period_ms == 0 {
+            return false;
+        }
+        let offset = self.phase(node) % self.period_ms;
+        let pos = (t.as_millis() + offset) % self.period_ms;
+        (pos as f64) < self.duty.clamp(0.0, 1.0) * self.period_ms as f64
+    }
+}
+
+/// Diurnal model: each node is online during its local "work day", with the
+/// local timezone derived from a longitude table.
+#[derive(Clone, Debug)]
+pub struct Diurnal {
+    /// Per-node longitude in degrees (defines the local solar time).
+    pub longitudes: Vec<f64>,
+    /// Local hour the node comes online (e.g. 8.0).
+    pub start_hour: f64,
+    /// Local hour the node goes offline (e.g. 22.0).
+    pub end_hour: f64,
+}
+
+impl AvailabilityModel for Diurnal {
+    fn is_online(&self, node: usize, t: SimTime) -> bool {
+        let lon = self.longitudes.get(node).copied().unwrap_or(0.0);
+        let utc_hours = t.as_secs_f64() / 3600.0;
+        let local = (utc_hours + lon / 15.0).rem_euclid(24.0);
+        if self.start_hour <= self.end_hour {
+            (self.start_hour..self.end_hour).contains(&local)
+        } else {
+            // Wraps midnight.
+            local >= self.start_hour || local < self.end_hour
+        }
+    }
+}
+
+/// Explicit trace: per node, a sorted list of `[on, off)` intervals in
+/// milliseconds.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// `intervals[node]` = sorted disjoint online intervals.
+    pub intervals: Vec<Vec<(u64, u64)>>,
+}
+
+impl Trace {
+    /// Add an online interval for `node`, growing the table as needed.
+    /// Overlapping or adjacent intervals are merged so lookups stay
+    /// correct regardless of insertion order.
+    pub fn add(&mut self, node: usize, on: u64, off: u64) {
+        assert!(on < off, "interval must be non-empty");
+        if self.intervals.len() <= node {
+            self.intervals.resize(node + 1, Vec::new());
+        }
+        let iv = &mut self.intervals[node];
+        iv.push((on, off));
+        iv.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+        for &(s, e) in iv.iter() {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        *iv = merged;
+    }
+}
+
+impl AvailabilityModel for Trace {
+    fn is_online(&self, node: usize, t: SimTime) -> bool {
+        let Some(iv) = self.intervals.get(node) else {
+            return false;
+        };
+        let ms = t.as_millis();
+        // Binary search for the last interval starting at or before ms.
+        let idx = iv.partition_point(|&(on, _)| on <= ms);
+        idx > 0 && ms < iv[idx - 1].1
+    }
+}
+
+/// Fraction of sampled instants in `[0, horizon)` where *both* nodes are
+/// online simultaneously.
+pub fn overlap_fraction<M: AvailabilityModel + ?Sized>(
+    model: &M,
+    a: usize,
+    b: usize,
+    horizon: SimTime,
+    samples: usize,
+) -> f64 {
+    if samples == 0 || horizon.as_millis() == 0 {
+        return 0.0;
+    }
+    let step = (horizon.as_millis() / samples as u64).max(1);
+    let mut both = 0usize;
+    let mut count = 0usize;
+    let mut t = 0u64;
+    while t < horizon.as_millis() {
+        let st = SimTime::from_millis(t);
+        if model.is_online(a, st) && model.is_online(b, st) {
+            both += 1;
+        }
+        count += 1;
+        t += step;
+    }
+    both as f64 / count as f64
+}
+
+/// Build the My3-style availability graph over `n` nodes: an edge connects
+/// two nodes whose availability overlap is at least `threshold`; the weight
+/// stores the overlap percentage (0..=100).
+///
+/// The resulting graph feeds `scdn_graph::cover::greedy_weighted_dominating_set`
+/// with per-node costs (e.g. inverse availability) to select replicas.
+pub fn availability_graph<M: AvailabilityModel + ?Sized>(
+    model: &M,
+    n: usize,
+    horizon: SimTime,
+    samples: usize,
+    threshold: f64,
+) -> scdn_graph::Graph {
+    let mut g = scdn_graph::Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let f = overlap_fraction(model, a, b, horizon, samples);
+            if f >= threshold {
+                g.add_edge(
+                    scdn_graph::NodeId(a as u32),
+                    scdn_graph::NodeId(b as u32),
+                    (f * 100.0).round() as u32,
+                );
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_full_availability() {
+        let m = AlwaysOn;
+        assert!(m.is_online(3, SimTime::from_secs(100)));
+        let f = m.availability_fraction(0, SimTime::from_secs(10), 100);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_duty_cycle_measured() {
+        let m = PeriodicChurn {
+            period_ms: 10_000,
+            duty: 0.6,
+            seed: 7,
+        };
+        for node in 0..5 {
+            let f = m.availability_fraction(node, SimTime::from_secs(100), 1000);
+            assert!((f - 0.6).abs() < 0.05, "node {node}: f = {f}");
+        }
+    }
+
+    #[test]
+    fn periodic_phases_differ_across_nodes() {
+        let m = PeriodicChurn {
+            period_ms: 10_000,
+            duty: 0.5,
+            seed: 1,
+        };
+        let t = SimTime::from_millis(1234);
+        let states: Vec<bool> = (0..32).map(|n| m.is_online(n, t)).collect();
+        assert!(states.iter().any(|&s| s));
+        assert!(states.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn diurnal_follows_longitude() {
+        let m = Diurnal {
+            longitudes: vec![0.0, 180.0],
+            start_hour: 8.0,
+            end_hour: 20.0,
+        };
+        // At 12:00 UTC node 0 (lon 0 → local noon) is online; node 1
+        // (lon 180 → local midnight) is offline.
+        let noon = SimTime::from_secs(12 * 3600);
+        assert!(m.is_online(0, noon));
+        assert!(!m.is_online(1, noon));
+    }
+
+    #[test]
+    fn diurnal_wrapping_window() {
+        let m = Diurnal {
+            longitudes: vec![0.0],
+            start_hour: 22.0,
+            end_hour: 6.0,
+        };
+        assert!(m.is_online(0, SimTime::from_secs(23 * 3600)));
+        assert!(m.is_online(0, SimTime::from_secs(3 * 3600)));
+        assert!(!m.is_online(0, SimTime::from_secs(12 * 3600)));
+    }
+
+    #[test]
+    fn trace_lookup() {
+        let mut tr = Trace::default();
+        tr.add(0, 100, 200);
+        tr.add(0, 300, 400);
+        assert!(!tr.is_online(0, SimTime::from_millis(50)));
+        assert!(tr.is_online(0, SimTime::from_millis(150)));
+        assert!(!tr.is_online(0, SimTime::from_millis(250)));
+        assert!(tr.is_online(0, SimTime::from_millis(399)));
+        assert!(!tr.is_online(0, SimTime::from_millis(400)));
+        assert!(!tr.is_online(5, SimTime::from_millis(150)));
+    }
+
+    #[test]
+    fn overlap_of_identical_schedules_is_availability() {
+        let m = PeriodicChurn {
+            period_ms: 8_000,
+            duty: 0.5,
+            seed: 3,
+        };
+        let f = overlap_fraction(&m, 4, 4, SimTime::from_secs(80), 800);
+        assert!((f - 0.5).abs() < 0.05, "f = {f}");
+    }
+
+    #[test]
+    fn availability_graph_thresholds() {
+        // Two nodes with complementary traces never overlap; two identical
+        // ones always do.
+        let mut tr = Trace::default();
+        tr.add(0, 0, 500);
+        tr.add(1, 500, 1000);
+        tr.add(2, 0, 500);
+        let g = availability_graph(&tr, 3, SimTime::from_millis(1000), 100, 0.3);
+        assert!(g.has_edge(scdn_graph::NodeId(0), scdn_graph::NodeId(2)));
+        assert!(!g.has_edge(scdn_graph::NodeId(0), scdn_graph::NodeId(1)));
+    }
+}

@@ -1,0 +1,328 @@
+//! Metric collectors for Section V-E of the paper.
+//!
+//! Two families: **CDN quality** (availability, response time, hit rate,
+//! redundancy, transfer volume) and **social collaboration** metrics
+//! (request acceptance rate, immediacy of allocation, exchange success
+//! ratio, freerider ratio, resource abundance, geographic scarcity).
+
+use std::collections::HashMap;
+
+use crate::engine::SimTime;
+
+/// Streaming summary of a scalar series (count / mean / min / max and
+/// approximate percentiles via a retained sample).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Minimum (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `q`-quantile (0..=1) by nearest-rank on a sorted copy; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// CDN-quality metrics (paper Section V-E list: availability, scalability,
+/// reliability, redundancy, response time, stability).
+#[derive(Clone, Debug, Default)]
+pub struct CdnMetrics {
+    /// Requests served from a replica within one social hop ("hits").
+    pub hits: u64,
+    /// Requests that needed a remote fetch or failed.
+    pub misses: u64,
+    /// Requests that could not be served at all (no online replica).
+    pub failures: u64,
+    /// End-to-end response times (ms).
+    pub response_time_ms: Summary,
+    /// Bytes moved across the network.
+    pub bytes_transferred: u64,
+    /// Observed per-request replica counts (redundancy level).
+    pub redundancy: Summary,
+    /// Sampled fraction of online storage nodes.
+    pub availability_samples: Summary,
+}
+
+impl CdnMetrics {
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses + self.failures
+    }
+
+    /// Hit rate in percent (0 when no requests).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of requests that failed outright.
+    pub fn failure_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.failures as f64 / total as f64
+        }
+    }
+}
+
+/// Per-participant ledger for the social metrics.
+#[derive(Clone, Debug, Default)]
+struct ParticipantLedger {
+    bytes_provided: u64,
+    bytes_consumed: u64,
+}
+
+/// Social collaboration metrics (paper Section V-E):
+/// acceptance rate, immediacy, exchange ratio, freeriders, transaction
+/// volume, resource abundance, geographic scarcity.
+#[derive(Clone, Debug, Default)]
+pub struct SocialMetrics {
+    /// Storage-hosting requests issued by the overlay management.
+    pub hosting_requests: u64,
+    /// Hosting requests accepted by participants.
+    pub hosting_accepted: u64,
+    /// Time from request to acceptance (ms), for accepted requests.
+    pub immediacy_ms: Summary,
+    /// Completed data exchanges.
+    pub exchanges_ok: u64,
+    /// Failed data exchanges.
+    pub exchanges_failed: u64,
+    /// Per-participant provided/consumed ledger.
+    ledgers: HashMap<usize, ParticipantLedger>,
+    /// Allocated capacity in bytes.
+    pub allocated_bytes: u64,
+    /// Total contributed capacity in bytes.
+    pub contributed_bytes: u64,
+    /// Per-region contributed capacity (region index → bytes).
+    pub region_capacity: HashMap<usize, u64>,
+}
+
+impl SocialMetrics {
+    /// Record a hosting request and whether it was accepted; `delay`
+    /// is the acceptance delay for accepted requests.
+    pub fn record_hosting_request(&mut self, accepted: bool, delay: Option<SimTime>) {
+        self.hosting_requests += 1;
+        if accepted {
+            self.hosting_accepted += 1;
+            if let Some(d) = delay {
+                self.immediacy_ms.record(d.as_millis() as f64);
+            }
+        }
+    }
+
+    /// Record a data exchange outcome with the bytes provided by `provider`
+    /// and consumed by `consumer`.
+    pub fn record_exchange(&mut self, provider: usize, consumer: usize, bytes: u64, ok: bool) {
+        if ok {
+            self.exchanges_ok += 1;
+            self.ledgers.entry(provider).or_default().bytes_provided += bytes;
+            self.ledgers.entry(consumer).or_default().bytes_consumed += bytes;
+        } else {
+            self.exchanges_failed += 1;
+        }
+    }
+
+    /// Request acceptance rate in percent.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.hosting_requests == 0 {
+            0.0
+        } else {
+            100.0 * self.hosting_accepted as f64 / self.hosting_requests as f64
+        }
+    }
+
+    /// Ratio of successful to unsuccessful exchanges (∞-safe: returns
+    /// `f64::INFINITY` when nothing failed but something succeeded).
+    pub fn exchange_success_ratio(&self) -> f64 {
+        match (self.exchanges_ok, self.exchanges_failed) {
+            (0, _) => 0.0,
+            (_, 0) => f64::INFINITY,
+            (ok, fail) => ok as f64 / fail as f64,
+        }
+    }
+
+    /// Freerider ratio: fraction of participants who consumed > 0 bytes but
+    /// provided less than `threshold` × their consumption.
+    pub fn freerider_ratio(&self, threshold: f64) -> f64 {
+        let consumers: Vec<&ParticipantLedger> = self
+            .ledgers
+            .values()
+            .filter(|l| l.bytes_consumed > 0)
+            .collect();
+        if consumers.is_empty() {
+            return 0.0;
+        }
+        let freeriders = consumers
+            .iter()
+            .filter(|l| (l.bytes_provided as f64) < threshold * l.bytes_consumed as f64)
+            .count();
+        freeriders as f64 / consumers.len() as f64
+    }
+
+    /// Ratio of allocated to contributed resources (resource utilization;
+    /// its complement is "resource abundance").
+    pub fn allocation_ratio(&self) -> f64 {
+        if self.contributed_bytes == 0 {
+            0.0
+        } else {
+            self.allocated_bytes as f64 / self.contributed_bytes as f64
+        }
+    }
+
+    /// Geographic scarcity: ratio of the scarcest region's capacity to the
+    /// most abundant region's capacity (1.0 = perfectly balanced, → 0 =
+    /// heavily skewed). Regions with no capacity are ignored unless all are
+    /// empty (then 0).
+    pub fn geographic_scarcity(&self) -> f64 {
+        let caps: Vec<u64> = self
+            .region_capacity
+            .values()
+            .copied()
+            .filter(|&c| c > 0)
+            .collect();
+        match (caps.iter().min(), caps.iter().max()) {
+            (Some(&min), Some(&max)) if max > 0 => min as f64 / max as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Total transaction volume (bytes successfully exchanged).
+    pub fn transaction_volume(&self) -> u64 {
+        self.ledgers.values().map(|l| l.bytes_provided).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::default();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.quantile(0.5), 3.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn cdn_hit_rate() {
+        let mut m = CdnMetrics::default();
+        m.hits = 30;
+        m.misses = 60;
+        m.failures = 10;
+        assert_eq!(m.requests(), 100);
+        assert!((m.hit_rate() - 30.0).abs() < 1e-12);
+        assert!((m.failure_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptance_and_immediacy() {
+        let mut m = SocialMetrics::default();
+        m.record_hosting_request(true, Some(SimTime::from_millis(100)));
+        m.record_hosting_request(false, None);
+        m.record_hosting_request(true, Some(SimTime::from_millis(300)));
+        assert!((m.acceptance_rate() - 66.666).abs() < 0.01);
+        assert!((m.immediacy_ms.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freerider_detection() {
+        let mut m = SocialMetrics::default();
+        // User 1 provides a lot, user 2 only consumes.
+        m.record_exchange(1, 2, 1000, true);
+        m.record_exchange(1, 2, 1000, true);
+        m.record_exchange(2, 1, 10, true);
+        // Consumers: 1 (consumed 10, provided 2000 → fine), 2 (consumed
+        // 2000, provided 10 → freerider at threshold 0.1).
+        assert!((m.freerider_ratio(0.1) - 0.5).abs() < 1e-12);
+        assert_eq!(m.transaction_volume(), 2010);
+    }
+
+    #[test]
+    fn exchange_ratio_edge_cases() {
+        let mut m = SocialMetrics::default();
+        assert_eq!(m.exchange_success_ratio(), 0.0);
+        m.record_exchange(0, 1, 1, true);
+        assert_eq!(m.exchange_success_ratio(), f64::INFINITY);
+        m.record_exchange(0, 1, 1, false);
+        assert_eq!(m.exchange_success_ratio(), 1.0);
+    }
+
+    #[test]
+    fn allocation_and_scarcity() {
+        let mut m = SocialMetrics::default();
+        m.contributed_bytes = 1000;
+        m.allocated_bytes = 250;
+        assert!((m.allocation_ratio() - 0.25).abs() < 1e-12);
+        m.region_capacity.insert(0, 800);
+        m.region_capacity.insert(1, 200);
+        assert!((m.geographic_scarcity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scarcity_empty_regions() {
+        let m = SocialMetrics::default();
+        assert_eq!(m.geographic_scarcity(), 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Request workload generation: Zipf-distributed dataset popularity and
+//! Poisson request arrivals, implemented from first principles (the offline
+//! crate set has `rand` but no distribution crates).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::SimTime;
+
+/// Zipf sampler over `0..n` with exponent `s` (inverse-CDF lookup table).
+///
+/// Item `k` has probability ∝ `1 / (k+1)^s`. `s = 0` degenerates to a
+/// uniform distribution; larger `s` concentrates mass on early items —
+/// modelling the "long-tail nature" of research data the paper contrasts
+/// with high-profile CDN content.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating error on the last entry.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the sampler is over a single item.
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees n > 0
+    }
+
+    /// Sample an item index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of item `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// A single data-access request in the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Requesting user (index into the S-CDN membership).
+    pub user: usize,
+    /// Requested dataset (index into the catalog).
+    pub dataset: usize,
+}
+
+/// Configuration for [`generate_requests`].
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of users issuing requests.
+    pub users: usize,
+    /// Number of datasets.
+    pub datasets: usize,
+    /// Zipf exponent for dataset popularity (0 = uniform).
+    pub popularity_exponent: f64,
+    /// Zipf exponent for user activity (0 = uniform).
+    pub activity_exponent: f64,
+    /// Mean request inter-arrival time in milliseconds (Poisson process).
+    pub mean_interarrival_ms: f64,
+    /// Total number of requests to generate.
+    pub count: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 42,
+            users: 100,
+            datasets: 50,
+            popularity_exponent: 0.9,
+            activity_exponent: 0.6,
+            mean_interarrival_ms: 1_000.0,
+            count: 1_000,
+        }
+    }
+}
+
+/// Generate a deterministic Poisson/Zipf request stream.
+pub fn generate_requests(cfg: &WorkloadConfig) -> Vec<Request> {
+    assert!(cfg.users > 0 && cfg.datasets > 0, "need users and datasets");
+    assert!(
+        cfg.mean_interarrival_ms > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pop = Zipf::new(cfg.datasets, cfg.popularity_exponent);
+    let act = Zipf::new(cfg.users, cfg.activity_exponent);
+    let mut out = Vec::with_capacity(cfg.count);
+    let mut t = 0.0f64;
+    for _ in 0..cfg.count {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -cfg.mean_interarrival_ms * u.ln();
+        out.push(Request {
+            at: SimTime::from_millis(t as u64),
+            user: act.sample(&mut rng),
+            dataset: pop.sample(&mut rng),
+        });
+    }
+    out
+}
+
+/// Superimpose a flash crowd on a base workload: between `start` and `end`,
+/// extra requests for `dataset` arrive at `burst_interarrival_ms` mean
+/// spacing from random users. Returns a merged, time-sorted stream — the
+/// "peak usage" pattern CDNs exist to absorb.
+pub fn with_flash_crowd(
+    base: &[Request],
+    users: usize,
+    dataset: usize,
+    start: SimTime,
+    end: SimTime,
+    burst_interarrival_ms: f64,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(users > 0, "need users");
+    assert!(start < end, "empty flash window");
+    assert!(burst_interarrival_ms > 0.0, "positive inter-arrival required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut merged: Vec<Request> = base.to_vec();
+    let mut t = start.as_millis() as f64;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -burst_interarrival_ms * u.ln();
+        if t >= end.as_millis() as f64 {
+            break;
+        }
+        merged.push(Request {
+            at: SimTime::from_millis(t as u64),
+            user: rng.gen_range(0..users),
+            dataset,
+        });
+    }
+    merged.sort_by_key(|r| r.at);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = Zipf::new(20, 1.0);
+        let total: f64 = (0..20).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = Zipf::new(10, 1.2);
+        for k in 1..10 {
+            assert!(z.probability(k) <= z.probability(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.probability(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_skew() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 100 items under s=1 carry ~56% of the mass.
+        let frac = head as f64 / N as f64;
+        assert!((0.5..0.65).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn requests_sorted_and_in_range() {
+        let cfg = WorkloadConfig {
+            count: 500,
+            ..Default::default()
+        };
+        let reqs = generate_requests(&cfg);
+        assert_eq!(reqs.len(), 500);
+        for w in reqs.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for r in &reqs {
+            assert!(r.user < cfg.users);
+            assert!(r.dataset < cfg.datasets);
+        }
+    }
+
+    #[test]
+    fn requests_deterministic_by_seed() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(generate_requests(&cfg), generate_requests(&cfg));
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_on_target() {
+        let base = generate_requests(&WorkloadConfig {
+            count: 200,
+            mean_interarrival_ms: 1_000.0,
+            ..Default::default()
+        });
+        let merged = with_flash_crowd(
+            &base,
+            100,
+            7,
+            SimTime::from_secs(30),
+            SimTime::from_secs(60),
+            50.0,
+            5,
+        );
+        assert!(merged.len() > base.len() + 300, "burst adds ~600 requests");
+        for w in merged.windows(2) {
+            assert!(w[0].at <= w[1].at, "stream stays sorted");
+        }
+        // Inside the window the burst dataset dominates.
+        let in_window: Vec<_> = merged
+            .iter()
+            .filter(|r| r.at >= SimTime::from_secs(30) && r.at < SimTime::from_secs(60))
+            .collect();
+        let on_target = in_window.iter().filter(|r| r.dataset == 7).count();
+        assert!(on_target * 10 > in_window.len() * 8, "target >= 80% of window");
+    }
+
+    #[test]
+    fn mean_interarrival_roughly_matches() {
+        let cfg = WorkloadConfig {
+            count: 5_000,
+            mean_interarrival_ms: 200.0,
+            ..Default::default()
+        };
+        let reqs = generate_requests(&cfg);
+        let total = reqs.last().expect("non-empty").at.as_millis() as f64;
+        let mean = total / reqs.len() as f64;
+        assert!((mean - 200.0).abs() < 20.0, "mean = {mean}");
+    }
+}

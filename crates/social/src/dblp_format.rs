@@ -1,0 +1,241 @@
+//! Plain-text corpus serialization ("SDBLP" format) and parser.
+//!
+//! Line-oriented, tab-separated, one record per line:
+//!
+//! ```text
+//! # comment
+//! I <id> <region-code> <lat> <lon> <name>
+//! A <id> <institution-id> <name>
+//! P <id> <year> <author-ids comma-separated> <title>
+//! T <author-id> <topics comma-separated>
+//! ```
+//!
+//! Gives the workspace a realistic file-ingestion path: the benches write a
+//! generated corpus to disk once and every experiment parses it back.
+
+use std::fmt::Write as _;
+
+use crate::author::{Author, AuthorId, Institution, InstitutionId, Region};
+use crate::corpus::Corpus;
+use crate::publication::{PubId, Publication};
+
+/// Parse errors with line numbers.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a corpus to the SDBLP text format.
+pub fn to_text(corpus: &Corpus) -> String {
+    let mut out = String::with_capacity(
+        64 + corpus.author_count() * 32 + corpus.publication_count() * 48,
+    );
+    out.push_str("# SDBLP corpus v1\n");
+    for i in corpus.institutions() {
+        writeln!(
+            out,
+            "I\t{}\t{}\t{:.4}\t{:.4}\t{}",
+            i.id.0,
+            i.region.code(),
+            i.lat,
+            i.lon,
+            i.name
+        )
+        .expect("write to string");
+    }
+    for a in corpus.authors() {
+        writeln!(out, "A\t{}\t{}\t{}", a.id.0, a.institution.0, a.name)
+            .expect("write to string");
+    }
+    for p in corpus.publications() {
+        let ids: Vec<String> = p.authors.iter().map(|a| a.0.to_string()).collect();
+        writeln!(out, "P\t{}\t{}\t{}\t{}", p.id.0, p.year, ids.join(","), p.title)
+            .expect("write to string");
+    }
+    for a in corpus.authors() {
+        let topics = corpus.interests_of(a.id);
+        if !topics.is_empty() {
+            writeln!(out, "T\t{}\t{}", a.id.0, topics.join(","))
+                .expect("write to string");
+        }
+    }
+    out
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a corpus from the SDBLP text format.
+pub fn from_text(text: &str) -> Result<Corpus, ParseError> {
+    let mut institutions: Vec<Institution> = Vec::new();
+    let mut authors: Vec<Author> = Vec::new();
+    let mut pubs: Vec<Publication> = Vec::new();
+    let mut interests: Vec<(AuthorId, Vec<String>, usize)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let kind = fields.next().expect("split yields at least one field");
+        match kind {
+            "I" => {
+                let id: u32 = next_field(&mut fields, lineno, "institution id")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad institution id"))?;
+                let region_code = next_field(&mut fields, lineno, "region")?;
+                let region = Region::from_code(region_code)
+                    .ok_or_else(|| err(lineno, format!("unknown region {region_code:?}")))?;
+                let lat: f64 = next_field(&mut fields, lineno, "lat")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad latitude"))?;
+                let lon: f64 = next_field(&mut fields, lineno, "lon")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad longitude"))?;
+                let name = next_field(&mut fields, lineno, "name")?.to_string();
+                institutions.push(Institution {
+                    id: InstitutionId(id),
+                    name,
+                    region,
+                    lat,
+                    lon,
+                });
+            }
+            "A" => {
+                let id: u32 = next_field(&mut fields, lineno, "author id")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad author id"))?;
+                let inst: u32 = next_field(&mut fields, lineno, "institution id")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad institution id"))?;
+                let name = next_field(&mut fields, lineno, "name")?.to_string();
+                authors.push(Author {
+                    id: AuthorId(id),
+                    name,
+                    institution: InstitutionId(inst),
+                });
+            }
+            "P" => {
+                let id: u32 = next_field(&mut fields, lineno, "publication id")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad publication id"))?;
+                let year: u16 = next_field(&mut fields, lineno, "year")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad year"))?;
+                let id_list = next_field(&mut fields, lineno, "author list")?;
+                let mut author_ids = Vec::new();
+                for tok in id_list.split(',') {
+                    let a: u32 = tok
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad author ref {tok:?}")))?;
+                    author_ids.push(AuthorId(a));
+                }
+                let title = next_field(&mut fields, lineno, "title")?.to_string();
+                pubs.push(Publication::new(PubId(id), year, author_ids, title));
+            }
+            "T" => {
+                let id: u32 = next_field(&mut fields, lineno, "author id")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad author id"))?;
+                let topics = next_field(&mut fields, lineno, "topics")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+                interests.push((AuthorId(id), topics, lineno));
+            }
+            other => return Err(err(lineno, format!("unknown record kind {other:?}"))),
+        }
+    }
+    let mut corpus =
+        Corpus::new(authors, institutions, pubs).map_err(|e| err(0, e.to_string()))?;
+    for (a, topics, lineno) in interests {
+        if a.index() >= corpus.author_count() {
+            return Err(err(lineno, format!("interest for unknown author {a}")));
+        }
+        for t in topics {
+            corpus.add_interest(a, &t);
+        }
+    }
+    Ok(corpus)
+}
+
+fn next_field<'a>(
+    fields: &mut std::str::Split<'a, char>,
+    line: usize,
+    what: &str,
+) -> Result<&'a str, ParseError> {
+    fields.next().ok_or_else(|| err(line, format!("missing {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, CaseStudyParams};
+
+    #[test]
+    fn round_trip_generated_corpus() {
+        let mut p = CaseStudyParams::default();
+        p.level3_prob = 0.05; // keep the test corpus small
+        let g = generate(&p);
+        let text = to_text(&g.corpus);
+        let parsed = from_text(&text).expect("round trip parses");
+        assert_eq!(parsed.author_count(), g.corpus.author_count());
+        assert_eq!(parsed.publication_count(), g.corpus.publication_count());
+        assert_eq!(parsed.institutions().len(), g.corpus.institutions().len());
+        for (a, b) in g.corpus.publications().iter().zip(parsed.publications()) {
+            assert_eq!(a.year, b.year);
+            assert_eq!(a.authors, b.authors);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nI\t0\tEU\t50.0\t10.0\tUni\nA\t0\t0\tAlice\n";
+        let c = from_text(text).expect("parses");
+        assert_eq!(c.author_count(), 1);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let e = from_text("X\t1\t2\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown record kind"));
+    }
+
+    #[test]
+    fn bad_year_reports_line() {
+        let text = "I\t0\tEU\t0\t0\tU\nA\t0\t0\tA\nP\t0\tno-year\t0\tT\n";
+        let e = from_text(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bad year"));
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let e = from_text("A\t0\n").unwrap_err();
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn dangling_author_ref_rejected() {
+        let text = "I\t0\tEU\t0\t0\tU\nA\t0\t0\tA\nP\t0\t2010\t0,7\tT\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.message.contains("unknown author"), "{}", e.message);
+    }
+}

@@ -1,0 +1,87 @@
+//! Ego-network extraction at the author level.
+//!
+//! The case study "explodes" one author's network to a maximum social
+//! distance of 3 hops (coauthors of coauthors' coauthors).
+
+use scdn_graph::traversal;
+use scdn_graph::Graph;
+
+use crate::author::AuthorId;
+use crate::coauthorship::CoauthorNetwork;
+
+/// The compacted ego network of `seed` within `radius` hops, along with the
+/// node → author mapping of the new graph. Returns `None` if the seed does
+/// not participate in the network.
+pub fn ego_subnetwork(
+    net: &CoauthorNetwork,
+    seed: AuthorId,
+    radius: u32,
+) -> Option<(Graph, Vec<AuthorId>)> {
+    let seed_node = net.index.node_of(seed)?;
+    let (sub, map) = traversal::ego_network(&net.graph, seed_node, radius);
+    let authors = map.into_iter().map(|v| net.index.author_of(v)).collect();
+    Some((sub, authors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::author::{Author, Institution, InstitutionId, Region};
+    use crate::coauthorship::build_coauthorship;
+    use crate::corpus::Corpus;
+    use crate::publication::{PubId, Publication};
+
+    /// Chain corpus: 0-1, 1-2, 2-3, 3-4 coauthorships.
+    fn chain_corpus() -> Corpus {
+        let inst = vec![Institution {
+            id: InstitutionId(0),
+            name: "U".into(),
+            region: Region::Europe,
+            lat: 0.0,
+            lon: 0.0,
+        }];
+        let authors = (0..5)
+            .map(|i| Author {
+                id: AuthorId(i),
+                name: format!("A{i}"),
+                institution: InstitutionId(0),
+            })
+            .collect();
+        let pubs = (0..4)
+            .map(|i| {
+                Publication::new(
+                    PubId(i),
+                    2010,
+                    vec![AuthorId(i), AuthorId(i + 1)],
+                    format!("p{i}"),
+                )
+            })
+            .collect();
+        Corpus::new(authors, inst, pubs).expect("valid")
+    }
+
+    #[test]
+    fn radius_limits_reach() {
+        let c = chain_corpus();
+        let net = build_coauthorship(&c, 2010..=2010, |_| true);
+        let (sub, authors) = ego_subnetwork(&net, AuthorId(0), 2).expect("seed present");
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(authors, vec![AuthorId(0), AuthorId(1), AuthorId(2)]);
+    }
+
+    #[test]
+    fn missing_seed_yields_none() {
+        let c = chain_corpus();
+        let net = build_coauthorship(&c, 2010..=2010, |_| true);
+        assert!(ego_subnetwork(&net, AuthorId(99), 3).is_none());
+    }
+
+    #[test]
+    fn radius_three_matches_paper_semantics() {
+        // Coauthors of coauthors' coauthors = 3 hops.
+        let c = chain_corpus();
+        let net = build_coauthorship(&c, 2010..=2010, |_| true);
+        let (sub, _) = ego_subnetwork(&net, AuthorId(0), 3).expect("seed present");
+        assert_eq!(sub.node_count(), 4); // authors 0..=3; author 4 is 4 hops
+    }
+}

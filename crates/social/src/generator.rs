@@ -1,0 +1,779 @@
+//! Synthetic DBLP-like corpus generator.
+//!
+//! Substitutes for the paper's DBLP extract (a 3-hop ego network of one
+//! author over 2009–2011). The generative model is *team-based*: research
+//! teams (a leader plus members) emit publications whose author lists are
+//! subsets of the team, which reproduces the structural features the case
+//! study depends on:
+//!
+//! * a 3-hop ego "supercluster" around the seed (teams are created level by
+//!   level outward from the seed);
+//! * a **tight/loose team dichotomy**: tight teams publish often with high
+//!   author overlap, so their members survive the double-coauthorship
+//!   pruning as dense islands (Fig. 2(b)), while loose teams mostly fall
+//!   away — this is what gives the paper's double-coauthorship subgraph its
+//!   small node count but high average degree;
+//! * a heavy tail of publication sizes (only ~35–40 % of publications have
+//!   < 6 authors, matching Table I's number-of-authors subgraph), with the
+//!   team leader always on small publications so they chain outward from
+//!   the seed;
+//! * one injected **mega-publication** (86 authors by default) whose
+//!   otherwise-inactive authors get artificially high degree — the cause of
+//!   the flat node-degree curve in Fig. 3(a);
+//! * two "super-hub" authors whose degree exceeds the mega-pub clique, so
+//!   degree-based placement picks real hubs first and then drowns in the
+//!   mega clique, exactly as the paper describes;
+//! * a test year (2011) whose publications mix continuing teams, brand-new
+//!   collaborators (misses by construction), and cross-team collaborations.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::author::{Author, AuthorId, Institution, InstitutionId, Region};
+use crate::corpus::Corpus;
+use crate::publication::{PubId, Publication};
+
+/// Tunable parameters of the synthetic corpus.
+///
+/// The defaults are calibrated so the three Table I subgraph sizes land in
+/// the paper's regime (see `EXPERIMENTS.md` for paper-vs-generated numbers).
+#[derive(Clone, Debug)]
+pub struct CaseStudyParams {
+    /// RNG seed; everything is deterministic given this.
+    pub rng_seed: u64,
+    /// Training years (placement is learned from these).
+    pub train_years: [u16; 2],
+    /// Test year (hit rates are measured on these publications).
+    pub test_year: u16,
+    /// Teams that include the seed author.
+    pub seed_team_count: usize,
+    /// Probability that a level-1 author leads a level-2 team.
+    pub level2_prob: f64,
+    /// Probability that a level-2 author leads a level-3 team.
+    pub level3_prob: f64,
+    /// Probability that a level-3 author leads a team outside the ego net.
+    pub level4_prob: f64,
+    /// Team member count range (inclusive), leader excluded.
+    pub team_size: (usize, usize),
+    /// Number of "super-hub" level-1 authors leading several large teams.
+    pub hub_count: usize,
+    /// Teams each super-hub leads.
+    pub hub_team_count: usize,
+    /// Member count range of hub teams.
+    pub hub_team_size: (usize, usize),
+    /// Probability a team is "tight" (cohesive, frequent repeat authorship).
+    pub cohesive_prob: f64,
+    /// Author-list fill fraction range for tight teams.
+    pub tight_fill: (f64, f64),
+    /// Training publications per tight team (inclusive).
+    pub tight_pubs: (usize, usize),
+    /// Author-list fill fraction range for loose teams.
+    pub loose_fill: (f64, f64),
+    /// Training publications per loose team (inclusive).
+    pub loose_pubs: (usize, usize),
+    /// Probability that a publication is small (2–5 authors).
+    pub small_pub_prob: f64,
+    /// Probability a publication borrows a member from a partner team.
+    pub lateral_prob: f64,
+    /// Probability that creating a team also emits a small "bridge"
+    /// publication between the new team's leader and the leader of the team
+    /// they belong to. Bridge publications give the number-of-authors trust
+    /// graph its backbone: without them, small publications rarely chain
+    /// deeper than one level from the seed.
+    pub bridge_prob: f64,
+    /// Author count of the injected mega-publication (0 disables it).
+    pub mega_pub_authors: usize,
+    /// Probability a team keeps publishing in the test year.
+    pub test_continue_prob: f64,
+    /// Test publications per continuing team (inclusive range).
+    pub test_pubs_per_team: (usize, usize),
+    /// Probability a test publication adds a brand-new (out-of-graph)
+    /// author.
+    pub test_new_author_prob: f64,
+    /// Number of cross-team "new collaboration" test publications.
+    pub test_cross_team_pubs: usize,
+}
+
+impl Default for CaseStudyParams {
+    fn default() -> Self {
+        CaseStudyParams {
+            rng_seed: 20120101,
+            train_years: [2009, 2010],
+            test_year: 2011,
+            seed_team_count: 5,
+            level2_prob: 0.90,
+            level3_prob: 0.26,
+            level4_prob: 0.05,
+            team_size: (8, 18),
+            hub_count: 2,
+            hub_team_count: 3,
+            hub_team_size: (24, 32),
+            cohesive_prob: 0.20,
+            tight_fill: (0.65, 0.95),
+            tight_pubs: (4, 7),
+            loose_fill: (0.12, 0.35),
+            loose_pubs: (2, 2),
+            small_pub_prob: 0.24,
+            lateral_prob: 0.30,
+            bridge_prob: 0.20,
+            mega_pub_authors: 86,
+            test_continue_prob: 0.60,
+            test_pubs_per_team: (1, 3),
+            test_new_author_prob: 0.35,
+            test_cross_team_pubs: 40,
+        }
+    }
+}
+
+/// A generated corpus together with the identities the case study needs.
+#[derive(Clone, Debug)]
+pub struct SyntheticDblp {
+    /// The corpus (authors, institutions, publications across all years).
+    pub corpus: Corpus,
+    /// The ego seed author (the paper uses Kyle Chard).
+    pub seed_author: AuthorId,
+    /// Authors of the injected mega-publication (empty if disabled).
+    pub mega_authors: Vec<AuthorId>,
+    /// The super-hub authors.
+    pub hub_authors: Vec<AuthorId>,
+}
+
+/// A research team: leader + members, with cohesion and activity levels
+/// that skew both training and test publication counts.
+struct Team {
+    leader: u32,
+    members: Vec<u32>,
+    /// Research topic of the team (becomes each member's interest).
+    topic: &'static str,
+    /// Tight teams publish more, with heavier author overlap.
+    tight: bool,
+    /// Core teams (the seed's and the hubs' own) dominate test-year output:
+    /// the case study measures data access around *successful, continuing*
+    /// collaborations.
+    core: bool,
+    /// 1..=5; higher = more publications.
+    activity: usize,
+    /// BFS level of the leader (0 = seed's own teams).
+    level: usize,
+}
+
+struct Builder {
+    rng: StdRng,
+    authors: Vec<Author>,
+    institutions: Vec<Institution>,
+    pubs: Vec<(u16, Vec<u32>)>,
+    teams: Vec<Team>,
+    /// For each author: the leader of the first team they joined.
+    parent_leader: std::collections::HashMap<u32, u32>,
+}
+
+impl Builder {
+    fn new_author(&mut self, institution: InstitutionId) -> u32 {
+        let id = self.authors.len() as u32;
+        self.authors.push(Author {
+            id: AuthorId(id),
+            name: format!("Author {id:05}"),
+            institution,
+        });
+        id
+    }
+
+    fn new_institution(&mut self) -> InstitutionId {
+        let id = InstitutionId(self.institutions.len() as u32);
+        let region = *[
+            Region::NorthAmerica,
+            Region::NorthAmerica,
+            Region::Europe,
+            Region::Europe,
+            Region::Asia,
+            Region::Oceania,
+        ]
+        .choose(&mut self.rng)
+        .expect("non-empty");
+        let (clat, clon) = region.centroid();
+        let lat = clat + self.rng.gen_range(-12.0..12.0);
+        let lon = clon + self.rng.gen_range(-20.0..20.0);
+        self.institutions.push(Institution {
+            id,
+            name: format!("Institution {:03}", id.0),
+            region,
+            lat,
+            lon,
+        });
+        id
+    }
+
+    fn new_team(
+        &mut self,
+        leader: u32,
+        size: (usize, usize),
+        level: usize,
+        force_tight: bool,
+        activity_override: Option<usize>,
+        params: &CaseStudyParams,
+    ) -> Vec<u32> {
+        let inst = self.new_institution();
+        let n = self.rng.gen_range(size.0..=size.1);
+        let members: Vec<u32> = (0..n).map(|_| self.new_author(inst)).collect();
+        for &m in &members {
+            self.parent_leader.entry(m).or_insert(leader);
+        }
+        let tight = force_tight || self.rng.gen_bool(params.cohesive_prob);
+        // Activity is heavily skewed: most teams are quiet, a few prolific.
+        // Forced-tight teams (the seed's and the hubs') are the "successful
+        // science" core and are maximally active.
+        let topic = *TOPICS.choose(&mut self.rng).expect("topics non-empty");
+        let mut activity = activity_override.unwrap_or_else(|| match self.rng.gen_range(0..100) {
+            0..=44 => 1,
+            45..=69 => 2,
+            70..=84 => 3,
+            85..=94 => 4,
+            _ => 5,
+        });
+        // Tight teams are the "successful science" core: repeat
+        // collaboration predicts continued output (Section III).
+        if tight {
+            activity = activity.max(4);
+        }
+        // Bridge publication: the new leader publishes a small paper with
+        // the leader of the team they themselves belong to, chaining the
+        // small-publication graph outward from the seed.
+        if self.rng.gen_bool(params.bridge_prob) {
+            if let Some(&parent) = self.parent_leader.get(&leader) {
+                let year = *params
+                    .train_years
+                    .choose(&mut self.rng)
+                    .expect("train years non-empty");
+                self.push_pub(year, vec![parent, leader]);
+            }
+        }
+        self.teams.push(Team {
+            leader,
+            members: members.clone(),
+            topic,
+            tight,
+            core: force_tight,
+            activity,
+            level,
+        });
+        members
+    }
+
+    fn push_pub(&mut self, year: u16, authors: Vec<u32>) {
+        debug_assert!(!authors.is_empty());
+        self.pubs.push((year, authors));
+    }
+}
+
+/// Research topics assigned to teams (members inherit them as declared
+/// interests — the "research interests" the paper's middleware exposes to
+/// the CDN algorithms).
+const TOPICS: [&str; 12] = [
+    "neuroimaging",
+    "genomics",
+    "climate-modeling",
+    "particle-physics",
+    "distributed-systems",
+    "machine-learning",
+    "astronomy",
+    "materials-science",
+    "epidemiology",
+    "linguistics",
+    "seismology",
+    "proteomics",
+];
+
+/// Generate a synthetic corpus according to `params`.
+pub fn generate(params: &CaseStudyParams) -> SyntheticDblp {
+    let mut b = Builder {
+        rng: StdRng::seed_from_u64(params.rng_seed),
+        authors: Vec::with_capacity(4096),
+        institutions: Vec::new(),
+        pubs: Vec::with_capacity(2048),
+        teams: Vec::new(),
+        parent_leader: std::collections::HashMap::new(),
+    };
+    let seed_inst = b.new_institution();
+    let seed = b.new_author(seed_inst);
+
+    // --- Level-1 teams around the seed (always tight: the seed's own
+    //     collaborations are the best-documented ones) ------------------
+    let mut level1: Vec<u32> = Vec::new();
+    let mut seed_team_firsts: Vec<u32> = Vec::new();
+    for _ in 0..params.seed_team_count {
+        let activity = Some(b.rng.gen_range(3..=5));
+        let members = b.new_team(seed, params.team_size, 0, true, activity, params);
+        if let Some(&first) = members.first() {
+            seed_team_firsts.push(first);
+        }
+        level1.extend(&members);
+    }
+
+    // --- Super hubs: level-1 authors from distinct seed teams, each
+    //     leading several large (tight) teams ---------------------------
+    // Hubs come from *distinct* seed teams so they are not coauthors of
+    // one another — community-aware placement must be able to pick both.
+    let hub_authors: Vec<u32> = seed_team_firsts
+        .iter()
+        .copied()
+        .take(params.hub_count)
+        .collect();
+    let mut level2: Vec<u32> = Vec::new();
+    for &hub in &hub_authors {
+        for t in 0..params.hub_team_count {
+            // One flagship team per hub stays maximally active; the others
+            // follow the skewed activity distribution.
+            let activity = if t == 0 { Some(5) } else { None };
+            let members = b.new_team(hub, params.hub_team_size, 1, true, activity, params);
+            level2.extend(&members);
+        }
+    }
+
+    // --- Level-2 teams: led by level-1 authors ------------------------
+    for &a in &level1 {
+        if hub_authors.contains(&a) {
+            continue; // hubs already lead teams
+        }
+        if b.rng.gen_bool(params.level2_prob) {
+            let members = b.new_team(a, params.team_size, 1, false, None, params);
+            level2.extend(&members);
+        }
+    }
+
+    // --- Level-3 teams: led by level-2 authors ------------------------
+    let mut level3: Vec<u32> = Vec::new();
+    let level2_snapshot = level2.clone();
+    for &a in &level2_snapshot {
+        if b.rng.gen_bool(params.level3_prob) {
+            let members = b.new_team(a, params.team_size, 2, false, None, params);
+            level3.extend(&members);
+        }
+    }
+
+    // --- Level-4 teams (outside the 3-hop ego net) ---------------------
+    let level3_snapshot = level3.clone();
+    for &a in &level3_snapshot {
+        if b.rng.gen_bool(params.level4_prob) {
+            b.new_team(a, params.team_size, 3, false, None, params);
+        }
+    }
+
+    // --- Training publications -----------------------------------------
+    let team_count = b.teams.len();
+    for t in 0..team_count {
+        let (leader, members, tight, core, activity) = {
+            let team = &b.teams[t];
+            (
+                team.leader,
+                team.members.clone(),
+                team.tight,
+                team.core,
+                team.activity,
+            )
+        };
+        let range = if tight {
+            params.tight_pubs
+        } else {
+            params.loose_pubs
+        };
+        let n_pubs = b.rng.gen_range(range.0..=range.1) + activity / 3;
+        for _ in 0..n_pubs {
+            let year = *params
+                .train_years
+                .choose(&mut b.rng)
+                .expect("train years non-empty");
+            let small_prob = if tight {
+                (params.small_pub_prob + 0.15).min(1.0)
+            } else {
+                params.small_pub_prob
+            };
+            let mut authors = sample_pub_authors(
+                &mut b.rng,
+                leader,
+                &members,
+                tight,
+                small_prob,
+                1.0,
+                params,
+            );
+            // Lateral borrowing: pull one member from another team.
+            if b.rng.gen_bool(params.lateral_prob) && team_count > 1 {
+                let other = b.rng.gen_range(0..team_count);
+                if other != t {
+                    let pool = &b.teams[other].members;
+                    if !pool.is_empty() {
+                        let borrowed = pool[b.rng.gen_range(0..pool.len())];
+                        authors.push(borrowed);
+                    }
+                }
+            }
+            b.push_pub(year, authors);
+        }
+        // Core teams additionally produce systematic small publications:
+        // working groups of 2-3 members publish short papers with the
+        // leader. This is what makes the core of repeat collaborators fully
+        // visible in the small-publication (number-of-authors) trust graph.
+        if core {
+            let mut chunk: Vec<u32> = Vec::with_capacity(4);
+            for &m in &members {
+                chunk.push(m);
+                if chunk.len() == 3 {
+                    let mut authors = vec![leader];
+                    authors.append(&mut chunk);
+                    let year = *params
+                        .train_years
+                        .choose(&mut b.rng)
+                        .expect("train years non-empty");
+                    b.push_pub(year, authors);
+                }
+            }
+            if !chunk.is_empty() {
+                let mut authors = vec![leader];
+                authors.append(&mut chunk);
+                let year = *params
+                    .train_years
+                    .choose(&mut b.rng)
+                    .expect("train years non-empty");
+                b.push_pub(year, authors);
+            }
+        }
+    }
+
+    // --- The mega-publication ------------------------------------------
+    let mut mega_authors: Vec<u32> = Vec::new();
+    if params.mega_pub_authors >= 2 {
+        // A dedicated small, quiet team at level 2 hosts the anchor: the
+        // mega clique hangs off the edge of the ego network (hop 3), and
+        // the anchor's own collaboration barely publishes afterwards —
+        // reproducing the paper's "artificially high node degree for many
+        // of these edge authors".
+        let anchor_team_leader = *level1.last().expect("level1 non-empty");
+        let anchor_members =
+            b.new_team(anchor_team_leader, (3, 4), 1, true, Some(1), params);
+        let anchor = *anchor_members.first().expect("anchor team non-empty");
+        // The anchor team publishes its coverage pubs through the normal
+        // loop only for teams created before it; emit one small pub here so
+        // the anchor is connected in every trust graph.
+        for year in params.train_years {
+            let mut authors = vec![anchor_team_leader, anchor];
+            authors.extend(anchor_members.iter().skip(1).take(2));
+            b.push_pub(year, authors);
+        }
+        mega_authors.push(anchor);
+        let inst = b.new_institution();
+        while mega_authors.len() < params.mega_pub_authors {
+            let a = b.new_author(inst);
+            mega_authors.push(a);
+        }
+        let year = params.train_years[1];
+        b.push_pub(year, mega_authors.clone());
+        // A sprinkle of tiny follow-ups inside the mega cluster so degrees
+        // are not all identical: some pairs reach weight 2.
+        let extras = mega_authors.len() / 8;
+        for _ in 0..extras {
+            let x = mega_authors[b.rng.gen_range(1..mega_authors.len())];
+            let y = mega_authors[b.rng.gen_range(1..mega_authors.len())];
+            if x != y {
+                b.push_pub(year, vec![x, y]);
+            }
+        }
+    }
+
+    // --- Test-year publications ------------------------------------------
+    for t in 0..team_count {
+        let (leader, members, tight, core, activity, level) = {
+            let team = &b.teams[t];
+            (
+                team.leader,
+                team.members.clone(),
+                team.tight,
+                team.core,
+                team.activity,
+                team.level,
+            )
+        };
+        // Continuation concentrates on active teams close to the seed —
+        // "successful science" keeps publishing; peripheral one-off
+        // collaborations mostly dissolve (the paper notes project-driven
+        // collaborations dissipate when funding ends).
+        let level_factor = [1.0, 0.7, 0.45, 0.15][level.min(3)];
+        let continue_p = if core {
+            0.95
+        } else if tight {
+            (0.15 + 0.10 * activity as f64 * level_factor).clamp(0.05, 0.95)
+        } else {
+            (0.30 + 0.10 * activity as f64 * level_factor).clamp(0.05, 0.95)
+        };
+        if !b.rng.gen_bool(continue_p) {
+            continue;
+        }
+        let base = ((activity * activity) as f64 * level_factor / 4.0).round() as usize
+            + b.rng.gen_range(0..=1);
+        // Core teams dominate; peripheral loose teams still publish (their
+        // output touches only the baseline graph, diluting its hit rate —
+        // the trust-pruned graphs never see these publications).
+        let n_pubs = if core {
+            (base * 2).max(5)
+        } else if !tight {
+            base + 3
+        } else {
+            base.max(1)
+        };
+        for _ in 0..n_pubs {
+            let small_prob = if tight { 0.78 } else { params.small_pub_prob };
+            let leader_prob = if tight { 1.0 } else { 0.5 };
+            let mut authors = sample_pub_authors(
+                &mut b.rng,
+                leader,
+                &members,
+                tight,
+                small_prob,
+                leader_prob,
+                params,
+            );
+            let new_author_p = if core {
+                params.test_new_author_prob * 0.5
+            } else {
+                params.test_new_author_prob
+            };
+            if b.rng.gen_bool(new_author_p) {
+                // Brand-new collaborator: in the corpus but never in the
+                // training graph → a guaranteed out-of-subgraph miss.
+                let inst = b.new_institution();
+                let newcomer = b.new_author(inst);
+                authors.push(newcomer);
+            }
+            b.push_pub(params.test_year, authors);
+        }
+    }
+    // Cross-team "new collaborations" between existing researchers.
+    for _ in 0..params.test_cross_team_pubs {
+        if b.teams.len() < 2 {
+            break;
+        }
+        // Weighted pick: sample three candidates and keep the most active
+        // inner team — new collaborations form around successful groups.
+        let weight = |t: &Team| {
+            let lf = [1.0, 0.8, 0.35, 0.1][t.level.min(3)];
+            t.activity as f64 * lf
+        };
+        let pick = |b: &mut Builder| {
+            let mut best = b.rng.gen_range(0..b.teams.len());
+            for _ in 0..2 {
+                let cand = b.rng.gen_range(0..b.teams.len());
+                if weight(&b.teams[cand]) > weight(&b.teams[best]) {
+                    best = cand;
+                }
+            }
+            best
+        };
+        let t1 = pick(&mut b);
+        let t2 = b.rng.gen_range(0..b.teams.len());
+        if t1 == t2 {
+            continue;
+        }
+        let mut authors = Vec::new();
+        authors.push(b.teams[t1].leader);
+        let m1 = &b.teams[t1].members;
+        let m2 = &b.teams[t2].members;
+        if !m1.is_empty() {
+            authors.push(m1[b.rng.gen_range(0..m1.len())]);
+        }
+        if !m2.is_empty() {
+            authors.push(m2[b.rng.gen_range(0..m2.len())]);
+            authors.push(m2[b.rng.gen_range(0..m2.len())]);
+        }
+        b.push_pub(params.test_year, authors);
+    }
+    // Minimal test-year activity in the mega cluster (the paper observes
+    // extra replicas there "only minimally increase the hit rate").
+    if mega_authors.len() >= 4 {
+        for _ in 0..2 {
+            let x = mega_authors[b.rng.gen_range(1..mega_authors.len())];
+            let y = mega_authors[b.rng.gen_range(1..mega_authors.len())];
+            if x != y {
+                b.push_pub(params.test_year, vec![x, y]);
+            }
+        }
+    }
+
+    // --- Assemble the corpus ---------------------------------------------
+    let publications: Vec<Publication> = b
+        .pubs
+        .iter()
+        .enumerate()
+        .map(|(i, (year, authors))| {
+            Publication::new(
+                PubId(i as u32),
+                *year,
+                authors.iter().map(|&a| AuthorId(a)).collect(),
+                format!("Synthetic publication {i:05}"),
+            )
+        })
+        .collect();
+    let mut corpus = Corpus::new(b.authors, b.institutions, publications)
+        .expect("generator produces dense, valid ids");
+    // Members inherit their teams' topics as declared interests.
+    for team in &b.teams {
+        corpus.add_interest(AuthorId(team.leader), team.topic);
+        for &m in &team.members {
+            corpus.add_interest(AuthorId(m), team.topic);
+        }
+    }
+    SyntheticDblp {
+        corpus,
+        seed_author: AuthorId(seed),
+        mega_authors: mega_authors.into_iter().map(AuthorId).collect(),
+        hub_authors: hub_authors.into_iter().map(AuthorId).collect(),
+    }
+}
+
+/// Sample a publication author list from a team: the leader plus a
+/// fill-fraction subset of members. Small publications (2–5 authors,
+/// emitted with `small_pub_prob`) always include the leader so the
+/// small-publication graph chains outward from the seed.
+fn sample_pub_authors(
+    rng: &mut StdRng,
+    leader: u32,
+    members: &[u32],
+    tight: bool,
+    small_pub_prob: f64,
+    include_leader_prob: f64,
+    params: &CaseStudyParams,
+) -> Vec<u32> {
+    let mut authors = Vec::new();
+    if rng.gen_bool(include_leader_prob) {
+        authors.push(leader);
+    }
+    let target = if rng.gen_bool(small_pub_prob) {
+        rng.gen_range(2..=5usize)
+    } else {
+        let fill_range = if tight {
+            params.tight_fill
+        } else {
+            params.loose_fill
+        };
+        let fill = rng.gen_range(fill_range.0..fill_range.1);
+        ((members.len() as f64 * fill).round() as usize + 1).max(2)
+    };
+    let mut pool: Vec<u32> = members.to_vec();
+    pool.shuffle(rng);
+    for &m in pool.iter() {
+        if authors.len() >= target {
+            break;
+        }
+        authors.push(m);
+    }
+    if authors.len() < 2 && !members.is_empty() {
+        // Guarantee at least one coauthor pair.
+        for &m in members {
+            if !authors.contains(&m) {
+                authors.push(m);
+                if authors.len() >= 2 {
+                    break;
+                }
+            }
+        }
+    }
+    if authors.is_empty() {
+        authors.push(leader);
+    }
+    authors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = CaseStudyParams::default();
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a.corpus.author_count(), b.corpus.author_count());
+        assert_eq!(a.corpus.publication_count(), b.corpus.publication_count());
+        assert_eq!(a.seed_author, b.seed_author);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p2 = CaseStudyParams::default();
+        p2.rng_seed = 999;
+        let a = generate(&CaseStudyParams::default());
+        let b = generate(&p2);
+        // Author counts should differ with overwhelming probability.
+        assert_ne!(
+            (a.corpus.author_count(), a.corpus.publication_count()),
+            (b.corpus.author_count(), b.corpus.publication_count())
+        );
+    }
+
+    #[test]
+    fn mega_pub_present_with_right_size() {
+        let p = CaseStudyParams::default();
+        let g = generate(&p);
+        assert_eq!(g.mega_authors.len(), 86);
+        let found = g
+            .corpus
+            .publications()
+            .iter()
+            .any(|pb| pb.author_count() == 86);
+        assert!(found, "mega publication must exist");
+    }
+
+    #[test]
+    fn mega_disabled() {
+        let mut p = CaseStudyParams::default();
+        p.mega_pub_authors = 0;
+        let g = generate(&p);
+        assert!(g.mega_authors.is_empty());
+        assert!(g.corpus.publications().iter().all(|pb| pb.author_count() < 60));
+    }
+
+    #[test]
+    fn years_partition_correctly() {
+        let p = CaseStudyParams::default();
+        let g = generate(&p);
+        for pb in g.corpus.publications() {
+            assert!(
+                pb.year == 2009 || pb.year == 2010 || pb.year == 2011,
+                "unexpected year {}",
+                pb.year
+            );
+        }
+        assert!(g.corpus.publications_in(2009..=2010).count() > 100);
+        assert!(g.corpus.publications_in(2011..=2011).count() > 50);
+    }
+
+    #[test]
+    fn seed_author_publishes_in_training() {
+        let p = CaseStudyParams::default();
+        let g = generate(&p);
+        let train_pubs = g
+            .corpus
+            .publications_of(g.seed_author)
+            .iter()
+            .filter(|&&pid| {
+                let y = g.corpus.publication(pid).year;
+                (2009..=2010).contains(&y)
+            })
+            .count();
+        assert!(train_pubs >= 3, "seed must be active in training years");
+    }
+
+    #[test]
+    fn all_pubs_have_authors() {
+        let g = generate(&CaseStudyParams::default());
+        for pb in g.corpus.publications() {
+            assert!(!pb.authors.is_empty());
+        }
+    }
+
+    #[test]
+    fn hubs_are_distinct_and_present() {
+        let g = generate(&CaseStudyParams::default());
+        assert_eq!(g.hub_authors.len(), 2);
+        assert_ne!(g.hub_authors[0], g.hub_authors[1]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Trust-graph construction: the three pruning heuristics of Section VI-A.
+//!
+//! 1. **Baseline** — the raw 3-hop ego coauthorship network.
+//! 2. **Double coauthorship** — keep only edges between authors with more
+//!    than one joint publication in the period ("multiple authorship …
+//!    indicative of a closer working relationship"). Isolated nodes drop
+//!    out; this graph fragments into islands (Fig. 2(b)).
+//! 3. **Number of authors** — rebuild the network using only publications
+//!    with fewer than 6 authors ("publications with many coauthors are less
+//!    useful for predicting collaborative relationships").
+
+use std::collections::HashMap;
+
+use scdn_graph::{Graph, NodeId};
+
+use crate::author::AuthorId;
+use crate::coauthorship::build_coauthorship;
+use crate::corpus::Corpus;
+use crate::ego::ego_subnetwork;
+use crate::publication::PubId;
+
+/// A trust heuristic used to prune the coauthorship graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrustFilter {
+    /// No pruning: the raw ego network.
+    Baseline,
+    /// Keep edges whose endpoints share at least this many joint
+    /// publications (the paper's "more than 1" = `MinJointPubs(2)`).
+    MinJointPubs(u32),
+    /// Keep only publications with strictly fewer than this many authors
+    /// (the paper's "fewer than 6" = `MaxAuthorsPerPub(6)`).
+    MaxAuthorsPerPub(usize),
+}
+
+impl TrustFilter {
+    /// Short display name matching the paper's terminology.
+    pub fn name(self) -> String {
+        match self {
+            TrustFilter::Baseline => "baseline".to_string(),
+            TrustFilter::MinJointPubs(k) => format!("double-coauthorship(min={k})"),
+            TrustFilter::MaxAuthorsPerPub(m) => format!("number-of-authors(max<{m})"),
+        }
+    }
+
+    /// The three configurations evaluated in the paper.
+    pub fn paper_set() -> [TrustFilter; 3] {
+        [
+            TrustFilter::Baseline,
+            TrustFilter::MinJointPubs(2),
+            TrustFilter::MaxAuthorsPerPub(6),
+        ]
+    }
+}
+
+/// Row of Table I: size of a trust subgraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubgraphStats {
+    /// Number of authors in the subgraph.
+    pub nodes: usize,
+    /// Number of training publications that contribute an edge.
+    pub publications: usize,
+    /// Number of coauthorship edges.
+    pub edges: usize,
+}
+
+/// A pruned, compacted trust subgraph with its author mapping.
+#[derive(Clone, Debug)]
+pub struct TrustSubgraph {
+    /// Which heuristic produced this subgraph.
+    pub filter: TrustFilter,
+    /// The pruned coauthorship graph (dense node ids).
+    pub graph: Graph,
+    /// Node → author mapping.
+    pub authors: Vec<AuthorId>,
+    /// Training publications retaining at least one edge in the subgraph.
+    pub retained_pubs: Vec<PubId>,
+    author_to_node: HashMap<AuthorId, NodeId>,
+}
+
+impl TrustSubgraph {
+    /// Node of `a`, if the author survives pruning.
+    pub fn node_of(&self, a: AuthorId) -> Option<NodeId> {
+        self.author_to_node.get(&a).copied()
+    }
+
+    /// Author behind node `v`.
+    pub fn author_of(&self, v: NodeId) -> AuthorId {
+        self.authors[v.index()]
+    }
+
+    /// `true` if author `a` is in the subgraph.
+    pub fn contains(&self, a: AuthorId) -> bool {
+        self.author_to_node.contains_key(&a)
+    }
+
+    /// Table I statistics for this subgraph.
+    pub fn stats(&self) -> SubgraphStats {
+        SubgraphStats {
+            nodes: self.graph.node_count(),
+            publications: self.retained_pubs.len(),
+            edges: self.graph.edge_count(),
+        }
+    }
+}
+
+/// Build the trust subgraph for `filter` from the corpus.
+///
+/// `seed`/`radius` define the ego explosion (the paper uses radius 3);
+/// `train_years` is the placement-training period (the paper uses
+/// 2009..=2010).
+pub fn build_trust_subgraph(
+    corpus: &Corpus,
+    seed: AuthorId,
+    radius: u32,
+    train_years: std::ops::RangeInclusive<u16>,
+    filter: TrustFilter,
+) -> Option<TrustSubgraph> {
+    // 1. Coauthorship network over training pubs (with the pub-level filter
+    //    for the number-of-authors heuristic).
+    let net = match filter {
+        TrustFilter::MaxAuthorsPerPub(m) => {
+            build_coauthorship(corpus, train_years.clone(), |p| p.author_count() < m)
+        }
+        _ => build_coauthorship(corpus, train_years.clone(), |_| true),
+    };
+    // 2. Ego explosion from the seed.
+    let (mut graph, mut authors) = ego_subnetwork(&net, seed, radius)?;
+    // 3. Edge-level pruning for the double-coauthorship heuristic, then
+    //    drop nodes it isolates.
+    if let TrustFilter::MinJointPubs(k) = filter {
+        let filtered = graph.filter_edges(|_, _, w| w >= k);
+        let (compacted, map) = filtered.drop_isolated();
+        authors = map.into_iter().map(|v| authors[v.index()]).collect();
+        graph = compacted;
+    }
+    let author_to_node: HashMap<AuthorId, NodeId> = authors
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, NodeId(i as u32)))
+        .collect();
+    // 4. Count training publications that still contribute an edge.
+    let eligible = |count: usize| match filter {
+        TrustFilter::MaxAuthorsPerPub(m) => count < m,
+        _ => true,
+    };
+    let mut retained = Vec::new();
+    for p in corpus.publications_in(train_years) {
+        if !eligible(p.author_count()) {
+            continue;
+        }
+        let has_edge = p.coauthor_pairs().any(|(a, b)| {
+            match (author_to_node.get(&a), author_to_node.get(&b)) {
+                (Some(&na), Some(&nb)) => graph.has_edge(na, nb),
+                _ => false,
+            }
+        });
+        if has_edge {
+            retained.push(p.id);
+        }
+    }
+    Some(TrustSubgraph {
+        filter,
+        graph,
+        authors,
+        retained_pubs: retained,
+        author_to_node,
+    })
+}
+
+/// Build all three paper subgraphs at once (baseline, double-coauthorship,
+/// number-of-authors).
+pub fn build_paper_subgraphs(
+    corpus: &Corpus,
+    seed: AuthorId,
+    radius: u32,
+    train_years: std::ops::RangeInclusive<u16>,
+) -> Option<[TrustSubgraph; 3]> {
+    let [a, b, c] = TrustFilter::paper_set();
+    Some([
+        build_trust_subgraph(corpus, seed, radius, train_years.clone(), a)?,
+        build_trust_subgraph(corpus, seed, radius, train_years.clone(), b)?,
+        build_trust_subgraph(corpus, seed, radius, train_years, c)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::author::{Author, Institution, InstitutionId, Region};
+    use crate::publication::Publication;
+
+    /// Corpus where authors 0,1 publish twice together; 1,2 once; and a
+    /// 6-author pub links 0 with 4..=8.
+    fn corpus() -> Corpus {
+        let inst = vec![Institution {
+            id: InstitutionId(0),
+            name: "U".into(),
+            region: Region::Europe,
+            lat: 0.0,
+            lon: 0.0,
+        }];
+        let authors = (0..9)
+            .map(|i| Author {
+                id: AuthorId(i),
+                name: format!("A{i}"),
+                institution: InstitutionId(0),
+            })
+            .collect();
+        let pubs = vec![
+            Publication::new(PubId(0), 2009, vec![AuthorId(0), AuthorId(1)], "x".into()),
+            Publication::new(PubId(1), 2010, vec![AuthorId(0), AuthorId(1)], "y".into()),
+            Publication::new(PubId(2), 2010, vec![AuthorId(1), AuthorId(2)], "z".into()),
+            Publication::new(
+                PubId(3),
+                2010,
+                vec![
+                    AuthorId(0),
+                    AuthorId(4),
+                    AuthorId(5),
+                    AuthorId(6),
+                    AuthorId(7),
+                    AuthorId(8),
+                ],
+                "mega".into(),
+            ),
+            Publication::new(PubId(4), 2011, vec![AuthorId(2), AuthorId(3)], "test".into()),
+        ];
+        Corpus::new(authors, inst, pubs).expect("valid")
+    }
+
+    #[test]
+    fn baseline_contains_everything_reachable() {
+        let s = build_trust_subgraph(
+            &corpus(),
+            AuthorId(0),
+            3,
+            2009..=2010,
+            TrustFilter::Baseline,
+        )
+        .expect("seed present");
+        let st = s.stats();
+        assert_eq!(st.nodes, 8); // all but author 3 (only publishes in 2011)
+        assert_eq!(st.publications, 4);
+        // edges: 0-1, 1-2, and C(6,2)=15 from the mega pub (includes 0-4..).
+        assert_eq!(st.edges, 2 + 15);
+    }
+
+    #[test]
+    fn double_coauthorship_keeps_repeat_pairs_only() {
+        let s = build_trust_subgraph(
+            &corpus(),
+            AuthorId(0),
+            3,
+            2009..=2010,
+            TrustFilter::MinJointPubs(2),
+        )
+        .expect("seed present");
+        let st = s.stats();
+        assert_eq!(st.nodes, 2); // only 0 and 1 coauthored twice
+        assert_eq!(st.edges, 1);
+        assert_eq!(st.publications, 2); // both 0-1 pubs retain the edge
+        assert!(s.contains(AuthorId(0)) && s.contains(AuthorId(1)));
+        assert!(!s.contains(AuthorId(2)));
+    }
+
+    #[test]
+    fn max_authors_drops_mega_pub() {
+        let s = build_trust_subgraph(
+            &corpus(),
+            AuthorId(0),
+            3,
+            2009..=2010,
+            TrustFilter::MaxAuthorsPerPub(6),
+        )
+        .expect("seed present");
+        let st = s.stats();
+        assert_eq!(st.nodes, 3); // 0, 1, 2 — mega authors unreachable now
+        assert_eq!(st.edges, 2);
+        assert_eq!(st.publications, 3);
+        assert!(!s.contains(AuthorId(4)));
+    }
+
+    #[test]
+    fn pruned_graphs_are_subsets_of_baseline() {
+        let c = corpus();
+        let [base, double, few] =
+            build_paper_subgraphs(&c, AuthorId(0), 3, 2009..=2010).expect("seed present");
+        for s in [&double, &few] {
+            assert!(s.stats().nodes <= base.stats().nodes);
+            assert!(s.stats().edges <= base.stats().edges);
+            for &a in &s.authors {
+                assert!(base.contains(a), "{a} not in baseline");
+            }
+        }
+    }
+
+    #[test]
+    fn node_author_round_trip() {
+        let s = build_trust_subgraph(
+            &corpus(),
+            AuthorId(0),
+            3,
+            2009..=2010,
+            TrustFilter::Baseline,
+        )
+        .expect("seed present");
+        for v in s.graph.nodes() {
+            assert_eq!(s.node_of(s.author_of(v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn missing_seed_is_none() {
+        assert!(build_trust_subgraph(
+            &corpus(),
+            AuthorId(3),
+            3,
+            2009..=2010,
+            TrustFilter::Baseline
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn filter_names() {
+        assert_eq!(TrustFilter::Baseline.name(), "baseline");
+        assert!(TrustFilter::MinJointPubs(2).name().contains("double"));
+        assert!(TrustFilter::MaxAuthorsPerPub(6).name().contains("number"));
+    }
+}

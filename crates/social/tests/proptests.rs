@@ -1,0 +1,133 @@
+//! Property-based tests for the social substrate.
+
+use proptest::prelude::*;
+use scdn_social::author::{Author, AuthorId, Institution, InstitutionId, Region};
+use scdn_social::coauthorship::build_coauthorship;
+use scdn_social::corpus::Corpus;
+use scdn_social::dblp_format::{from_text, to_text};
+use scdn_social::generator::{generate, CaseStudyParams};
+use scdn_social::publication::{PubId, Publication};
+use scdn_social::trustgraph::{build_trust_subgraph, TrustFilter};
+
+/// Strategy: a random small corpus with `n_authors` and random pubs.
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    (2usize..25).prop_flat_map(|n_authors| {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0..n_authors as u32, 1..6),
+                2008u16..2013,
+            ),
+            0..30,
+        )
+        .prop_map(move |pubs| {
+            let institutions = vec![Institution {
+                id: InstitutionId(0),
+                name: "U".into(),
+                region: Region::Europe,
+                lat: 48.0,
+                lon: 8.0,
+            }];
+            let authors = (0..n_authors as u32)
+                .map(|i| Author {
+                    id: AuthorId(i),
+                    name: format!("A{i}"),
+                    institution: InstitutionId(0),
+                })
+                .collect();
+            let publications = pubs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (ids, year))| {
+                    Publication::new(
+                        PubId(i as u32),
+                        year,
+                        ids.into_iter().map(AuthorId).collect(),
+                        format!("p{i}"),
+                    )
+                })
+                .collect();
+            Corpus::new(authors, institutions, publications).expect("valid by construction")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn coauthorship_weight_counts_joint_pubs(corpus in arb_corpus()) {
+        let net = build_coauthorship(&corpus, 2008..=2012, |_| true);
+        for (a, b, w) in net.graph.edges() {
+            let (aa, ab) = (net.index.author_of(a), net.index.author_of(b));
+            let joint = corpus
+                .publications_in(2008..=2012)
+                .filter(|p| p.has_author(aa) && p.has_author(ab))
+                .count();
+            prop_assert_eq!(w as usize, joint);
+        }
+    }
+
+    #[test]
+    fn corpus_text_round_trip(corpus in arb_corpus()) {
+        let text = to_text(&corpus);
+        let parsed = from_text(&text).expect("round trip parses");
+        prop_assert_eq!(parsed.author_count(), corpus.author_count());
+        prop_assert_eq!(parsed.publication_count(), corpus.publication_count());
+        for (a, b) in corpus.publications().iter().zip(parsed.publications()) {
+            prop_assert_eq!(&a.authors, &b.authors);
+            prop_assert_eq!(a.year, b.year);
+        }
+    }
+
+    #[test]
+    fn pruned_subgraphs_nest_inside_baseline(corpus in arb_corpus(), seed in 0u32..25) {
+        let seed = AuthorId(seed % corpus.author_count().max(1) as u32);
+        let base = build_trust_subgraph(&corpus, seed, 3, 2008..=2012, TrustFilter::Baseline);
+        let Some(base) = base else { return Ok(()); };
+        for filter in [TrustFilter::MinJointPubs(2), TrustFilter::MaxAuthorsPerPub(6)] {
+            if let Some(pruned) = build_trust_subgraph(&corpus, seed, 3, 2008..=2012, filter) {
+                prop_assert!(pruned.graph.node_count() <= base.graph.node_count());
+                prop_assert!(pruned.graph.edge_count() <= base.graph.edge_count());
+                for &a in &pruned.authors {
+                    prop_assert!(base.contains(a), "{:?} not in baseline", a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_joint_pubs_threshold_monotone(corpus in arb_corpus(), seed in 0u32..25) {
+        let seed = AuthorId(seed % corpus.author_count().max(1) as u32);
+        let mut prev_edges = usize::MAX;
+        for k in 1..4u32 {
+            if let Some(s) =
+                build_trust_subgraph(&corpus, seed, 3, 2008..=2012, TrustFilter::MinJointPubs(k))
+            {
+                prop_assert!(s.graph.edge_count() <= prev_edges);
+                prev_edges = s.graph.edge_count();
+                // Every surviving edge really has >= k joint publications.
+                for (a, b, w) in s.graph.edges() {
+                    let _ = (a, b);
+                    prop_assert!(w >= k);
+                }
+            } else {
+                prev_edges = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn generator_scales_with_team_probability(p2 in 0.1f64..0.9) {
+        let mut params = CaseStudyParams::default();
+        params.level2_prob = p2;
+        params.level3_prob = 0.0;
+        params.mega_pub_authors = 0;
+        let g = generate(&params);
+        // Structural sanity on arbitrary parameters.
+        prop_assert!(g.corpus.author_count() > 10);
+        for pb in g.corpus.publications() {
+            prop_assert!(!pb.authors.is_empty());
+            for &a in &pb.authors {
+                prop_assert!(a.index() < g.corpus.author_count());
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Cache management for the replica partition.
+//!
+//! The paper's repositories serve "caching, temporary, as well as
+//! persistent storage" (Section I). Replica partitions are capacity-bound,
+//! so when an allocation server pushes more segments than fit, something
+//! must be evicted. This module provides LRU and LFU eviction policies over
+//! a repository's replica partition, with pinning for segments the catalog
+//! requires to stay resident (persistent replicas vs opportunistic cache).
+
+use std::collections::HashMap;
+
+use crate::object::{Segment, SegmentId};
+use crate::repository::{Partition, RepoError, StorageRepository};
+
+/// Eviction policy for cached segments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used unpinned segment.
+    Lru,
+    /// Evict the least-frequently-used unpinned segment (ties → LRU).
+    Lfu,
+}
+
+/// A cache manager wrapping one repository's replica partition.
+pub struct CacheManager {
+    policy: EvictionPolicy,
+    /// Logical access clock.
+    tick: u64,
+    /// Per-segment (last-use tick, use count, pinned).
+    state: HashMap<SegmentId, (u64, u64, bool)>,
+}
+
+impl CacheManager {
+    /// Manager with the given policy.
+    pub fn new(policy: EvictionPolicy) -> CacheManager {
+        CacheManager {
+            policy,
+            tick: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Record an access to a cached segment (bumps recency/frequency).
+    pub fn touch(&mut self, id: SegmentId) {
+        self.tick += 1;
+        let entry = self.state.entry(id).or_insert((0, 0, false));
+        entry.0 = self.tick;
+        entry.1 += 1;
+    }
+
+    /// Pin (or unpin) a segment: pinned segments are never evicted —
+    /// these are the catalog-mandated persistent replicas.
+    pub fn set_pinned(&mut self, id: SegmentId, pinned: bool) {
+        self.tick += 1;
+        let entry = self.state.entry(id).or_insert((0, 0, false));
+        entry.2 = pinned;
+    }
+
+    /// `true` if the segment is pinned.
+    pub fn is_pinned(&self, id: SegmentId) -> bool {
+        self.state.get(&id).map(|e| e.2).unwrap_or(false)
+    }
+
+    /// Insert a segment into the replica partition, evicting unpinned
+    /// cached segments as needed to make room. Returns the evicted ids.
+    ///
+    /// Fails with `QuotaExceeded` only if the segment cannot fit even
+    /// after evicting everything unpinned.
+    pub fn insert(
+        &mut self,
+        repo: &StorageRepository,
+        seg: Segment,
+    ) -> Result<Vec<SegmentId>, RepoError> {
+        let mut evicted = Vec::new();
+        loop {
+            match repo.store(Partition::Replica, seg.clone()) {
+                Ok(()) => {
+                    self.touch(seg.id);
+                    return Ok(evicted);
+                }
+                Err(RepoError::QuotaExceeded { .. }) => {
+                    let Some(victim) = self.pick_victim(repo) else {
+                        return Err(RepoError::QuotaExceeded {
+                            needed: seg.len() as u64,
+                            available: repo.available(),
+                        });
+                    };
+                    repo.remove(Partition::Replica, victim, false)?;
+                    self.state.remove(&victim);
+                    evicted.push(victim);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Choose the eviction victim among unpinned resident segments.
+    fn pick_victim(&self, repo: &StorageRepository) -> Option<SegmentId> {
+        let resident = repo.list(Partition::Replica);
+        let candidates = resident.into_iter().filter(|id| !self.is_pinned(*id));
+        match self.policy {
+            EvictionPolicy::Lru => candidates.min_by_key(|id| {
+                self.state.get(id).map(|e| e.0).unwrap_or(0)
+            }),
+            EvictionPolicy::Lfu => candidates.min_by_key(|id| {
+                let e = self.state.get(id).copied().unwrap_or((0, 0, false));
+                (e.1, e.0)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::DatasetId;
+    use bytes::Bytes;
+
+    fn seg(ds: u32, size: usize) -> Segment {
+        Segment::new(
+            SegmentId {
+                dataset: DatasetId(ds),
+                ordinal: 0,
+            },
+            Bytes::from(vec![ds as u8; size]),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let repo = StorageRepository::new(250);
+        let mut cache = CacheManager::new(EvictionPolicy::Lru);
+        let (s0, s1, s2) = (seg(0, 100), seg(1, 100), seg(2, 100));
+        cache.insert(&repo, s0.clone()).expect("fits");
+        cache.insert(&repo, s1.clone()).expect("fits");
+        cache.touch(s0.id); // s0 is now more recent than s1
+        let evicted = cache.insert(&repo, s2.clone()).expect("evicts");
+        assert_eq!(evicted, vec![s1.id]);
+        assert!(repo.contains(s0.id));
+        assert!(repo.contains(s2.id));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let repo = StorageRepository::new(250);
+        let mut cache = CacheManager::new(EvictionPolicy::Lfu);
+        let (s0, s1, s2) = (seg(0, 100), seg(1, 100), seg(2, 100));
+        cache.insert(&repo, s0.clone()).expect("fits");
+        cache.insert(&repo, s1.clone()).expect("fits");
+        for _ in 0..5 {
+            cache.touch(s1.id);
+        }
+        cache.touch(s0.id);
+        let evicted = cache.insert(&repo, s2.clone()).expect("evicts");
+        assert_eq!(evicted, vec![s0.id], "s0 used less often than s1");
+    }
+
+    #[test]
+    fn pinned_segments_survive() {
+        let repo = StorageRepository::new(250);
+        let mut cache = CacheManager::new(EvictionPolicy::Lru);
+        let (s0, s1, s2) = (seg(0, 100), seg(1, 100), seg(2, 100));
+        cache.insert(&repo, s0.clone()).expect("fits");
+        cache.insert(&repo, s1.clone()).expect("fits");
+        cache.set_pinned(s0.id, true);
+        let evicted = cache.insert(&repo, s2.clone()).expect("evicts around pin");
+        assert_eq!(evicted, vec![s1.id]);
+        assert!(repo.contains(s0.id), "pinned segment must remain");
+    }
+
+    #[test]
+    fn all_pinned_cannot_fit_errors() {
+        let repo = StorageRepository::new(200);
+        let mut cache = CacheManager::new(EvictionPolicy::Lru);
+        let (s0, s1) = (seg(0, 100), seg(1, 100));
+        cache.insert(&repo, s0.clone()).expect("fits");
+        cache.insert(&repo, s1.clone()).expect("fits");
+        cache.set_pinned(s0.id, true);
+        cache.set_pinned(s1.id, true);
+        match cache.insert(&repo, seg(2, 100)) {
+            Err(RepoError::QuotaExceeded { .. }) => {}
+            other => panic!("expected quota error, got {other:?}"),
+        }
+        assert!(repo.contains(s0.id) && repo.contains(s1.id));
+    }
+
+    #[test]
+    fn multiple_evictions_for_large_insert() {
+        let repo = StorageRepository::new(300);
+        let mut cache = CacheManager::new(EvictionPolicy::Lru);
+        for i in 0..3 {
+            cache.insert(&repo, seg(i, 100)).expect("fits");
+        }
+        let evicted = cache.insert(&repo, seg(9, 250)).expect("evicts");
+        // 3 × 100 B resident, 300 B capacity: fitting 250 B requires
+        // evicting all three 100 B segments (100 + 250 > 300).
+        assert_eq!(evicted.len(), 3);
+        assert!(repo.contains(seg(9, 250).id));
+    }
+}

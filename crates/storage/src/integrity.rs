@@ -1,0 +1,130 @@
+//! Data integrity: checksum algorithms and corruption detection.
+//!
+//! The paper requires "CDN folders to have associated properties of data
+//! integrity" (Section V); every segment carries a checksum verified after
+//! each transfer. Both algorithms are implemented locally — the offline
+//! dependency set has no hashing crates.
+
+/// 64-bit FNV-1a hash — fast, adequate for integrity checks in a simulated
+/// network (not cryptographic).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xff) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+/// Lazily built CRC-32 lookup table.
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb88320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// The checksum attached to stored segments (both algorithms, so either
+/// endpoint implementation can verify).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Checksum {
+    /// FNV-1a 64 digest.
+    pub fnv: u64,
+    /// CRC-32 digest.
+    pub crc: u32,
+}
+
+impl Checksum {
+    /// Compute the checksum of `data`.
+    pub fn of(data: &[u8]) -> Checksum {
+        Checksum {
+            fnv: fnv1a64(data),
+            crc: crc32(data),
+        }
+    }
+
+    /// Verify `data` against this checksum.
+    pub fn verify(&self, data: &[u8]) -> bool {
+        *self == Checksum::of(data)
+    }
+}
+
+/// Flip one bit of `data` at `bit_index % (len*8)` — used by the
+/// failure-injection tests to prove corruption is caught. No-op on empty
+/// input.
+pub fn corrupt_bit(data: &mut [u8], bit_index: usize) {
+    if data.is_empty() {
+        return;
+    }
+    let bit = bit_index % (data.len() * 8);
+    data[bit / 8] ^= 1 << (bit % 8);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // FNV-1a 64 of empty input is the offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        // "a" → 0xaf63dc4c8601ec8c (published FNV-1a test vector).
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn checksum_round_trip() {
+        let data = b"neuroimaging session 001";
+        let c = Checksum::of(data);
+        assert!(c.verify(data));
+        assert!(!c.verify(b"neuroimaging session 002"));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut data = vec![0xAAu8; 128];
+        let c = Checksum::of(&data);
+        corrupt_bit(&mut data, 777);
+        assert!(!c.verify(&data));
+        // Flipping the same bit back restores integrity.
+        corrupt_bit(&mut data, 777);
+        assert!(c.verify(&data));
+    }
+
+    #[test]
+    fn corrupt_empty_is_noop() {
+        let mut data: Vec<u8> = vec![];
+        corrupt_bit(&mut data, 5);
+        assert!(data.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! # scdn-storage — user-contributed storage repositories
+//!
+//! Models the Storage Repository component of the S-CDN architecture
+//! (Section V-A): each participant contributes a folder that is partitioned
+//! into a CDN-managed, user-read-only **replica partition** and a free-use
+//! **user partition**. Datasets are split into checksummed segments so the
+//! allocation servers can partition data across replicas.
+//!
+//! * [`object`] — datasets, segments, sensitivity levels;
+//! * [`integrity`] — checksum algorithms (FNV-1a and CRC-32, implemented
+//!   here: no external hashing crates) and corruption detection;
+//! * [`repository`] — the partitioned repository with quotas and eviction;
+//! * [`vfs`] — the DropBox-like shared folder tree users interact with.
+
+pub mod cache;
+pub mod integrity;
+pub mod object;
+pub mod provenance;
+pub mod repository;
+pub mod vfs;
+
+pub use cache::{CacheManager, EvictionPolicy};
+pub use provenance::{ProvenanceRecord, ProvenanceStore};
+pub use object::{Dataset, DatasetId, Segment, SegmentId, Sensitivity};
+pub use repository::{Partition, RepoError, StorageRepository};

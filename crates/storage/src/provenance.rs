@@ -1,0 +1,255 @@
+//! Data provenance management.
+//!
+//! The S-CDN promises "trustworthy data storage, caching, **data provenance
+//! management**, access control, and accountability" (Section I). The
+//! medical-imaging use case makes provenance concrete: a raw MRI session is
+//! transformed through brain extraction, registration, and FA calculation,
+//! "creating multiple versions of a dataset, at potentially multiple sites".
+//! This module records those derivation chains and answers ancestry
+//! queries.
+
+use std::collections::HashMap;
+
+use crate::object::DatasetId;
+
+/// One provenance record: how a dataset came to exist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceRecord {
+    /// The dataset this record describes.
+    pub dataset: DatasetId,
+    /// Free-form creator identity (author id, site name…).
+    pub creator: String,
+    /// The operation that produced it ("upload", "brain-extraction",
+    /// "registration", "fa-calculation"…).
+    pub operation: String,
+    /// Input datasets (empty for primary uploads).
+    pub derived_from: Vec<DatasetId>,
+    /// Logical timestamp (simulation ms).
+    pub at_ms: u64,
+}
+
+/// Errors from provenance registration.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ProvenanceError {
+    /// The dataset already has a provenance record.
+    AlreadyRecorded(DatasetId),
+    /// An input dataset has no provenance record.
+    UnknownInput(DatasetId),
+    /// The record would make a dataset its own ancestor.
+    SelfDerivation(DatasetId),
+}
+
+impl std::fmt::Display for ProvenanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvenanceError::AlreadyRecorded(d) => {
+                write!(f, "dataset {d:?} already has provenance")
+            }
+            ProvenanceError::UnknownInput(d) => write!(f, "unknown input dataset {d:?}"),
+            ProvenanceError::SelfDerivation(d) => {
+                write!(f, "dataset {d:?} cannot derive from itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProvenanceError {}
+
+/// An append-only provenance store. Acyclic by construction: a dataset's
+/// inputs must already be recorded, so derivation edges always point to
+/// strictly older records.
+#[derive(Clone, Debug, Default)]
+pub struct ProvenanceStore {
+    records: HashMap<DatasetId, ProvenanceRecord>,
+    /// Reverse edges: input → datasets derived from it.
+    children: HashMap<DatasetId, Vec<DatasetId>>,
+}
+
+impl ProvenanceStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a dataset's origin. Inputs must already be recorded.
+    pub fn record(&mut self, record: ProvenanceRecord) -> Result<(), ProvenanceError> {
+        if self.records.contains_key(&record.dataset) {
+            return Err(ProvenanceError::AlreadyRecorded(record.dataset));
+        }
+        if record.derived_from.contains(&record.dataset) {
+            return Err(ProvenanceError::SelfDerivation(record.dataset));
+        }
+        for &input in &record.derived_from {
+            if !self.records.contains_key(&input) {
+                return Err(ProvenanceError::UnknownInput(input));
+            }
+        }
+        for &input in &record.derived_from {
+            self.children.entry(input).or_default().push(record.dataset);
+        }
+        self.records.insert(record.dataset, record);
+        Ok(())
+    }
+
+    /// The record of a dataset, if any.
+    pub fn get(&self, dataset: DatasetId) -> Option<&ProvenanceRecord> {
+        self.records.get(&dataset)
+    }
+
+    /// Number of recorded datasets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All transitive ancestors of a dataset (inputs, their inputs, …),
+    /// deduplicated, nearest first.
+    pub fn ancestry(&self, dataset: DatasetId) -> Vec<DatasetId> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut frontier = vec![dataset];
+        while let Some(d) = frontier.pop() {
+            if let Some(r) = self.records.get(&d) {
+                for &input in &r.derived_from {
+                    if seen.insert(input) {
+                        out.push(input);
+                        frontier.push(input);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All datasets directly or transitively derived from `dataset`.
+    pub fn descendants(&self, dataset: DatasetId) -> Vec<DatasetId> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut frontier = vec![dataset];
+        while let Some(d) = frontier.pop() {
+            if let Some(kids) = self.children.get(&d) {
+                for &k in kids {
+                    if seen.insert(k) {
+                        out.push(k);
+                        frontier.push(k);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The derivation chain from a primary upload to `dataset` (one path;
+    /// follows the first input at each step). Ends with `dataset`.
+    pub fn lineage(&self, dataset: DatasetId) -> Vec<DatasetId> {
+        let mut chain = vec![dataset];
+        let mut cur = dataset;
+        while let Some(r) = self.records.get(&cur) {
+            match r.derived_from.first() {
+                Some(&input) => {
+                    chain.push(input);
+                    cur = input;
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(d: u32, op: &str, inputs: &[u32]) -> ProvenanceRecord {
+        ProvenanceRecord {
+            dataset: DatasetId(d),
+            creator: "site-A".into(),
+            operation: op.into(),
+            derived_from: inputs.iter().map(|&i| DatasetId(i)).collect(),
+            at_ms: d as u64,
+        }
+    }
+
+    /// The paper's DTI workflow: raw → brain extraction → registration →
+    /// FA map.
+    fn dti_store() -> ProvenanceStore {
+        let mut s = ProvenanceStore::new();
+        s.record(rec(0, "upload", &[])).expect("raw");
+        s.record(rec(1, "brain-extraction", &[0])).expect("bet");
+        s.record(rec(2, "registration", &[1])).expect("reg");
+        s.record(rec(3, "fa-calculation", &[2])).expect("fa");
+        s
+    }
+
+    #[test]
+    fn lineage_follows_the_workflow() {
+        let s = dti_store();
+        assert_eq!(
+            s.lineage(DatasetId(3)),
+            vec![DatasetId(0), DatasetId(1), DatasetId(2), DatasetId(3)]
+        );
+        assert_eq!(s.lineage(DatasetId(0)), vec![DatasetId(0)]);
+    }
+
+    #[test]
+    fn ancestry_and_descendants() {
+        let s = dti_store();
+        let anc = s.ancestry(DatasetId(3));
+        assert_eq!(anc.len(), 3);
+        assert_eq!(anc[0], DatasetId(2), "nearest ancestor first");
+        assert_eq!(
+            s.descendants(DatasetId(0)),
+            vec![DatasetId(1), DatasetId(2), DatasetId(3)]
+        );
+        assert!(s.descendants(DatasetId(3)).is_empty());
+    }
+
+    #[test]
+    fn multi_input_derivations() {
+        let mut s = dti_store();
+        // A group analysis combining two FA maps.
+        s.record(rec(4, "upload", &[])).expect("second raw");
+        s.record(rec(5, "group-analysis", &[3, 4])).expect("combined");
+        let anc = s.ancestry(DatasetId(5));
+        assert!(anc.contains(&DatasetId(0)));
+        assert!(anc.contains(&DatasetId(4)));
+        assert_eq!(anc.len(), 5);
+    }
+
+    #[test]
+    fn unknown_inputs_rejected() {
+        let mut s = ProvenanceStore::new();
+        assert_eq!(
+            s.record(rec(1, "derived", &[0])).unwrap_err(),
+            ProvenanceError::UnknownInput(DatasetId(0))
+        );
+    }
+
+    #[test]
+    fn duplicates_and_self_derivation_rejected() {
+        let mut s = dti_store();
+        assert_eq!(
+            s.record(rec(0, "upload", &[])).unwrap_err(),
+            ProvenanceError::AlreadyRecorded(DatasetId(0))
+        );
+        assert_eq!(
+            s.record(rec(9, "loop", &[9])).unwrap_err(),
+            ProvenanceError::SelfDerivation(DatasetId(9))
+        );
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let s = ProvenanceStore::new();
+        assert!(s.is_empty());
+        assert!(s.ancestry(DatasetId(0)).is_empty());
+        assert_eq!(s.lineage(DatasetId(0)), vec![DatasetId(0)]);
+    }
+}

@@ -1,0 +1,301 @@
+//! The partitioned storage repository contributed by each participant.
+//!
+//! "When a shared folder is first registered in the CDN, it is partitioned
+//! for transparent usage as a replica and also as general storage for the
+//! user. Data stored in the replica partition are … read-only … managed by
+//! the CDN." (Section V-A.)
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::object::{Segment, SegmentId};
+
+/// Which half of the repository an operation targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Partition {
+    /// CDN-managed replica partition (read-only to the owner).
+    Replica,
+    /// The owner's general-purpose partition.
+    User,
+}
+
+/// Errors from repository operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RepoError {
+    /// Capacity would be exceeded (`needed` > `available` bytes).
+    QuotaExceeded {
+        /// Bytes the operation required.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The segment is not stored here.
+    NotFound(SegmentId),
+    /// The owner attempted to modify the CDN-managed replica partition.
+    ReplicaPartitionReadOnly,
+    /// Stored data failed checksum verification.
+    IntegrityFailure(SegmentId),
+}
+
+impl std::fmt::Display for RepoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepoError::QuotaExceeded { needed, available } => {
+                write!(f, "quota exceeded: need {needed} B, {available} B available")
+            }
+            RepoError::NotFound(id) => write!(f, "segment {id:?} not found"),
+            RepoError::ReplicaPartitionReadOnly => {
+                write!(f, "replica partition is read-only for the owner")
+            }
+            RepoError::IntegrityFailure(id) => write!(f, "segment {id:?} failed verification"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+/// A participant's storage repository, split into replica and user
+/// partitions that share one capacity budget. Thread-safe.
+pub struct StorageRepository {
+    /// Total capacity in bytes (both partitions combined).
+    capacity: u64,
+    replica: RwLock<HashMap<SegmentId, Segment>>,
+    user: RwLock<HashMap<SegmentId, Segment>>,
+    used: RwLock<u64>,
+}
+
+impl StorageRepository {
+    /// Create an empty repository with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        StorageRepository {
+            capacity,
+            replica: RwLock::new(HashMap::new()),
+            user: RwLock::new(HashMap::new()),
+            used: RwLock::new(0),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently used across both partitions.
+    pub fn used(&self) -> u64 {
+        *self.used.read()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Number of segments stored in a partition.
+    pub fn segment_count(&self, p: Partition) -> usize {
+        match p {
+            Partition::Replica => self.replica.read().len(),
+            Partition::User => self.user.read().len(),
+        }
+    }
+
+    fn shelf(&self, p: Partition) -> &RwLock<HashMap<SegmentId, Segment>> {
+        match p {
+            Partition::Replica => &self.replica,
+            Partition::User => &self.user,
+        }
+    }
+
+    /// Store a segment into a partition, enforcing the shared quota.
+    /// Overwrites an existing copy of the same segment (adjusting usage).
+    pub fn store(&self, p: Partition, seg: Segment) -> Result<(), RepoError> {
+        let mut used = self.used.write();
+        let mut shelf = self.shelf(p).write();
+        let existing = shelf.get(&seg.id).map(|s| s.len() as u64).unwrap_or(0);
+        let new_used = *used - existing + seg.len() as u64;
+        if new_used > self.capacity {
+            return Err(RepoError::QuotaExceeded {
+                needed: seg.len() as u64 - existing,
+                available: self.capacity - *used,
+            });
+        }
+        shelf.insert(seg.id, seg);
+        *used = new_used;
+        Ok(())
+    }
+
+    /// Fetch a segment from a partition, verifying integrity.
+    pub fn fetch(&self, p: Partition, id: SegmentId) -> Result<Segment, RepoError> {
+        let shelf = self.shelf(p).read();
+        let seg = shelf.get(&id).ok_or(RepoError::NotFound(id))?;
+        if !seg.verify() {
+            return Err(RepoError::IntegrityFailure(id));
+        }
+        Ok(seg.clone())
+    }
+
+    /// Fetch from either partition (replica first — it is the CDN's copy).
+    pub fn fetch_any(&self, id: SegmentId) -> Result<Segment, RepoError> {
+        self.fetch(Partition::Replica, id)
+            .or_else(|_| self.fetch(Partition::User, id))
+    }
+
+    /// `true` if the segment is present in either partition.
+    pub fn contains(&self, id: SegmentId) -> bool {
+        self.replica.read().contains_key(&id) || self.user.read().contains_key(&id)
+    }
+
+    /// Remove a segment from a partition (CDN-side eviction or user
+    /// deletion). The owner may not evict from the replica partition — use
+    /// `owner = false` for CDN-initiated operations.
+    pub fn remove(&self, p: Partition, id: SegmentId, owner: bool) -> Result<(), RepoError> {
+        if owner && p == Partition::Replica {
+            return Err(RepoError::ReplicaPartitionReadOnly);
+        }
+        let mut used = self.used.write();
+        let mut shelf = self.shelf(p).write();
+        let seg = shelf.remove(&id).ok_or(RepoError::NotFound(id))?;
+        *used -= seg.len() as u64;
+        Ok(())
+    }
+
+    /// Copy a user-partition segment into the replica partition (the
+    /// "copied to the replica partition if so instructed by an allocation
+    /// server" flow).
+    pub fn promote(&self, id: SegmentId) -> Result<(), RepoError> {
+        let seg = self.fetch(Partition::User, id)?;
+        self.store(Partition::Replica, seg)
+    }
+
+    /// All segment ids in a partition (sorted for determinism).
+    pub fn list(&self, p: Partition) -> Vec<SegmentId> {
+        let mut ids: Vec<SegmentId> = self.shelf(p).read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{DatasetId, Segment, SegmentId};
+    use bytes::Bytes;
+
+    fn seg(ds: u32, ord: u32, size: usize) -> Segment {
+        Segment::new(
+            SegmentId {
+                dataset: DatasetId(ds),
+                ordinal: ord,
+            },
+            Bytes::from(vec![ord as u8; size]),
+        )
+    }
+
+    #[test]
+    fn store_and_fetch() {
+        let repo = StorageRepository::new(1024);
+        let s = seg(0, 0, 100);
+        repo.store(Partition::Replica, s.clone()).expect("stores");
+        let got = repo.fetch(Partition::Replica, s.id).expect("fetches");
+        assert_eq!(got.data, s.data);
+        assert_eq!(repo.used(), 100);
+        assert_eq!(repo.available(), 924);
+    }
+
+    #[test]
+    fn quota_enforced_across_partitions() {
+        let repo = StorageRepository::new(150);
+        repo.store(Partition::Replica, seg(0, 0, 100)).expect("fits");
+        let err = repo.store(Partition::User, seg(0, 1, 100)).unwrap_err();
+        assert_eq!(
+            err,
+            RepoError::QuotaExceeded {
+                needed: 100,
+                available: 50
+            }
+        );
+    }
+
+    #[test]
+    fn overwrite_adjusts_usage() {
+        let repo = StorageRepository::new(1000);
+        repo.store(Partition::User, seg(0, 0, 400)).expect("ok");
+        repo.store(Partition::User, seg(0, 0, 100)).expect("ok");
+        assert_eq!(repo.used(), 100);
+        assert_eq!(repo.segment_count(Partition::User), 1);
+    }
+
+    #[test]
+    fn owner_cannot_touch_replica_partition() {
+        let repo = StorageRepository::new(1000);
+        let s = seg(0, 0, 10);
+        repo.store(Partition::Replica, s.clone()).expect("ok");
+        assert_eq!(
+            repo.remove(Partition::Replica, s.id, true).unwrap_err(),
+            RepoError::ReplicaPartitionReadOnly
+        );
+        // The CDN itself may evict.
+        repo.remove(Partition::Replica, s.id, false).expect("cdn evicts");
+        assert_eq!(repo.used(), 0);
+    }
+
+    #[test]
+    fn fetch_missing_is_not_found() {
+        let repo = StorageRepository::new(100);
+        let id = SegmentId {
+            dataset: DatasetId(9),
+            ordinal: 0,
+        };
+        assert_eq!(
+            repo.fetch(Partition::User, id).unwrap_err(),
+            RepoError::NotFound(id)
+        );
+    }
+
+    #[test]
+    fn fetch_any_prefers_replica() {
+        let repo = StorageRepository::new(1000);
+        let s = seg(1, 0, 20);
+        repo.store(Partition::User, s.clone()).expect("ok");
+        assert!(repo.fetch_any(s.id).is_ok());
+        repo.store(Partition::Replica, s.clone()).expect("ok");
+        assert!(repo.fetch_any(s.id).is_ok());
+        assert!(repo.contains(s.id));
+    }
+
+    #[test]
+    fn promote_copies_to_replica() {
+        let repo = StorageRepository::new(1000);
+        let s = seg(2, 3, 50);
+        repo.store(Partition::User, s.clone()).expect("ok");
+        repo.promote(s.id).expect("promotes");
+        assert_eq!(repo.segment_count(Partition::Replica), 1);
+        assert_eq!(repo.used(), 100); // both copies count
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let repo = StorageRepository::new(1000);
+        repo.store(Partition::User, seg(1, 2, 1)).expect("ok");
+        repo.store(Partition::User, seg(0, 5, 1)).expect("ok");
+        repo.store(Partition::User, seg(1, 0, 1)).expect("ok");
+        let ids = repo.list(Partition::User);
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn corrupted_segment_detected_on_fetch() {
+        let repo = StorageRepository::new(1000);
+        let mut s = seg(0, 0, 32);
+        // Tamper after checksum computation.
+        let mut raw = s.data.to_vec();
+        raw[5] ^= 0x01;
+        s.data = Bytes::from(raw);
+        repo.store(Partition::User, s.clone()).expect("stored");
+        assert_eq!(
+            repo.fetch(Partition::User, s.id).unwrap_err(),
+            RepoError::IntegrityFailure(s.id)
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! The DropBox-like shared folder tree.
+//!
+//! "Storage is both accessed through and contributed to the CDN through a
+//! shared file structure on researchers' resources" (Section V-A). The VFS
+//! maps human paths (`/projects/dti/session-01`) to segment references and
+//! lets the CDN client show the replica partition as a read-only volume.
+
+use std::collections::BTreeMap;
+
+use crate::object::SegmentId;
+
+/// Errors from VFS operations.
+#[derive(Debug, PartialEq, Eq)]
+pub enum VfsError {
+    /// Path component was empty or contained `/`.
+    BadPath(String),
+    /// Target not found.
+    NotFound(String),
+    /// Tried to create something that already exists.
+    AlreadyExists(String),
+    /// Operated on a file where a folder was required (or vice versa).
+    NotAFolder(String),
+    /// Folder not empty on remove.
+    NotEmpty(String),
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VfsError::BadPath(p) => write!(f, "bad path {p:?}"),
+            VfsError::NotFound(p) => write!(f, "{p:?} not found"),
+            VfsError::AlreadyExists(p) => write!(f, "{p:?} already exists"),
+            VfsError::NotAFolder(p) => write!(f, "{p:?} is not a folder"),
+            VfsError::NotEmpty(p) => write!(f, "folder {p:?} is not empty"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// A node in the folder tree.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// A folder with named children.
+    Folder(BTreeMap<String, Node>),
+    /// A file referencing the segments that make up its content.
+    File(Vec<SegmentId>),
+}
+
+/// A shared folder tree rooted at `/`.
+#[derive(Clone, Debug)]
+pub struct Vfs {
+    root: Node,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Vfs {
+            root: Node::Folder(BTreeMap::new()),
+        }
+    }
+}
+
+fn split(path: &str) -> Result<Vec<&str>, VfsError> {
+    let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+    if parts.iter().any(|p| *p == "." || *p == "..") {
+        return Err(VfsError::BadPath(path.to_string()));
+    }
+    Ok(parts)
+}
+
+impl Vfs {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn walk(&self, parts: &[&str]) -> Option<&Node> {
+        let mut cur = &self.root;
+        for p in parts {
+            match cur {
+                Node::Folder(children) => cur = children.get(*p)?,
+                Node::File(_) => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    fn walk_mut_parent(&mut self, parts: &[&str]) -> Option<(&mut BTreeMap<String, Node>, String)> {
+        let (last, dirs) = parts.split_last()?;
+        let mut cur = &mut self.root;
+        for p in dirs {
+            match cur {
+                Node::Folder(children) => cur = children.get_mut(*p)?,
+                Node::File(_) => return None,
+            }
+        }
+        match cur {
+            Node::Folder(children) => Some((children, last.to_string())),
+            Node::File(_) => None,
+        }
+    }
+
+    /// Create a folder (parents must exist).
+    pub fn mkdir(&mut self, path: &str) -> Result<(), VfsError> {
+        let parts = split(path)?;
+        if parts.is_empty() {
+            return Err(VfsError::AlreadyExists("/".into()));
+        }
+        let (parent, name) = self
+            .walk_mut_parent(&parts)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+        if parent.contains_key(&name) {
+            return Err(VfsError::AlreadyExists(path.to_string()));
+        }
+        parent.insert(name, Node::Folder(BTreeMap::new()));
+        Ok(())
+    }
+
+    /// Create all folders along `path` (like `mkdir -p`).
+    pub fn mkdir_all(&mut self, path: &str) -> Result<(), VfsError> {
+        let parts = split(path)?;
+        let mut cur = &mut self.root;
+        for p in parts {
+            match cur {
+                Node::Folder(children) => {
+                    cur = children
+                        .entry(p.to_string())
+                        .or_insert_with(|| Node::Folder(BTreeMap::new()));
+                    if matches!(cur, Node::File(_)) {
+                        return Err(VfsError::NotAFolder(p.to_string()));
+                    }
+                }
+                Node::File(_) => return Err(VfsError::NotAFolder(p.to_string())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Create or replace a file referencing `segments`.
+    pub fn write_file(&mut self, path: &str, segments: Vec<SegmentId>) -> Result<(), VfsError> {
+        let parts = split(path)?;
+        if parts.is_empty() {
+            return Err(VfsError::BadPath(path.to_string()));
+        }
+        let (parent, name) = self
+            .walk_mut_parent(&parts)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+        if matches!(parent.get(&name), Some(Node::Folder(_))) {
+            return Err(VfsError::NotAFolder(path.to_string()));
+        }
+        parent.insert(name, Node::File(segments));
+        Ok(())
+    }
+
+    /// Segment list of a file.
+    pub fn read_file(&self, path: &str) -> Result<&[SegmentId], VfsError> {
+        let parts = split(path)?;
+        match self.walk(&parts) {
+            Some(Node::File(segs)) => Ok(segs),
+            Some(Node::Folder(_)) => Err(VfsError::NotAFolder(path.to_string())),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Names of entries in a folder.
+    pub fn list(&self, path: &str) -> Result<Vec<String>, VfsError> {
+        let parts = split(path)?;
+        match self.walk(&parts) {
+            Some(Node::Folder(children)) => Ok(children.keys().cloned().collect()),
+            Some(Node::File(_)) => Err(VfsError::NotAFolder(path.to_string())),
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Remove a file or an empty folder.
+    pub fn remove(&mut self, path: &str) -> Result<(), VfsError> {
+        let parts = split(path)?;
+        if parts.is_empty() {
+            return Err(VfsError::BadPath(path.to_string()));
+        }
+        let (parent, name) = self
+            .walk_mut_parent(&parts)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))?;
+        match parent.get(&name) {
+            Some(Node::Folder(children)) if !children.is_empty() => {
+                Err(VfsError::NotEmpty(path.to_string()))
+            }
+            Some(_) => {
+                parent.remove(&name);
+                Ok(())
+            }
+            None => Err(VfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// `true` if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        match split(path) {
+            Ok(parts) => self.walk(&parts).is_some(),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::DatasetId;
+
+    fn sid(d: u32, o: u32) -> SegmentId {
+        SegmentId {
+            dataset: DatasetId(d),
+            ordinal: o,
+        }
+    }
+
+    #[test]
+    fn mkdir_and_list() {
+        let mut v = Vfs::new();
+        v.mkdir("/projects").expect("ok");
+        v.mkdir("/projects/dti").expect("ok");
+        assert_eq!(v.list("/").expect("ok"), vec!["projects"]);
+        assert_eq!(v.list("/projects").expect("ok"), vec!["dti"]);
+    }
+
+    #[test]
+    fn mkdir_missing_parent_fails() {
+        let mut v = Vfs::new();
+        assert_eq!(
+            v.mkdir("/a/b").unwrap_err(),
+            VfsError::NotFound("/a/b".into())
+        );
+        v.mkdir_all("/a/b/c").expect("mkdir -p works");
+        assert!(v.exists("/a/b/c"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut v = Vfs::new();
+        v.mkdir_all("/data").expect("ok");
+        v.write_file("/data/scan.nii", vec![sid(1, 0), sid(1, 1)])
+            .expect("ok");
+        assert_eq!(v.read_file("/data/scan.nii").expect("ok").len(), 2);
+        // Overwrite replaces.
+        v.write_file("/data/scan.nii", vec![sid(2, 0)]).expect("ok");
+        assert_eq!(v.read_file("/data/scan.nii").expect("ok"), &[sid(2, 0)]);
+    }
+
+    #[test]
+    fn cannot_overwrite_folder_with_file() {
+        let mut v = Vfs::new();
+        v.mkdir_all("/x/y").expect("ok");
+        assert_eq!(
+            v.write_file("/x/y", vec![]).unwrap_err(),
+            VfsError::NotAFolder("/x/y".into())
+        );
+    }
+
+    #[test]
+    fn remove_rules() {
+        let mut v = Vfs::new();
+        v.mkdir_all("/a/b").expect("ok");
+        v.write_file("/a/b/f", vec![sid(0, 0)]).expect("ok");
+        assert_eq!(v.remove("/a/b").unwrap_err(), VfsError::NotEmpty("/a/b".into()));
+        v.remove("/a/b/f").expect("ok");
+        v.remove("/a/b").expect("ok");
+        assert!(!v.exists("/a/b"));
+    }
+
+    #[test]
+    fn dotted_paths_rejected() {
+        let v = Vfs::new();
+        assert!(!v.exists("/../etc"));
+        assert_eq!(
+            split("/a/../b").unwrap_err(),
+            VfsError::BadPath("/a/../b".into())
+        );
+    }
+
+    #[test]
+    fn read_missing_file() {
+        let v = Vfs::new();
+        assert_eq!(
+            v.read_file("/nope").unwrap_err(),
+            VfsError::NotFound("/nope".into())
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for storage invariants.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use scdn_storage::integrity::{corrupt_bit, Checksum};
+use scdn_storage::object::{Dataset, DatasetId, Segment, SegmentId, Sensitivity};
+use scdn_storage::repository::{Partition, StorageRepository};
+use scdn_storage::vfs::Vfs;
+
+proptest! {
+    #[test]
+    fn segmentation_reassembles_exactly(
+        content in proptest::collection::vec(any::<u8>(), 0..4096),
+        segment_size in 1usize..512,
+    ) {
+        let d = Dataset::from_bytes(
+            DatasetId(0),
+            "p",
+            Sensitivity::Public,
+            Bytes::from(content.clone()),
+            segment_size,
+        );
+        prop_assert_eq!(d.reassemble().to_vec(), content.clone());
+        prop_assert!(d.verify_all());
+        // Segment sizes: all but the last equal segment_size (when content
+        // is non-empty).
+        if !content.is_empty() {
+            for s in &d.segments[..d.segments.len() - 1] {
+                prop_assert_eq!(s.len(), segment_size);
+            }
+            prop_assert!(d.segments.last().expect("non-empty").len() <= segment_size);
+        }
+    }
+
+    #[test]
+    fn any_single_bitflip_is_detected(
+        content in proptest::collection::vec(any::<u8>(), 1..512),
+        bit in any::<usize>(),
+    ) {
+        let checksum = Checksum::of(&content);
+        let mut tampered = content.clone();
+        corrupt_bit(&mut tampered, bit);
+        prop_assert!(!checksum.verify(&tampered));
+    }
+
+    #[test]
+    fn repository_usage_equals_stored_bytes(
+        sizes in proptest::collection::vec(1usize..2048, 1..20),
+    ) {
+        let total: usize = sizes.iter().sum();
+        let repo = StorageRepository::new(total as u64);
+        for (i, &size) in sizes.iter().enumerate() {
+            let seg = Segment::new(
+                SegmentId {
+                    dataset: DatasetId(0),
+                    ordinal: i as u32,
+                },
+                Bytes::from(vec![i as u8; size]),
+            );
+            repo.store(Partition::User, seg).expect("fits exactly");
+        }
+        prop_assert_eq!(repo.used(), total as u64);
+        prop_assert_eq!(repo.available(), 0);
+        // Removing everything returns usage to zero.
+        for id in repo.list(Partition::User) {
+            repo.remove(Partition::User, id, true).expect("removes");
+        }
+        prop_assert_eq!(repo.used(), 0);
+    }
+
+    #[test]
+    fn quota_never_exceeded(
+        sizes in proptest::collection::vec(1usize..4096, 1..30),
+        capacity in 1024u64..8192,
+    ) {
+        let repo = StorageRepository::new(capacity);
+        for (i, &size) in sizes.iter().enumerate() {
+            let seg = Segment::new(
+                SegmentId {
+                    dataset: DatasetId(1),
+                    ordinal: i as u32,
+                },
+                Bytes::from(vec![0u8; size]),
+            );
+            let _ = repo.store(Partition::Replica, seg);
+            prop_assert!(repo.used() <= capacity);
+        }
+    }
+
+    #[test]
+    fn vfs_write_read_consistent(
+        names in proptest::collection::vec("[a-z]{1,8}", 1..10),
+    ) {
+        let mut vfs = Vfs::new();
+        vfs.mkdir_all("/data").expect("mkdir");
+        for (i, name) in names.iter().enumerate() {
+            let path = format!("/data/{name}-{i}");
+            let segs = vec![SegmentId {
+                dataset: DatasetId(i as u32),
+                ordinal: 0,
+            }];
+            vfs.write_file(&path, segs.clone()).expect("writes");
+            prop_assert_eq!(vfs.read_file(&path).expect("reads"), &segs[..]);
+        }
+        let listed = vfs.list("/data").expect("lists");
+        prop_assert_eq!(listed.len(), names.len());
+    }
+}

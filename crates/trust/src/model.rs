@@ -1,0 +1,211 @@
+//! Trust scoring from interaction histories.
+//!
+//! A Beta-prior success-ratio model with exponential recency decay: each
+//! interaction contributes weight `exp(-λ (now − at))`, successes and
+//! failures accumulate into pseudo-counts on top of a weak `Beta(α, β)`
+//! prior, and the score is the posterior mean. Context weights let
+//! publications count differently from, say, hosting requests.
+
+use scdn_social::author::AuthorId;
+
+use crate::interaction::{InteractionKind, InteractionLedger};
+
+/// Parameters of the trust model.
+#[derive(Clone, Copy, Debug)]
+pub struct TrustParams {
+    /// Recency decay rate λ (per time unit; the case study uses years).
+    pub decay: f64,
+    /// Prior pseudo-successes α (α = β = 1 is the uniform prior).
+    pub prior_alpha: f64,
+    /// Prior pseudo-failures β.
+    pub prior_beta: f64,
+    /// Weight of a publication interaction.
+    pub w_publication: f64,
+    /// Weight of a data exchange.
+    pub w_exchange: f64,
+    /// Weight of a replica-hosting interaction.
+    pub w_hosting: f64,
+}
+
+impl Default for TrustParams {
+    fn default() -> Self {
+        TrustParams {
+            decay: 0.3,
+            prior_alpha: 1.0,
+            prior_beta: 1.0,
+            w_publication: 1.0,
+            w_exchange: 0.5,
+            w_hosting: 0.75,
+        }
+    }
+}
+
+impl TrustParams {
+    fn kind_weight(&self, k: InteractionKind) -> f64 {
+        match k {
+            InteractionKind::Publication => self.w_publication,
+            InteractionKind::DataExchange => self.w_exchange,
+            InteractionKind::ReplicaHosting => self.w_hosting,
+        }
+    }
+}
+
+/// A trust model over a ledger.
+#[derive(Clone, Debug)]
+pub struct TrustModel {
+    params: TrustParams,
+}
+
+impl TrustModel {
+    /// Model with the given parameters.
+    pub fn new(params: TrustParams) -> TrustModel {
+        TrustModel { params }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &TrustParams {
+        &self.params
+    }
+
+    /// Pairwise trust score in (0, 1): posterior mean of the decayed
+    /// success counts. With no history this returns the prior mean.
+    pub fn score(
+        &self,
+        ledger: &InteractionLedger,
+        a: AuthorId,
+        b: AuthorId,
+        now: f64,
+    ) -> f64 {
+        let mut succ = self.params.prior_alpha;
+        let mut fail = self.params.prior_beta;
+        for i in ledger.between(a, b) {
+            let age = (now - i.at).max(0.0);
+            let w = self.params.kind_weight(i.kind) * (-self.params.decay * age).exp();
+            if i.success {
+                succ += w;
+            } else {
+                fail += w;
+            }
+        }
+        succ / (succ + fail)
+    }
+
+    /// Effective (decayed) interaction count — the "amount of evidence"
+    /// behind a score.
+    pub fn evidence(
+        &self,
+        ledger: &InteractionLedger,
+        a: AuthorId,
+        b: AuthorId,
+        now: f64,
+    ) -> f64 {
+        ledger
+            .between(a, b)
+            .iter()
+            .map(|i| self.params.kind_weight(i.kind) * (-self.params.decay * (now - i.at).max(0.0)).exp())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::Interaction;
+
+    fn pub_at(at: f64, success: bool) -> Interaction {
+        Interaction {
+            at,
+            kind: InteractionKind::Publication,
+            success,
+        }
+    }
+
+    #[test]
+    fn no_history_gives_prior_mean() {
+        let m = TrustModel::new(TrustParams::default());
+        let l = InteractionLedger::new();
+        let s = m.score(&l, AuthorId(0), AuthorId(1), 2011.0);
+        assert!((s - 0.5).abs() < 1e-12);
+        assert_eq!(m.evidence(&l, AuthorId(0), AuthorId(1), 2011.0), 0.0);
+    }
+
+    #[test]
+    fn successes_raise_score() {
+        let m = TrustModel::new(TrustParams::default());
+        let mut l = InteractionLedger::new();
+        for _ in 0..5 {
+            l.record(AuthorId(0), AuthorId(1), pub_at(2010.0, true));
+        }
+        let s = m.score(&l, AuthorId(0), AuthorId(1), 2010.0);
+        assert!(s > 0.8, "s = {s}");
+    }
+
+    #[test]
+    fn failures_lower_score() {
+        let m = TrustModel::new(TrustParams::default());
+        let mut l = InteractionLedger::new();
+        for _ in 0..5 {
+            l.record(AuthorId(0), AuthorId(1), pub_at(2010.0, false));
+        }
+        let s = m.score(&l, AuthorId(0), AuthorId(1), 2010.0);
+        assert!(s < 0.2, "s = {s}");
+    }
+
+    #[test]
+    fn older_interactions_count_less() {
+        let m = TrustModel::new(TrustParams::default());
+        let mut recent = InteractionLedger::new();
+        recent.record(AuthorId(0), AuthorId(1), pub_at(2010.0, true));
+        let mut old = InteractionLedger::new();
+        old.record(AuthorId(0), AuthorId(1), pub_at(2000.0, true));
+        let sr = m.score(&recent, AuthorId(0), AuthorId(1), 2011.0);
+        let so = m.score(&old, AuthorId(0), AuthorId(1), 2011.0);
+        assert!(sr > so, "{sr} vs {so}");
+        assert!(so > 0.5, "even old positive history beats the prior");
+    }
+
+    #[test]
+    fn mixed_history_in_between() {
+        let m = TrustModel::new(TrustParams::default());
+        let mut l = InteractionLedger::new();
+        l.record(AuthorId(0), AuthorId(1), pub_at(2010.0, true));
+        l.record(AuthorId(0), AuthorId(1), pub_at(2010.0, false));
+        let s = m.score(&l, AuthorId(0), AuthorId(1), 2010.0);
+        assert!((s - 0.5).abs() < 0.05, "s = {s}");
+    }
+
+    #[test]
+    fn context_weights_apply() {
+        let params = TrustParams {
+            w_exchange: 0.1,
+            ..Default::default()
+        };
+        let m = TrustModel::new(params);
+        let mut pubs = InteractionLedger::new();
+        pubs.record(AuthorId(0), AuthorId(1), pub_at(2010.0, true));
+        let mut exch = InteractionLedger::new();
+        exch.record(
+            AuthorId(0),
+            AuthorId(1),
+            Interaction {
+                at: 2010.0,
+                kind: InteractionKind::DataExchange,
+                success: true,
+            },
+        );
+        let sp = m.score(&pubs, AuthorId(0), AuthorId(1), 2010.0);
+        let se = m.score(&exch, AuthorId(0), AuthorId(1), 2010.0);
+        assert!(sp > se, "{sp} vs {se}");
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let m = TrustModel::new(TrustParams::default());
+        let mut l = InteractionLedger::new();
+        for _ in 0..1000 {
+            l.record(AuthorId(0), AuthorId(1), pub_at(2010.0, true));
+        }
+        let s = m.score(&l, AuthorId(0), AuthorId(1), 2010.0);
+        assert!(s < 1.0 && s > 0.99);
+    }
+}

@@ -1,0 +1,158 @@
+//! Community-wide reputation rollups.
+//!
+//! Pairwise trust ("A trusts B") is the primitive; the CDN's management
+//! algorithms often want a single *reputation* figure per participant —
+//! "trust models validated through transactions over time to aid CDN
+//! algorithms with notions of reliability" (Section III). Reputation here
+//! is the evidence-weighted mean of the trust a participant's partners
+//! place in them.
+
+use std::collections::HashMap;
+
+use scdn_social::author::AuthorId;
+
+use crate::interaction::InteractionLedger;
+use crate::model::TrustModel;
+
+/// A participant's reputation summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Reputation {
+    /// Evidence-weighted mean incoming trust score (prior mean when the
+    /// participant has no history).
+    pub score: f64,
+    /// Number of distinct partners with history.
+    pub partners: usize,
+    /// Total decayed evidence across all partners.
+    pub evidence: f64,
+}
+
+/// Compute reputation for every participant appearing in the ledger.
+///
+/// Each pair contributes its trust score weighted by the pair's decayed
+/// evidence; participants absent from the ledger are not in the result.
+pub fn reputations(
+    model: &TrustModel,
+    ledger: &InteractionLedger,
+    now: f64,
+) -> HashMap<AuthorId, Reputation> {
+    let mut acc: HashMap<AuthorId, (f64, f64, usize)> = HashMap::new();
+    for (&(a, b), _) in ledger.iter() {
+        let score = model.score(ledger, a, b, now);
+        let evidence = model.evidence(ledger, a, b, now);
+        for side in [a, b] {
+            let e = acc.entry(side).or_insert((0.0, 0.0, 0));
+            e.0 += score * evidence;
+            e.1 += evidence;
+            e.2 += 1;
+        }
+    }
+    acc.into_iter()
+        .map(|(author, (weighted, evidence, partners))| {
+            let score = if evidence > 0.0 {
+                weighted / evidence
+            } else {
+                // No usable evidence: fall back to the prior mean.
+                let p = model.params();
+                p.prior_alpha / (p.prior_alpha + p.prior_beta)
+            };
+            (
+                author,
+                Reputation {
+                    score,
+                    partners,
+                    evidence,
+                },
+            )
+        })
+        .collect()
+}
+
+/// The `k` most reputable participants (ties → more evidence, then id).
+pub fn top_reputations(
+    model: &TrustModel,
+    ledger: &InteractionLedger,
+    now: f64,
+    k: usize,
+) -> Vec<(AuthorId, Reputation)> {
+    let mut all: Vec<(AuthorId, Reputation)> = reputations(model, ledger, now).into_iter().collect();
+    all.sort_by(|(ia, ra), (ib, rb)| {
+        rb.score
+            .partial_cmp(&ra.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                rb.evidence
+                    .partial_cmp(&ra.evidence)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(ia.cmp(ib))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::{Interaction, InteractionKind};
+    use crate::model::TrustParams;
+
+    fn interaction(at: f64, success: bool) -> Interaction {
+        Interaction {
+            at,
+            kind: InteractionKind::Publication,
+            success,
+        }
+    }
+
+    #[test]
+    fn reliable_partner_outranks_flaky_one() {
+        let model = TrustModel::new(TrustParams::default());
+        let mut ledger = InteractionLedger::new();
+        // Author 0 has 5 successes with 1; author 2 has 5 failures with 3.
+        for _ in 0..5 {
+            ledger.record(AuthorId(0), AuthorId(1), interaction(2010.0, true));
+            ledger.record(AuthorId(2), AuthorId(3), interaction(2010.0, false));
+        }
+        let reps = reputations(&model, &ledger, 2010.0);
+        assert!(reps[&AuthorId(0)].score > 0.7);
+        assert!(reps[&AuthorId(2)].score < 0.3);
+        assert_eq!(reps[&AuthorId(0)].partners, 1);
+        let top = top_reputations(&model, &ledger, 2010.0, 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1.score >= top[1].1.score);
+        assert!(matches!(top[0].0, AuthorId(0) | AuthorId(1)));
+    }
+
+    #[test]
+    fn reputation_averages_across_partners() {
+        let model = TrustModel::new(TrustParams::default());
+        let mut ledger = InteractionLedger::new();
+        // Author 0: good with 1, bad with 2 → middling reputation.
+        for _ in 0..4 {
+            ledger.record(AuthorId(0), AuthorId(1), interaction(2010.0, true));
+            ledger.record(AuthorId(0), AuthorId(2), interaction(2010.0, false));
+        }
+        let reps = reputations(&model, &ledger, 2010.0);
+        let r0 = reps[&AuthorId(0)];
+        assert_eq!(r0.partners, 2);
+        assert!((0.3..0.7).contains(&r0.score), "score = {}", r0.score);
+    }
+
+    #[test]
+    fn empty_ledger_gives_empty_map() {
+        let model = TrustModel::new(TrustParams::default());
+        let ledger = InteractionLedger::new();
+        assert!(reputations(&model, &ledger, 2010.0).is_empty());
+        assert!(top_reputations(&model, &ledger, 2010.0, 5).is_empty());
+    }
+
+    #[test]
+    fn evidence_decays_with_time() {
+        let model = TrustModel::new(TrustParams::default());
+        let mut ledger = InteractionLedger::new();
+        ledger.record(AuthorId(0), AuthorId(1), interaction(2000.0, true));
+        let fresh = reputations(&model, &ledger, 2000.0);
+        let stale = reputations(&model, &ledger, 2020.0);
+        assert!(stale[&AuthorId(0)].evidence < fresh[&AuthorId(0)].evidence);
+    }
+}

@@ -1,0 +1,16 @@
+//! # scdn — Social Content Delivery Network (facade crate)
+//!
+//! Re-exports the full S-CDN workspace under one roof. See the individual
+//! crates for details; the typical entry points are
+//! [`scdn_core::system::Scdn`] and [`scdn_core::casestudy`].
+
+pub use bytes;
+pub use scdn_alloc as alloc;
+pub use scdn_core as core;
+pub use scdn_graph as graph;
+pub use scdn_middleware as middleware;
+pub use scdn_net as net;
+pub use scdn_sim as sim;
+pub use scdn_social as social;
+pub use scdn_storage as storage;
+pub use scdn_trust as trust;

@@ -1,0 +1,174 @@
+//! Integration test: the stack under failure injection — lossy and
+//! corrupting networks, storage quota pressure, and integrity verification
+//! across the transfer path.
+
+use scdn::bytes::Bytes;
+use scdn::core::system::{Scdn, ScdnConfig, ScdnError};
+use scdn::graph::NodeId;
+use scdn::net::failure::FailureModel;
+use scdn::social::generator::{generate, CaseStudyParams};
+use scdn::social::trustgraph::{build_trust_subgraph, TrustFilter, TrustSubgraph};
+use scdn::storage::repository::Partition;
+use scdn::storage::Sensitivity;
+
+fn community() -> (scdn::social::SyntheticDblp, TrustSubgraph) {
+    let mut params = CaseStudyParams::default();
+    params.level2_prob = 0.4;
+    params.level3_prob = 0.0;
+    params.mega_pub_authors = 0;
+    params.rng_seed = 5;
+    let c = generate(&params);
+    let sub = build_trust_subgraph(&c.corpus, c.seed_author, 3, 2009..=2010, TrustFilter::Baseline)
+        .expect("seed present");
+    (c, sub)
+}
+
+#[test]
+fn lossy_network_served_via_retries() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.failure = FailureModel {
+        loss_prob: 0.3,
+        corruption_prob: 0.05,
+        seed: 17,
+    };
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let owner = NodeId(0);
+    let dataset = scdn
+        .publish(
+            owner,
+            "lossy",
+            Bytes::from(vec![1u8; 256 << 10]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    let _ = scdn.replicate(dataset);
+    let mut served = 0;
+    let mut transfer_failures = 0;
+    for i in 1..40u32 {
+        let node = NodeId(i % scdn.member_count() as u32);
+        match scdn.request(node, dataset) {
+            Ok(_) => served += 1,
+            Err(ScdnError::Transfer(_)) => transfer_failures += 1,
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    // Retries absorb most of a 30% loss rate (p(fail) = 0.35^3 per segment)
+    // but a multi-segment transfer still fails occasionally.
+    assert!(served > 20, "served = {served}");
+    assert!(
+        transfer_failures > 0,
+        "some multi-segment transfers should exhaust retries"
+    );
+    // Failures are visible in the metrics.
+    assert_eq!(scdn.cdn_metrics.failures as usize, transfer_failures);
+}
+
+#[test]
+fn corrupted_source_copy_is_refused() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let owner = NodeId(0);
+    let dataset = scdn
+        .publish(
+            owner,
+            "tampered",
+            Bytes::from(vec![9u8; 4096]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    // Tamper with the owner's stored copy behind the CDN's back.
+    let repo = scdn.repo(owner).expect("repo").clone();
+    let ids = repo.list(Partition::User);
+    assert!(!ids.is_empty());
+    let seg = repo.fetch(Partition::User, ids[0]).expect("intact");
+    let mut raw = seg.data.to_vec();
+    raw[0] ^= 0xff;
+    let bad = scdn::storage::Segment {
+        id: seg.id,
+        data: Bytes::from(raw),
+        checksum: seg.checksum,
+    };
+    repo.store(Partition::User, bad).expect("stored tampered copy");
+    // Replication must refuse to propagate the corrupted segment.
+    match scdn.replicate(dataset) {
+        Ok(added) => assert!(
+            added.is_empty(),
+            "corrupted source must not replicate, added {added:?}"
+        ),
+        Err(ScdnError::Transfer(_)) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn quota_pressure_surfaces_cleanly() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.repo_capacity = 64 << 10; // tiny repositories
+    config.segment_size = 16 << 10;
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let owner = NodeId(0);
+    // First dataset fits.
+    scdn.publish(
+        owner,
+        "fits",
+        Bytes::from(vec![1u8; 32 << 10]),
+        Sensitivity::Public,
+        None,
+    )
+    .expect("fits");
+    // Second one exceeds the owner's capacity.
+    match scdn.publish(
+        owner,
+        "too-big",
+        Bytes::from(vec![2u8; 64 << 10]),
+        Sensitivity::Public,
+        None,
+    ) {
+        Err(ScdnError::Repo(scdn::storage::RepoError::QuotaExceeded { .. })) => {}
+        other => panic!("expected quota error, got ok={}", other.is_ok()),
+    }
+}
+
+#[test]
+fn end_to_end_integrity_across_lossy_transfers() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.failure = FailureModel {
+        loss_prob: 0.2,
+        corruption_prob: 0.1,
+        seed: 23,
+    };
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let owner = NodeId(1);
+    let payload = vec![0xC3u8; 128 << 10];
+    let dataset = scdn
+        .publish(
+            owner,
+            "integrity",
+            Bytes::from(payload.clone()),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    let _ = scdn.replicate(dataset);
+    // Find a request that succeeds and verify the delivered bytes match.
+    for i in 2..30u32 {
+        let node = NodeId(i);
+        if scdn.request(node, dataset).is_ok() {
+            let repo = scdn.repo(node).expect("repo");
+            let mut delivered = Vec::new();
+            for id in repo.list(Partition::User) {
+                let seg = repo.fetch(Partition::User, id).expect("verified on fetch");
+                assert!(seg.verify(), "every delivered segment verifies");
+                delivered.extend_from_slice(&seg.data);
+            }
+            assert_eq!(delivered, payload, "reassembled bytes match the original");
+            return;
+        }
+    }
+    panic!("no request succeeded under moderate loss");
+}

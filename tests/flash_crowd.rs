@@ -1,0 +1,116 @@
+//! Integration test: a flash crowd on one dataset is absorbed by
+//! demand-driven replication — the CDN behavior the paper motivates with
+//! "help web sites meet the demands of peak usage".
+
+use scdn::bytes::Bytes;
+use scdn::core::events::{EventDrivenSim, SimEvent};
+use scdn::core::system::{Scdn, ScdnConfig};
+use scdn::graph::NodeId;
+use scdn::sim::engine::SimTime;
+use scdn::sim::workload::{generate_requests, with_flash_crowd, WorkloadConfig};
+use scdn::social::generator::{generate, CaseStudyParams};
+use scdn::social::trustgraph::{build_trust_subgraph, TrustFilter};
+use scdn::storage::object::DatasetId;
+use scdn::storage::Sensitivity;
+
+fn build_system() -> (Scdn, Vec<DatasetId>) {
+    let mut params = CaseStudyParams::default();
+    params.level2_prob = 0.4;
+    params.level3_prob = 0.0;
+    params.mega_pub_authors = 0;
+    params.rng_seed = 61;
+    let c = generate(&params);
+    let sub = build_trust_subgraph(&c.corpus, c.seed_author, 3, 2009..=2010, TrustFilter::Baseline)
+        .expect("seed present");
+    let mut config = ScdnConfig::default();
+    config.replicas_per_dataset = 2;
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let mut datasets = Vec::new();
+    for i in 0..6u32 {
+        let id = scdn
+            .publish(
+                NodeId(i),
+                &format!("ds{i}"),
+                Bytes::from(vec![i as u8; 16 << 10]),
+                Sensitivity::Public,
+                None,
+            )
+            .expect("publishes");
+        scdn.replicate(id).expect("replicates");
+        datasets.push(id);
+    }
+    (scdn, datasets)
+}
+
+#[test]
+fn flash_crowd_triggers_replication_growth() {
+    let (scdn, datasets) = build_system();
+    let members = scdn.member_count();
+    let hot = datasets[3];
+    let replicas_before = scdn.replicas_of(hot).expect("known").len();
+
+    let base = generate_requests(&WorkloadConfig {
+        seed: 8,
+        users: members,
+        datasets: datasets.len(),
+        count: 150,
+        mean_interarrival_ms: 400.0,
+        ..Default::default()
+    });
+    // A burst hammering dataset 3 in the middle of the run.
+    let workload = with_flash_crowd(
+        &base,
+        members,
+        3,
+        SimTime::from_secs(15),
+        SimTime::from_secs(40),
+        80.0,
+        9,
+    );
+    assert!(workload.len() > base.len() + 150, "burst materialized");
+
+    let mut sim = EventDrivenSim::new(scdn);
+    sim.schedule_workload(&workload, &datasets);
+    let horizon = workload.last().expect("non-empty").at;
+    sim.schedule_periodic(SimEvent::Maintenance, 5_000, horizon);
+    let stats = sim.run();
+    assert_eq!(stats.failed, 0, "always-on fabric serves everything");
+    assert!(
+        stats.maintenance_changes > 0,
+        "maintenance must react to the burst"
+    );
+    let replicas_after = sim.scdn.replicas_of(hot).expect("known").len();
+    assert!(
+        replicas_after > replicas_before,
+        "the hot dataset must gain replicas ({replicas_before} -> {replicas_after})"
+    );
+    // The burst's demand is visible in the served counter.
+    assert_eq!(stats.served as usize, workload.len());
+}
+
+#[test]
+fn quiet_datasets_do_not_grow() {
+    let (scdn, datasets) = build_system();
+    let members = scdn.member_count();
+    let quiet = datasets[5];
+    let before = scdn.replicas_of(quiet).expect("known").len();
+    // A tiny workload that never touches dataset 5 (modulo mapping is
+    // avoided by pointing every request at dataset 0).
+    let base = generate_requests(&WorkloadConfig {
+        seed: 4,
+        users: members,
+        datasets: 1,
+        count: 60,
+        ..Default::default()
+    });
+    let mut sim = EventDrivenSim::new(scdn);
+    sim.schedule_workload(&base, &datasets[..1]);
+    sim.schedule_periodic(
+        SimEvent::Maintenance,
+        10_000,
+        base.last().expect("non-empty").at,
+    );
+    sim.run();
+    let after = sim.scdn.replicas_of(quiet).expect("known").len();
+    assert!(after <= before, "idle datasets must not gain replicas");
+}
