@@ -170,8 +170,7 @@ mod tests {
         .expect("online");
         assert_eq!(sel.node, NodeId(1));
         // But if only unreachable nodes are online, we still serve.
-        let sel2 = select_replica(&g, NodeId(0), &[cand(2, true, 1.0, 0.99)])
-            .expect("online");
+        let sel2 = select_replica(&g, NodeId(0), &[cand(2, true, 1.0, 0.99)]).expect("online");
         assert_eq!(sel2.node, NodeId(2));
         assert_eq!(sel2.social_hops, None);
     }

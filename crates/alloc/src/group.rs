@@ -86,7 +86,9 @@ impl ServerGroup {
         segments: u32,
         primary: NodeId,
     ) -> Result<(), AllocationError> {
-        let server = self.pick().ok_or(AllocationError::UnknownDataset(dataset))?;
+        let server = self
+            .pick()
+            .ok_or(AllocationError::UnknownDataset(dataset))?;
         server.register_dataset(dataset, segments, primary)
     }
 

@@ -23,6 +23,6 @@ pub mod placement;
 pub mod replication;
 pub mod server;
 
-pub use placement::PlacementAlgorithm;
 pub use group::ServerGroup;
+pub use placement::PlacementAlgorithm;
 pub use server::{AllocationError, AllocationServer, RepositoryInfo};

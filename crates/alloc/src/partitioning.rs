@@ -49,7 +49,9 @@ impl AccessLog {
 /// index`. Panics if `replicas` is empty and `segments > 0`.
 pub fn hash_partition(segments: u32, replicas: usize) -> Vec<usize> {
     assert!(replicas > 0 || segments == 0, "need at least one replica");
-    (0..segments).map(|s| s as usize % replicas.max(1)).collect()
+    (0..segments)
+        .map(|s| s as usize % replicas.max(1))
+        .collect()
 }
 
 /// Socially-informed partitioning.
@@ -70,10 +72,7 @@ pub fn social_partition(
         return Vec::new();
     }
     // Distance from every replica to every node (one BFS per replica).
-    let dists: Vec<Vec<Option<u32>>> = replicas
-        .iter()
-        .map(|&r| bfs_distances(g, r))
-        .collect();
+    let dists: Vec<Vec<Option<u32>>> = replicas.iter().map(|&r| bfs_distances(g, r)).collect();
     // Per-(segment, community) access mass and per-segment member lists.
     let mut seg_comm: HashMap<(u32, u32), u64> = HashMap::new();
     let mut seg_users: HashMap<u32, Vec<(NodeId, u64)>> = HashMap::new();
@@ -92,9 +91,7 @@ pub fn social_partition(
                 .max_by_key(|&c| (seg_comm.get(&(seg, c)).copied().unwrap_or(0), u32::MAX - c));
             let users = seg_users.get(&seg);
             match (dominant, users) {
-                (Some(dom), Some(users))
-                    if seg_comm.get(&(seg, dom)).copied().unwrap_or(0) > 0 =>
-                {
+                (Some(dom), Some(users)) if seg_comm.get(&(seg, dom)).copied().unwrap_or(0) > 0 => {
                     // Weighted hop distance from each replica to the
                     // dominant community's accessing users.
                     let mut best = 0usize;
@@ -131,10 +128,7 @@ pub fn locality_cost(
     log: &AccessLog,
     penalty: u32,
 ) -> f64 {
-    let dists: Vec<Vec<Option<u32>>> = replicas
-        .iter()
-        .map(|&r| bfs_distances(g, r))
-        .collect();
+    let dists: Vec<Vec<Option<u32>>> = replicas.iter().map(|&r| bfs_distances(g, r)).collect();
     let mut total = 0u64;
     let mut weight = 0u64;
     for (user, seg, count) in log.iter() {
@@ -169,9 +163,8 @@ mod tests {
         // Two dense communities of 10; replica 0 sits in community 0,
         // replica 1 in community 1.
         let g = planted_partition(2, 10, 0.9, 0.02, 3);
-        let communities = Partition::from_labels(
-            &(0..20).map(|i| (i / 10) as u32).collect::<Vec<_>>(),
-        );
+        let communities =
+            Partition::from_labels(&(0..20).map(|i| (i / 10) as u32).collect::<Vec<_>>());
         let replicas = [NodeId(0), NodeId(10)];
         let mut log = AccessLog::new();
         // Segment 0 read by community 1; segment 1 read by community 0.

@@ -8,11 +8,13 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use scdn_graph::centrality::{betweenness_parallel, closeness, top_k_by_score};
+use scdn_graph::centrality::{
+    betweenness_parallel, betweenness_parallel_csr, closeness, closeness_csr, top_k_by_score,
+};
 use scdn_graph::cover::greedy_weighted_dominating_set;
-use scdn_graph::metrics::all_clustering_coefficients;
-use scdn_graph::pagerank::{pagerank, PageRankOptions};
-use scdn_graph::{Graph, NodeId};
+use scdn_graph::metrics::{all_clustering_coefficients, all_clustering_coefficients_csr};
+use scdn_graph::pagerank::{pagerank, pagerank_csr, PageRankOptions};
+use scdn_graph::{CsrGraph, Graph, NodeId};
 
 /// The placement algorithms evaluated in the paper (first four) plus the
 /// extensions it discusses for future work.
@@ -81,6 +83,11 @@ impl PlacementAlgorithm {
 
     /// Place `k` replicas on `g`. `seed` only affects [`Random`].
     ///
+    /// Prefer [`place_csr`](PlacementAlgorithm::place_csr) with a graph
+    /// frozen once when placing repeatedly (sweeps, repeated `replicate`
+    /// calls) — this adjacency-list path is kept as the reference
+    /// implementation and for one-shot callers.
+    ///
     /// [`Random`]: PlacementAlgorithm::Random
     pub fn place(self, g: &Graph, k: usize, seed: u64) -> Vec<NodeId> {
         match self {
@@ -88,15 +95,34 @@ impl PlacementAlgorithm {
             PlacementAlgorithm::NodeDegree => place_by_degree(g, k),
             PlacementAlgorithm::CommunityNodeDegree => place_community_degree(g, k),
             PlacementAlgorithm::ClusteringCoefficient => place_by_clustering(g, k),
-            PlacementAlgorithm::Betweenness => {
-                top_k_by_score(&betweenness_parallel(g), k)
-            }
+            PlacementAlgorithm::Betweenness => top_k_by_score(&betweenness_parallel(g), k),
             PlacementAlgorithm::SocialScore => place_by_social_score(g, k),
             PlacementAlgorithm::PageRank => {
                 top_k_by_score(&pagerank(g, PageRankOptions::default()), k)
             }
             PlacementAlgorithm::KCore => place_by_kcore(g, k),
             PlacementAlgorithm::WeightedDegree => place_by_strength(g, k),
+        }
+    }
+
+    /// [`place`](PlacementAlgorithm::place) on a frozen [`CsrGraph`] — the
+    /// hot path for placement sweeps: freeze once, place many times.
+    ///
+    /// Every variant produces the same placement as the adjacency version
+    /// (the CSR kernels are bit-identical and every tie-break is shared).
+    pub fn place_csr(self, g: &CsrGraph, k: usize, seed: u64) -> Vec<NodeId> {
+        match self {
+            PlacementAlgorithm::Random => place_random_csr(g, k, seed),
+            PlacementAlgorithm::NodeDegree => place_by_degree_csr(g, k),
+            PlacementAlgorithm::CommunityNodeDegree => place_community_degree_csr(g, k),
+            PlacementAlgorithm::ClusteringCoefficient => place_by_clustering_csr(g, k),
+            PlacementAlgorithm::Betweenness => top_k_by_score(&betweenness_parallel_csr(g), k),
+            PlacementAlgorithm::SocialScore => place_by_social_score_csr(g, k),
+            PlacementAlgorithm::PageRank => {
+                top_k_by_score(&pagerank_csr(g, PageRankOptions::default()), k)
+            }
+            PlacementAlgorithm::KCore => place_by_kcore_csr(g, k),
+            PlacementAlgorithm::WeightedDegree => place_by_strength_csr(g, k),
         }
     }
 }
@@ -110,8 +136,24 @@ pub fn place_random(g: &Graph, k: usize, seed: u64) -> Vec<NodeId> {
     nodes
 }
 
+/// [`place_random`] on a frozen [`CsrGraph`]; identical for equal seeds
+/// (only the node-id list enters the shuffle).
+pub fn place_random_csr(g: &CsrGraph, k: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.shuffle(&mut rng);
+    nodes.truncate(k);
+    nodes
+}
+
 /// Top-`k` by degree (ties → smaller id).
 pub fn place_by_degree(g: &Graph, k: usize) -> Vec<NodeId> {
+    let scores: Vec<f64> = g.nodes().map(|v| g.degree(v) as f64).collect();
+    top_k_by_score(&scores, k)
+}
+
+/// [`place_by_degree`] on a frozen [`CsrGraph`].
+pub fn place_by_degree_csr(g: &CsrGraph, k: usize) -> Vec<NodeId> {
     let scores: Vec<f64> = g.nodes().map(|v| g.degree(v) as f64).collect();
     top_k_by_score(&scores, k)
 }
@@ -143,6 +185,33 @@ pub fn place_community_degree(g: &Graph, k: usize) -> Vec<NodeId> {
     chosen
 }
 
+/// [`place_community_degree`] on a frozen [`CsrGraph`]; identical greedy
+/// order and fallback.
+pub fn place_community_degree_csr(g: &CsrGraph, k: usize) -> Vec<NodeId> {
+    // Precomputed degrees keep the sort comparator to one indexed load.
+    let degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(degree[v.index()]), v));
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
+    let mut excluded = vec![false; g.node_count()]; // adjacent to a replica
+    let mut taken = vec![false; g.node_count()];
+    while chosen.len() < k {
+        // Best non-adjacent candidate first.
+        let pick = order
+            .iter()
+            .copied()
+            .find(|&v| !taken[v.index()] && !excluded[v.index()])
+            .or_else(|| order.iter().copied().find(|&v| !taken[v.index()]));
+        let Some(v) = pick else { break };
+        chosen.push(v);
+        taken[v.index()] = true;
+        for &u in g.neighbor_ids(v) {
+            excluded[u as usize] = true;
+        }
+    }
+    chosen
+}
+
 /// Top-`k` by local clustering coefficient.
 ///
 /// Ties (many nodes sit at exactly CC = 1.0) break toward the *lowest*
@@ -164,8 +233,29 @@ pub fn place_by_clustering(g: &Graph, k: usize) -> Vec<NodeId> {
     order
 }
 
+/// [`place_by_clustering`] on a frozen [`CsrGraph`]; same tie-breaks.
+pub fn place_by_clustering_csr(g: &CsrGraph, k: usize) -> Vec<NodeId> {
+    let cc = all_clustering_coefficients_csr(g);
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by(|&a, &b| {
+        cc[b.index()]
+            .partial_cmp(&cc[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(g.degree(a).cmp(&g.degree(b)))
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
 /// Top-`k` by weighted degree / strength (ties → smaller id).
 pub fn place_by_strength(g: &Graph, k: usize) -> Vec<NodeId> {
+    let scores: Vec<f64> = g.nodes().map(|v| g.strength(v) as f64).collect();
+    top_k_by_score(&scores, k)
+}
+
+/// [`place_by_strength`] on a frozen [`CsrGraph`].
+pub fn place_by_strength_csr(g: &CsrGraph, k: usize) -> Vec<NodeId> {
     let scores: Vec<f64> = g.nodes().map(|v| g.strength(v) as f64).collect();
     top_k_by_score(&scores, k)
 }
@@ -174,6 +264,20 @@ pub fn place_by_strength(g: &Graph, k: usize) -> Vec<NodeId> {
 /// members of the deepest k-core with the widest reach host first.
 pub fn place_by_kcore(g: &Graph, k: usize) -> Vec<NodeId> {
     let core = scdn_graph::kcore::core_numbers(g);
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.sort_by(|&a, &b| {
+        core[b.index()]
+            .cmp(&core[a.index()])
+            .then(g.degree(b).cmp(&g.degree(a)))
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+/// [`place_by_kcore`] on a frozen [`CsrGraph`]; same tie-breaks.
+pub fn place_by_kcore_csr(g: &CsrGraph, k: usize) -> Vec<NodeId> {
+    let core = scdn_graph::kcore::core_numbers_csr(g);
     let mut order: Vec<NodeId> = g.nodes().collect();
     order.sort_by(|&a, &b| {
         core[b.index()]
@@ -206,6 +310,26 @@ pub fn place_by_social_score(g: &Graph, k: usize) -> Vec<NodeId> {
     top_k_by_score(&scores, k)
 }
 
+/// [`place_by_social_score`] on a frozen [`CsrGraph`]; the closeness and
+/// clustering inputs are bit-identical, so the blend and ranking are too.
+pub fn place_by_social_score_csr(g: &CsrGraph, k: usize) -> Vec<NodeId> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let denom = (n.max(2) - 1) as f64;
+    let cl = closeness_csr(g);
+    let cc = all_clustering_coefficients_csr(g);
+    let scores: Vec<f64> = g
+        .nodes()
+        .map(|v| {
+            let dc = g.degree(v) as f64 / denom;
+            0.5 * dc + 0.3 * cl[v.index()] + 0.2 * (1.0 - cc[v.index()])
+        })
+        .collect();
+    top_k_by_score(&scores, k)
+}
+
 /// My3-style availability-aware placement: choose a cost-weighted greedy
 /// dominating set of the availability-overlap graph, then top up / trim to
 /// exactly `k` nodes (topping up by lowest cost).
@@ -213,11 +337,7 @@ pub fn place_by_social_score(g: &Graph, k: usize) -> Vec<NodeId> {
 /// `availability_graph` has an edge between nodes whose uptime overlaps
 /// (see `scdn_sim::availability::availability_graph`); `cost[v]` is the
 /// penalty of hosting on `v` (e.g. inverse availability).
-pub fn place_availability_cover(
-    availability_graph: &Graph,
-    cost: &[f64],
-    k: usize,
-) -> Vec<NodeId> {
+pub fn place_availability_cover(availability_graph: &Graph, cost: &[f64], k: usize) -> Vec<NodeId> {
     let mut chosen = greedy_weighted_dominating_set(availability_graph, cost);
     if chosen.len() > k {
         // Keep the cheapest k cover members.
@@ -407,8 +527,28 @@ mod tests {
     #[test]
     fn empty_graph_gives_empty_placement() {
         let g = Graph::new(0);
+        let csr = CsrGraph::from(&g);
         for alg in PlacementAlgorithm::PAPER_SET {
             assert!(alg.place(&g, 3, 1).is_empty());
+            assert!(alg.place_csr(&csr, 3, 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn csr_placements_match_adjacency_for_all_algorithms() {
+        let g = barabasi_albert(180, 3, 29);
+        let csr = CsrGraph::from(&g);
+        for alg in PlacementAlgorithm::PAPER_SET
+            .into_iter()
+            .chain(PlacementAlgorithm::EXTENDED_SET)
+        {
+            for k in [1, 4, 9] {
+                assert_eq!(
+                    alg.place(&g, k, 11),
+                    alg.place_csr(&csr, k, 11),
+                    "{alg:?} k={k}"
+                );
+            }
         }
     }
 }

@@ -59,7 +59,9 @@ impl ReplicationPolicy {
     /// demand window.
     pub fn target_replicas(&self, current: usize, demand: DemandWindow) -> usize {
         let volume_driven = 1 + (demand.total() / self.requests_per_replica.max(1)) as usize;
-        let mut target = volume_driven.max(self.min_replicas).max(current.min(self.max_replicas));
+        let mut target = volume_driven
+            .max(self.min_replicas)
+            .max(current.min(self.max_replicas));
         if demand.miss_rate() > self.miss_rate_trigger && demand.total() > 0 {
             target = target.max(current + 1);
         }
@@ -131,7 +133,10 @@ mod tests {
     fn current_count_is_sticky_within_bounds() {
         // Moderate demand does not tear down existing replicas directly.
         let p = ReplicationPolicy::default();
-        let d = DemandWindow { hits: 10, misses: 0 };
+        let d = DemandWindow {
+            hits: 10,
+            misses: 0,
+        };
         assert_eq!(p.target_replicas(3, d), 3);
     }
 }

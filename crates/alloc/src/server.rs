@@ -103,7 +103,11 @@ impl AllocationServer {
     }
 
     /// Update a repository's monitored availability (CDN-client telemetry).
-    pub fn report_availability(&self, node: NodeId, availability: f64) -> Result<(), AllocationError> {
+    pub fn report_availability(
+        &self,
+        node: NodeId,
+        availability: f64,
+    ) -> Result<(), AllocationError> {
         let mut s = self.state.write();
         let info = s
             .repositories
@@ -361,7 +365,9 @@ impl AllocationServer {
                 let current = e.replicas.len();
                 let target = policy.target_replicas(current, e.demand);
                 let target = if policy.should_shrink(current, e.demand) {
-                    target.min(current.saturating_sub(1)).max(policy.min_replicas)
+                    target
+                        .min(current.saturating_sub(1))
+                        .max(policy.min_replicas)
                 } else {
                     target
                 };
@@ -416,7 +422,8 @@ mod tests {
     fn register_and_place() {
         let g = barabasi_albert(100, 2, 1);
         let srv = server_with_repos(&g);
-        srv.register_dataset(DatasetId(0), 8, NodeId(5)).expect("registers");
+        srv.register_dataset(DatasetId(0), 8, NodeId(5))
+            .expect("registers");
         let added = srv
             .place_replicas(DatasetId(0), 4, PlacementAlgorithm::NodeDegree, &g, 0)
             .expect("places");
@@ -430,9 +437,11 @@ mod tests {
     fn duplicate_dataset_rejected() {
         let g = barabasi_albert(10, 2, 1);
         let srv = server_with_repos(&g);
-        srv.register_dataset(DatasetId(1), 1, NodeId(0)).expect("ok");
+        srv.register_dataset(DatasetId(1), 1, NodeId(0))
+            .expect("ok");
         assert_eq!(
-            srv.register_dataset(DatasetId(1), 1, NodeId(1)).unwrap_err(),
+            srv.register_dataset(DatasetId(1), 1, NodeId(1))
+                .unwrap_err(),
             AllocationError::DuplicateDataset(DatasetId(1))
         );
     }
@@ -441,7 +450,8 @@ mod tests {
     fn unknown_primary_rejected() {
         let srv = AllocationServer::new();
         assert_eq!(
-            srv.register_dataset(DatasetId(0), 1, NodeId(3)).unwrap_err(),
+            srv.register_dataset(DatasetId(0), 1, NodeId(3))
+                .unwrap_err(),
             AllocationError::UnknownRepository(NodeId(3))
         );
     }
@@ -459,7 +469,8 @@ mod tests {
                 availability: 1.0,
             });
         }
-        srv.register_dataset(DatasetId(0), 1, NodeId(0)).expect("ok");
+        srv.register_dataset(DatasetId(0), 1, NodeId(0))
+            .expect("ok");
         srv.place_replicas(DatasetId(0), 5, PlacementAlgorithm::NodeDegree, &g, 0)
             .expect("places");
         for n in srv.replicas_of(DatasetId(0)).expect("known") {
@@ -471,7 +482,8 @@ mod tests {
     fn resolve_tracks_demand() {
         let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
         let srv = server_with_repos(&g);
-        srv.register_dataset(DatasetId(0), 1, NodeId(0)).expect("ok");
+        srv.register_dataset(DatasetId(0), 1, NodeId(0))
+            .expect("ok");
         // Requester 1 is adjacent to the replica on 0 → hit.
         srv.resolve(DatasetId(0), NodeId(1), &g, |_| true, |_| 10.0)
             .expect("resolves");
@@ -487,7 +499,8 @@ mod tests {
     fn resolve_fails_when_all_offline() {
         let g = Graph::from_edges(2, [(0, 1, 1)]);
         let srv = server_with_repos(&g);
-        srv.register_dataset(DatasetId(0), 1, NodeId(0)).expect("ok");
+        srv.register_dataset(DatasetId(0), 1, NodeId(0))
+            .expect("ok");
         assert_eq!(
             srv.resolve(DatasetId(0), NodeId(1), &g, |_| false, |_| 1.0)
                 .unwrap_err(),
@@ -499,16 +512,22 @@ mod tests {
     fn migration_moves_replica() {
         let g = barabasi_albert(10, 2, 3);
         let srv = server_with_repos(&g);
-        srv.register_dataset(DatasetId(0), 1, NodeId(2)).expect("ok");
-        srv.migrate_replica(DatasetId(0), NodeId(2), NodeId(7)).expect("migrates");
-        assert_eq!(srv.replicas_of(DatasetId(0)).expect("known"), vec![NodeId(7)]);
+        srv.register_dataset(DatasetId(0), 1, NodeId(2))
+            .expect("ok");
+        srv.migrate_replica(DatasetId(0), NodeId(2), NodeId(7))
+            .expect("migrates");
+        assert_eq!(
+            srv.replicas_of(DatasetId(0)).expect("known"),
+            vec![NodeId(7)]
+        );
     }
 
     #[test]
     fn rebalance_plan_grows_hot_datasets() {
         let g = barabasi_albert(20, 2, 4);
         let srv = server_with_repos(&g);
-        srv.register_dataset(DatasetId(0), 1, NodeId(0)).expect("ok");
+        srv.register_dataset(DatasetId(0), 1, NodeId(0))
+            .expect("ok");
         // Simulate heavy demand with misses.
         for _ in 0..250 {
             let _ = srv.resolve(DatasetId(0), NodeId(15), &g, |_| true, |_| 1.0);
@@ -531,7 +550,8 @@ mod tests {
         assert_eq!(b.dataset_count(), 1);
         assert_eq!(b.repository_count(), 10);
         // A later change on b propagates back to a.
-        b.migrate_replica(DatasetId(0), NodeId(1), NodeId(3)).expect("ok");
+        b.migrate_replica(DatasetId(0), NodeId(1), NodeId(3))
+            .expect("ok");
         a.sync_from(&b);
         assert_eq!(a.replicas_of(DatasetId(0)).expect("known"), vec![NodeId(3)]);
     }

@@ -1,0 +1,39 @@
+//! Property tests: every `PlacementAlgorithm` must pick *identical*
+//! replicas on the adjacency-list and frozen-CSR backends — same nodes,
+//! same order, for every k and seed. This is what lets `place_csr` replace
+//! `place` on the hot path without changing a single experiment result.
+
+use proptest::prelude::*;
+use scdn_alloc::placement::PlacementAlgorithm;
+use scdn_graph::{CsrGraph, Graph};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..6), 0..80)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_algorithms_place_identically_on_both_backends(
+        g in arb_graph(),
+        k in 1usize..12,
+        seed in 0u64..50,
+    ) {
+        let csr = CsrGraph::from(&g);
+        for alg in PlacementAlgorithm::PAPER_SET
+            .into_iter()
+            .chain(PlacementAlgorithm::EXTENDED_SET)
+        {
+            prop_assert_eq!(
+                alg.place(&g, k, seed),
+                alg.place_csr(&csr, k, seed),
+                "{:?} diverged (k={}, seed={})",
+                alg,
+                k,
+                seed
+            );
+        }
+    }
+}

@@ -10,9 +10,7 @@ use scdn_graph::{Graph, NodeId};
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (3usize..40).prop_flat_map(|n| {
         proptest::collection::vec((0..n as u32, 0..n as u32), 0..80)
-            .prop_map(move |edges| {
-                Graph::from_edges(n, edges.into_iter().map(|(a, b)| (a, b, 1)))
-            })
+            .prop_map(move |edges| Graph::from_edges(n, edges.into_iter().map(|(a, b)| (a, b, 1))))
     })
 }
 

@@ -28,7 +28,14 @@ fn random_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("casestudy/random-100-runs");
     group.sample_size(10);
     group.bench_function("numauthors-k5", |b| {
-        b.iter(|| cs.mean_hit_rate(std::hint::black_box(&sub), PlacementAlgorithm::Random, 5, 100));
+        b.iter(|| {
+            cs.mean_hit_rate(
+                std::hint::black_box(&sub),
+                PlacementAlgorithm::Random,
+                5,
+                100,
+            )
+        });
     });
     group.finish();
 }

@@ -1,0 +1,59 @@
+//! Criterion benches: adjacency-list vs frozen-CSR backends on the two
+//! placement hot paths — exact Brandes betweenness and a full `PAPER_SET`
+//! placement sweep on a 10k-node generator graph.
+//!
+//! The machine-readable version of this comparison is produced by the
+//! `bench_graph` binary (`cargo run --release -p scdn-bench --bin
+//! bench_graph`), which writes `BENCH_graph.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scdn_alloc::placement::PlacementAlgorithm;
+use scdn_graph::centrality::{betweenness, betweenness_csr};
+use scdn_graph::generators::barabasi_albert;
+use scdn_graph::CsrGraph;
+
+fn brandes_backends(c: &mut Criterion) {
+    let g = barabasi_albert(2_000, 3, 11);
+    let csr = CsrGraph::from(&g);
+    let mut group = c.benchmark_group("csr/betweenness-2k");
+    group.sample_size(10);
+    group.bench_function("adjacency", |b| {
+        b.iter(|| betweenness(std::hint::black_box(&g)));
+    });
+    group.bench_function("csr", |b| {
+        b.iter(|| betweenness_csr(std::hint::black_box(&csr)));
+    });
+    group.finish();
+}
+
+fn paper_sweep_backends(c: &mut Criterion) {
+    let g = barabasi_albert(10_000, 3, 21);
+    let ks: Vec<usize> = (1..=10).collect();
+    let mut group = c.benchmark_group("csr/paper-sweep-10k");
+    group.sample_size(10);
+    group.bench_function("adjacency", |b| {
+        b.iter(|| {
+            for alg in PlacementAlgorithm::PAPER_SET {
+                for &k in &ks {
+                    std::hint::black_box(alg.place(std::hint::black_box(&g), k, 7));
+                }
+            }
+        });
+    });
+    // The CSR side pays the freeze inside the loop — the comparison stays
+    // honest about the one-time conversion cost.
+    group.bench_function("csr", |b| {
+        b.iter(|| {
+            let csr = CsrGraph::from(std::hint::black_box(&g));
+            for alg in PlacementAlgorithm::PAPER_SET {
+                for &k in &ks {
+                    std::hint::black_box(alg.place_csr(&csr, k, 7));
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, brandes_backends, paper_sweep_backends);
+criterion_main!(benches);

@@ -68,5 +68,13 @@ fn span(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bfs, components, clustering, brandes, communities, span);
+criterion_group!(
+    benches,
+    bfs,
+    components,
+    clustering,
+    brandes,
+    communities,
+    span
+);
 criterion_main!(benches);

@@ -47,10 +47,7 @@ fn segmentation(c: &mut Criterion) {
 }
 
 fn transfers(c: &mut Criterion) {
-    let topo = Topology::uniform(
-        vec![(41.88, -87.63), (49.01, 8.40)],
-        LinkQuality::default(),
-    );
+    let topo = Topology::uniform(vec![(41.88, -87.63), (49.01, 8.40)], LinkQuality::default());
     let engine = TransferEngine {
         topology: topo,
         failure: FailureModel {

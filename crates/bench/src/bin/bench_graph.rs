@@ -1,0 +1,163 @@
+//! Adjacency-vs-CSR speedup reporter.
+//!
+//! Times the two graph backends on the placement/centrality hot path —
+//! exact Brandes betweenness and a full `PAPER_SET` placement sweep on a
+//! 10k-node Barabási–Albert graph — checks the outputs agree, and writes
+//! the results to `BENCH_graph.json` (hand-rolled JSON; the workspace has
+//! no serde_json).
+//!
+//! Run from the repository root with:
+//! `cargo run --release -p scdn-bench --bin bench_graph`
+
+use std::time::Instant;
+
+use scdn_alloc::placement::PlacementAlgorithm;
+use scdn_graph::centrality::{betweenness, betweenness_csr};
+use scdn_graph::generators::barabasi_albert;
+use scdn_graph::{CsrGraph, Graph, NodeId};
+
+/// Mean wall-clock milliseconds of `f` over `iters` runs (after one
+/// warmup run).
+fn time_ms<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1_000.0 / iters as f64
+}
+
+struct Comparison {
+    name: &'static str,
+    nodes: usize,
+    edges: usize,
+    adjacency_ms: f64,
+    csr_ms: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.adjacency_ms / self.csr_ms
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"nodes\": {},\n",
+                "      \"edges\": {},\n",
+                "      \"adjacency_ms\": {:.3},\n",
+                "      \"csr_ms\": {:.3},\n",
+                "      \"speedup\": {:.2}\n",
+                "    }}"
+            ),
+            self.name,
+            self.nodes,
+            self.edges,
+            self.adjacency_ms,
+            self.csr_ms,
+            self.speedup()
+        )
+    }
+}
+
+fn sweep_adjacency(g: &Graph, ks: &[usize]) -> Vec<NodeId> {
+    let mut last = Vec::new();
+    for alg in PlacementAlgorithm::PAPER_SET {
+        for &k in ks {
+            last = alg.place(g, k, 7);
+        }
+    }
+    last
+}
+
+fn sweep_csr(g: &Graph, ks: &[usize]) -> Vec<NodeId> {
+    // Freeze inside the timed region: the comparison charges CSR for its
+    // one-time conversion.
+    let csr = CsrGraph::from(g);
+    let mut last = Vec::new();
+    for alg in PlacementAlgorithm::PAPER_SET {
+        for &k in ks {
+            last = alg.place_csr(&csr, k, 7);
+        }
+    }
+    last
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_graph.json".to_string());
+
+    // Brandes betweenness: the per-source scratch reuse is the win here.
+    let gb = barabasi_albert(2_000, 3, 11);
+    let cb = CsrGraph::from(&gb);
+    assert_eq!(
+        betweenness(&gb),
+        betweenness_csr(&cb),
+        "CSR Brandes must be bit-identical"
+    );
+    eprintln!("timing Brandes betweenness ({} nodes)...", gb.node_count());
+    let brandes = Comparison {
+        name: "brandes_betweenness",
+        nodes: gb.node_count(),
+        edges: gb.edge_count(),
+        adjacency_ms: time_ms(3, || {
+            std::hint::black_box(betweenness(std::hint::black_box(&gb)));
+        }),
+        csr_ms: time_ms(3, || {
+            std::hint::black_box(betweenness_csr(std::hint::black_box(&cb)));
+        }),
+    };
+
+    // Full PAPER_SET placement sweep on a 10k-node generator graph
+    // (clustering-coefficient ranking dominates; CSR wins on the merge
+    // intersection plus the flat adjacency walks).
+    let gs = barabasi_albert(10_000, 3, 21);
+    let ks: Vec<usize> = (1..=10).collect();
+    assert_eq!(
+        sweep_adjacency(&gs, &ks),
+        sweep_csr(&gs, &ks),
+        "CSR placements must match adjacency placements"
+    );
+    eprintln!("timing PAPER_SET sweep ({} nodes)...", gs.node_count());
+    let sweep = Comparison {
+        name: "paper_set_placement_sweep",
+        nodes: gs.node_count(),
+        edges: gs.edge_count(),
+        adjacency_ms: time_ms(3, || {
+            std::hint::black_box(sweep_adjacency(std::hint::black_box(&gs), &ks));
+        }),
+        csr_ms: time_ms(3, || {
+            std::hint::black_box(sweep_csr(std::hint::black_box(&gs), &ks));
+        }),
+    };
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"description\": \"adjacency-list vs frozen-CSR graph backend, ",
+            "mean wall-clock ms over 3 runs\",\n",
+            "  \"generator\": \"barabasi_albert(n, 3)\",\n",
+            "  \"comparisons\": {{\n",
+            "{},\n",
+            "{}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        brandes.to_json(),
+        sweep.to_json()
+    );
+    std::fs::write(&out_path, &json).expect("write results");
+    for c in [&brandes, &sweep] {
+        println!(
+            "{:<28} n={:<6} adjacency {:8.1} ms  csr {:8.1} ms  speedup {:4.2}x",
+            c.name,
+            c.nodes,
+            c.adjacency_ms,
+            c.csr_ms,
+            c.speedup()
+        );
+    }
+    println!("wrote {out_path}");
+}

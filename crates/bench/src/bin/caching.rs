@@ -25,7 +25,10 @@ fn main() {
         TrustFilter::MaxAuthorsPerPub(6),
     )
     .expect("seed author present");
-    println!("opportunistic caching on the number-of-authors graph ({} nodes)", sub.graph.node_count());
+    println!(
+        "opportunistic caching on the number-of-authors graph ({} nodes)",
+        sub.graph.node_count()
+    );
     println!();
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",

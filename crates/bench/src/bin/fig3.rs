@@ -17,7 +17,11 @@ fn main() {
     let g = paper_corpus();
     let cs = CaseStudy::paper_setup(&g.corpus, g.seed_author);
     let subs = cs.paper_subgraphs().expect("seed author present");
-    let panels = ["(a) Baseline Graph", "(b) Double Coauthorship", "(c) Number of Authors"];
+    let panels = [
+        "(a) Baseline Graph",
+        "(b) Double Coauthorship",
+        "(c) Number of Authors",
+    ];
     for (sub, panel) in subs.iter().zip(panels) {
         println!("Fig. 3{panel}: replica hit rate (%) vs number of replicas");
         print!("{:<24}", "algorithm\\replicas");

@@ -15,7 +15,11 @@ fn main() {
     let g = paper_corpus();
     let cs = CaseStudy::paper_setup(&g.corpus, g.seed_author);
     let subs = cs.paper_subgraphs().expect("seed author present");
-    let panels = ["(a) Baseline", "(b) Double Coauthorship", "(c) Number of Authors"];
+    let panels = [
+        "(a) Baseline",
+        "(b) Double Coauthorship",
+        "(c) Number of Authors",
+    ];
     // Fewer runs than fig3: the extended algorithms are deterministic, and
     // betweenness on the baseline graph costs a full Brandes pass.
     let runs = 20;

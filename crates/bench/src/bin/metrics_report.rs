@@ -55,50 +55,90 @@ fn main() {
             println!();
         };
     println!("--- CDN quality -------------------------------------------------------");
-    metric("requests served", &|r| {
-        (r.scdn.cdn_metrics.hits + r.scdn.cdn_metrics.misses) as f64
-    }, " ");
+    metric(
+        "requests served",
+        &|r| (r.scdn.cdn_metrics.hits + r.scdn.cdn_metrics.misses) as f64,
+        " ",
+    );
     metric("social hit rate", &|r| r.scdn.cdn_metrics.hit_rate(), "%");
-    metric("failure rate", &|r| 100.0 * r.scdn.cdn_metrics.failure_rate(), "%");
-    metric("response time mean", &|r| r.scdn.cdn_metrics.response_time_ms.mean(), "ms");
-    metric("response time p95", &|r| {
-        r.scdn.cdn_metrics.response_time_ms.quantile(0.95)
-    }, "ms");
-    metric("fabric availability", &|r| {
-        100.0 * r.scdn.cdn_metrics.availability_samples.mean()
-    }, "%");
-    metric("mean redundancy (replicas)", &|r| r.scdn.cdn_metrics.redundancy.mean(), " ");
-    metric("bytes transferred (MB)", &|r| {
-        r.scdn.cdn_metrics.bytes_transferred as f64 / 1e6
-    }, " ");
+    metric(
+        "failure rate",
+        &|r| 100.0 * r.scdn.cdn_metrics.failure_rate(),
+        "%",
+    );
+    metric(
+        "response time mean",
+        &|r| r.scdn.cdn_metrics.response_time_ms.mean(),
+        "ms",
+    );
+    metric(
+        "response time p95",
+        &|r| r.scdn.cdn_metrics.response_time_ms.quantile(0.95),
+        "ms",
+    );
+    metric(
+        "fabric availability",
+        &|r| 100.0 * r.scdn.cdn_metrics.availability_samples.mean(),
+        "%",
+    );
+    metric(
+        "mean redundancy (replicas)",
+        &|r| r.scdn.cdn_metrics.redundancy.mean(),
+        " ",
+    );
+    metric(
+        "bytes transferred (MB)",
+        &|r| r.scdn.cdn_metrics.bytes_transferred as f64 / 1e6,
+        " ",
+    );
     println!("--- social collaboration ----------------------------------------------");
-    metric("request acceptance rate", &|r| {
-        r.scdn.social_metrics.acceptance_rate()
-    }, "%");
-    metric("immediacy of allocation", &|r| {
-        r.scdn.social_metrics.immediacy_ms.mean()
-    }, "ms");
-    metric("exchanges (ok)", &|r| r.scdn.social_metrics.exchanges_ok as f64, " ");
-    metric("exchange success ratio", &|r| {
-        let v = r.scdn.social_metrics.exchange_success_ratio();
-        if v.is_finite() {
-            v
-        } else {
-            -1.0 // ∞ (no failures)
-        }
-    }, " ");
-    metric("freerider ratio (t=0.1)", &|r| {
-        100.0 * r.scdn.social_metrics.freerider_ratio(0.1)
-    }, "%");
-    metric("allocated/contributed", &|r| {
-        100.0 * r.scdn.social_metrics.allocation_ratio()
-    }, "%");
-    metric("geographic scarcity", &|r| {
-        r.scdn.social_metrics.geographic_scarcity()
-    }, " ");
-    metric("transaction volume (MB)", &|r| {
-        r.scdn.social_metrics.transaction_volume() as f64 / 1e6
-    }, " ");
+    metric(
+        "request acceptance rate",
+        &|r| r.scdn.social_metrics.acceptance_rate(),
+        "%",
+    );
+    metric(
+        "immediacy of allocation",
+        &|r| r.scdn.social_metrics.immediacy_ms.mean(),
+        "ms",
+    );
+    metric(
+        "exchanges (ok)",
+        &|r| r.scdn.social_metrics.exchanges_ok as f64,
+        " ",
+    );
+    metric(
+        "exchange success ratio",
+        &|r| {
+            let v = r.scdn.social_metrics.exchange_success_ratio();
+            if v.is_finite() {
+                v
+            } else {
+                -1.0 // ∞ (no failures)
+            }
+        },
+        " ",
+    );
+    metric(
+        "freerider ratio (t=0.1)",
+        &|r| 100.0 * r.scdn.social_metrics.freerider_ratio(0.1),
+        "%",
+    );
+    metric(
+        "allocated/contributed",
+        &|r| 100.0 * r.scdn.social_metrics.allocation_ratio(),
+        "%",
+    );
+    metric(
+        "geographic scarcity",
+        &|r| r.scdn.social_metrics.geographic_scarcity(),
+        " ",
+    );
+    metric(
+        "transaction volume (MB)",
+        &|r| r.scdn.social_metrics.transaction_volume() as f64 / 1e6,
+        " ",
+    );
     println!();
     println!("(exchange success ratio of -1.00 denotes ∞: no failed exchanges)");
 }

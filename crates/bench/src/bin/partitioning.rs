@@ -44,8 +44,7 @@ fn main() {
     );
     let mut rng = StdRng::seed_from_u64(99);
     for &(replicas, segments) in &[(3usize, 12u32), (5, 20), (8, 32), (10, 48)] {
-        let placement =
-            PlacementAlgorithm::CommunityNodeDegree.place(graph, replicas, 0);
+        let placement = PlacementAlgorithm::CommunityNodeDegree.place(graph, replicas, 0);
         // Community-aligned access pattern: each segment is read mostly by
         // one community (plus 15% background noise).
         let mut log = AccessLog::new();

@@ -16,8 +16,8 @@
 
 use scdn_alloc::placement::PlacementAlgorithm;
 use scdn_graph::parallel::par_map_collect;
-use scdn_graph::traversal::multi_source_bfs;
-use scdn_graph::NodeId;
+use scdn_graph::traversal::{multi_source_bfs, multi_source_bfs_csr};
+use scdn_graph::{CsrGraph, NodeId};
 use scdn_social::author::AuthorId;
 use scdn_social::corpus::Corpus;
 use scdn_social::trustgraph::{build_trust_subgraph, TrustFilter, TrustSubgraph};
@@ -95,11 +95,24 @@ impl<'c> CaseStudy<'c> {
     /// over the test-year publications.
     pub fn hit_rate(&self, sub: &TrustSubgraph, replicas: &[NodeId]) -> f64 {
         let dist = multi_source_bfs(&sub.graph, replicas);
+        self.score_hits(sub, &dist)
+    }
+
+    /// [`hit_rate`](CaseStudy::hit_rate) against a pre-frozen CSR view of
+    /// `sub.graph`. Identical result; used by the sweep so the subgraph is
+    /// frozen once, not once per (algorithm, k, run).
+    pub fn hit_rate_csr(&self, sub: &TrustSubgraph, csr: &CsrGraph, replicas: &[NodeId]) -> f64 {
+        let dist = multi_source_bfs_csr(csr, replicas);
+        self.score_hits(sub, &dist)
+    }
+
+    /// Score a distance field per the paper: an in-subgraph author hits if
+    /// its nearest replica is at hop ≤ 1.
+    fn score_hits(&self, sub: &TrustSubgraph, dist: &[Option<u32>]) -> f64 {
         let mut hits = 0u64;
         let mut denom = 0u64;
         for p in self.corpus.publications_in(self.test_years.clone()) {
-            let in_sub: Vec<NodeId> =
-                p.authors.iter().filter_map(|&a| sub.node_of(a)).collect();
+            let in_sub: Vec<NodeId> = p.authors.iter().filter_map(|&a| sub.node_of(a)).collect();
             if in_sub.is_empty() {
                 continue; // publication entirely outside the subgraph
             }
@@ -128,25 +141,40 @@ impl<'c> CaseStudy<'c> {
         k: usize,
         runs: usize,
     ) -> f64 {
+        let csr = CsrGraph::from(&sub.graph);
+        self.mean_hit_rate_csr(sub, &csr, algorithm, k, runs)
+    }
+
+    /// [`mean_hit_rate`](CaseStudy::mean_hit_rate) with the CSR view
+    /// supplied by the caller — the freeze-once hot path.
+    pub fn mean_hit_rate_csr(
+        &self,
+        sub: &TrustSubgraph,
+        csr: &CsrGraph,
+        algorithm: PlacementAlgorithm,
+        k: usize,
+        runs: usize,
+    ) -> f64 {
         if runs == 0 {
             return 0.0;
         }
         if algorithm == PlacementAlgorithm::Random {
             // Each run uses a distinct seed; runs execute in parallel.
             let rates = par_map_collect(runs, 4, |run| {
-                let replicas = algorithm.place(&sub.graph, k, run as u64);
-                self.hit_rate(sub, &replicas)
+                let replicas = algorithm.place_csr(csr, k, run as u64);
+                self.hit_rate_csr(sub, csr, &replicas)
             });
             rates.iter().sum::<f64>() / runs as f64
         } else {
             // Deterministic algorithms produce the same placement per run.
-            let replicas = algorithm.place(&sub.graph, k, 0);
-            self.hit_rate(sub, &replicas)
+            let replicas = algorithm.place_csr(csr, k, 0);
+            self.hit_rate_csr(sub, csr, &replicas)
         }
     }
 
     /// Produce the full Fig. 3 panel for one subgraph: hit-rate curves for
-    /// each algorithm over `ks`, averaged over `runs`.
+    /// each algorithm over `ks`, averaged over `runs`. The subgraph is
+    /// frozen to CSR exactly once for the whole sweep.
     pub fn sweep(
         &self,
         sub: &TrustSubgraph,
@@ -154,6 +182,7 @@ impl<'c> CaseStudy<'c> {
         ks: &[usize],
         runs: usize,
     ) -> Vec<HitRateCurve> {
+        let csr = CsrGraph::from(&sub.graph);
         algorithms
             .iter()
             .map(|&algorithm| HitRateCurve {
@@ -161,7 +190,7 @@ impl<'c> CaseStudy<'c> {
                 ks: ks.to_vec(),
                 hit_rate_pct: ks
                     .iter()
-                    .map(|&k| self.mean_hit_rate(sub, algorithm, k, runs))
+                    .map(|&k| self.mean_hit_rate_csr(sub, &csr, algorithm, k, runs))
                     .collect(),
             })
             .collect()
@@ -226,7 +255,10 @@ mod tests {
         let full = cs.hit_rate(&sub, &all);
         let partial = cs.mean_hit_rate(&sub, PlacementAlgorithm::NodeDegree, 5, 1);
         assert!(full >= partial);
-        assert!(full > 50.0, "full coverage should hit most in-subgraph authors, got {full}");
+        assert!(
+            full > 50.0,
+            "full coverage should hit most in-subgraph authors, got {full}"
+        );
     }
 
     #[test]
@@ -239,6 +271,26 @@ mod tests {
         for c in &curves {
             assert_eq!(c.ks, vec![1, 2, 3]);
             assert_eq!(c.hit_rate_pct.len(), 3);
+        }
+    }
+
+    #[test]
+    fn csr_hit_rate_matches_adjacency() {
+        let g = small_synthetic();
+        let cs = CaseStudy::paper_setup(&g.corpus, g.seed_author);
+        let sub = cs.subgraph(TrustFilter::Baseline).expect("seed present");
+        let csr = CsrGraph::from(&sub.graph);
+        let replicas = PlacementAlgorithm::NodeDegree.place(&sub.graph, 5, 0);
+        assert_eq!(
+            cs.hit_rate(&sub, &replicas),
+            cs.hit_rate_csr(&sub, &csr, &replicas)
+        );
+        for alg in PlacementAlgorithm::PAPER_SET {
+            assert_eq!(
+                cs.mean_hit_rate(&sub, alg, 4, 3),
+                cs.mean_hit_rate_csr(&sub, &csr, alg, 4, 3),
+                "{alg:?}"
+            );
         }
     }
 

@@ -50,8 +50,7 @@ impl MonitoringClient {
         if self.samples == 0 {
             self.ewma_availability = x;
         } else {
-            self.ewma_availability =
-                self.alpha * x + (1.0 - self.alpha) * self.ewma_availability;
+            self.ewma_availability = self.alpha * x + (1.0 - self.alpha) * self.ewma_availability;
         }
         self.samples += 1;
     }

@@ -112,12 +112,10 @@ impl EventDrivenSim {
             }
             stats.events += 1;
             match event {
-                SimEvent::Request { node, dataset } => {
-                    match self.scdn.request(node, dataset) {
-                        Ok(_) => stats.served += 1,
-                        Err(_) => stats.failed += 1,
-                    }
-                }
+                SimEvent::Request { node, dataset } => match self.scdn.request(node, dataset) {
+                    Ok(_) => stats.served += 1,
+                    Err(_) => stats.failed += 1,
+                },
                 SimEvent::Maintenance => {
                     stats.maintenance_changes += self.scdn.maintain() as u64;
                 }

@@ -99,8 +99,11 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioReport {
     // Publishers: the top-degree members, one dataset each, round-robin.
     let mut by_degree: Vec<NodeId> = scdn.social.nodes().collect();
     by_degree.sort_by_key(|&v| std::cmp::Reverse(scdn.social.degree(v)));
-    let publisher_pool: Vec<NodeId> =
-        by_degree.iter().copied().take(cfg.datasets.max(1)).collect();
+    let publisher_pool: Vec<NodeId> = by_degree
+        .iter()
+        .copied()
+        .take(cfg.datasets.max(1))
+        .collect();
     let mut rng = StdRng::seed_from_u64(cfg.scdn.seed ^ 0xD5);
     let mut datasets: Vec<DatasetId> = Vec::with_capacity(cfg.datasets);
     for i in 0..cfg.datasets {

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use scdn_alloc::placement::PlacementAlgorithm;
 use scdn_alloc::replication::ReplicationPolicy;
 use scdn_alloc::server::{AllocationError, AllocationServer, RepositoryInfo};
-use scdn_graph::{Graph, NodeId};
+use scdn_graph::{CsrGraph, Graph, NodeId};
 use scdn_middleware::audit::AuditLog;
 use scdn_middleware::auth::{Middleware, MiddlewareError};
 use scdn_middleware::authz::{AccessDecision, AccessPolicy};
@@ -191,6 +191,10 @@ pub struct Scdn {
     config: ScdnConfig,
     /// The social graph (node ids index everything below).
     pub social: Graph,
+    /// CSR snapshot of `social`, frozen at build time: the membership
+    /// graph never changes after `build`, so every placement ranking in
+    /// `replicate` reuses this instead of re-walking the adjacency lists.
+    social_csr: CsrGraph,
     /// Node → author mapping.
     pub authors: Vec<AuthorId>,
     platform: Arc<SocialPlatform>,
@@ -251,9 +255,13 @@ impl Scdn {
                 .register(&login, &a.name, &login, Some(author))
                 .expect("generated logins are unique");
             for topic in corpus.interests_of(author) {
-                platform.add_interest(user, topic).expect("user just registered");
+                platform
+                    .add_interest(user, topic)
+                    .expect("user just registered");
             }
-            let token = platform.login(&login, &login).expect("credentials just set");
+            let token = platform
+                .login(&login, &login)
+                .expect("credentials just set");
             let session = middleware
                 .establish_session(&token)
                 .expect("fresh token validates");
@@ -268,8 +276,10 @@ impl Scdn {
             });
             social_metrics.contributed_bytes += config.repo_capacity;
             let region_idx = inst.region as usize;
-            *social_metrics.region_capacity.entry(region_idx).or_insert(0) +=
-                config.repo_capacity;
+            *social_metrics
+                .region_capacity
+                .entry(region_idx)
+                .or_insert(0) += config.repo_capacity;
         }
         // Mirror the social graph into platform relationships.
         let users: Vec<_> = sub
@@ -306,6 +316,7 @@ impl Scdn {
         overlay.establish_all(&sub.graph);
         Scdn {
             social: sub.graph.clone(),
+            social_csr: CsrGraph::from(&sub.graph),
             authors: sub.authors.clone(),
             platform,
             middleware,
@@ -484,10 +495,11 @@ impl Scdn {
         }
         // Over-provision the ranking: offline or already-hosting nodes are
         // skipped.
-        let ranked = self
-            .config
-            .placement
-            .place(&self.social, want + current.len() + 4, self.config.seed);
+        let ranked = self.config.placement.place_csr(
+            &self.social_csr,
+            want + current.len() + 4,
+            self.config.seed,
+        );
         let segments = self.segment_ids(dataset)?;
         let mut added = Vec::new();
         let mut have = current.len();
@@ -499,10 +511,7 @@ impl Scdn {
                 continue;
             }
             let online = self.is_online(cand);
-            let latency = self
-                .engine
-                .topology
-                .latency_ms(owner.index(), cand.index());
+            let latency = self.engine.topology.latency_ms(owner.index(), cand.index());
             self.social_metrics.record_hosting_request(
                 online,
                 online.then(|| SimTime::from_millis(latency as u64)),
@@ -534,12 +543,8 @@ impl Scdn {
                     }
                 }
             }
-            self.social_metrics.record_exchange(
-                owner.index(),
-                cand.index(),
-                total_bytes,
-                !failed,
-            );
+            self.social_metrics
+                .record_exchange(owner.index(), cand.index(), total_bytes, !failed);
             self.cdn_metrics.bytes_transferred += total_bytes;
             self.clock = self.clock.plus_millis(total_ms as u64);
             if failed {
@@ -557,7 +562,11 @@ impl Scdn {
     /// Request a dataset from `node`: authenticate, check access policy,
     /// resolve the best online replica, and transfer every segment into
     /// the requester's user partition.
-    pub fn request(&mut self, node: NodeId, dataset: DatasetId) -> Result<RequestOutcome, ScdnError> {
+    pub fn request(
+        &mut self,
+        node: NodeId,
+        dataset: DatasetId,
+    ) -> Result<RequestOutcome, ScdnError> {
         self.check_node(node)?;
         let user = self.middleware.authorize_op(self.sessions[node.index()])?;
         let meta = self
@@ -644,7 +653,9 @@ impl Scdn {
         } else {
             self.cdn_metrics.misses += 1;
         }
-        self.cdn_metrics.response_time_ms.record(total_ms.max(selection.latency_ms));
+        self.cdn_metrics
+            .response_time_ms
+            .record(total_ms.max(selection.latency_ms));
         self.cdn_metrics.bytes_transferred += total_bytes;
         if selection.node != node {
             self.social_metrics.record_exchange(
@@ -687,13 +698,21 @@ impl Scdn {
         let mut changes = 0usize;
         for (dataset, current, target) in plan {
             if target > current {
-                let before = self.alloc.replicas_of(dataset).map(|r| r.len()).unwrap_or(0);
+                let before = self
+                    .alloc
+                    .replicas_of(dataset)
+                    .map(|r| r.len())
+                    .unwrap_or(0);
                 let want = self.config.replicas_per_dataset.max(target);
                 let saved = self.config.replicas_per_dataset;
                 self.config.replicas_per_dataset = want;
                 let _ = self.replicate(dataset);
                 self.config.replicas_per_dataset = saved;
-                let after = self.alloc.replicas_of(dataset).map(|r| r.len()).unwrap_or(0);
+                let after = self
+                    .alloc
+                    .replicas_of(dataset)
+                    .map(|r| r.len())
+                    .unwrap_or(0);
                 changes += after.saturating_sub(before);
             } else if target < current {
                 // Shed the last-added replica(s).
@@ -703,11 +722,8 @@ impl Scdn {
                             // Evict the stored segments (CDN-initiated).
                             if let Ok(segments) = self.segment_ids(dataset) {
                                 for s in segments {
-                                    let _ = self.repos[n.index()].remove(
-                                        Partition::Replica,
-                                        s,
-                                        false,
-                                    );
+                                    let _ =
+                                        self.repos[n.index()].remove(Partition::Replica, s, false);
                                 }
                             }
                             changes += 1;

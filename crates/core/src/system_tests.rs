@@ -19,8 +19,14 @@ fn community() -> (SyntheticDblp, TrustSubgraph) {
     params.mega_pub_authors = 0;
     params.rng_seed = 77;
     let c = generate(&params);
-    let sub = build_trust_subgraph(&c.corpus, c.seed_author, 3, 2009..=2010, TrustFilter::Baseline)
-        .expect("seed present");
+    let sub = build_trust_subgraph(
+        &c.corpus,
+        c.seed_author,
+        3,
+        2009..=2010,
+        TrustFilter::Baseline,
+    )
+    .expect("seed present");
     (c, sub)
 }
 
@@ -91,7 +97,13 @@ fn replicate_respects_target_count_and_skips_owner() {
     let mut scdn = Scdn::build(&sub, &c.corpus, config);
     let owner = NodeId(0);
     let id = scdn
-        .publish(owner, "r4", Bytes::from(vec![0u8; 1024]), Sensitivity::Public, None)
+        .publish(
+            owner,
+            "r4",
+            Bytes::from(vec![0u8; 1024]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     let added = scdn.replicate(id).expect("replicates");
     assert_eq!(added.len(), 3);
@@ -100,7 +112,12 @@ fn replicate_respects_target_count_and_skips_owner() {
     assert!(scdn.replicate(id).expect("noop").is_empty());
     // Each added host holds the segment in its replica partition.
     for &h in &added {
-        assert_eq!(scdn.repo(h).expect("repo").segment_count(Partition::Replica), 1);
+        assert_eq!(
+            scdn.repo(h)
+                .expect("repo")
+                .segment_count(Partition::Replica),
+            1
+        );
     }
 }
 
@@ -109,7 +126,13 @@ fn replication_records_hosting_and_exchanges() {
     let (c, sub) = community();
     let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
     let id = scdn
-        .publish(NodeId(0), "m", Bytes::from(vec![0u8; 64 << 10]), Sensitivity::Public, None)
+        .publish(
+            NodeId(0),
+            "m",
+            Bytes::from(vec![0u8; 64 << 10]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     scdn.replicate(id).expect("replicates");
     assert!(scdn.social_metrics.hosting_requests >= 2);
@@ -130,7 +153,13 @@ fn offline_hosts_rejected_during_replication() {
     config.replicas_per_dataset = 5;
     let mut scdn = Scdn::build(&sub, &c.corpus, config);
     let id = scdn
-        .publish(NodeId(0), "c", Bytes::from(vec![0u8; 1024]), Sensitivity::Public, None)
+        .publish(
+            NodeId(0),
+            "c",
+            Bytes::from(vec![0u8; 1024]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     scdn.tick(1_000);
     let _ = scdn.replicate(id);
@@ -150,7 +179,13 @@ fn request_hits_when_neighbor_hosts() {
     let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
     let owner = NodeId(0);
     let id = scdn
-        .publish(owner, "n", Bytes::from(vec![0u8; 2048]), Sensitivity::Public, None)
+        .publish(
+            owner,
+            "n",
+            Bytes::from(vec![0u8; 2048]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     // A direct neighbor of the owner is a social hit even pre-replication.
     let neighbor = sub.graph.neighbors(owner)[0].to;
@@ -168,7 +203,13 @@ fn clock_advances_with_traffic() {
     scdn.tick(5_000);
     assert_eq!(scdn.now().since(t0), 5_000);
     let id = scdn
-        .publish(NodeId(0), "t", Bytes::from(vec![0u8; 512 << 10]), Sensitivity::Public, None)
+        .publish(
+            NodeId(0),
+            "t",
+            Bytes::from(vec![0u8; 512 << 10]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     scdn.replicate(id).expect("replicates");
     assert!(scdn.now().since(t0) > 5_000, "transfers consume time");
@@ -197,7 +238,13 @@ fn maintenance_sheds_idle_replicas() {
     config.replicas_per_dataset = 6;
     let mut scdn = Scdn::build(&sub, &c.corpus, config);
     let id = scdn
-        .publish(NodeId(0), "idle", Bytes::from(vec![0u8; 1024]), Sensitivity::Public, None)
+        .publish(
+            NodeId(0),
+            "idle",
+            Bytes::from(vec![0u8; 1024]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     scdn.replicate(id).expect("replicates");
     assert_eq!(scdn.replicas_of(id).expect("known").len(), 6);
@@ -212,7 +259,13 @@ fn departure_and_repair_restore_redundancy() {
     let (c, sub) = community();
     let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
     let id = scdn
-        .publish(NodeId(0), "d", Bytes::from(vec![0u8; 2048]), Sensitivity::Public, None)
+        .publish(
+            NodeId(0),
+            "d",
+            Bytes::from(vec![0u8; 2048]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     let added = scdn.replicate(id).expect("replicates");
     assert_eq!(scdn.replicas_of(id).expect("known").len(), 3);
@@ -254,7 +307,10 @@ fn telemetry_reaches_allocation_server() {
             .availability;
     }
     let mean = sum / n as f64;
-    assert!((mean - 0.5).abs() < 0.15, "mean reported availability {mean}");
+    assert!(
+        (mean - 0.5).abs() < 0.15,
+        "mean reported availability {mean}"
+    );
 }
 
 #[test]
@@ -316,7 +372,13 @@ fn social_boundary_blocks_cross_island_service() {
         .find(|&v| comps.component_of(v) != owner_comp)
         .expect("another island exists");
     let id = scdn
-        .publish(owner, "island", Bytes::from(vec![1u8; 512]), Sensitivity::Public, None)
+        .publish(
+            owner,
+            "island",
+            Bytes::from(vec![1u8; 512]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     match scdn.request(requester, id) {
         Err(ScdnError::Alloc(_)) => {}
@@ -344,12 +406,24 @@ fn audit_trail_records_grants_and_denials() {
         trust: None,
     };
     let id = scdn
-        .publish(owner, "audited", Bytes::from(vec![0u8; 256]), Sensitivity::Restricted, Some(policy))
+        .publish(
+            owner,
+            "audited",
+            Bytes::from(vec![0u8; 256]),
+            Sensitivity::Restricted,
+            Some(policy),
+        )
         .expect("publishes");
     let requester = NodeId(5);
     assert!(scdn.request(requester, id).is_err());
     let public = scdn
-        .publish(owner, "open", Bytes::from(vec![0u8; 256]), Sensitivity::Public, None)
+        .publish(
+            owner,
+            "open",
+            Bytes::from(vec![0u8; 256]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     assert!(scdn.request(requester, public).is_ok());
     let audit = scdn.audit();
@@ -368,7 +442,13 @@ fn opportunistic_caching_turns_misses_into_hits() {
     let mut scdn = Scdn::build(&sub, &c.corpus, config);
     let owner = NodeId(0);
     let id = scdn
-        .publish(owner, "cacheable", Bytes::from(vec![0u8; 8192]), Sensitivity::Public, None)
+        .publish(
+            owner,
+            "cacheable",
+            Bytes::from(vec![0u8; 8192]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     // Find a requester at distance >= 2 (a miss) with a neighbor.
     let dist = scdn_graph::traversal::bfs_distances(&scdn.social, owner);
@@ -394,7 +474,13 @@ fn caching_disabled_keeps_catalog_stable() {
     config.replicas_per_dataset = 1;
     let mut scdn = Scdn::build(&sub, &c.corpus, config);
     let id = scdn
-        .publish(NodeId(0), "plain", Bytes::from(vec![0u8; 1024]), Sensitivity::Public, None)
+        .publish(
+            NodeId(0),
+            "plain",
+            Bytes::from(vec![0u8; 1024]),
+            Sensitivity::Public,
+            None,
+        )
         .expect("publishes");
     let far = NodeId((scdn.member_count() - 1) as u32);
     scdn.request(far, id).expect("served");

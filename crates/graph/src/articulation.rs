@@ -119,7 +119,14 @@ mod tests {
         // Node 2 joins triangles {0,1,2} and {2,3,4}.
         let g = Graph::from_edges(
             5,
-            [(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1), (3, 4, 1), (2, 4, 1)],
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (2, 4, 1),
+            ],
         );
         let cs = cut_structure(&g);
         assert_eq!(cs.articulation_points, vec![NodeId(2)]);
@@ -130,7 +137,15 @@ mod tests {
     fn bridge_between_cliques() {
         let g = Graph::from_edges(
             6,
-            [(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 1), (4, 5, 1), (3, 5, 1), (2, 3, 1)],
+            [
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
+                (2, 3, 1),
+            ],
         );
         let cs = cut_structure(&g);
         assert_eq!(cs.bridges, vec![(NodeId(2), NodeId(3))]);

@@ -5,11 +5,22 @@
 //! from the social connectivity graph" as social placement metrics; the
 //! extended placement algorithms in `scdn-alloc` rank nodes by these scores.
 
+use crate::csr::{CsrGraph, TraversalScratch, UNVISITED};
 use crate::graph::{Graph, NodeId};
-use crate::parallel::par_map_reduce;
+use crate::parallel::par_map_reduce_ranges;
 
 /// Degree centrality: `deg(v) / (n - 1)` (0 when `n < 2`).
 pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    g.nodes().map(|v| g.degree(v) as f64 / denom).collect()
+}
+
+/// [`degree_centrality`] on a frozen [`CsrGraph`]. Bit-identical output.
+pub fn degree_centrality_csr(g: &CsrGraph) -> Vec<f64> {
     let n = g.node_count();
     if n < 2 {
         return vec![0.0; n];
@@ -46,6 +57,34 @@ pub fn closeness(g: &Graph) -> Vec<f64> {
     out
 }
 
+/// [`closeness`] on a frozen [`CsrGraph`], reusing one BFS scratch across
+/// all sources. Bit-identical output (reach/distance sums are integers).
+pub fn closeness_csr(g: &CsrGraph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    if n < 2 {
+        return out;
+    }
+    let mut scratch = TraversalScratch::new();
+    for v in g.nodes() {
+        scratch.bfs(g, &[v]);
+        let mut reach = 0u64;
+        let mut total = 0u64;
+        for &u in scratch.visited() {
+            let d = scratch.distances()[u as usize];
+            if d > 0 {
+                reach += 1;
+                total += d as u64;
+            }
+        }
+        if total > 0 {
+            let r = reach as f64;
+            out[v.index()] = (r / (n as f64 - 1.0)) * (r / total as f64);
+        }
+    }
+    out
+}
+
 /// Harmonic centrality: `sum over u != v of 1 / d(v, u)`, unreachable pairs
 /// contribute 0. Robust to disconnection without correction factors.
 pub fn harmonic_centrality(g: &Graph) -> Vec<f64> {
@@ -58,6 +97,24 @@ pub fn harmonic_centrality(g: &Graph) -> Vec<f64> {
             .flatten()
             .filter(|&d| d > 0)
             .map(|d| 1.0 / d as f64)
+            .sum();
+    }
+    out
+}
+
+/// [`harmonic_centrality`] on a frozen [`CsrGraph`], reusing one BFS
+/// scratch. The reciprocal sum runs in node-id order (not visit order) so
+/// the floating-point result is bit-identical to the adjacency version.
+pub fn harmonic_centrality_csr(g: &CsrGraph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    let mut scratch = TraversalScratch::new();
+    for v in g.nodes() {
+        scratch.bfs(g, &[v]);
+        out[v.index()] = scratch.distances()[..n]
+            .iter()
+            .filter(|&&d| d != UNVISITED && d > 0)
+            .map(|&d| 1.0 / d as f64)
             .sum();
     }
     out
@@ -92,11 +149,66 @@ fn brandes_from_source(g: &Graph, s: NodeId, bc: &mut [f64]) {
     let mut delta = vec![0.0f64; n];
     while let Some(w) = stack.pop() {
         for &v in &preds[w.index()] {
-            delta[v.index()] +=
-                sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+            delta[v.index()] += sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
         }
         if w != s {
             bc[w.index()] += delta[w.index()];
+        }
+    }
+}
+
+/// One Brandes iteration on a frozen [`CsrGraph`] using the reusable
+/// scratch: flat predecessor slots bounded by the graph's own CSR offsets
+/// (a node's BFS-tree predecessors are a subset of its neighbors) and the
+/// visit-order vector doubling as queue, stack, and touched list. No
+/// allocation after the scratch's first growth.
+fn brandes_from_source_csr(
+    g: &CsrGraph,
+    s: NodeId,
+    scratch: &mut TraversalScratch,
+    bc: &mut [f64],
+) {
+    scratch.reset(g);
+    let TraversalScratch {
+        dist,
+        sigma,
+        delta,
+        pred_len,
+        pred_buf,
+        order,
+    } = scratch;
+    let offsets = g.offsets();
+    sigma[s.index()] = 1.0;
+    dist[s.index()] = 0;
+    order.push(s.0);
+    let mut head = 0;
+    while head < order.len() {
+        let v = order[head] as usize;
+        head += 1;
+        let dv = dist[v];
+        for &w in g.neighbor_ids(NodeId(v as u32)) {
+            let wi = w as usize;
+            if dist[wi] == UNVISITED {
+                dist[wi] = dv + 1;
+                order.push(w);
+            }
+            if dist[wi] == dv + 1 {
+                sigma[wi] += sigma[v];
+                pred_buf[(offsets[wi] + pred_len[wi]) as usize] = v as u32;
+                pred_len[wi] += 1;
+            }
+        }
+    }
+    // Reverse visit order = the Brandes stack's pop order.
+    for &w in order.iter().rev() {
+        let wi = w as usize;
+        let start = offsets[wi] as usize;
+        for &v in &pred_buf[start..start + pred_len[wi] as usize] {
+            let vi = v as usize;
+            delta[vi] += sigma[vi] / sigma[wi] * (1.0 + delta[wi]);
+        }
+        if wi != s.index() {
+            bc[wi] += delta[wi];
         }
     }
 }
@@ -117,15 +229,30 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
     bc
 }
 
+/// [`betweenness`] on a frozen [`CsrGraph`] with one reused scratch.
+/// Bit-identical output (same visit, predecessor, and accumulation order).
+pub fn betweenness_csr(g: &CsrGraph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut bc = vec![0.0; n];
+    let mut scratch = TraversalScratch::new();
+    for s in g.nodes() {
+        brandes_from_source_csr(g, s, &mut scratch, &mut bc);
+    }
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
 /// Exact betweenness centrality, parallel over sources (crossbeam scoped
-/// threads; each worker accumulates privately and results are summed).
-/// Produces the same values as [`betweenness`] up to floating-point
+/// threads; each worker accumulates privately over a fixed contiguous
+/// source range and the accumulators merge in worker order, so results are
+/// machine-deterministic). Matches [`betweenness`] up to floating-point
 /// summation order.
 pub fn betweenness_parallel(g: &Graph) -> Vec<f64> {
     let n = g.node_count();
-    let mut bc = par_map_reduce(
+    let mut bc = par_map_reduce_ranges(
         n,
-        8,
         || vec![0.0f64; n],
         |i, acc| brandes_from_source(g, NodeId(i as u32), acc),
         |mut a, b| {
@@ -133,6 +260,32 @@ pub fn betweenness_parallel(g: &Graph) -> Vec<f64> {
                 *x += y;
             }
             a
+        },
+    );
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// [`betweenness_parallel`] on a frozen [`CsrGraph`]: each worker owns one
+/// scratch for its whole source range. Uses the same fixed partitioning
+/// and merge order as the adjacency version, so on a given machine the two
+/// produce bit-identical scores.
+pub fn betweenness_parallel_csr(g: &CsrGraph) -> Vec<f64> {
+    let n = g.node_count();
+    let (mut bc, _) = par_map_reduce_ranges(
+        n,
+        || (vec![0.0f64; n], TraversalScratch::new()),
+        |i, acc| {
+            let (bc, scratch) = acc;
+            brandes_from_source_csr(g, NodeId(i as u32), scratch, bc);
+        },
+        |(mut a, scratch), (b, _)| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            (a, scratch)
         },
     );
     for b in &mut bc {
@@ -152,6 +305,25 @@ pub fn betweenness_sampled(g: &Graph, pivots: &[NodeId]) -> Vec<f64> {
     }
     for &s in pivots {
         brandes_from_source(g, s, &mut bc);
+    }
+    let scale = n as f64 / pivots.len() as f64 / 2.0;
+    for b in &mut bc {
+        *b *= scale;
+    }
+    bc
+}
+
+/// [`betweenness_sampled`] on a frozen [`CsrGraph`] with one reused
+/// scratch. Bit-identical output.
+pub fn betweenness_sampled_csr(g: &CsrGraph, pivots: &[NodeId]) -> Vec<f64> {
+    let n = g.node_count();
+    let mut bc = vec![0.0; n];
+    if pivots.is_empty() {
+        return bc;
+    }
+    let mut scratch = TraversalScratch::new();
+    for &s in pivots {
+        brandes_from_source_csr(g, s, &mut scratch, &mut bc);
     }
     let scale = n as f64 / pivots.len() as f64 / 2.0;
     for b in &mut bc {
@@ -258,5 +430,35 @@ mod tests {
     fn betweenness_empty_and_single() {
         assert!(betweenness(&Graph::new(0)).is_empty());
         assert_eq!(betweenness(&Graph::new(1)), vec![0.0]);
+    }
+
+    #[test]
+    fn csr_kernels_are_bit_identical() {
+        let g = crate::generators::barabasi_albert(150, 3, 23);
+        let c = CsrGraph::from(&g);
+        assert_eq!(betweenness(&g), betweenness_csr(&c));
+        assert_eq!(closeness(&g), closeness_csr(&c));
+        assert_eq!(harmonic_centrality(&g), harmonic_centrality_csr(&c));
+        assert_eq!(degree_centrality(&g), degree_centrality_csr(&c));
+        let pivots: Vec<NodeId> = (0..20).map(NodeId).collect();
+        assert_eq!(
+            betweenness_sampled(&g, &pivots),
+            betweenness_sampled_csr(&c, &pivots)
+        );
+    }
+
+    #[test]
+    fn csr_parallel_matches_adjacency_parallel_exactly() {
+        let g = crate::generators::barabasi_albert(300, 3, 31);
+        let c = CsrGraph::from(&g);
+        // Fixed-range partitioning makes the two parallel variants agree
+        // bit-for-bit on the same machine.
+        assert_eq!(betweenness_parallel(&g), betweenness_parallel_csr(&c));
+    }
+
+    #[test]
+    fn csr_betweenness_empty_and_single() {
+        assert!(betweenness_csr(&CsrGraph::from(&Graph::new(0))).is_empty());
+        assert_eq!(betweenness_csr(&CsrGraph::from(&Graph::new(1))), vec![0.0]);
     }
 }

@@ -103,8 +103,7 @@ pub fn label_propagation(g: &Graph, seed: u64, max_iters: usize) -> Partition {
     }
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut weight_by_label: std::collections::HashMap<u32, u64> =
-        std::collections::HashMap::new();
+    let mut weight_by_label: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
     for _ in 0..max_iters {
         order.shuffle(&mut rng);
         let mut changed = false;
@@ -156,8 +155,7 @@ pub fn greedy_modularity(g: &Graph) -> Partition {
     for v in g.nodes() {
         *strength.entry(labels[v.index()]).or_insert(0.0) += g.strength(v) as f64;
     }
-    let mut between: std::collections::HashMap<(u32, u32), f64> =
-        std::collections::HashMap::new();
+    let mut between: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
     for (a, b, w) in g.edges() {
         let (ca, cb) = (labels[a.index()], labels[b.index()]);
         let key = if ca < cb { (ca, cb) } else { (cb, ca) };

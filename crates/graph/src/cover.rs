@@ -127,7 +127,8 @@ pub fn is_vertex_cover(g: &Graph, set: &[NodeId]) -> bool {
     for &v in set {
         in_set[v.index()] = true;
     }
-    g.edges().all(|(a, b, _)| in_set[a.index()] || in_set[b.index()])
+    g.edges()
+        .all(|(a, b, _)| in_set[a.index()] || in_set[b.index()])
 }
 
 #[cfg(test)]

@@ -1,0 +1,392 @@
+//! Frozen CSR (compressed sparse row) snapshot of a [`Graph`], plus the
+//! reusable traversal scratch that makes repeated kernels allocation-free.
+//!
+//! The mutable [`Graph`] is the *build* representation: per-node `Vec`s
+//! that absorb incremental coauthorship edges cheaply. Once a trust
+//! subgraph is fixed, every downstream consumer (placement sweeps,
+//! centrality rankings, hit-rate scoring) only *reads* it — and reads it
+//! thousands of times. [`CsrGraph`] freezes the adjacency into three flat
+//! arrays (`offsets`, `neighbors`, `weights`) so traversals walk
+//! contiguous memory instead of chasing one heap allocation per node.
+//!
+//! Neighbor order is preserved exactly (sorted by id, like [`Graph`]), so
+//! every kernel ported to CSR visits nodes and edges in the same order as
+//! its adjacency-list twin and produces bit-identical results.
+//!
+//! [`TraversalScratch`] holds the per-source working set of the BFS and
+//! Brandes kernels (distances, path counts, dependencies, predecessor
+//! lists, visit order). It is cleared via the touched list (`order`) in
+//! `O(visited)` rather than reallocated or zeroed in `O(n)` per source,
+//! which is where the bulk of the speedup on repeated traversals comes
+//! from.
+
+use crate::graph::{EdgeRef, Graph, NodeId};
+
+/// Sentinel distance for nodes not reached by the current traversal.
+pub const UNVISITED: u32 = u32::MAX;
+
+/// Immutable compressed-sparse-row view of an undirected weighted graph.
+///
+/// Built once from a [`Graph`] via `CsrGraph::from(&g)`; node ids and the
+/// query surface ([`degree`](CsrGraph::degree),
+/// [`neighbors`](CsrGraph::neighbors), [`strength`](CsrGraph::strength),
+/// …) mirror the mutable graph exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors`/`weights` for `v`.
+    /// Length `n + 1`; `offsets[n]` equals `2 * edge_count`.
+    offsets: Vec<u32>,
+    /// Neighbor ids, grouped per node, sorted by id within each group.
+    neighbors: Vec<u32>,
+    /// Edge weights parallel to `neighbors`.
+    weights: Vec<u32>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        let n = g.node_count();
+        let half_edges = 2 * g.edge_count();
+        assert!(
+            u32::try_from(half_edges).is_ok(),
+            "graph too large for u32 CSR offsets"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(half_edges);
+        let mut weights = Vec::with_capacity(half_edges);
+        offsets.push(0);
+        for v in g.nodes() {
+            for e in g.neighbors(v) {
+                neighbors.push(e.to.0);
+                weights.push(e.weight);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+            edge_count: g.edge_count(),
+        }
+    }
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Half-edge index range of `v` into [`neighbor_ids`] / weights.
+    ///
+    /// [`neighbor_ids`]: CsrGraph::neighbor_ids
+    #[inline]
+    fn range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+    }
+
+    /// Degree (number of distinct neighbors) of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.range(v).len()
+    }
+
+    /// Sum of incident edge weights of `v` (weighted degree / strength).
+    pub fn strength(&self, v: NodeId) -> u64 {
+        self.weights[self.range(v)].iter().map(|&w| w as u64).sum()
+    }
+
+    /// Neighbor ids of `v`, sorted ascending — the flat fast path.
+    #[inline]
+    pub fn neighbor_ids(&self, v: NodeId) -> &[u32] {
+        &self.neighbors[self.range(v)]
+    }
+
+    /// Edge weights of `v`, parallel to [`neighbor_ids`](CsrGraph::neighbor_ids).
+    #[inline]
+    pub fn neighbor_weights(&self, v: NodeId) -> &[u32] {
+        &self.weights[self.range(v)]
+    }
+
+    /// Neighbors of `v` as [`EdgeRef`]s, in the same order as
+    /// [`Graph::neighbors`].
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let r = self.range(v);
+        self.neighbors[r.clone()]
+            .iter()
+            .zip(&self.weights[r])
+            .map(|(&to, &weight)| EdgeRef {
+                to: NodeId(to),
+                weight,
+            })
+    }
+
+    /// `true` if the undirected edge `a — b` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a.index() >= self.node_count() || b.index() >= self.node_count() {
+            return false;
+        }
+        self.neighbor_ids(a).binary_search(&b.0).is_ok()
+    }
+
+    /// Weight of edge `a — b`, if present.
+    pub fn edge_weight(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        if a.index() >= self.node_count() {
+            return None;
+        }
+        let r = self.range(a);
+        self.neighbors[r.clone()]
+            .binary_search(&b.0)
+            .ok()
+            .map(|i| self.weights[r.start + i])
+    }
+
+    /// Iterator over each undirected edge exactly once as `(a, b, w)` with
+    /// `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.neighbors(a)
+                .filter(move |e| a < e.to)
+                .map(move |e| (a, e.to, e.weight))
+        })
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The raw offsets array (length `n + 1`); exposed for kernels that
+    /// index flat per-half-edge storage (e.g. Brandes predecessor slots).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Total number of half-edges (`2 * edge_count`).
+    #[inline]
+    pub fn half_edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// Reusable working memory for BFS/Brandes-style traversals on a
+/// [`CsrGraph`].
+///
+/// One scratch serves any number of traversals (and any number of graphs:
+/// it grows to fit). The arrays are reset lazily via the touched list —
+/// only the slots dirtied by the previous traversal are cleared — so a
+/// kernel sweeping `n` sources pays `O(visited)` per source instead of
+/// `O(n)` allocation + zeroing.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalScratch {
+    /// Hop distance per node; [`UNVISITED`] when clean.
+    pub(crate) dist: Vec<u32>,
+    /// Shortest-path counts (Brandes σ); 0.0 when clean.
+    pub(crate) sigma: Vec<f64>,
+    /// Dependency accumulator (Brandes δ); 0.0 when clean.
+    pub(crate) delta: Vec<f64>,
+    /// Number of BFS-tree predecessors recorded per node; 0 when clean.
+    pub(crate) pred_len: Vec<u32>,
+    /// Flat predecessor storage: node `w`'s predecessors live at
+    /// `offsets[w] .. offsets[w] + pred_len[w]`. Valid because a node's
+    /// BFS-tree predecessors are a subset of its neighbors, so the
+    /// graph's own CSR offsets bound every predecessor list.
+    pub(crate) pred_buf: Vec<u32>,
+    /// Nodes in visit order. Doubles as the BFS queue (drained by a head
+    /// cursor), the Brandes stack (iterated in reverse), and the touched
+    /// list driving the `O(visited)` reset.
+    pub(crate) order: Vec<u32>,
+}
+
+impl TraversalScratch {
+    /// An empty scratch; sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow to fit `g` and clear everything the previous traversal
+    /// touched. Called at the start of every kernel.
+    pub(crate) fn reset(&mut self, g: &CsrGraph) {
+        let n = g.node_count();
+        if self.dist.len() < n {
+            self.dist.resize(n, UNVISITED);
+            self.sigma.resize(n, 0.0);
+            self.delta.resize(n, 0.0);
+            self.pred_len.resize(n, 0);
+        }
+        if self.pred_buf.len() < g.half_edge_count() {
+            self.pred_buf.resize(g.half_edge_count(), 0);
+        }
+        for &v in &self.order {
+            let v = v as usize;
+            self.dist[v] = UNVISITED;
+            self.sigma[v] = 0.0;
+            self.delta[v] = 0.0;
+            self.pred_len[v] = 0;
+        }
+        self.order.clear();
+    }
+
+    /// BFS from (the nearest of) `sources`, filling [`distance`] /
+    /// [`distances`] and the visit order. Out-of-range and duplicate
+    /// sources are ignored, matching `traversal::multi_source_bfs`.
+    ///
+    /// [`distance`]: TraversalScratch::distance
+    /// [`distances`]: TraversalScratch::distances
+    pub fn bfs(&mut self, g: &CsrGraph, sources: &[NodeId]) {
+        self.reset(g);
+        let n = g.node_count();
+        for &s in sources {
+            if s.index() < n && self.dist[s.index()] == UNVISITED {
+                self.dist[s.index()] = 0;
+                self.order.push(s.0);
+            }
+        }
+        let mut head = 0;
+        while head < self.order.len() {
+            let v = self.order[head] as usize;
+            head += 1;
+            let dv = self.dist[v];
+            for &w in g.neighbor_ids(NodeId(v as u32)) {
+                if self.dist[w as usize] == UNVISITED {
+                    self.dist[w as usize] = dv + 1;
+                    self.order.push(w);
+                }
+            }
+        }
+    }
+
+    /// Distance of `v` from the last [`bfs`](TraversalScratch::bfs) call's
+    /// sources; `None` if unreached.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<u32> {
+        match self.dist[v.index()] {
+            UNVISITED => None,
+            d => Some(d),
+        }
+    }
+
+    /// Raw distance slice ([`UNVISITED`] = unreached). May be longer than
+    /// the current graph if the scratch previously served a larger one.
+    #[inline]
+    pub fn distances(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Nodes visited by the last traversal, in visit order.
+    #[inline]
+    pub fn visited(&self) -> &[u32] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+    }
+
+    #[test]
+    fn freeze_preserves_structure() {
+        let g = barabasi_albert(120, 3, 7);
+        let c = CsrGraph::from(&g);
+        assert_eq!(c.node_count(), g.node_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert_eq!(c.max_degree(), g.max_degree());
+        for v in g.nodes() {
+            assert_eq!(c.degree(v), g.degree(v));
+            assert_eq!(c.strength(v), g.strength(v));
+            let adj: Vec<EdgeRef> = g.neighbors(v).to_vec();
+            let csr: Vec<EdgeRef> = c.neighbors(v).collect();
+            assert_eq!(adj, csr, "neighbor order must be preserved for {v:?}");
+        }
+        let ge: Vec<_> = g.edges().collect();
+        let ce: Vec<_> = c.edges().collect();
+        assert_eq!(ge, ce);
+    }
+
+    #[test]
+    fn edge_queries_match() {
+        let g = path4();
+        let c = CsrGraph::from(&g);
+        assert!(c.has_edge(NodeId(0), NodeId(1)));
+        assert!(c.has_edge(NodeId(1), NodeId(0)));
+        assert!(!c.has_edge(NodeId(0), NodeId(3)));
+        assert!(!c.has_edge(NodeId(0), NodeId(9)));
+        assert_eq!(c.edge_weight(NodeId(1), NodeId(2)), Some(1));
+        assert_eq!(c.edge_weight(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let c = CsrGraph::from(&Graph::new(0));
+        assert!(c.is_empty());
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+        assert_eq!(c.max_degree(), 0);
+        assert_eq!(c.nodes().count(), 0);
+    }
+
+    #[test]
+    fn scratch_bfs_matches_traversal() {
+        let g = barabasi_albert(80, 2, 3);
+        let c = CsrGraph::from(&g);
+        let mut scratch = TraversalScratch::new();
+        for src in [0u32, 5, 79] {
+            scratch.bfs(&c, &[NodeId(src)]);
+            let expect = crate::traversal::bfs_distances(&g, NodeId(src));
+            for v in g.nodes() {
+                assert_eq!(scratch.distance(v), expect[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reset_is_complete_across_graphs() {
+        let big = CsrGraph::from(&barabasi_albert(60, 3, 1));
+        let small = CsrGraph::from(&path4());
+        let mut scratch = TraversalScratch::new();
+        scratch.bfs(&big, &[NodeId(0)]);
+        // Reusing on a smaller graph must not leak stale distances.
+        scratch.bfs(&small, &[NodeId(3)]);
+        assert_eq!(scratch.distance(NodeId(0)), Some(3));
+        assert_eq!(scratch.distance(NodeId(3)), Some(0));
+        assert_eq!(scratch.visited().len(), 4);
+    }
+
+    #[test]
+    fn scratch_multi_source_ignores_bad_sources() {
+        let c = CsrGraph::from(&path4());
+        let mut scratch = TraversalScratch::new();
+        scratch.bfs(&c, &[NodeId(0), NodeId(0), NodeId(99), NodeId(3)]);
+        assert_eq!(scratch.distance(NodeId(1)), Some(1));
+        assert_eq!(scratch.distance(NodeId(2)), Some(1));
+    }
+}

@@ -67,8 +67,7 @@ pub fn to_dot(g: &Graph, opts: &DotOptions) -> String {
         if attrs.is_empty() {
             writeln!(out, "  {} -- {};", a.0, b.0).expect("write to string");
         } else {
-            writeln!(out, "  {} -- {} [{}];", a.0, b.0, attrs.join(", "))
-                .expect("write to string");
+            writeln!(out, "  {} -- {} [{}];", a.0, b.0, attrs.join(", ")).expect("write to string");
         }
     }
     out.push_str("}\n");

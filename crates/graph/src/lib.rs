@@ -30,6 +30,7 @@ pub mod centrality;
 pub mod community;
 pub mod components;
 pub mod cover;
+pub mod csr;
 pub mod dot;
 pub mod generators;
 pub mod graph;
@@ -41,6 +42,7 @@ pub mod shortest_path;
 pub mod traversal;
 pub mod union_find;
 
+pub use csr::{CsrGraph, TraversalScratch};
 pub use graph::{EdgeRef, Graph, NodeId};
 pub use union_find::UnionFind;
 
@@ -49,6 +51,7 @@ pub mod prelude {
     pub use crate::centrality::{betweenness, betweenness_parallel, closeness, degree_centrality};
     pub use crate::community::{label_propagation, modularity};
     pub use crate::components::{connected_components, largest_component, ComponentLabels};
+    pub use crate::csr::{CsrGraph, TraversalScratch};
     pub use crate::graph::{Graph, NodeId};
     pub use crate::metrics::{global_clustering_coefficient, local_clustering_coefficient};
     pub use crate::traversal::{bfs_distances, ego_network, max_span};

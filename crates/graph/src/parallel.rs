@@ -73,28 +73,75 @@ where
     iter.fold(first, merge)
 }
 
+/// Deterministic parallel map-reduce over `0..n`: worker `w` of `W` folds
+/// the contiguous range `[w·n/W, (w+1)·n/W)` in index order and the
+/// per-worker accumulators merge in worker order.
+///
+/// Unlike [`par_map_reduce`], the index→worker assignment does not depend
+/// on scheduling, so for a fixed machine (fixed `W`) the result is
+/// bit-reproducible even when `merge` is not exactly associative (e.g.
+/// floating-point sums in parallel Brandes betweenness).
+pub fn par_map_reduce_ranges<A, M, I, R>(n: usize, init: I, map: M, merge: R) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    M: Fn(usize, &mut A) + Sync,
+    R: Fn(A, A) -> A,
+{
+    let workers = worker_count(n);
+    if workers <= 1 || n == 0 {
+        let mut acc = init();
+        for i in 0..n {
+            map(i, &mut acc);
+        }
+        return acc;
+    }
+    let results = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let init = &init;
+                let map = &map;
+                s.spawn(move |_| {
+                    let mut acc = init();
+                    for i in (w * n / workers)..((w + 1) * n / workers) {
+                        map(i, &mut acc);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope panicked");
+    let mut iter = results.into_iter();
+    let first = iter.next().expect("at least one worker");
+    iter.fold(first, merge)
+}
+
 /// Parallel for-each over `0..n` writing into disjoint output slots.
 ///
 /// `f(i)` computes the value for slot `i`; outputs are collected in index
 /// order. This is the "embarrassingly parallel over sources" pattern used by
-/// the 100-run placement experiments.
+/// the 100-run placement experiments. `T` needs no `Default`/`Clone`: each
+/// slot is written exactly once into the vector's spare capacity.
 pub fn par_map_collect<T, F>(n: usize, chunk: usize, f: F) -> Vec<T>
 where
-    T: Send + Default + Clone,
+    T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let mut out = vec![T::default(); n];
+    let mut out: Vec<T> = Vec::with_capacity(n);
     let workers = worker_count(n);
     if workers <= 1 || n == 0 {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = f(i);
-        }
+        out.extend((0..n).map(&f));
         return out;
     }
     let chunk = chunk.max(1);
     let cursor = AtomicUsize::new(0);
-    // Hand each worker mutable access to disjoint chunks through a raw
-    // split: we use chunks_mut indexing via a Vec of slices.
+    // Workers write results straight into the (uninitialized) spare
+    // capacity; the length is only raised once every slot is filled.
     let out_ptr = SyncSlice(out.as_mut_ptr());
     crossbeam::thread::scope(|s| {
         for _ in 0..workers {
@@ -109,14 +156,21 @@ where
                 let end = (start + chunk).min(n);
                 for i in start..end {
                     // SAFETY: each index is claimed exactly once via the
-                    // atomic cursor, so writes are to disjoint slots, and
-                    // `out` outlives the scope.
-                    unsafe { *out_ptr.0.add(i) = f(i) };
+                    // atomic cursor, `i < n <= capacity`, and the slot is
+                    // uninitialized, so `write` (no drop of the
+                    // destination) into the disjoint slot is sound. `out`
+                    // outlives the scope.
+                    unsafe { out_ptr.0.add(i).write(f(i)) };
                 }
             });
         }
     })
     .expect("scope panicked");
+    // SAFETY: the cursor handed out every index in `0..n` and each claimed
+    // index was written before its worker exited (workers are joined by
+    // the scope). If a worker panicked the scope propagates the panic
+    // above and the length stays 0 — written slots leak, which is safe.
+    unsafe { out.set_len(n) };
     out
 }
 
@@ -131,13 +185,7 @@ mod tests {
 
     #[test]
     fn map_reduce_sums() {
-        let total: u64 = par_map_reduce(
-            1000,
-            16,
-            || 0u64,
-            |i, acc| *acc += i as u64,
-            |a, b| a + b,
-        );
+        let total: u64 = par_map_reduce(1000, 16, || 0u64, |i, acc| *acc += i as u64, |a, b| a + b);
         assert_eq!(total, 499_500);
     }
 
@@ -160,6 +208,41 @@ mod tests {
     fn map_collect_single_item() {
         let v = par_map_collect(1, 64, |i| i + 41);
         assert_eq!(v, vec![41]);
+    }
+
+    #[test]
+    fn map_collect_without_default_or_clone() {
+        // `NoDefault` is neither `Default` nor `Clone`: the slots must be
+        // written in place, never pre-filled.
+        struct NoDefault(String);
+        let v = par_map_collect(123, 7, |i| NoDefault(format!("item-{i}")));
+        assert_eq!(v.len(), 123);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(x.0, format!("item-{i}"));
+        }
+    }
+
+    #[test]
+    fn map_collect_drops_every_item() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        par_map_collect(64, 4, |_| Counted);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn map_reduce_ranges_sums_deterministically() {
+        let total: u64 =
+            par_map_reduce_ranges(1000, || 0u64, |i, acc| *acc += i as u64, |a, b| a + b);
+        assert_eq!(total, 499_500);
+        let empty: u64 = par_map_reduce_ranges(0, || 3u64, |_, _| unreachable!(), |a, _| a);
+        assert_eq!(empty, 3);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use std::collections::VecDeque;
 
+use crate::csr::{CsrGraph, TraversalScratch, UNVISITED};
 use crate::graph::{Graph, NodeId};
 
 /// Hop distance from `src` to every node; `None` for unreachable nodes.
@@ -50,6 +51,28 @@ pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Option<u32>> {
         }
     }
     dist
+}
+
+/// [`bfs_distances`] on a frozen [`CsrGraph`]. Bit-identical output; use
+/// [`TraversalScratch::bfs`] directly to also skip the output allocation.
+pub fn bfs_distances_csr(g: &CsrGraph, src: NodeId) -> Vec<Option<u32>> {
+    let mut scratch = TraversalScratch::new();
+    scratch.bfs(g, &[src]);
+    collect_distances(g, &scratch)
+}
+
+/// [`multi_source_bfs`] on a frozen [`CsrGraph`]. Bit-identical output.
+pub fn multi_source_bfs_csr(g: &CsrGraph, sources: &[NodeId]) -> Vec<Option<u32>> {
+    let mut scratch = TraversalScratch::new();
+    scratch.bfs(g, sources);
+    collect_distances(g, &scratch)
+}
+
+fn collect_distances(g: &CsrGraph, scratch: &TraversalScratch) -> Vec<Option<u32>> {
+    scratch.distances()[..g.node_count()]
+        .iter()
+        .map(|&d| if d == UNVISITED { None } else { Some(d) })
+        .collect()
 }
 
 /// Nodes within `radius` hops of `seed` (the seed itself included).
@@ -194,6 +217,22 @@ mod tests {
         // Two disjoint paths: span is that of the longer one.
         let g = Graph::from_edges(7, [(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1), (5, 6, 1)]);
         assert_eq!(max_span(&g), 3);
+    }
+
+    #[test]
+    fn csr_bfs_matches_adjacency() {
+        let g = crate::generators::barabasi_albert(150, 3, 5);
+        let c = CsrGraph::from(&g);
+        assert_eq!(
+            bfs_distances(&g, NodeId(7)),
+            bfs_distances_csr(&c, NodeId(7))
+        );
+        let sources = [NodeId(0), NodeId(50), NodeId(149)];
+        assert_eq!(
+            multi_source_bfs(&g, &sources),
+            multi_source_bfs_csr(&c, &sources)
+        );
+        assert!(multi_source_bfs_csr(&c, &[]).iter().all(Option::is_none));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property tests: every CSR kernel must agree with its adjacency-list
+//! counterpart on arbitrary random graphs. Integer-valued kernels (degree,
+//! k-core, clustering pair counts, BFS distances) and order-preserving
+//! float kernels (closeness, harmonic, Brandes betweenness, PageRank) are
+//! all required to be *bit-identical*, not merely close — the CSR port
+//! keeps the exact visit and accumulation order of the originals.
+
+use proptest::prelude::*;
+use scdn_graph::centrality::{
+    betweenness, betweenness_csr, betweenness_parallel, betweenness_parallel_csr,
+    betweenness_sampled, betweenness_sampled_csr, closeness, closeness_csr, degree_centrality,
+    degree_centrality_csr, harmonic_centrality, harmonic_centrality_csr,
+};
+use scdn_graph::kcore::{
+    core_numbers, core_numbers_csr, degeneracy, degeneracy_csr, k_core, k_core_csr,
+};
+use scdn_graph::metrics::{
+    all_clustering_coefficients, all_clustering_coefficients_csr, average_clustering_coefficient,
+    average_clustering_coefficient_csr, global_clustering_coefficient,
+    global_clustering_coefficient_csr, triangle_count, triangle_count_csr,
+};
+use scdn_graph::pagerank::{pagerank, pagerank_csr, PageRankOptions};
+use scdn_graph::traversal::{
+    bfs_distances, bfs_distances_csr, multi_source_bfs, multi_source_bfs_csr,
+};
+use scdn_graph::{CsrGraph, Graph, NodeId};
+
+/// Strategy: a random simple graph with up to `n` nodes and `m` edges.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..5), 0..max_m)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_freeze_preserves_structure(g in arb_graph(40, 120)) {
+        let c = CsrGraph::from(&g);
+        prop_assert_eq!(c.node_count(), g.node_count());
+        prop_assert_eq!(c.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            prop_assert_eq!(c.degree(v), g.degree(v));
+            prop_assert_eq!(c.strength(v), g.strength(v));
+            let adj: Vec<u32> = g.neighbors(v).iter().map(|e| e.to.0).collect();
+            prop_assert_eq!(c.neighbor_ids(v), &adj[..]);
+        }
+        for (a, b, w) in g.edges() {
+            prop_assert_eq!(c.edge_weight(a, b), Some(w));
+        }
+    }
+
+    #[test]
+    fn csr_bfs_matches(g in arb_graph(40, 120), s in 0u32..40) {
+        let c = CsrGraph::from(&g);
+        let s = NodeId(s.min(g.node_count() as u32 - 1));
+        prop_assert_eq!(bfs_distances(&g, s), bfs_distances_csr(&c, s));
+        let sources = [NodeId(0), s];
+        prop_assert_eq!(multi_source_bfs(&g, &sources), multi_source_bfs_csr(&c, &sources));
+    }
+
+    #[test]
+    fn csr_degree_and_closeness_bit_identical(g in arb_graph(35, 100)) {
+        let c = CsrGraph::from(&g);
+        prop_assert_eq!(degree_centrality(&g), degree_centrality_csr(&c));
+        prop_assert_eq!(closeness(&g), closeness_csr(&c));
+        prop_assert_eq!(harmonic_centrality(&g), harmonic_centrality_csr(&c));
+    }
+
+    #[test]
+    fn csr_betweenness_bit_identical(g in arb_graph(30, 90), stride in 1usize..4) {
+        let c = CsrGraph::from(&g);
+        prop_assert_eq!(betweenness(&g), betweenness_csr(&c));
+        prop_assert_eq!(betweenness_parallel(&g), betweenness_parallel_csr(&c));
+        let pivots: Vec<NodeId> = g.nodes().step_by(stride).collect();
+        prop_assert_eq!(
+            betweenness_sampled(&g, &pivots),
+            betweenness_sampled_csr(&c, &pivots)
+        );
+    }
+
+    #[test]
+    fn csr_pagerank_bit_identical(g in arb_graph(35, 100)) {
+        let c = CsrGraph::from(&g);
+        prop_assert_eq!(
+            pagerank(&g, PageRankOptions::default()),
+            pagerank_csr(&c, PageRankOptions::default())
+        );
+    }
+
+    #[test]
+    fn csr_kcore_bit_identical(g in arb_graph(35, 110), k in 0u32..6) {
+        let c = CsrGraph::from(&g);
+        prop_assert_eq!(core_numbers(&g), core_numbers_csr(&c));
+        prop_assert_eq!(degeneracy(&g), degeneracy_csr(&c));
+        prop_assert_eq!(k_core(&g, k), k_core_csr(&c, k));
+    }
+
+    #[test]
+    fn csr_clustering_bit_identical(g in arb_graph(30, 90)) {
+        let c = CsrGraph::from(&g);
+        prop_assert_eq!(
+            all_clustering_coefficients(&g),
+            all_clustering_coefficients_csr(&c)
+        );
+        prop_assert_eq!(
+            average_clustering_coefficient(&g),
+            average_clustering_coefficient_csr(&c)
+        );
+        prop_assert_eq!(
+            global_clustering_coefficient(&g),
+            global_clustering_coefficient_csr(&c)
+        );
+        prop_assert_eq!(triangle_count(&g), triangle_count_csr(&c));
+    }
+}

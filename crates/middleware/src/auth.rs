@@ -157,7 +157,10 @@ mod tests {
         let s = mw.establish_session(&tok).expect("session");
         assert!(mw.authorize_op(s.id).is_ok());
         assert!(mw.authorize_op(s.id).is_ok());
-        assert_eq!(mw.authorize_op(s.id).unwrap_err(), MiddlewareError::SessionInvalid);
+        assert_eq!(
+            mw.authorize_op(s.id).unwrap_err(),
+            MiddlewareError::SessionInvalid
+        );
         assert_eq!(mw.session_count(), 0);
     }
 
@@ -168,13 +171,19 @@ mod tests {
         let tok = p.login("alice", "pw").expect("login");
         let s = mw.establish_session(&tok).expect("session");
         mw.end_session(s.id);
-        assert_eq!(mw.authorize_op(s.id).unwrap_err(), MiddlewareError::SessionInvalid);
+        assert_eq!(
+            mw.authorize_op(s.id).unwrap_err(),
+            MiddlewareError::SessionInvalid
+        );
     }
 
     #[test]
     fn unknown_session_invalid() {
         let p = platform();
         let mw = Middleware::new(p.clone());
-        assert_eq!(mw.authorize_op(404).unwrap_err(), MiddlewareError::SessionInvalid);
+        assert_eq!(
+            mw.authorize_op(404).unwrap_err(),
+            MiddlewareError::SessionInvalid
+        );
     }
 }

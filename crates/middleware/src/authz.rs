@@ -182,10 +182,24 @@ mod tests {
             trust: None,
         };
         assert!(p
-            .check(&f.platform, f.member_user, Some(AuthorId(1)), &f.model, &f.ledger, 2011.0)
+            .check(
+                &f.platform,
+                f.member_user,
+                Some(AuthorId(1)),
+                &f.model,
+                &f.ledger,
+                2011.0
+            )
             .allowed());
         assert_eq!(
-            p.check(&f.platform, f.outsider_user, Some(AuthorId(2)), &f.model, &f.ledger, 2011.0),
+            p.check(
+                &f.platform,
+                f.outsider_user,
+                Some(AuthorId(2)),
+                &f.model,
+                &f.ledger,
+                2011.0
+            ),
             AccessDecision::DeniedNotGroupMember
         );
     }
@@ -201,10 +215,24 @@ mod tests {
             trust: None,
         };
         assert!(p
-            .check(&f.platform, f.member_user, Some(AuthorId(1)), &f.model, &f.ledger, 2011.0)
+            .check(
+                &f.platform,
+                f.member_user,
+                Some(AuthorId(1)),
+                &f.model,
+                &f.ledger,
+                2011.0
+            )
             .allowed());
         assert_eq!(
-            p.check(&f.platform, f.owner_user, Some(AuthorId(0)), &f.model, &f.ledger, 2011.0),
+            p.check(
+                &f.platform,
+                f.owner_user,
+                Some(AuthorId(0)),
+                &f.model,
+                &f.ledger,
+                2011.0
+            ),
             AccessDecision::DeniedNotGranted,
             "even the owner needs a grant for confidential data"
         );
@@ -222,16 +250,37 @@ mod tests {
         };
         // Member has publication history with the owner → trusted.
         assert!(p
-            .check(&f.platform, f.member_user, Some(AuthorId(1)), &f.model, &f.ledger, 2011.0)
+            .check(
+                &f.platform,
+                f.member_user,
+                Some(AuthorId(1)),
+                &f.model,
+                &f.ledger,
+                2011.0
+            )
             .allowed());
         // Outsider has none → untrusted.
         assert_eq!(
-            p.check(&f.platform, f.outsider_user, Some(AuthorId(2)), &f.model, &f.ledger, 2011.0),
+            p.check(
+                &f.platform,
+                f.outsider_user,
+                Some(AuthorId(2)),
+                &f.model,
+                &f.ledger,
+                2011.0
+            ),
             AccessDecision::DeniedUntrusted
         );
         // Owner always passes their own trust gate.
         assert!(p
-            .check(&f.platform, f.owner_user, Some(AuthorId(0)), &f.model, &f.ledger, 2011.0)
+            .check(
+                &f.platform,
+                f.owner_user,
+                Some(AuthorId(0)),
+                &f.model,
+                &f.ledger,
+                2011.0
+            )
             .allowed());
     }
 
@@ -246,7 +295,14 @@ mod tests {
             trust: Some(TrustPolicy::default()),
         };
         assert_eq!(
-            p.check(&f.platform, f.member_user, None, &f.model, &f.ledger, 2011.0),
+            p.check(
+                &f.platform,
+                f.member_user,
+                None,
+                &f.model,
+                &f.ledger,
+                2011.0
+            ),
             AccessDecision::DeniedUntrusted
         );
     }

@@ -266,9 +266,14 @@ mod tests {
         assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         // Tear nothing down but route to an unlinked island.
         let mut o2 = overlay_with_certs(4);
-        o2.establish_link(&social, NodeId(0), NodeId(1),
+        o2.establish_link(
+            &social,
+            NodeId(0),
+            NodeId(1),
             o2.certificates[&NodeId(0)].fingerprint,
-            o2.certificates[&NodeId(1)].fingerprint).expect("up");
+            o2.certificates[&NodeId(1)].fingerprint,
+        )
+        .expect("up");
         assert_eq!(o2.route(NodeId(0), NodeId(3)), None);
     }
 
@@ -285,8 +290,10 @@ mod tests {
         let mut o = overlay_with_certs(2);
         let f0 = o.certificates[&NodeId(0)].fingerprint;
         let f1 = o.certificates[&NodeId(1)].fingerprint;
-        o.establish_link(&social, NodeId(0), NodeId(1), f0, f1).expect("up");
-        o.establish_link(&social, NodeId(0), NodeId(1), f0, f1).expect("idempotent");
+        o.establish_link(&social, NodeId(0), NodeId(1), f0, f1)
+            .expect("up");
+        o.establish_link(&social, NodeId(0), NodeId(1), f0, f1)
+            .expect("idempotent");
         assert_eq!(o.link_count(), 1);
     }
 }

@@ -43,7 +43,10 @@ impl std::fmt::Display for TransferError {
             TransferError::SourceMissing(id) => write!(f, "source missing segment {id:?}"),
             TransferError::SourceCorrupt(id) => write!(f, "source copy of {id:?} corrupt"),
             TransferError::RetriesExhausted { segment, attempts } => {
-                write!(f, "transfer of {segment:?} failed after {attempts} attempts")
+                write!(
+                    f,
+                    "transfer of {segment:?} failed after {attempts} attempts"
+                )
             }
             TransferError::Destination(e) => write!(f, "destination error: {e}"),
         }
@@ -124,9 +127,7 @@ impl TransferEngine {
     ) -> Result<TransferReport, TransferError> {
         let seg = match src_repo.fetch_any(segment) {
             Ok(s) => s,
-            Err(RepoError::IntegrityFailure(id)) => {
-                return Err(TransferError::SourceCorrupt(id))
-            }
+            Err(RepoError::IntegrityFailure(id)) => return Err(TransferError::SourceCorrupt(id)),
             Err(_) => return Err(TransferError::SourceMissing(segment)),
         };
         let key = (u64::from(segment.dataset.0) << 32) | u64::from(segment.ordinal);
@@ -211,10 +212,7 @@ mod tests {
     }
 
     fn two_node_engine(failure: FailureModel) -> TransferEngine {
-        let topo = Topology::uniform(
-            vec![(41.88, -87.63), (49.01, 8.40)],
-            LinkQuality::default(),
-        );
+        let topo = Topology::uniform(vec![(41.88, -87.63), (49.01, 8.40)], LinkQuality::default());
         TransferEngine {
             topology: topo,
             failure,

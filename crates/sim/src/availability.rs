@@ -63,7 +63,9 @@ pub struct PeriodicChurn {
 impl PeriodicChurn {
     fn phase(&self, node: usize) -> u64 {
         // SplitMix64-style hash of (node, seed) for a stable phase.
-        let mut z = (node as u64).wrapping_add(self.seed).wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = (node as u64)
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9e3779b97f4a7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
         z ^ (z >> 31)

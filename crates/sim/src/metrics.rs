@@ -49,7 +49,10 @@ impl Summary {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// `q`-quantile (0..=1) by nearest-rank on a sorted copy; 0 when empty.

@@ -25,7 +25,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n > 0, "Zipf needs at least one item");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -151,7 +154,10 @@ pub fn with_flash_crowd(
 ) -> Vec<Request> {
     assert!(users > 0, "need users");
     assert!(start < end, "empty flash window");
-    assert!(burst_interarrival_ms > 0.0, "positive inter-arrival required");
+    assert!(
+        burst_interarrival_ms > 0.0,
+        "positive inter-arrival required"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut merged: Vec<Request> = base.to_vec();
     let mut t = start.as_millis() as f64;
@@ -269,7 +275,10 @@ mod tests {
             .filter(|r| r.at >= SimTime::from_secs(30) && r.at < SimTime::from_secs(60))
             .collect();
         let on_target = in_window.iter().filter(|r| r.dataset == 7).count();
-        assert!(on_target * 10 > in_window.len() * 8, "target >= 80% of window");
+        assert!(
+            on_target * 10 > in_window.len() * 8,
+            "target >= 80% of window"
+        );
     }
 
     #[test]

@@ -17,9 +17,12 @@ fn main() {
         g.corpus.publications_in(2009..=2010).count(),
         g.corpus.publications_in(2011..=2011).count()
     );
-    let subs = build_paper_subgraphs(&g.corpus, g.seed_author, 3, 2009..=2010)
-        .expect("seed present");
-    println!("{:<28} {:>6} {:>6} {:>7} {:>5} {:>8}", "graph", "nodes", "pubs", "edges", "span", "islands");
+    let subs =
+        build_paper_subgraphs(&g.corpus, g.seed_author, 3, 2009..=2010).expect("seed present");
+    println!(
+        "{:<28} {:>6} {:>6} {:>7} {:>5} {:>8}",
+        "graph", "nodes", "pubs", "edges", "span", "islands"
+    );
     for s in &subs {
         let st = s.stats();
         let isl = island_stats(&s.graph);
@@ -48,10 +51,9 @@ fn main() {
     println!();
     let seed_node = base.node_of(g.seed_author).expect("seed in baseline");
     println!("seed degree: {}", base.graph.degree(seed_node));
-    let mega_in: usize = g
-        .mega_authors
-        .iter()
-        .filter(|&&a| base.contains(a))
-        .count();
-    println!("mega authors in baseline: {mega_in}/{}", g.mega_authors.len());
+    let mega_in: usize = g.mega_authors.iter().filter(|&&a| base.contains(a)).count();
+    println!(
+        "mega authors in baseline: {mega_in}/{}",
+        g.mega_authors.len()
+    );
 }

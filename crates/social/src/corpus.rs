@@ -47,7 +47,11 @@ impl std::fmt::Display for CorpusError {
             CorpusError::UnknownAuthor {
                 publication,
                 author,
-            } => write!(f, "publication p{} references unknown author {author}", publication.0),
+            } => write!(
+                f,
+                "publication p{} references unknown author {author}",
+                publication.0
+            ),
             CorpusError::UnknownInstitution {
                 author,
                 institution,
@@ -182,10 +186,7 @@ impl Corpus {
 
     /// Declared interests of an author (empty slice if none).
     pub fn interests_of(&self, a: AuthorId) -> &[String] {
-        self.interests
-            .get(&a)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.interests.get(&a).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// All authors with at least one declared interest.

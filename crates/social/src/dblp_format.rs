@@ -38,9 +38,8 @@ impl std::error::Error for ParseError {}
 
 /// Serialize a corpus to the SDBLP text format.
 pub fn to_text(corpus: &Corpus) -> String {
-    let mut out = String::with_capacity(
-        64 + corpus.author_count() * 32 + corpus.publication_count() * 48,
-    );
+    let mut out =
+        String::with_capacity(64 + corpus.author_count() * 32 + corpus.publication_count() * 48);
     out.push_str("# SDBLP corpus v1\n");
     for i in corpus.institutions() {
         writeln!(
@@ -55,19 +54,24 @@ pub fn to_text(corpus: &Corpus) -> String {
         .expect("write to string");
     }
     for a in corpus.authors() {
-        writeln!(out, "A\t{}\t{}\t{}", a.id.0, a.institution.0, a.name)
-            .expect("write to string");
+        writeln!(out, "A\t{}\t{}\t{}", a.id.0, a.institution.0, a.name).expect("write to string");
     }
     for p in corpus.publications() {
         let ids: Vec<String> = p.authors.iter().map(|a| a.0.to_string()).collect();
-        writeln!(out, "P\t{}\t{}\t{}\t{}", p.id.0, p.year, ids.join(","), p.title)
-            .expect("write to string");
+        writeln!(
+            out,
+            "P\t{}\t{}\t{}\t{}",
+            p.id.0,
+            p.year,
+            ids.join(","),
+            p.title
+        )
+        .expect("write to string");
     }
     for a in corpus.authors() {
         let topics = corpus.interests_of(a.id);
         if !topics.is_empty() {
-            writeln!(out, "T\t{}\t{}", a.id.0, topics.join(","))
-                .expect("write to string");
+            writeln!(out, "T\t{}\t{}", a.id.0, topics.join(",")).expect("write to string");
         }
     }
     out
@@ -162,8 +166,7 @@ pub fn from_text(text: &str) -> Result<Corpus, ParseError> {
             other => return Err(err(lineno, format!("unknown record kind {other:?}"))),
         }
     }
-    let mut corpus =
-        Corpus::new(authors, institutions, pubs).map_err(|e| err(0, e.to_string()))?;
+    let mut corpus = Corpus::new(authors, institutions, pubs).map_err(|e| err(0, e.to_string()))?;
     for (a, topics, lineno) in interests {
         if a.index() >= corpus.author_count() {
             return Err(err(lineno, format!("interest for unknown author {a}")));
@@ -180,7 +183,9 @@ fn next_field<'a>(
     line: usize,
     what: &str,
 ) -> Result<&'a str, ParseError> {
-    fields.next().ok_or_else(|| err(line, format!("missing {what}")))
+    fields
+        .next()
+        .ok_or_else(|| err(line, format!("missing {what}")))
 }
 
 #[cfg(test)]

@@ -388,15 +388,8 @@ pub fn generate(params: &CaseStudyParams) -> SyntheticDblp {
             } else {
                 params.small_pub_prob
             };
-            let mut authors = sample_pub_authors(
-                &mut b.rng,
-                leader,
-                &members,
-                tight,
-                small_prob,
-                1.0,
-                params,
-            );
+            let mut authors =
+                sample_pub_authors(&mut b.rng, leader, &members, tight, small_prob, 1.0, params);
             // Lateral borrowing: pull one member from another team.
             if b.rng.gen_bool(params.lateral_prob) && team_count > 1 {
                 let other = b.rng.gen_range(0..team_count);
@@ -449,8 +442,7 @@ pub fn generate(params: &CaseStudyParams) -> SyntheticDblp {
         // reproducing the paper's "artificially high node degree for many
         // of these edge authors".
         let anchor_team_leader = *level1.last().expect("level1 non-empty");
-        let anchor_members =
-            b.new_team(anchor_team_leader, (3, 4), 1, true, Some(1), params);
+        let anchor_members = b.new_team(anchor_team_leader, (3, 4), 1, true, Some(1), params);
         let anchor = *anchor_members.first().expect("anchor team non-empty");
         // The anchor team publishes its coverage pubs through the normal
         // loop only for teams created before it; emit one small pub here so
@@ -509,7 +501,7 @@ pub fn generate(params: &CaseStudyParams) -> SyntheticDblp {
             continue;
         }
         let base = ((activity * activity) as f64 * level_factor / 4.0).round() as usize
-            + b.rng.gen_range(0..=1);
+            + b.rng.gen_range(0..=1usize);
         // Core teams dominate; peripheral loose teams still publish (their
         // output touches only the baseline graph, diluting its hit rate —
         // the trust-pruned graphs never see these publications).
@@ -728,7 +720,11 @@ mod tests {
         p.mega_pub_authors = 0;
         let g = generate(&p);
         assert!(g.mega_authors.is_empty());
-        assert!(g.corpus.publications().iter().all(|pb| pb.author_count() < 60));
+        assert!(g
+            .corpus
+            .publications()
+            .iter()
+            .all(|pb| pb.author_count() < 60));
     }
 
     #[test]

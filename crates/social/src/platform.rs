@@ -150,7 +150,9 @@ impl SocialPlatform {
     /// Look up a user by login name.
     pub fn user_by_login(&self, login: &str) -> Option<User> {
         let s = self.state.read();
-        s.login_index.get(login).map(|&id| s.users[id.index()].clone())
+        s.login_index
+            .get(login)
+            .map(|&id| s.users[id.index()].clone())
     }
 
     /// Fetch a user record.
@@ -321,7 +323,9 @@ mod tests {
 
     fn platform_with_two_users() -> (SocialPlatform, UserId, UserId) {
         let p = SocialPlatform::new();
-        let a = p.register("alice", "Alice", "pw-a", None).expect("register");
+        let a = p
+            .register("alice", "Alice", "pw-a", None)
+            .expect("register");
         let b = p
             .register("bob", "Bob", "pw-b", Some(AuthorId(7)))
             .expect("register");
@@ -372,7 +376,10 @@ mod tests {
         let tok = p.login("alice", "pw-a").expect("login");
         assert_eq!(p.validate_token(&tok).expect("valid"), a);
         p.revoke_token(&tok);
-        assert_eq!(p.validate_token(&tok).unwrap_err(), PlatformError::InvalidToken);
+        assert_eq!(
+            p.validate_token(&tok).unwrap_err(),
+            PlatformError::InvalidToken
+        );
     }
 
     #[test]

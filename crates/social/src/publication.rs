@@ -54,9 +54,10 @@ impl Publication {
 
     /// Iterate over all unordered coauthor pairs `(a, b)` with `a < b`.
     pub fn coauthor_pairs(&self) -> impl Iterator<Item = (AuthorId, AuthorId)> + '_ {
-        self.authors.iter().enumerate().flat_map(move |(i, &a)| {
-            self.authors[i + 1..].iter().map(move |&b| (a, b))
-        })
+        self.authors
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &a)| self.authors[i + 1..].iter().map(move |&b| (a, b)))
     }
 }
 

@@ -223,7 +223,12 @@ mod tests {
                 ],
                 "mega".into(),
             ),
-            Publication::new(PubId(4), 2011, vec![AuthorId(2), AuthorId(3)], "test".into()),
+            Publication::new(
+                PubId(4),
+                2011,
+                vec![AuthorId(2), AuthorId(3)],
+                "test".into(),
+            ),
         ];
         Corpus::new(authors, inst, pubs).expect("valid")
     }

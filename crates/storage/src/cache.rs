@@ -99,9 +99,9 @@ impl CacheManager {
         let resident = repo.list(Partition::Replica);
         let candidates = resident.into_iter().filter(|id| !self.is_pinned(*id));
         match self.policy {
-            EvictionPolicy::Lru => candidates.min_by_key(|id| {
-                self.state.get(id).map(|e| e.0).unwrap_or(0)
-            }),
+            EvictionPolicy::Lru => {
+                candidates.min_by_key(|id| self.state.get(id).map(|e| e.0).unwrap_or(0))
+            }
             EvictionPolicy::Lfu => candidates.min_by_key(|id| {
                 let e = self.state.get(id).copied().unwrap_or((0, 0, false));
                 (e.1, e.0)

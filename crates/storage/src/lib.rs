@@ -20,6 +20,6 @@ pub mod repository;
 pub mod vfs;
 
 pub use cache::{CacheManager, EvictionPolicy};
-pub use provenance::{ProvenanceRecord, ProvenanceStore};
 pub use object::{Dataset, DatasetId, Segment, SegmentId, Sensitivity};
+pub use provenance::{ProvenanceRecord, ProvenanceStore};
 pub use repository::{Partition, RepoError, StorageRepository};

@@ -216,7 +216,8 @@ mod tests {
         let mut s = dti_store();
         // A group analysis combining two FA maps.
         s.record(rec(4, "upload", &[])).expect("second raw");
-        s.record(rec(5, "group-analysis", &[3, 4])).expect("combined");
+        s.record(rec(5, "group-analysis", &[3, 4]))
+            .expect("combined");
         let anc = s.ancestry(DatasetId(5));
         assert!(anc.contains(&DatasetId(0)));
         assert!(anc.contains(&DatasetId(4)));

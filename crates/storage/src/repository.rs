@@ -42,7 +42,10 @@ impl std::fmt::Display for RepoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RepoError::QuotaExceeded { needed, available } => {
-                write!(f, "quota exceeded: need {needed} B, {available} B available")
+                write!(
+                    f,
+                    "quota exceeded: need {needed} B, {available} B available"
+                )
             }
             RepoError::NotFound(id) => write!(f, "segment {id:?} not found"),
             RepoError::ReplicaPartitionReadOnly => {
@@ -205,7 +208,8 @@ mod tests {
     #[test]
     fn quota_enforced_across_partitions() {
         let repo = StorageRepository::new(150);
-        repo.store(Partition::Replica, seg(0, 0, 100)).expect("fits");
+        repo.store(Partition::Replica, seg(0, 0, 100))
+            .expect("fits");
         let err = repo.store(Partition::User, seg(0, 1, 100)).unwrap_err();
         assert_eq!(
             err,
@@ -235,7 +239,8 @@ mod tests {
             RepoError::ReplicaPartitionReadOnly
         );
         // The CDN itself may evict.
-        repo.remove(Partition::Replica, s.id, false).expect("cdn evicts");
+        repo.remove(Partition::Replica, s.id, false)
+            .expect("cdn evicts");
         assert_eq!(repo.used(), 0);
     }
 

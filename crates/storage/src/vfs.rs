@@ -262,7 +262,10 @@ mod tests {
         let mut v = Vfs::new();
         v.mkdir_all("/a/b").expect("ok");
         v.write_file("/a/b/f", vec![sid(0, 0)]).expect("ok");
-        assert_eq!(v.remove("/a/b").unwrap_err(), VfsError::NotEmpty("/a/b".into()));
+        assert_eq!(
+            v.remove("/a/b").unwrap_err(),
+            VfsError::NotEmpty("/a/b".into())
+        );
         v.remove("/a/b/f").expect("ok");
         v.remove("/a/b").expect("ok");
         assert!(!v.exists("/a/b"));

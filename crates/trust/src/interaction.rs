@@ -96,9 +96,7 @@ impl InteractionLedger {
     }
 
     /// Iterate over all (pair, interactions) entries.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (&(AuthorId, AuthorId), &Vec<Interaction>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&(AuthorId, AuthorId), &Vec<Interaction>)> {
         self.entries.iter()
     }
 }

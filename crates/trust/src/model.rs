@@ -69,13 +69,7 @@ impl TrustModel {
 
     /// Pairwise trust score in (0, 1): posterior mean of the decayed
     /// success counts. With no history this returns the prior mean.
-    pub fn score(
-        &self,
-        ledger: &InteractionLedger,
-        a: AuthorId,
-        b: AuthorId,
-        now: f64,
-    ) -> f64 {
+    pub fn score(&self, ledger: &InteractionLedger, a: AuthorId, b: AuthorId, now: f64) -> f64 {
         let mut succ = self.params.prior_alpha;
         let mut fail = self.params.prior_beta;
         for i in ledger.between(a, b) {
@@ -92,17 +86,13 @@ impl TrustModel {
 
     /// Effective (decayed) interaction count — the "amount of evidence"
     /// behind a score.
-    pub fn evidence(
-        &self,
-        ledger: &InteractionLedger,
-        a: AuthorId,
-        b: AuthorId,
-        now: f64,
-    ) -> f64 {
+    pub fn evidence(&self, ledger: &InteractionLedger, a: AuthorId, b: AuthorId, now: f64) -> f64 {
         ledger
             .between(a, b)
             .iter()
-            .map(|i| self.params.kind_weight(i.kind) * (-self.params.decay * (now - i.at).max(0.0)).exp())
+            .map(|i| {
+                self.params.kind_weight(i.kind) * (-self.params.decay * (now - i.at).max(0.0)).exp()
+            })
             .sum()
     }
 }

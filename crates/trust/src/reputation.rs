@@ -74,7 +74,8 @@ pub fn top_reputations(
     now: f64,
     k: usize,
 ) -> Vec<(AuthorId, Reputation)> {
-    let mut all: Vec<(AuthorId, Reputation)> = reputations(model, ledger, now).into_iter().collect();
+    let mut all: Vec<(AuthorId, Reputation)> =
+        reputations(model, ledger, now).into_iter().collect();
     all.sort_by(|(ia, ra), (ib, rb)| {
         rb.score
             .partial_cmp(&ra.score)

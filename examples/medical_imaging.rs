@@ -42,7 +42,9 @@ fn main() {
     // The lead PI (the seed) creates the trial group and enrolls their
     // direct collaborators — member institutions of the trial.
     let platform = scdn.platform().clone();
-    let seed_node = sub.node_of(community.seed_author).expect("seed in subgraph");
+    let seed_node = sub
+        .node_of(community.seed_author)
+        .expect("seed in subgraph");
     let pi_user = platform
         .user_of_author(community.seed_author)
         .expect("registered");
@@ -53,7 +55,9 @@ fn main() {
     for e in &collaborators {
         let author = sub.author_of(e.to);
         let user = platform.user_of_author(author).expect("registered");
-        platform.add_to_group(pi_user, group, user).expect("PI enrolls");
+        platform
+            .add_to_group(pi_user, group, user)
+            .expect("PI enrolls");
     }
     println!(
         "trial group enrolled: {} member institutions",
@@ -90,9 +94,7 @@ fn main() {
         .expect("published");
     scdn.replicate(raw).expect("replicated");
     scdn.replicate(fa).expect("replicated");
-    println!(
-        "published raw session {raw:?} (restricted + trust gate) and FA map {fa:?} (public)"
-    );
+    println!("published raw session {raw:?} (restricted + trust gate) and FA map {fa:?} (public)");
 
     // A trial collaborator fetches the raw session: granted.
     let collaborator = collaborators[0].to;

@@ -45,10 +45,18 @@ fn main() {
     println!("S-CDN up: {} contributed repositories", scdn.member_count());
 
     // 4. Publish a dataset from the seed's repository.
-    let seed_node = sub.node_of(community.seed_author).expect("seed in subgraph");
+    let seed_node = sub
+        .node_of(community.seed_author)
+        .expect("seed in subgraph");
     let content = bytes::Bytes::from(vec![42u8; 2 << 20]);
     let dataset = scdn
-        .publish(seed_node, "DTI-FA-study-001", content, Sensitivity::Public, None)
+        .publish(
+            seed_node,
+            "DTI-FA-study-001",
+            content,
+            Sensitivity::Public,
+            None,
+        )
         .expect("publish succeeds");
     println!("published {dataset:?} from node {seed_node:?}");
 

@@ -68,11 +68,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, Str
     }
 }
 
-fn parse_flag<T: std::str::FromStr>(
-    args: &[String],
-    flag: &str,
-    default: T,
-) -> Result<T, String> {
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
     match flag_value(args, flag)? {
         None => Ok(default),
         Some(v) => v
@@ -86,8 +82,8 @@ fn parse_flag<T: std::str::FromStr>(
 fn load_corpus(args: &[String]) -> Result<(Corpus, AuthorId), String> {
     match flag_value(args, "--corpus")? {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let corpus = from_text(&text).map_err(|e| format!("parse {path}: {e}"))?;
             // Convention: the generator's seed author is id 0.
             Ok((corpus, AuthorId(0)))
@@ -120,7 +116,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (corpus, seed) = load_corpus(args)?;
     let subs = build_paper_subgraphs(&corpus, seed, 3, 2009..=2010)
         .ok_or("seed author absent from the training-year coauthorship graph")?;
-    println!("{:<30} {:>7} {:>13} {:>8}", "graph", "nodes", "publications", "edges");
+    println!(
+        "{:<30} {:>7} {:>13} {:>8}",
+        "graph", "nodes", "publications", "edges"
+    );
     for s in &subs {
         let st = s.stats();
         println!(
@@ -177,10 +176,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     println!("requests issued    {}", report.requests_issued);
     println!("requests failed    {}", report.requests_failed);
     println!("social hit rate    {:.1}%", m.hit_rate());
-    println!("response mean/p95  {:.1} / {:.1} ms", m.response_time_ms.mean(), m.response_time_ms.quantile(0.95));
-    println!("bytes transferred  {:.1} MB", m.bytes_transferred as f64 / 1e6);
+    println!(
+        "response mean/p95  {:.1} / {:.1} ms",
+        m.response_time_ms.mean(),
+        m.response_time_ms.quantile(0.95)
+    );
+    println!(
+        "bytes transferred  {:.1} MB",
+        m.bytes_transferred as f64 / 1e6
+    );
     println!("acceptance rate    {:.1}%", s.acceptance_rate());
-    println!("exchange volume    {:.1} MB", s.transaction_volume() as f64 / 1e6);
+    println!(
+        "exchange volume    {:.1} MB",
+        s.transaction_volume() as f64 / 1e6
+    );
     println!("maintenance moves  {}", report.maintenance_changes);
     Ok(())
 }

@@ -20,9 +20,21 @@ fn table1_regime_matches_paper() {
     let [base, double, few] = cs.paper_subgraphs().expect("seed present");
     let (b, d, f) = (base.stats(), double.stats(), few.stats());
     // Baseline in the paper: 2335 nodes / 1163 pubs / 17973 edges.
-    assert!((1800..=2900).contains(&b.nodes), "baseline nodes {}", b.nodes);
-    assert!((800..=1500).contains(&b.publications), "baseline pubs {}", b.publications);
-    assert!((11000..=22000).contains(&b.edges), "baseline edges {}", b.edges);
+    assert!(
+        (1800..=2900).contains(&b.nodes),
+        "baseline nodes {}",
+        b.nodes
+    );
+    assert!(
+        (800..=1500).contains(&b.publications),
+        "baseline pubs {}",
+        b.publications
+    );
+    assert!(
+        (11000..=22000).contains(&b.edges),
+        "baseline edges {}",
+        b.edges
+    );
     // Pruned graphs are strictly smaller and nested below the baseline.
     assert!(d.nodes < b.nodes && d.edges < b.edges);
     assert!(f.nodes < b.nodes && f.edges < b.edges);
@@ -53,14 +65,22 @@ fn fig2_topology_properties() {
 fn community_degree_wins_at_ten_replicas_on_baseline() {
     let g = corpus();
     let cs = CaseStudy::paper_setup(&g.corpus, g.seed_author);
-    let base = cs.subgraph(scdn::social::TrustFilter::Baseline).expect("seed");
+    let base = cs
+        .subgraph(scdn::social::TrustFilter::Baseline)
+        .expect("seed");
     let community = cs.mean_hit_rate(&base, PlacementAlgorithm::CommunityNodeDegree, 10, 1);
     let degree = cs.mean_hit_rate(&base, PlacementAlgorithm::NodeDegree, 10, 1);
     let random = cs.mean_hit_rate(&base, PlacementAlgorithm::Random, 10, 20);
     let clustering = cs.mean_hit_rate(&base, PlacementAlgorithm::ClusteringCoefficient, 10, 1);
-    assert!(community > degree, "community {community} vs degree {degree}");
+    assert!(
+        community > degree,
+        "community {community} vs degree {degree}"
+    );
     assert!(degree > random, "degree {degree} vs random {random}");
-    assert!(random > clustering * 0.5, "random {random} vs clustering {clustering}");
+    assert!(
+        random > clustering * 0.5,
+        "random {random} vs clustering {clustering}"
+    );
     assert!(clustering < community / 3.0, "clustering must be far worse");
 }
 
@@ -70,7 +90,9 @@ fn node_degree_flattens_on_baseline() {
     // nodes; once node-degree placement reaches them the curve goes flat.
     let g = corpus();
     let cs = CaseStudy::paper_setup(&g.corpus, g.seed_author);
-    let base = cs.subgraph(scdn::social::TrustFilter::Baseline).expect("seed");
+    let base = cs
+        .subgraph(scdn::social::TrustFilter::Baseline)
+        .expect("seed");
     let at3 = cs.mean_hit_rate(&base, PlacementAlgorithm::NodeDegree, 3, 1);
     let at10 = cs.mean_hit_rate(&base, PlacementAlgorithm::NodeDegree, 10, 1);
     assert!(
@@ -82,7 +104,9 @@ fn node_degree_flattens_on_baseline() {
     params.mega_pub_authors = 0;
     let g2 = generate(&params);
     let cs2 = CaseStudy::paper_setup(&g2.corpus, g2.seed_author);
-    let base2 = cs2.subgraph(scdn::social::TrustFilter::Baseline).expect("seed");
+    let base2 = cs2
+        .subgraph(scdn::social::TrustFilter::Baseline)
+        .expect("seed");
     let b3 = cs2.mean_hit_rate(&base2, PlacementAlgorithm::NodeDegree, 3, 1);
     let b10 = cs2.mean_hit_rate(&base2, PlacementAlgorithm::NodeDegree, 10, 1);
     assert!(
@@ -97,8 +121,7 @@ fn trust_pruning_improves_hit_rates() {
     let g = corpus();
     let cs = CaseStudy::paper_setup(&g.corpus, g.seed_author);
     let [base, double, few] = cs.paper_subgraphs().expect("seed present");
-    let rate =
-        |s| cs.mean_hit_rate(s, PlacementAlgorithm::CommunityNodeDegree, 10, 1);
+    let rate = |s| cs.mean_hit_rate(s, PlacementAlgorithm::CommunityNodeDegree, 10, 1);
     let (rb, rd, rf) = (rate(&base), rate(&double), rate(&few));
     assert!(rd > rb, "double-coauthorship {rd} must beat baseline {rb}");
     assert!(
@@ -111,7 +134,9 @@ fn trust_pruning_improves_hit_rates() {
 fn hit_rates_monotone_in_replica_count() {
     let g = corpus();
     let cs = CaseStudy::paper_setup(&g.corpus, g.seed_author);
-    let base = cs.subgraph(scdn::social::TrustFilter::Baseline).expect("seed");
+    let base = cs
+        .subgraph(scdn::social::TrustFilter::Baseline)
+        .expect("seed");
     for alg in [
         PlacementAlgorithm::NodeDegree,
         PlacementAlgorithm::CommunityNodeDegree,

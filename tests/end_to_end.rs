@@ -112,11 +112,15 @@ fn restricted_data_denied_outside_group() {
     }
     // After enrollment the same member is served.
     let outsider_author = sub.author_of(outsider);
-    let outsider_user = platform.user_of_author(outsider_author).expect("registered");
+    let outsider_user = platform
+        .user_of_author(outsider_author)
+        .expect("registered");
     platform
         .add_to_group(owner_user, group, outsider_user)
         .expect("enrolled");
-    let outcome = scdn.request(outsider, dataset).expect("served after enrollment");
+    let outcome = scdn
+        .request(outsider, dataset)
+        .expect("served after enrollment");
     assert!(outcome.bytes > 0);
 }
 
@@ -212,7 +216,8 @@ fn churn_degrades_service_but_not_consistency() {
             None,
         )
         .expect("publishes");
-    scdn.replicate(dataset).expect("replication tolerates churn");
+    scdn.replicate(dataset)
+        .expect("replication tolerates churn");
     let mut served = 0;
     let mut failed = 0;
     for i in 0..60u64 {

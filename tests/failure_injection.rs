@@ -18,8 +18,14 @@ fn community() -> (scdn::social::SyntheticDblp, TrustSubgraph) {
     params.mega_pub_authors = 0;
     params.rng_seed = 5;
     let c = generate(&params);
-    let sub = build_trust_subgraph(&c.corpus, c.seed_author, 3, 2009..=2010, TrustFilter::Baseline)
-        .expect("seed present");
+    let sub = build_trust_subgraph(
+        &c.corpus,
+        c.seed_author,
+        3,
+        2009..=2010,
+        TrustFilter::Baseline,
+    )
+    .expect("seed present");
     (c, sub)
 }
 
@@ -91,7 +97,8 @@ fn corrupted_source_copy_is_refused() {
         data: Bytes::from(raw),
         checksum: seg.checksum,
     };
-    repo.store(Partition::User, bad).expect("stored tampered copy");
+    repo.store(Partition::User, bad)
+        .expect("stored tampered copy");
     // Replication must refuse to propagate the corrupted segment.
     match scdn.replicate(dataset) {
         Ok(added) => assert!(

@@ -20,8 +20,14 @@ fn build_system() -> (Scdn, Vec<DatasetId>) {
     params.mega_pub_authors = 0;
     params.rng_seed = 61;
     let c = generate(&params);
-    let sub = build_trust_subgraph(&c.corpus, c.seed_author, 3, 2009..=2010, TrustFilter::Baseline)
-        .expect("seed present");
+    let sub = build_trust_subgraph(
+        &c.corpus,
+        c.seed_author,
+        3,
+        2009..=2010,
+        TrustFilter::Baseline,
+    )
+    .expect("seed present");
     let mut config = ScdnConfig::default();
     config.replicas_per_dataset = 2;
     let mut scdn = Scdn::build(&sub, &c.corpus, config);
@@ -57,14 +63,20 @@ fn flash_crowd_triggers_replication_growth() {
         mean_interarrival_ms: 400.0,
         ..Default::default()
     });
-    // A burst hammering dataset 3 in the middle of the run.
+    // A burst hammering dataset 3 from mid-run through the end of the
+    // horizon. The ~33 req/s rate puts >100 requests in every 5 s demand
+    // window, so volume-driven growth triggers deterministically, and the
+    // burst outlasting the base workload means the final maintenance cycle
+    // still sees it hot (a burst that dies mid-run is correctly shed again
+    // before the run ends — that's the policy working, not the crowd being
+    // absorbed).
     let workload = with_flash_crowd(
         &base,
         members,
         3,
         SimTime::from_secs(15),
-        SimTime::from_secs(40),
-        80.0,
+        SimTime::from_secs(70),
+        30.0,
         9,
     );
     assert!(workload.len() > base.len() + 150, "burst materialized");

@@ -1,0 +1,107 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Only the `thread::scope` fork–join API is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which post-dates crossbeam's
+//! scoped threads). Spawn closures receive the scope again so nested spawns
+//! keep working, matching crossbeam's signature shape.
+
+pub mod thread {
+    /// Result of joining a scoped thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A handle to a scope in which threads can be spawned.
+    ///
+    /// Unlike crossbeam's `&Scope`, this is a `Copy` wrapper over the std
+    /// scope reference; closures written for crossbeam (`|s| ...` /
+    /// `|_| ...`) work unchanged.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Owned handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Create a fork–join scope. All threads spawned inside are joined
+    /// before this returns.
+    ///
+    /// Divergence from crossbeam: a panic in an unjoined child propagates
+    /// out of `scope` (std semantics) instead of surfacing through the
+    /// returned `Result`; workspace callers `.expect()` the result anyway,
+    /// so the observable behavior — a panic — is the same.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let counter = AtomicUsize::new(0);
+        let sums = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope panicked");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(sums, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41).join().expect("inner") + 1)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope panicked");
+        assert_eq!(v, 42);
+    }
+}

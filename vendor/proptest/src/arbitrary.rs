@@ -1,0 +1,83 @@
+//! `any::<T>()` support for common primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values only (magnitude-varied), which is what numeric
+    /// invariant tests want.
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mag = rng.below(64) as i32 - 32;
+        (rng.unit_f64() * 2.0 - 1.0) * (mag as f64).exp2()
+    }
+}
+
+impl Arbitrary for char {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0xD800_u64) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::from_seed(5);
+        let s = any::<u8>();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert!(seen.len() > 100);
+        let f = any::<f64>().generate(&mut rng);
+        assert!(f.is_finite());
+    }
+}

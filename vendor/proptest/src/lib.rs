@@ -1,0 +1,82 @@
+//! Offline vendored mini property-testing harness.
+//!
+//! Implements the subset of the `proptest` surface this workspace uses:
+//! the `proptest!` macro, `prop_assert*` macros, `Strategy` with
+//! `prop_map`/`prop_flat_map`, range/tuple/`Just`/`any` strategies,
+//! `proptest::collection::vec`, and simple `"[a-z]{1,8}"`-style string
+//! patterns. No shrinking: a failing case panics with the generated inputs
+//! Debug-printed, which is enough to reproduce (generation is fully
+//! deterministic per test name).
+//!
+//! Case count defaults to 64 and can be overridden with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `PROPTEST_CASES` generated
+/// inputs (deterministic per test name).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..cases {
+                    $(
+                        let $pat = {
+                            let __strategy = $strat;
+                            $crate::strategy::Strategy::generate(&__strategy, &mut rng)
+                        };
+                    )*
+                    // Like upstream, the body runs in a `Result`-returning
+                    // closure so `return Ok(())` skips just this case.
+                    let __case: ::std::result::Result<
+                        (),
+                        ::std::boxed::Box<dyn ::std::error::Error>,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __case {
+                        panic!("property rejected the case: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,139 @@
+//! String strategies from `&'static str` patterns.
+//!
+//! Supports the small regex-like subset the workspace tests use: sequences
+//! of literal characters or character classes (`[a-z0-9_]`, with ranges),
+//! each optionally repeated with `{m}`, `{m,n}`, `+` (1..=8) or `*`
+//! (0..=8). Unparseable patterns fall back to generating the pattern text
+//! itself, which keeps unknown inputs harmless.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_pattern(pat: &str) -> Option<Vec<Atom>> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..].iter().position(|&c| c == ']')? + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        if lo > hi {
+                            return None;
+                        }
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                if set.is_empty() {
+                    return None;
+                }
+                set
+            }
+            '\\' => {
+                let c = *chars.get(i + 1)?;
+                i += 2;
+                vec![c]
+            }
+            ']' | '{' | '}' | '+' | '*' | '?' | '(' | ')' | '|' | '.' => return None,
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}')? + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                    None => {
+                        let n = body.trim().parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            return None;
+        }
+        atoms.push(Atom { choices, min, max });
+    }
+    Some(atoms)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_pattern(self) {
+            Some(atoms) => {
+                let mut out = String::new();
+                for atom in &atoms {
+                    let span = (atom.max - atom.min + 1) as u64;
+                    let reps = atom.min + rng.below(span) as usize;
+                    for _ in 0..reps {
+                        let k = rng.below(atom.choices.len() as u64) as usize;
+                        out.push(atom.choices[k]);
+                    }
+                }
+                out
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::from_seed(8);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_exact_count() {
+        let mut rng = TestRng::from_seed(9);
+        let s = "ab[01]{3}".generate(&mut rng);
+        assert!(s.starts_with("ab") && s.len() == 5, "{s:?}");
+    }
+
+    #[test]
+    fn unparseable_falls_back_to_literal() {
+        let mut rng = TestRng::from_seed(10);
+        assert_eq!("(unsupported)".generate(&mut rng), "(unsupported)");
+    }
+}

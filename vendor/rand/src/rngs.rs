@@ -1,0 +1,67 @@
+//! Named generators. `StdRng` here is xoshiro256++ seeded via splitmix64 —
+//! a different stream from upstream's ChaCha12 `StdRng`, but the workspace
+//! only depends on seed-determinism, not on a particular stream.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic 64-bit generator (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let s3n = s3 ^ s1;
+        let s1n = s1 ^ s2;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        self.s = [s0n, s1n, s2n, s3n.rotate_left(45)];
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_not_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        let c = rng.next_u64();
+        assert!(a != b || b != c);
+    }
+}

@@ -1,0 +1,78 @@
+//! Sequence helpers: uniform choice and Fisher–Yates shuffle.
+
+use crate::{below, Rng};
+
+/// Random-selection extension methods on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// A uniformly chosen mutable element, or `None` for an empty slice.
+    fn choose_mut<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<&mut Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[below(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_mut<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<&mut T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = below(rng, self.len() as u64) as usize;
+            Some(&mut self[i])
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace only uses serde as derive decoration on data types (no
+//! format crate is linked), so the traits here carry no methods and the
+//! derives expand to nothing. If a future PR adds real serialization it
+//! should replace this stub with the real crate (or a hand-rolled format).
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

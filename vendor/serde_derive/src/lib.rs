@@ -1,0 +1,19 @@
+//! Offline vendored no-op `serde` derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain data types but
+//! never serializes through a format crate (no `serde_json` etc.), and no
+//! code writes `T: Serialize` bounds. The derives therefore only need to
+//! *exist* so `#[derive(Serialize, Deserialize)]` attributes compile; they
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
