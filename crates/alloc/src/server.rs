@@ -9,12 +9,44 @@ use std::collections::HashMap;
 
 use parking_lot::RwLock;
 use scdn_graph::{Graph, NodeId};
+use scdn_obs::{Counter, Registry};
 use scdn_social::author::AuthorId;
 use scdn_storage::object::DatasetId;
 
 use crate::discovery::{select_replica, Candidate, Selection};
 use crate::placement::PlacementAlgorithm;
 use crate::replication::{DemandWindow, ReplicationPolicy};
+
+/// Telemetry handles for one allocation server. Standalone by default;
+/// bind to a [`Registry`] with [`AllocMetrics::from_registry`] so the
+/// counts appear in exported snapshots under the `alloc.*` namespace.
+#[derive(Clone, Debug, Default)]
+pub struct AllocMetrics {
+    /// Requests resolved to an online replica.
+    pub resolve_ok: Counter,
+    /// Requests that found no usable replica (unknown dataset or all
+    /// replicas offline).
+    pub resolve_failed: Counter,
+    /// Resolutions served within one social hop.
+    pub demand_hits: Counter,
+    /// Resolutions that needed a distant replica.
+    pub demand_misses: Counter,
+    /// Datasets flagged for replica-count changes by rebalance plans.
+    pub rebalance_datasets: Counter,
+}
+
+impl AllocMetrics {
+    /// Handles registered in `reg` under `alloc.*` metric names.
+    pub fn from_registry(reg: &Registry) -> AllocMetrics {
+        AllocMetrics {
+            resolve_ok: reg.counter("alloc.resolve.ok"),
+            resolve_failed: reg.counter("alloc.resolve.failed"),
+            demand_hits: reg.counter("alloc.demand.hits"),
+            demand_misses: reg.counter("alloc.demand.misses"),
+            rebalance_datasets: reg.counter("alloc.rebalance.datasets"),
+        }
+    }
+}
 
 /// Registry entry for a contributed repository.
 #[derive(Clone, Debug)]
@@ -79,12 +111,27 @@ struct State {
 #[derive(Default)]
 pub struct AllocationServer {
     state: RwLock<State>,
+    metrics: AllocMetrics,
 }
 
 impl AllocationServer {
-    /// New empty server.
+    /// New empty server with standalone (unregistered) metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New empty server whose metrics are bound to `reg` (exported under
+    /// `alloc.*`).
+    pub fn with_registry(reg: &Registry) -> Self {
+        AllocationServer {
+            state: RwLock::default(),
+            metrics: AllocMetrics::from_registry(reg),
+        }
+    }
+
+    /// This server's telemetry handles.
+    pub fn metrics(&self) -> &AllocMetrics {
+        &self.metrics
     }
 
     /// Register (or update) a contributed repository.
@@ -293,10 +340,13 @@ impl AllocationServer {
     ) -> Result<Selection, AllocationError> {
         let candidates: Vec<Candidate> = {
             let s = self.state.read();
-            let entry = s
-                .catalog
-                .get(&dataset)
-                .ok_or(AllocationError::UnknownDataset(dataset))?;
+            let entry = match s.catalog.get(&dataset) {
+                Some(e) => e,
+                None => {
+                    self.metrics.resolve_failed.inc();
+                    return Err(AllocationError::UnknownDataset(dataset));
+                }
+            };
             entry
                 .replicas
                 .iter()
@@ -312,14 +362,19 @@ impl AllocationServer {
                 })
                 .collect()
         };
-        let sel = select_replica(social, requester, &candidates)
-            .ok_or(AllocationError::NoReplicaAvailable(dataset))?;
+        let Some(sel) = select_replica(social, requester, &candidates) else {
+            self.metrics.resolve_failed.inc();
+            return Err(AllocationError::NoReplicaAvailable(dataset));
+        };
+        self.metrics.resolve_ok.inc();
         let mut s = self.state.write();
         if let Some(entry) = s.catalog.get_mut(&dataset) {
             if matches!(sel.social_hops, Some(h) if h <= 1) {
                 entry.demand.hits += 1;
+                self.metrics.demand_hits.inc();
             } else {
                 entry.demand.misses += 1;
+                self.metrics.demand_misses.inc();
             }
         }
         Ok(sel)
@@ -375,6 +430,7 @@ impl AllocationServer {
             })
             .collect();
         plan.sort_by_key(|&(d, _, _)| d);
+        self.metrics.rebalance_datasets.add(plan.len() as u64);
         plan
     }
 
@@ -554,6 +610,34 @@ mod tests {
             .expect("ok");
         a.sync_from(&b);
         assert_eq!(a.replicas_of(DatasetId(0)).expect("known"), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn registry_bound_metrics_track_resolutions() {
+        let reg = Registry::new();
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let srv = AllocationServer::with_registry(&reg);
+        for v in g.nodes() {
+            srv.register_repository(RepositoryInfo {
+                node: v,
+                owner: AuthorId(v.0),
+                capacity: 1 << 30,
+                availability: 0.9,
+            });
+        }
+        srv.register_dataset(DatasetId(0), 1, NodeId(0))
+            .expect("ok");
+        srv.resolve(DatasetId(0), NodeId(1), &g, |_| true, |_| 10.0)
+            .expect("hit");
+        srv.resolve(DatasetId(0), NodeId(3), &g, |_| true, |_| 10.0)
+            .expect("miss");
+        let _ = srv.resolve(DatasetId(9), NodeId(0), &g, |_| true, |_| 10.0);
+        let _ = srv.resolve(DatasetId(0), NodeId(1), &g, |_| false, |_| 10.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("alloc.resolve.ok"), Some(2));
+        assert_eq!(snap.counter("alloc.resolve.failed"), Some(2));
+        assert_eq!(snap.counter("alloc.demand.hits"), Some(1));
+        assert_eq!(snap.counter("alloc.demand.misses"), Some(1));
     }
 
     #[test]

@@ -1,18 +1,92 @@
-//! Ext-B in DESIGN.md: the Section V-E metrics table.
+//! Ext-B in DESIGN.md: the Section V-E metrics table, plus machine-readable
+//! telemetry export.
 //!
-//! Runs the full S-CDN system end to end (publish → replicate → churn +
-//! Zipf request workload → maintenance) on the number-of-authors trust
-//! subgraph and reports every metric Section V-E proposes, for an
+//! Default mode runs the full S-CDN system end to end (publish → replicate →
+//! churn + Zipf request workload → maintenance) on the number-of-authors
+//! trust subgraph and reports every metric Section V-E proposes, for an
 //! always-on fabric and for two churn regimes.
 //!
 //! ```text
-//! cargo run -p scdn-bench --release --bin metrics_report
+//! cargo run -p scdn-bench --release --bin metrics_report            # V-E table
+//! cargo run -p scdn-bench --release --bin metrics_report -- --json  # scdn-obs/v1 JSON
+//! cargo run -p scdn-bench --release --bin metrics_report -- --check # validate export
 //! ```
+//!
+//! `--json` runs a small scenario and prints the full observability
+//! snapshot (counters, gauges, bounded histograms) as an `scdn-obs/v1`
+//! JSON document. `--check` does the same run, then validates both the
+//! in-memory snapshot and the JSON round-trip — any NaN, negative counter,
+//! or mis-ordered quantile exits non-zero. CI uses `--check` as a schema
+//! gate.
 
-use scdn_core::scenario::{run, ScenarioConfig};
+use std::process::ExitCode;
+
+use scdn_core::scenario::{run, ScenarioConfig, ScenarioReport};
 use scdn_core::system::AvailabilityConfig;
+use scdn_obs::{to_json, validate, validate_json};
 
-fn main() {
+/// A scenario small enough to finish in a few seconds yet exercising every
+/// subsystem (auth, discovery, selection, transfers, caching, maintenance).
+fn small_scenario() -> ScenarioReport {
+    let mut cfg = ScenarioConfig::default();
+    cfg.corpus.level2_prob = 0.4;
+    cfg.corpus.level3_prob = 0.0;
+    cfg.corpus.mega_pub_authors = 0;
+    cfg.datasets = 5;
+    cfg.requests = 200;
+    cfg.dataset_bytes = 8 << 10;
+    cfg.scdn.segment_size = 4 << 10;
+    cfg.scdn.availability = AvailabilityConfig::Periodic {
+        period_ms: 30_000,
+        duty: 0.8,
+    };
+    run(&cfg)
+}
+
+/// `--json`: emit the scdn-obs/v1 snapshot of a small scenario run.
+fn emit_json() -> ExitCode {
+    let report = small_scenario();
+    println!("{}", to_json(&report.scdn.observability_snapshot()));
+    ExitCode::SUCCESS
+}
+
+/// `--check`: validate the snapshot and its JSON serialisation; exit
+/// non-zero (with one line per violation) if anything is NaN, negative,
+/// or structurally off-schema.
+fn check() -> ExitCode {
+    let report = small_scenario();
+    let snap = report.scdn.observability_snapshot();
+    let mut violations = Vec::new();
+    if let Err(errs) = validate(&snap) {
+        violations.extend(errs.into_iter().map(|e| format!("snapshot: {e}")));
+    }
+    let text = to_json(&snap);
+    if let Err(errs) = validate_json(&text) {
+        violations.extend(errs.into_iter().map(|e| format!("json: {e}")));
+    }
+    if snap.counters.is_empty() || snap.histograms.is_empty() {
+        violations.push("snapshot: expected non-empty counters and histograms".into());
+    }
+    if violations.is_empty() {
+        println!(
+            "metrics export OK: {} counters, {} gauges, {} histograms ({} bytes of JSON)",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len(),
+            text.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("metrics export FAILED validation:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Default: the human-readable Section V-E table across churn regimes.
+fn table() {
     println!("Section V-E metrics under three availability regimes");
     println!();
     let regimes = [
@@ -141,4 +215,20 @@ fn main() {
     );
     println!();
     println!("(exchange success ratio of -1.00 denotes ∞: no failed exchanges)");
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1);
+    match mode.as_deref() {
+        Some("--json") => emit_json(),
+        Some("--check") => check(),
+        Some(other) => {
+            eprintln!("unknown flag {other:?}; use --json, --check, or no flag");
+            ExitCode::FAILURE
+        }
+        None => {
+            table();
+            ExitCode::SUCCESS
+        }
+    }
 }

@@ -17,10 +17,11 @@ use scdn_graph::{CsrGraph, Graph, NodeId};
 use scdn_middleware::audit::AuditLog;
 use scdn_middleware::auth::{Middleware, MiddlewareError};
 use scdn_middleware::authz::{AccessDecision, AccessPolicy};
-use scdn_net::failure::FailureModel;
+use scdn_net::failure::{AttemptOutcome, FailureModel};
 use scdn_net::overlay::{PeerCertificate, SocialOverlay};
 use scdn_net::topology::{LinkQuality, Topology};
 use scdn_net::transfer::{TransferEngine, TransferError};
+use scdn_obs::{Counter, Gauge, Registry, SpanKind, SpanStatus, TraceCollector};
 use scdn_sim::availability::{AvailabilityModel, PeriodicChurn};
 use scdn_sim::engine::SimTime;
 use scdn_sim::metrics::{CdnMetrics, SocialMetrics};
@@ -28,6 +29,7 @@ use scdn_social::author::AuthorId;
 use scdn_social::corpus::Corpus;
 use scdn_social::platform::SocialPlatform;
 use scdn_social::trustgraph::TrustSubgraph;
+use scdn_storage::cache::{CacheManager, EvictionPolicy};
 use scdn_storage::object::{Dataset, DatasetId, SegmentId, Sensitivity};
 use scdn_storage::repository::{Partition, RepoError, StorageRepository};
 use scdn_trust::interaction::InteractionLedger;
@@ -217,6 +219,33 @@ pub struct Scdn {
     pub cdn_metrics: CdnMetrics,
     /// Social collaboration metrics.
     pub social_metrics: SocialMetrics,
+    /// Shared metric registry: the alloc server, the per-node cache
+    /// managers, and the runtime's own counters all register here.
+    registry: Arc<Registry>,
+    /// Bounded ring of recent request-lifecycle traces.
+    traces: TraceCollector,
+    /// Per-node replica-partition cache managers (LRU, shared counters).
+    caches: Vec<CacheManager>,
+    /// Per-attempt transfer outcome counters (`net.attempts.*`).
+    att_delivered: Counter,
+    att_lost: Counter,
+    att_corrupted: Counter,
+    /// Latest sampled online fraction (`core.online_fraction`).
+    online_fraction: Gauge,
+}
+
+/// Wall-clock elapsed time in milliseconds (control-plane span timing).
+fn elapsed_ms(t: std::time::Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Span status for one network attempt outcome.
+fn attempt_status(outcome: AttemptOutcome) -> SpanStatus {
+    match outcome {
+        AttemptOutcome::Delivered => SpanStatus::Ok,
+        AttemptOutcome::Lost => SpanStatus::Lost,
+        AttemptOutcome::Corrupted => SpanStatus::Corrupted,
+    }
 }
 
 impl Scdn {
@@ -244,7 +273,8 @@ impl Scdn {
                 })
             }
         };
-        let alloc = AllocationServer::new();
+        let registry = Arc::new(Registry::new());
+        let alloc = AllocationServer::with_registry(&registry);
         let mut social_metrics = SocialMetrics::default();
         for (i, &author) in sub.authors.iter().enumerate() {
             let a = corpus.author(author);
@@ -314,6 +344,13 @@ impl Scdn {
             ));
         }
         overlay.establish_all(&sub.graph);
+        let caches = (0..n)
+            .map(|_| CacheManager::with_registry(EvictionPolicy::Lru, &registry))
+            .collect();
+        let att_delivered = registry.counter("net.attempts.delivered");
+        let att_lost = registry.counter("net.attempts.lost");
+        let att_corrupted = registry.counter("net.attempts.corrupted");
+        let online_fraction = registry.gauge("core.online_fraction");
         Scdn {
             social: sub.graph.clone(),
             social_csr: CsrGraph::from(&sub.graph),
@@ -336,6 +373,13 @@ impl Scdn {
             audit: AuditLog::new(),
             cdn_metrics: CdnMetrics::default(),
             social_metrics,
+            registry,
+            traces: TraceCollector::default(),
+            caches,
+            att_delivered,
+            att_lost,
+            att_corrupted,
+            online_fraction,
             config,
         }
     }
@@ -361,9 +405,9 @@ impl Scdn {
             online += usize::from(up);
         }
         if !self.repos.is_empty() {
-            self.cdn_metrics
-                .availability_samples
-                .record(online as f64 / self.repos.len() as f64);
+            let fraction = online as f64 / self.repos.len() as f64;
+            self.cdn_metrics.availability_samples.record(fraction);
+            self.online_fraction.set(fraction);
         }
     }
 
@@ -525,22 +569,46 @@ impl Scdn {
             let mut total_ms = 0.0;
             let mut total_bytes = 0u64;
             let mut failed = false;
+            let mut newly_delivered: Vec<SegmentId> = Vec::new();
+            let (att_ok, att_lost, att_bad) = (
+                self.att_delivered.clone(),
+                self.att_lost.clone(),
+                self.att_corrupted.clone(),
+            );
             for &s in &segments {
-                match self.engine.transfer_segment(
+                let pre_existing = dst_repo.contains_in(Partition::Replica, s);
+                match self.engine.transfer_segment_observed(
                     owner.index(),
                     cand.index(),
                     &src_repo,
                     &dst_repo,
                     s,
+                    Partition::Replica,
+                    &mut |r| match r.outcome {
+                        AttemptOutcome::Delivered => att_ok.inc(),
+                        AttemptOutcome::Lost => att_lost.inc(),
+                        AttemptOutcome::Corrupted => att_bad.inc(),
+                    },
                 ) {
                     Ok(r) => {
                         total_ms += r.duration_ms;
                         total_bytes += r.bytes;
+                        if !pre_existing {
+                            newly_delivered.push(s);
+                        }
                     }
                     Err(_) => {
                         failed = true;
                         break;
                     }
+                }
+            }
+            if failed {
+                // A partial replica must not squat in the candidate's
+                // replica partition: the catalog never learns about it, so
+                // nothing would ever reclaim that space.
+                for &s in &newly_delivered {
+                    let _ = dst_repo.remove(Partition::Replica, s, false);
                 }
             }
             self.social_metrics
@@ -551,6 +619,12 @@ impl Scdn {
                 continue;
             }
             self.alloc.add_replica(dataset, cand)?;
+            // Catalog-mandated replicas are pinned: opportunistic cache
+            // churn may never evict them.
+            let cache = &mut self.caches[cand.index()];
+            for &s in &segments {
+                cache.set_pinned(s, true);
+            }
             added.push(cand);
             have += 1;
         }
@@ -562,17 +636,44 @@ impl Scdn {
     /// Request a dataset from `node`: authenticate, check access policy,
     /// resolve the best online replica, and transfer every segment into
     /// the requester's user partition.
+    ///
+    /// Every request — served or failed — leaves a lifecycle trace in the
+    /// collector: `authenticate → discover → select replica → transfer
+    /// attempt(s) → deliver | fail`, with per-span timing and outcome
+    /// (control-plane spans carry wall-clock time, transfer attempts the
+    /// simulated network time).
     pub fn request(
         &mut self,
         node: NodeId,
         dataset: DatasetId,
     ) -> Result<RequestOutcome, ScdnError> {
         self.check_node(node)?;
-        let user = self.middleware.authorize_op(self.sessions[node.index()])?;
-        let meta = self
-            .datasets
-            .get(&dataset)
-            .ok_or(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)))?;
+        let mut tb = self.traces.begin(node.0, dataset.0);
+        let auth_start = std::time::Instant::now();
+        let user = match self.middleware.authorize_op(self.sessions[node.index()]) {
+            Ok(u) => u,
+            Err(e) => {
+                tb.span(
+                    SpanKind::Authenticate,
+                    SpanStatus::Denied,
+                    elapsed_ms(auth_start),
+                );
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::Denied));
+                return Err(ScdnError::Auth(e));
+            }
+        };
+        let Some(meta) = self.datasets.get(&dataset) else {
+            tb.span(
+                SpanKind::Authenticate,
+                SpanStatus::Ok,
+                elapsed_ms(auth_start),
+            );
+            tb.span(SpanKind::Discover, SpanStatus::Error, 0.0);
+            self.traces
+                .record(tb.finish(SpanKind::Fail, SpanStatus::Error));
+            return Err(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)));
+        };
         let decision = meta.policy.check(
             &self.platform,
             user,
@@ -584,11 +685,24 @@ impl Scdn {
         self.audit
             .record(self.clock.as_millis(), user, dataset, decision.clone());
         if !decision.allowed() {
+            tb.span(
+                SpanKind::Authenticate,
+                SpanStatus::Denied,
+                elapsed_ms(auth_start),
+            );
+            self.traces
+                .record(tb.finish(SpanKind::Fail, SpanStatus::Denied));
             return Err(ScdnError::Access(decision));
         }
+        tb.span(
+            SpanKind::Authenticate,
+            SpanStatus::Ok,
+            elapsed_ms(auth_start),
+        );
         let clock = self.clock;
         let availability = &self.availability;
         let topology = &self.engine.topology;
+        let discover_start = std::time::Instant::now();
         let selection = match self.alloc.resolve(
             dataset,
             node,
@@ -599,9 +713,21 @@ impl Scdn {
             Ok(sel) => sel,
             Err(e) => {
                 self.cdn_metrics.failures += 1;
+                tb.span(
+                    SpanKind::Discover,
+                    SpanStatus::NoReplica,
+                    elapsed_ms(discover_start),
+                );
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::NoReplica));
                 return Err(ScdnError::Alloc(e));
             }
         };
+        tb.span(
+            SpanKind::Discover,
+            SpanStatus::Ok,
+            elapsed_ms(discover_start),
+        );
         if self.config.enforce_social_boundary
             && selection.node != node
             && self.overlay.route(selection.node, node).is_none()
@@ -609,33 +735,72 @@ impl Scdn {
             // No verified overlay path: the data may not leave the
             // project's social boundary.
             self.cdn_metrics.failures += 1;
+            tb.span_with_peer(
+                SpanKind::SelectReplica,
+                SpanStatus::BoundaryBlocked,
+                0.0,
+                selection.node.0,
+            );
+            self.traces
+                .record(tb.finish(SpanKind::Fail, SpanStatus::BoundaryBlocked));
             return Err(ScdnError::Alloc(AllocationError::NoReplicaAvailable(
                 dataset,
             )));
         }
+        tb.span_with_peer(
+            SpanKind::SelectReplica,
+            SpanStatus::Ok,
+            0.0,
+            selection.node.0,
+        );
         let segments = self.segment_ids(dataset)?;
         let src_repo = self.repos[selection.node.index()].clone();
         let dst_repo = self.repos[node.index()].clone();
         let mut total_ms = 0.0;
         let mut total_bytes = 0u64;
+        let mut newly_delivered: Vec<SegmentId> = Vec::new();
+        let (att_ok, att_lost, att_bad) = (
+            self.att_delivered.clone(),
+            self.att_lost.clone(),
+            self.att_corrupted.clone(),
+        );
         for &s in &segments {
             // Self-service (the requester already hosts a replica) is free.
             if selection.node == node {
                 break;
             }
-            match self.engine.transfer_segment_into(
+            let pre_existing = dst_repo.contains_in(Partition::User, s);
+            let peer = selection.node.0;
+            match self.engine.transfer_segment_observed(
                 selection.node.index(),
                 node.index(),
                 &src_repo,
                 &dst_repo,
                 s,
                 Partition::User,
+                &mut |r| {
+                    match r.outcome {
+                        AttemptOutcome::Delivered => att_ok.inc(),
+                        AttemptOutcome::Lost => att_lost.inc(),
+                        AttemptOutcome::Corrupted => att_bad.inc(),
+                    }
+                    tb.attempt(attempt_status(r.outcome), r.duration_ms, r.attempt, peer);
+                },
             ) {
                 Ok(r) => {
                     total_ms += r.duration_ms;
                     total_bytes += r.bytes;
+                    if !pre_existing {
+                        newly_delivered.push(s);
+                    }
                 }
                 Err(e) => {
+                    // Roll back the segments this request delivered so a
+                    // failed download does not leave a partial dataset in
+                    // the requester's user partition.
+                    for &d in &newly_delivered {
+                        let _ = dst_repo.remove(Partition::User, d, true);
+                    }
                     self.cdn_metrics.failures += 1;
                     self.social_metrics.record_exchange(
                         selection.node.index(),
@@ -643,6 +808,8 @@ impl Scdn {
                         0,
                         false,
                     );
+                    self.traces
+                        .record(tb.finish(SpanKind::Fail, SpanStatus::Error));
                     return Err(ScdnError::Transfer(e));
                 }
             }
@@ -666,28 +833,68 @@ impl Scdn {
             );
             self.clients[selection.node.index()].record_served(total_bytes);
         }
+        // Bump recency/frequency for the serving node's copies.
+        let serving_cache = &mut self.caches[selection.node.index()];
+        for &s in &segments {
+            serving_cache.touch(s);
+        }
         self.clock = self.clock.plus_millis(total_ms as u64);
         if self.config.opportunistic_caching && selection.node != node {
-            // Promote the freshly downloaded copy into the requester's
-            // replica partition and tell the catalog about it.
-            let repo = self.repos[node.index()].clone();
-            let mut promoted = true;
-            for &s in &segments {
-                if repo.promote(s).is_err() {
-                    promoted = false;
-                    break;
-                }
-            }
-            if promoted {
-                let _ = self.alloc.add_replica(dataset, node);
-            }
+            self.promote_opportunistically(node, dataset, &segments);
         }
+        self.traces
+            .record(tb.finish(SpanKind::Deliver, SpanStatus::Ok));
         Ok(RequestOutcome {
             served_by: selection.node,
             social_hit: hit,
             response_ms: total_ms.max(selection.latency_ms),
             bytes: total_bytes,
         })
+    }
+
+    /// Promote the freshly downloaded copy into the requester's replica
+    /// partition through its cache manager (evicting unpinned opportunistic
+    /// copies as needed) and tell the catalog about it. Datasets that lose
+    /// a segment to eviction are dropped wholesale — catalog entry and
+    /// remaining segments — so no partial replica lingers.
+    fn promote_opportunistically(
+        &mut self,
+        node: NodeId,
+        dataset: DatasetId,
+        segments: &[SegmentId],
+    ) {
+        let repo = self.repos[node.index()].clone();
+        let mut promoted = true;
+        let mut evicted: Vec<SegmentId> = Vec::new();
+        for &s in segments {
+            match repo.fetch(Partition::User, s) {
+                Ok(seg) => match self.caches[node.index()].insert(&repo, seg) {
+                    Ok(out) => evicted.extend(out),
+                    Err(_) => {
+                        promoted = false;
+                        break;
+                    }
+                },
+                Err(_) => {
+                    promoted = false;
+                    break;
+                }
+            }
+        }
+        if promoted {
+            let _ = self.alloc.add_replica(dataset, node);
+        }
+        evicted.sort_unstable();
+        evicted.dedup_by_key(|id| id.dataset);
+        for ev in evicted {
+            let _ = self.alloc.remove_replica(ev.dataset, node);
+            if let Ok(rest) = self.segment_ids(ev.dataset) {
+                for s in rest {
+                    let _ = self.repos[node.index()].remove(Partition::Replica, s, false);
+                    self.caches[node.index()].forget(s);
+                }
+            }
+        }
     }
 
     /// Run one maintenance cycle: apply the replication policy to every
@@ -724,6 +931,7 @@ impl Scdn {
                                 for s in segments {
                                     let _ =
                                         self.repos[n.index()].remove(Partition::Replica, s, false);
+                                    self.caches[n.index()].forget(s);
                                 }
                             }
                             changes += 1;
@@ -739,6 +947,47 @@ impl Scdn {
     /// The allocation server (read access for tests and experiments).
     pub fn allocation(&self) -> &AllocationServer {
         &self.alloc
+    }
+
+    /// The shared metric registry (alloc, cache, and transfer counters).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The bounded ring of recent request-lifecycle traces.
+    pub fn traces(&self) -> &TraceCollector {
+        &self.traces
+    }
+
+    /// One frozen view of everything this instance knows about itself:
+    /// the shared registry (`alloc.*`, `storage.cache.*`, `net.attempts.*`,
+    /// `core.*`) merged with the Section V-E metric structs (`cdn.*`,
+    /// `social.*`) and the trace-collector totals (`trace.*`). This is
+    /// what the exporters in `scdn_obs::export` serialize.
+    pub fn observability_snapshot(&self) -> scdn_obs::Snapshot {
+        let mut snap = self.registry.snapshot();
+        let m = &self.cdn_metrics;
+        snap.add_counter("cdn.requests.hits", m.hits);
+        snap.add_counter("cdn.requests.misses", m.misses);
+        snap.add_counter("cdn.requests.failures", m.failures);
+        snap.add_counter("cdn.bytes_transferred", m.bytes_transferred);
+        snap.add_gauge("cdn.hit_rate_pct", m.hit_rate());
+        snap.add_histogram("cdn.response_time_ms", m.response_time_ms.clone());
+        snap.add_histogram("cdn.redundancy", m.redundancy.clone());
+        snap.add_histogram("cdn.availability", m.availability_samples.clone());
+        let s = &self.social_metrics;
+        snap.add_counter("social.hosting.requests", s.hosting_requests);
+        snap.add_counter("social.hosting.accepted", s.hosting_accepted);
+        snap.add_counter("social.exchanges.ok", s.exchanges_ok);
+        snap.add_counter("social.exchanges.failed", s.exchanges_failed);
+        snap.add_gauge("social.acceptance_rate_pct", s.acceptance_rate());
+        snap.add_histogram("social.immediacy_ms", s.immediacy_ms.clone());
+        snap.add_counter("trace.recorded", self.traces.total_recorded());
+        snap.add_counter("trace.evicted", self.traces.total_evicted());
+        snap.add_counter("trace.retained", self.traces.len() as u64);
+        snap.add_gauge("core.clock_ms", self.clock.as_millis() as f64);
+        snap.sort();
+        snap
     }
 
     /// The social platform handle.

@@ -196,6 +196,41 @@ fn request_hits_when_neighbor_hosts() {
 }
 
 #[test]
+fn requests_leave_well_formed_traces_and_valid_snapshot() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let owner = NodeId(0);
+    let id = scdn
+        .publish(
+            owner,
+            "traced",
+            Bytes::from(vec![7u8; 4096]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    scdn.replicate(id).expect("replicates");
+    let neighbor = sub.graph.neighbors(owner)[0].to;
+    scdn.request(neighbor, id).expect("served");
+    // A failed request (unknown dataset) must also be traced.
+    let bogus = scdn.request(neighbor, scdn_storage::object::DatasetId(999));
+    assert!(bogus.is_err());
+    scdn.tick(1_000);
+    assert_eq!(scdn.traces().len(), 2);
+    let traces: Vec<_> = scdn.traces().recent().collect();
+    assert!(traces.iter().all(|t| t.is_well_formed()));
+    assert!(traces[0].delivered());
+    assert!(!traces[1].delivered());
+    let snap = scdn.observability_snapshot();
+    scdn_obs::validate(&snap).expect("snapshot passes schema validation");
+    assert_eq!(snap.counter("trace.recorded"), Some(2));
+    assert_eq!(snap.counter("alloc.resolve.ok"), Some(1));
+    assert!(snap.histogram("cdn.response_time_ms").unwrap().count() >= 1);
+    assert!(snap.gauge("core.online_fraction").unwrap() > 0.0);
+    scdn_obs::validate_json(&scdn_obs::to_json(&snap)).expect("export round-trips");
+}
+
+#[test]
 fn clock_advances_with_traffic() {
     let (c, sub) = community();
     let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());

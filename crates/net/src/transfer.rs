@@ -55,6 +55,24 @@ impl std::fmt::Display for TransferError {
 
 impl std::error::Error for TransferError {}
 
+/// One network attempt of a segment transfer, reported to the observer
+/// callback of
+/// [`transfer_segment_observed`](TransferEngine::transfer_segment_observed)
+/// as it happens. This is how higher layers trace per-attempt outcomes
+/// without the transfer engine depending on any telemetry crate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttemptRecord {
+    /// Segment being moved.
+    pub segment: SegmentId,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// What the network did to this attempt.
+    pub outcome: AttemptOutcome,
+    /// Time charged to this attempt in milliseconds (lost attempts are
+    /// charged half an attempt; delivered/corrupted a full one).
+    pub duration_ms: f64,
+}
+
 /// Result of a successful transfer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TransferReport {
@@ -125,6 +143,33 @@ impl TransferEngine {
         segment: SegmentId,
         partition: Partition,
     ) -> Result<TransferReport, TransferError> {
+        self.transfer_segment_observed(
+            src,
+            dst,
+            src_repo,
+            dst_repo,
+            segment,
+            partition,
+            &mut |_| {},
+        )
+    }
+
+    /// Like [`transfer_segment_into`](Self::transfer_segment_into) but
+    /// invoking `observe` once per network attempt, in order, with the
+    /// outcome and charged time of each. The observer sees every attempt —
+    /// including the final delivered/failed one — before the result is
+    /// returned, so callers can build complete per-request traces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_segment_observed(
+        &self,
+        src: usize,
+        dst: usize,
+        src_repo: &StorageRepository,
+        dst_repo: &StorageRepository,
+        segment: SegmentId,
+        partition: Partition,
+        observe: &mut dyn FnMut(AttemptRecord),
+    ) -> Result<TransferReport, TransferError> {
         let seg = match src_repo.fetch_any(segment) {
             Ok(s) => s,
             Err(RepoError::IntegrityFailure(id)) => return Err(TransferError::SourceCorrupt(id)),
@@ -134,9 +179,16 @@ impl TransferEngine {
         let mut elapsed = 0.0;
         for attempt in 1..=self.max_attempts {
             let attempt_ms = self.attempt_time_ms(src, dst, seg.len() as u64);
-            match self.failure.outcome(src, dst, key, attempt) {
+            let outcome = self.failure.outcome(src, dst, key, attempt);
+            match outcome {
                 AttemptOutcome::Delivered => {
                     elapsed += attempt_ms;
+                    observe(AttemptRecord {
+                        segment,
+                        attempt,
+                        outcome,
+                        duration_ms: attempt_ms,
+                    });
                     dst_repo
                         .store(partition, seg.clone())
                         .map_err(TransferError::Destination)?;
@@ -149,10 +201,22 @@ impl TransferEngine {
                 AttemptOutcome::Lost => {
                     // Drop mid-flight: charge half an attempt.
                     elapsed += attempt_ms * 0.5;
+                    observe(AttemptRecord {
+                        segment,
+                        attempt,
+                        outcome,
+                        duration_ms: attempt_ms * 0.5,
+                    });
                 }
                 AttemptOutcome::Corrupted => {
                     // Full attempt spent; destination checksum rejects.
                     elapsed += attempt_ms;
+                    observe(AttemptRecord {
+                        segment,
+                        attempt,
+                        outcome,
+                        duration_ms: attempt_ms,
+                    });
                     debug_assert!(
                         {
                             let mut raw = seg.data.to_vec();
@@ -178,7 +242,13 @@ impl TransferEngine {
     }
 
     /// Transfer a whole dataset's segments, returning per-segment reports.
-    /// Stops at the first permanent failure.
+    ///
+    /// Stops at the first permanent failure and **rolls back** every
+    /// segment this call delivered, so a failed batch never leaves a
+    /// partial dataset occupying the destination's replica partition.
+    /// Segments that were already present in the destination's replica
+    /// partition before the call are left untouched (a re-delivery
+    /// overwrites in place and is not rolled back).
     pub fn transfer_many(
         &self,
         src: usize,
@@ -188,8 +258,23 @@ impl TransferEngine {
         segments: &[SegmentId],
     ) -> Result<Vec<TransferReport>, TransferError> {
         let mut out = Vec::with_capacity(segments.len());
+        let mut newly_delivered: Vec<SegmentId> = Vec::new();
         for &s in segments {
-            out.push(self.transfer_segment(src, dst, src_repo, dst_repo, s)?);
+            let pre_existing = dst_repo.contains_in(Partition::Replica, s);
+            match self.transfer_segment(src, dst, src_repo, dst_repo, s) {
+                Ok(report) => {
+                    out.push(report);
+                    if !pre_existing {
+                        newly_delivered.push(s);
+                    }
+                }
+                Err(e) => {
+                    for id in newly_delivered {
+                        dst_repo.remove(Partition::Replica, id, false).ok();
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(out)
     }
@@ -340,5 +425,79 @@ mod tests {
         let reports = e.transfer_many(0, 1, &a, &b, &ids).expect("all deliver");
         assert_eq!(reports.len(), 5);
         assert_eq!(b.segment_count(Partition::Replica), 5);
+    }
+
+    #[test]
+    fn transfer_many_rolls_back_partial_delivery() {
+        let e = two_node_engine(FailureModel::reliable());
+        let a = StorageRepository::new(1 << 20);
+        let b = StorageRepository::new(1 << 20);
+        // A segment already replicated at the destination before the batch:
+        // it must survive the rollback.
+        let kept = seg(3, 0, 512);
+        a.store(Partition::User, kept.clone()).expect("stored");
+        b.store(Partition::Replica, kept.clone()).expect("stored");
+        let mut ids = vec![kept.id];
+        for ord in 1..4 {
+            let s = seg(3, ord, 512);
+            ids.push(s.id);
+            a.store(Partition::User, s).expect("stored");
+        }
+        // The final segment is missing at the source, so the batch fails
+        // after three successful deliveries.
+        ids.push(SegmentId {
+            dataset: DatasetId(3),
+            ordinal: 99,
+        });
+        let err = e.transfer_many(0, 1, &a, &b, &ids).unwrap_err();
+        assert!(matches!(err, TransferError::SourceMissing(_)));
+        // Only the pre-existing replica remains; the three new deliveries
+        // were rolled back instead of squatting in the replica partition.
+        assert_eq!(b.list(Partition::Replica), vec![kept.id]);
+    }
+
+    #[test]
+    fn observer_sees_every_attempt_in_order() {
+        let a = StorageRepository::new(1 << 20);
+        let b = StorageRepository::new(1 << 20);
+        let s = seg(7, 0, 1000);
+        a.store(Partition::User, s.clone()).expect("stored");
+        // Find a seed whose transfer needs more than one attempt so the
+        // observer records a retry chain.
+        for seed in 0..200 {
+            let e = two_node_engine(FailureModel {
+                loss_prob: 0.5,
+                corruption_prob: 0.0,
+                seed,
+            });
+            let mut records: Vec<AttemptRecord> = Vec::new();
+            let result =
+                e.transfer_segment_observed(0, 1, &a, &b, s.id, Partition::Replica, &mut |r| {
+                    records.push(r)
+                });
+            match result {
+                Ok(report) if report.attempts > 1 => {
+                    assert_eq!(records.len(), report.attempts as usize);
+                    for (i, r) in records.iter().enumerate() {
+                        assert_eq!(r.attempt, i as u32 + 1);
+                        assert_eq!(r.segment, s.id);
+                        assert!(r.duration_ms > 0.0);
+                    }
+                    let (last, earlier) = records.split_last().expect("non-empty");
+                    assert_eq!(last.outcome, AttemptOutcome::Delivered);
+                    assert!(earlier.iter().all(|r| r.outcome == AttemptOutcome::Lost));
+                    assert!(
+                        (records.iter().map(|r| r.duration_ms).sum::<f64>() - report.duration_ms)
+                            .abs()
+                            < 1e-9
+                    );
+                    return;
+                }
+                _ => {
+                    b.remove(Partition::Replica, s.id, false).ok();
+                }
+            }
+        }
+        panic!("no seed produced a multi-attempt success");
     }
 }

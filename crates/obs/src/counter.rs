@@ -1,0 +1,173 @@
+//! Sharded atomic counters and gauges.
+//!
+//! A [`Counter`] spreads its increments over cache-line-padded shards so
+//! that hot paths on different threads don't contend on one cache line;
+//! reads sum the shards. Handles are cheap `Arc` clones — every clone
+//! observes and contributes to the same value, which is how the
+//! [`crate::registry::Registry`] hands the *same* counter to many
+//! subsystems.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of independent shards per counter (power of two).
+const SHARDS: usize = 16;
+
+/// One cache line per shard so concurrent writers don't false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard(AtomicU64);
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a sticky shard index, assigned round-robin.
+    static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn shard_index() -> usize {
+    THREAD_SLOT.with(|slot| {
+        let mut s = slot.get();
+        if s == usize::MAX {
+            s = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            slot.set(s);
+        }
+        s
+    })
+}
+
+/// Monotonic event counter. `add`/`inc` are wait-free on the caller's
+/// shard; `get` sums all shards (O(SHARDS), racy-but-monotone under
+/// concurrent writers).
+#[derive(Clone, Default)]
+pub struct Counter {
+    shards: Arc<[Shard; SHARDS]>,
+}
+
+impl Counter {
+    /// A new counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n` events.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// `true` if this handle and `other` share the same underlying counter.
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.shards, &other.shards)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// Last-write-wins scalar gauge holding an `f64` (stored as bit pattern).
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// A new gauge at 0.0.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Read the gauge.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counter::new();
+        let d = c.clone();
+        c.add(5);
+        d.add(7);
+        assert_eq!(c.get(), 12);
+        assert!(c.same_as(&d));
+        assert!(!c.same_as(&Counter::new()));
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let c = Counter::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        let h = g.clone();
+        h.set(-1.5);
+        assert_eq!(g.get(), -1.5);
+    }
+}

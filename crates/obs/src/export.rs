@@ -1,0 +1,321 @@
+//! Snapshot exporters (JSON and Prometheus text) plus the schema
+//! validator used by `metrics_report --check` and CI.
+//!
+//! # JSON schema (`scdn-obs/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "scdn-obs/v1",
+//!   "counters":   { "<name>": <u64>, ... },
+//!   "gauges":     { "<name>": <f64>, ... },
+//!   "histograms": {
+//!     "<name>": {
+//!       "count": <u64>, "rejected": <u64>, "sum": <f64>,
+//!       "mean": <f64>, "min": <f64>, "max": <f64>,
+//!       "p50": <f64>, "p90": <f64>, "p95": <f64>, "p99": <f64>
+//!     }, ...
+//!   }
+//! }
+//! ```
+//!
+//! All numbers must be finite; counters and histogram stats must be
+//! non-negative; histogram quantiles must be ordered within `[min, max]`.
+//! [`validate`] enforces exactly those rules on a [`Snapshot`], and
+//! [`validate_json`] re-checks a serialized document (catching NaN →
+//! `null` leaks too, since `null` is not a number).
+
+use crate::json::{self, Json};
+use crate::registry::Snapshot;
+
+/// Schema identifier emitted in every JSON document.
+pub const SCHEMA: &str = "scdn-obs/v1";
+
+/// Quantiles exported for each histogram.
+const QUANTILES: [(&str, f64); 4] = [("p50", 0.5), ("p90", 0.9), ("p95", 0.95), ("p99", 0.99)];
+
+/// Serialize a snapshot as a `scdn-obs/v1` JSON document.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"schema\": \"");
+    out.push_str(SCHEMA);
+    out.push_str("\",\n  \"counters\": {");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", json::escape(name), v));
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {}",
+            json::escape(name),
+            json::number(*v)
+        ));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"rejected\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}",
+            json::escape(name),
+            h.count(),
+            h.rejected(),
+            json::number(h.sum()),
+            json::number(h.mean()),
+            json::number(h.min()),
+            json::number(h.max()),
+        ));
+        for (label, q) in QUANTILES {
+            out.push_str(&format!(", \"{label}\": {}", json::number(h.quantile(q))));
+        }
+        out.push('}');
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Serialize a snapshot in the Prometheus text exposition format.
+/// Metric names are sanitized (`.` and `-` become `_`).
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n}_total {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (_, q) in QUANTILES {
+            out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", h.quantile(q)));
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Validate a snapshot against the `scdn-obs/v1` rules. Returns every
+/// violation found (empty ⇒ valid).
+pub fn validate(snap: &Snapshot) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    for (name, v) in &snap.gauges {
+        if !v.is_finite() {
+            errors.push(format!("gauge '{name}' is not finite ({v})"));
+        }
+    }
+    for (name, h) in &snap.histograms {
+        for (label, v) in [
+            ("sum", h.sum()),
+            ("mean", h.mean()),
+            ("min", h.min()),
+            ("max", h.max()),
+        ] {
+            if !v.is_finite() {
+                errors.push(format!("histogram '{name}' {label} is not finite ({v})"));
+            } else if v < 0.0 {
+                errors.push(format!("histogram '{name}' {label} is negative ({v})"));
+            }
+        }
+        let mut prev = h.min();
+        for (label, q) in QUANTILES {
+            let v = h.quantile(q);
+            if !v.is_finite() || v < 0.0 {
+                errors.push(format!("histogram '{name}' {label} invalid ({v})"));
+            } else if v + 1e-12 < prev {
+                errors.push(format!(
+                    "histogram '{name}' {label} = {v} below previous quantile {prev}"
+                ));
+            } else {
+                prev = v;
+            }
+        }
+        if h.count() > 0 && h.max() + 1e-12 < prev {
+            errors.push(format!("histogram '{name}' max below p99"));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Parse a serialized `scdn-obs/v1` document and check its schema:
+/// required sections, schema tag, and every value finite (and
+/// non-negative for counters and histogram stats).
+pub fn validate_json(doc: &str) -> Result<(), Vec<String>> {
+    let parsed = match json::parse(doc) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    match parsed.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => errors.push(format!("schema tag is {other:?}, want {SCHEMA:?}")),
+    }
+    let section = |name: &str, errors: &mut Vec<String>| -> Vec<(String, Json)> {
+        match parsed.get(name).and_then(Json::as_obj) {
+            Some(m) => m.to_vec(),
+            None => {
+                errors.push(format!("missing '{name}' object"));
+                Vec::new()
+            }
+        }
+    };
+    for (name, v) in section("counters", &mut errors) {
+        match v.as_f64() {
+            Some(n) if n.is_finite() && n >= 0.0 && n.fract() == 0.0 => {}
+            other => errors.push(format!(
+                "counter '{name}' must be a non-negative integer, got {other:?}"
+            )),
+        }
+    }
+    for (name, v) in section("gauges", &mut errors) {
+        match v.as_f64() {
+            Some(n) if n.is_finite() => {}
+            _ => errors.push(format!("gauge '{name}' must be a finite number, got {v:?}")),
+        }
+    }
+    const HIST_FIELDS: [&str; 10] = [
+        "count", "rejected", "sum", "mean", "min", "max", "p50", "p90", "p95", "p99",
+    ];
+    for (name, h) in section("histograms", &mut errors) {
+        for field in HIST_FIELDS {
+            match h.get(field).and_then(Json::as_f64) {
+                Some(n) if n.is_finite() && n >= 0.0 => {}
+                other => errors.push(format!(
+                    "histogram '{name}' field '{field}' must be a finite non-negative number, got {other:?}"
+                )),
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("net.transfer.attempts").add(17);
+        reg.counter("alloc.resolve.ok").add(9);
+        reg.gauge("core.online_fraction").set(0.875);
+        let h = reg.histogram("cdn.response_time_ms");
+        for v in [10.0, 20.0, 30.0, 250.0] {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_validates() {
+        let doc = to_json(&sample_snapshot());
+        validate_json(&doc).expect("well-formed export");
+        let parsed = json::parse(&doc).expect("parses");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("net.transfer.attempts")
+                .unwrap()
+                .as_f64(),
+            Some(17.0)
+        );
+        let h = parsed
+            .get("histograms")
+            .unwrap()
+            .get("cdn.response_time_ms")
+            .unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(4.0));
+        assert_eq!(h.get("max").unwrap().as_f64(), Some(250.0));
+    }
+
+    #[test]
+    fn validator_accepts_good_snapshot() {
+        validate(&sample_snapshot()).expect("valid");
+    }
+
+    #[test]
+    fn validator_rejects_nan_gauge() {
+        let mut snap = sample_snapshot();
+        snap.add_gauge("bad.gauge", f64::NAN);
+        let errs = validate(&snap).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("bad.gauge")), "{errs:?}");
+    }
+
+    #[test]
+    fn json_validator_rejects_nan_and_negatives() {
+        let doc = r#"{"schema": "scdn-obs/v1", "counters": {"x": -1}, "gauges": {"g": null}, "histograms": {}}"#;
+        let errs = validate_json(doc).unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        // NaN leaks serialize as null and are caught as non-numbers.
+        let doc = r#"{"schema": "scdn-obs/v1", "counters": {}, "gauges": {}, "histograms": {"h": {"count": 1, "rejected": 0, "sum": null, "mean": 1, "min": 1, "max": 1, "p50": 1, "p90": 1, "p95": 1, "p99": 1}}}"#;
+        let errs = validate_json(doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("'sum'")), "{errs:?}");
+    }
+
+    #[test]
+    fn json_validator_requires_schema_tag() {
+        let errs =
+            validate_json(r#"{"counters": {}, "gauges": {}, "histograms": {}}"#).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("schema tag")), "{errs:?}");
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE net_transfer_attempts counter"));
+        assert!(text.contains("net_transfer_attempts_total 17"));
+        assert!(text.contains("# TYPE core_online_fraction gauge"));
+        assert!(text.contains("cdn_response_time_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("cdn_response_time_ms_count 4"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let snap = Snapshot::new();
+        let doc = to_json(&snap);
+        validate_json(&doc).expect("empty but well-formed");
+        assert_eq!(to_prometheus(&snap), "");
+    }
+
+    #[test]
+    fn hand_built_snapshot_with_histogram() {
+        let mut snap = Snapshot::new();
+        let mut h = Histogram::default();
+        h.record(5.0);
+        snap.add_histogram("x.h", h);
+        snap.add_counter("x.c", 3);
+        snap.sort();
+        validate(&snap).expect("valid");
+        validate_json(&to_json(&snap)).expect("valid json");
+    }
+}

@@ -1,0 +1,35 @@
+//! # scdn-obs — bounded-memory observability for the SCDN stack
+//!
+//! This crate replaces the old retain-every-sample `Summary` pattern
+//! (`scdn-sim`) with telemetry primitives whose memory footprint is
+//! **independent of how many observations they absorb**:
+//!
+//! - [`Counter`] / [`Gauge`] — sharded atomic counters and last-write-wins
+//!   scalar gauges, wait-free on the record path.
+//! - [`Histogram`] / [`SharedHistogram`] — fixed-bucket log-linear
+//!   (HDR-style) histograms: `O(buckets)` memory forever, mergeable, with
+//!   a documented relative-error bound on every quantile.
+//! - [`TraceCollector`] / [`RequestTrace`] — a bounded ring of structured
+//!   request-lifecycle traces, each a span chain
+//!   `authenticate → discover → select replica → transfer attempt(s) →
+//!   deliver/fail` with per-span timing and outcome.
+//! - [`Registry`] / [`Snapshot`] — named metric registration plus frozen
+//!   snapshots feeding the [`export`] module's JSON (`scdn-obs/v1`) and
+//!   Prometheus-text exporters and schema validator.
+//!
+//! Handles are cheap `Arc` clones; subsystems grab them once at
+//! construction and record without taking any lock.
+
+pub mod counter;
+pub mod export;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use counter::{Counter, Gauge};
+pub use export::{to_json, to_prometheus, validate, validate_json, SCHEMA};
+pub use histogram::{Histogram, HistogramConfig, SharedHistogram};
+pub use json::Json;
+pub use registry::{Registry, Snapshot};
+pub use trace::{RequestTrace, Span, SpanKind, SpanStatus, TraceBuilder, TraceCollector};

@@ -1,0 +1,142 @@
+//! Property tests pitting the bounded log-linear [`Histogram`] against an
+//! exact sorted-`Vec` oracle — the data structure the deprecated `Summary`
+//! used to retain unboundedly. Every quantile the histogram reports must
+//! fall within the error bound its docs promise:
+//!
+//! ```text
+//! |reported - exact| <= exact / 2^p + 1 / unit_scale
+//! ```
+
+use proptest::prelude::*;
+use scdn_obs::{Histogram, HistogramConfig};
+
+/// Exact nearest-rank quantile over a sorted sample — the oracle.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+/// The documented bound for one reported/exact pair under `cfg`.
+fn within_bound(cfg: &HistogramConfig, reported: f64, exact: f64) -> bool {
+    let tol = exact / (1u64 << cfg.precision_bits) as f64 + 1.0 / cfg.unit_scale;
+    // Tiny slack for the f64 scaling round-trip itself.
+    (reported - exact).abs() <= tol + 1e-9
+}
+
+fn check_against_oracle(cfg: HistogramConfig, values: &[f64]) {
+    let mut hist = Histogram::new(cfg);
+    let mut sorted = values.to_vec();
+    for &v in values {
+        hist.record(v);
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite inputs"));
+    assert_eq!(hist.count(), values.len() as u64);
+    for &q in &[0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+        let reported = hist.quantile(q);
+        let exact = exact_quantile(&sorted, q);
+        assert!(
+            within_bound(&cfg, reported, exact),
+            "q={q}: reported {reported} vs exact {exact} \
+             (p={}, unit_scale={}, n={})",
+            cfg.precision_bits,
+            cfg.unit_scale,
+            values.len()
+        );
+    }
+    // Extremes are tracked exactly, not bucket-approximated.
+    assert_eq!(hist.min(), sorted[0]);
+    assert_eq!(hist.max(), *sorted.last().expect("non-empty"));
+}
+
+proptest! {
+    /// Default-config quantiles stay within the documented bound for
+    /// latency-like values spanning six orders of magnitude.
+    #[test]
+    fn quantiles_match_exact_oracle(
+        values in proptest::collection::vec(0.0f64..1.0e6, 1..400)
+    ) {
+        check_against_oracle(HistogramConfig::default(), &values);
+    }
+
+    /// The bound holds at coarse precision too (p = 5, the `coarse()`
+    /// preset) — the tolerance widens with 2^-p exactly as documented.
+    #[test]
+    fn coarse_precision_quantiles_within_widened_bound(
+        values in proptest::collection::vec(0.0f64..5.0e4, 1..300)
+    ) {
+        check_against_oracle(HistogramConfig::coarse(), &values);
+    }
+
+    /// Skewed heavy-tail samples (many tiny values, few huge ones) —
+    /// the regime Zipf workloads produce — stay within the bound.
+    #[test]
+    fn heavy_tail_quantiles_within_bound(
+        small in proptest::collection::vec(0.0f64..10.0, 1..200),
+        large in proptest::collection::vec(1.0e4f64..1.0e7, 0..20)
+    ) {
+        let mut values = small;
+        values.extend(large);
+        check_against_oracle(HistogramConfig::default(), &values);
+    }
+
+    /// Merging shard histograms is equivalent to recording everything
+    /// into one: counts, sums, extremes, and all quantiles agree.
+    #[test]
+    fn merge_equals_single_histogram(
+        a in proptest::collection::vec(0.0f64..1.0e5, 0..200),
+        b in proptest::collection::vec(0.0f64..1.0e5, 0..200)
+    ) {
+        let cfg = HistogramConfig::default();
+        let mut merged = Histogram::new(cfg);
+        let mut part = Histogram::new(cfg);
+        let mut whole = Histogram::new(cfg);
+        for &v in &a {
+            merged.record(v);
+            whole.record(v);
+        }
+        for &v in &b {
+            part.record(v);
+            whole.record(v);
+        }
+        merged.merge(&part);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert!((merged.sum() - whole.sum()).abs() < 1e-6);
+        for &q in &[0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// Memory is O(buckets): bucket allocation never grows past the
+    /// configured count no matter how many values are recorded.
+    #[test]
+    fn allocation_is_bounded_by_config(
+        values in proptest::collection::vec(0.0f64..1.0e9, 1..500)
+    ) {
+        let cfg = HistogramConfig::default();
+        let mut hist = Histogram::new(cfg);
+        for &v in &values {
+            hist.record(v);
+        }
+        prop_assert_eq!(hist.allocated_buckets(), cfg.bucket_count());
+    }
+}
+
+/// Non-property sanity check: a million observations allocate exactly the
+/// configured bucket count — the bug the deprecated `Summary` had (one Vec
+/// slot per observation) cannot recur.
+#[test]
+fn million_observations_stay_bounded() {
+    let cfg = HistogramConfig::default();
+    let mut hist = Histogram::new(cfg);
+    for i in 0..1_000_000u64 {
+        hist.record((i % 10_000) as f64 * 0.37);
+    }
+    assert_eq!(hist.count(), 1_000_000);
+    assert_eq!(hist.allocated_buckets(), cfg.bucket_count());
+    let p50 = hist.quantile(0.5);
+    let exact = 0.37 * 5_000.0; // uniform over 0..10_000 * 0.37
+    assert!((p50 - exact).abs() <= exact / 128.0 + 1.0 / cfg.unit_scale + 40.0);
+}

@@ -7,63 +7,57 @@
 
 use std::collections::HashMap;
 
+use scdn_obs::Histogram;
+
 use crate::engine::SimTime;
 
-/// Streaming summary of a scalar series (count / mean / min / max and
-/// approximate percentiles via a retained sample).
+/// Deprecated compatibility shim over [`scdn_obs::Histogram`].
+///
+/// The original `Summary` documented itself as keeping "approximate
+/// percentiles via a retained sample", but it actually pushed **every**
+/// observation into an internal `Vec` (unbounded memory on a long-running
+/// node) and re-sorted the whole series on each `quantile` call. It now
+/// delegates to the bounded log-linear histogram in `scdn-obs`, which
+/// stores `O(buckets)` regardless of how many values are recorded;
+/// quantiles are approximate within the error bound documented on
+/// [`Histogram::quantile`].
+#[deprecated(note = "use `scdn_obs::Histogram` directly")]
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
-    values: Vec<f64>,
+    hist: Histogram,
 }
 
+#[allow(deprecated)]
 impl Summary {
     /// Record one observation.
     pub fn record(&mut self, v: f64) {
-        self.values.push(v);
+        self.hist.record(v);
     }
 
     /// Number of observations.
     pub fn count(&self) -> usize {
-        self.values.len()
+        self.hist.count() as usize
     }
 
     /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.values.is_empty() {
-            0.0
-        } else {
-            self.values.iter().sum::<f64>() / self.values.len() as f64
-        }
+        self.hist.mean()
     }
 
     /// Minimum (0 when empty).
     pub fn min(&self) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        self.hist.min()
     }
 
     /// Maximum (0 when empty).
     pub fn max(&self) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        self.values
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.hist.max()
     }
 
-    /// `q`-quantile (0..=1) by nearest-rank on a sorted copy; 0 when empty.
+    /// `q`-quantile (0..=1) by nearest rank; 0 when empty. Approximate
+    /// within the bound documented on [`Histogram::quantile`].
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[idx]
+        self.hist.quantile(q)
     }
 }
 
@@ -77,14 +71,14 @@ pub struct CdnMetrics {
     pub misses: u64,
     /// Requests that could not be served at all (no online replica).
     pub failures: u64,
-    /// End-to-end response times (ms).
-    pub response_time_ms: Summary,
+    /// End-to-end response times (ms), bounded log-linear histogram.
+    pub response_time_ms: Histogram,
     /// Bytes moved across the network.
     pub bytes_transferred: u64,
     /// Observed per-request replica counts (redundancy level).
-    pub redundancy: Summary,
+    pub redundancy: Histogram,
     /// Sampled fraction of online storage nodes.
-    pub availability_samples: Summary,
+    pub availability_samples: Histogram,
 }
 
 impl CdnMetrics {
@@ -131,7 +125,7 @@ pub struct SocialMetrics {
     /// Hosting requests accepted by participants.
     pub hosting_accepted: u64,
     /// Time from request to acceptance (ms), for accepted requests.
-    pub immediacy_ms: Summary,
+    pub immediacy_ms: Histogram,
     /// Completed data exchanges.
     pub exchanges_ok: u64,
     /// Failed data exchanges.
@@ -246,6 +240,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn summary_statistics() {
         let mut s = Summary::default();
         for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
@@ -260,12 +255,28 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn summary_empty_is_zero() {
         let s = Summary::default();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 0.0);
         assert_eq!(s.quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn cdn_metrics_histograms_stay_bounded() {
+        // The anchor bug: response times used to accumulate in a Vec, one
+        // f64 per request, forever. The histogram's allocation must not
+        // scale with the observation count.
+        let mut m = CdnMetrics::default();
+        m.response_time_ms.record(10.0);
+        let buckets_after_one = m.response_time_ms.allocated_buckets();
+        for i in 0..100_000 {
+            m.response_time_ms.record((i % 5_000) as f64);
+        }
+        assert_eq!(m.response_time_ms.count(), 100_001);
+        assert_eq!(m.response_time_ms.allocated_buckets(), buckets_after_one);
     }
 
     #[test]

@@ -49,9 +49,11 @@ impl Zipf {
         self.cdf.len()
     }
 
-    /// `true` if the sampler is over a single item.
+    /// `true` if the sampler holds no items. Always `false` in practice:
+    /// [`Zipf::new`] panics on `n == 0`, so every constructed sampler has
+    /// at least one item. Provided for the `len`/`is_empty` convention.
     pub fn is_empty(&self) -> bool {
-        false // construction guarantees n > 0
+        self.cdf.is_empty()
     }
 
     /// Sample an item index.
@@ -224,6 +226,18 @@ mod tests {
     #[should_panic(expected = "at least one item")]
     fn zipf_rejects_empty() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn zipf_single_item_is_not_empty() {
+        let z = Zipf::new(1, 1.3);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty(), "one item is non-empty");
+        assert!((z.probability(0) - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
     }
 
     #[test]

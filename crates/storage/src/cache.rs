@@ -9,8 +9,37 @@
 
 use std::collections::HashMap;
 
+use scdn_obs::{Counter, Registry};
+
 use crate::object::{Segment, SegmentId};
 use crate::repository::{Partition, RepoError, StorageRepository};
+
+/// Telemetry handles for a cache manager. Standalone by default; bind to
+/// a [`Registry`] with [`CacheMetrics::from_registry`] so the counts show
+/// up in exported snapshots under the `storage.cache.*` namespace.
+#[derive(Clone, Debug, Default)]
+pub struct CacheMetrics {
+    /// Accesses to resident segments (recency/frequency bumps).
+    pub touches: Counter,
+    /// Segments inserted into the replica partition.
+    pub insertions: Counter,
+    /// Segments evicted to make room.
+    pub evictions: Counter,
+    /// Inserts refused because nothing more could be evicted.
+    pub rejections: Counter,
+}
+
+impl CacheMetrics {
+    /// Handles registered in `reg` under `storage.cache.*` metric names.
+    pub fn from_registry(reg: &Registry) -> CacheMetrics {
+        CacheMetrics {
+            touches: reg.counter("storage.cache.touches"),
+            insertions: reg.counter("storage.cache.insertions"),
+            evictions: reg.counter("storage.cache.evictions"),
+            rejections: reg.counter("storage.cache.rejections"),
+        }
+    }
+}
 
 /// Eviction policy for cached segments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,16 +57,34 @@ pub struct CacheManager {
     tick: u64,
     /// Per-segment (last-use tick, use count, pinned).
     state: HashMap<SegmentId, (u64, u64, bool)>,
+    metrics: CacheMetrics,
 }
 
 impl CacheManager {
-    /// Manager with the given policy.
+    /// Manager with the given policy and standalone metrics.
     pub fn new(policy: EvictionPolicy) -> CacheManager {
         CacheManager {
             policy,
             tick: 0,
             state: HashMap::new(),
+            metrics: CacheMetrics::default(),
         }
+    }
+
+    /// Manager whose metrics are bound to `reg` (exported under
+    /// `storage.cache.*`).
+    pub fn with_registry(policy: EvictionPolicy, reg: &Registry) -> CacheManager {
+        CacheManager {
+            policy,
+            tick: 0,
+            state: HashMap::new(),
+            metrics: CacheMetrics::from_registry(reg),
+        }
+    }
+
+    /// This manager's telemetry handles.
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
     }
 
     /// Record an access to a cached segment (bumps recency/frequency).
@@ -46,6 +93,7 @@ impl CacheManager {
         let entry = self.state.entry(id).or_insert((0, 0, false));
         entry.0 = self.tick;
         entry.1 += 1;
+        self.metrics.touches.inc();
     }
 
     /// Pin (or unpin) a segment: pinned segments are never evicted —
@@ -59,6 +107,12 @@ impl CacheManager {
     /// `true` if the segment is pinned.
     pub fn is_pinned(&self, id: SegmentId) -> bool {
         self.state.get(&id).map(|e| e.2).unwrap_or(false)
+    }
+
+    /// Drop all tracking state for a segment (after it was removed from
+    /// the repository by an outside actor, e.g. a replica shed).
+    pub fn forget(&mut self, id: SegmentId) {
+        self.state.remove(&id);
     }
 
     /// Insert a segment into the replica partition, evicting unpinned
@@ -76,10 +130,12 @@ impl CacheManager {
             match repo.store(Partition::Replica, seg.clone()) {
                 Ok(()) => {
                     self.touch(seg.id);
+                    self.metrics.insertions.inc();
                     return Ok(evicted);
                 }
                 Err(RepoError::QuotaExceeded { .. }) => {
                     let Some(victim) = self.pick_victim(repo) else {
+                        self.metrics.rejections.inc();
                         return Err(RepoError::QuotaExceeded {
                             needed: seg.len() as u64,
                             available: repo.available(),
@@ -87,6 +143,7 @@ impl CacheManager {
                     };
                     repo.remove(Partition::Replica, victim, false)?;
                     self.state.remove(&victim);
+                    self.metrics.evictions.inc();
                     evicted.push(victim);
                 }
                 Err(e) => return Err(e),
@@ -182,6 +239,25 @@ mod tests {
             other => panic!("expected quota error, got {other:?}"),
         }
         assert!(repo.contains(s0.id) && repo.contains(s1.id));
+    }
+
+    #[test]
+    fn registry_bound_metrics_count_cache_activity() {
+        let reg = Registry::new();
+        let repo = StorageRepository::new(250);
+        let mut cache = CacheManager::with_registry(EvictionPolicy::Lru, &reg);
+        cache.insert(&repo, seg(0, 100)).expect("fits");
+        cache.insert(&repo, seg(1, 100)).expect("fits");
+        cache.insert(&repo, seg(2, 100)).expect("evicts one");
+        cache.set_pinned(seg(1, 100).id, true);
+        cache.set_pinned(seg(2, 100).id, true);
+        let _ = cache.insert(&repo, seg(3, 200)).unwrap_err();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("storage.cache.insertions"), Some(3));
+        assert_eq!(snap.counter("storage.cache.evictions"), Some(1));
+        assert_eq!(snap.counter("storage.cache.rejections"), Some(1));
+        // Each successful insert also touches its own segment.
+        assert_eq!(snap.counter("storage.cache.touches"), Some(3));
     }
 
     #[test]

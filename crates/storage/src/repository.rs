@@ -148,6 +148,11 @@ impl StorageRepository {
         self.replica.read().contains_key(&id) || self.user.read().contains_key(&id)
     }
 
+    /// `true` if the segment is present in partition `p` specifically.
+    pub fn contains_in(&self, p: Partition, id: SegmentId) -> bool {
+        self.shelf(p).read().contains_key(&id)
+    }
+
     /// Remove a segment from a partition (CDN-side eviction or user
     /// deletion). The owner may not evict from the replica partition — use
     /// `owner = false` for CDN-initiated operations.

@@ -10,6 +10,7 @@ pub use scdn_core as core;
 pub use scdn_graph as graph;
 pub use scdn_middleware as middleware;
 pub use scdn_net as net;
+pub use scdn_obs as obs;
 pub use scdn_sim as sim;
 pub use scdn_social as social;
 pub use scdn_storage as storage;

@@ -5,6 +5,7 @@
 use scdn::core::system::{AvailabilityConfig, Scdn, ScdnConfig, ScdnError};
 use scdn::graph::NodeId;
 use scdn::middleware::authz::{AccessDecision, AccessPolicy};
+use scdn::obs::{SpanKind, SpanStatus};
 use scdn::social::generator::{generate, CaseStudyParams};
 use scdn::social::trustgraph::{build_trust_subgraph, TrustFilter, TrustSubgraph};
 use scdn::storage::Sensitivity;
@@ -195,6 +196,86 @@ fn maintenance_grows_hot_datasets() {
     let changes = scdn.maintain();
     assert!(changes > 0, "maintenance must add replicas under demand");
     assert!(scdn.replicas_of(dataset).expect("known").len() > 1);
+}
+
+#[test]
+fn every_request_leaves_a_complete_ordered_trace() {
+    let (community, sub) = small_community();
+    let mut scdn = Scdn::build(&sub, &community.corpus, ScdnConfig::default());
+    let owner = NodeId(0);
+    let dataset = scdn
+        .publish(
+            owner,
+            "traced",
+            bytes::Bytes::from(vec![4u8; 64 << 10]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    scdn.replicate(dataset).expect("replicates");
+    // A mix of outcomes: remote fetches, a self-service hit, and a lookup
+    // of a dataset that does not exist.
+    let far = NodeId((scdn.member_count() - 1) as u32);
+    let mid = NodeId((scdn.member_count() / 2) as u32);
+    scdn.request(far, dataset).expect("served");
+    scdn.request(mid, dataset).expect("served");
+    scdn.request(owner, dataset).expect("self-served");
+    let missing = scdn::storage::DatasetId(9_999);
+    assert!(scdn.request(far, missing).is_err());
+
+    let traces: Vec<_> = scdn.traces().recent().cloned().collect();
+    assert_eq!(scdn.traces().total_recorded(), 4, "one trace per request");
+    assert_eq!(traces.len(), 4);
+    for t in &traces {
+        assert!(
+            t.is_well_formed(),
+            "trace {} malformed: {:?}",
+            t.id,
+            t.spans
+        );
+        assert_eq!(t.spans[0].kind, SpanKind::Authenticate);
+        // Start offsets never regress and every duration is sane.
+        for w in t.spans.windows(2) {
+            assert!(w[0].start_ms <= w[1].start_ms);
+        }
+    }
+    // The two remote fetches walk the full chain with at least one
+    // transfer attempt against the peer the selector chose.
+    for t in &traces[0..2] {
+        assert!(t.delivered());
+        let kinds: Vec<SpanKind> = t.spans.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds[0], SpanKind::Authenticate);
+        assert_eq!(kinds[1], SpanKind::Discover);
+        assert_eq!(kinds[2], SpanKind::SelectReplica);
+        assert_eq!(*kinds.last().expect("non-empty"), SpanKind::Deliver);
+        let peer = t.spans[2].peer.expect("selection names the replica");
+        let attempts: Vec<_> = t
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::TransferAttempt)
+            .collect();
+        assert!(!attempts.is_empty(), "remote fetch must attempt transfers");
+        for a in &attempts {
+            assert_eq!(a.peer, Some(peer), "attempts go to the selected peer");
+        }
+        // Delivered requests end each segment with a successful attempt.
+        assert_eq!(attempts.last().expect("non-empty").status, SpanStatus::Ok);
+    }
+    // Self-service needs no network attempts but still traces the chain.
+    let own = &traces[2];
+    assert!(own.delivered());
+    assert_eq!(own.requester, owner.0);
+    assert!(own
+        .spans
+        .iter()
+        .all(|s| s.kind != SpanKind::TransferAttempt));
+    // The unknown-dataset request terminates in a Fail span.
+    let failed = &traces[3];
+    assert!(!failed.delivered());
+    let terminal = failed.terminal().expect("finished trace");
+    assert_eq!(terminal.kind, SpanKind::Fail);
+    assert_ne!(terminal.status, SpanStatus::Ok);
+    assert_eq!(failed.dataset, missing.0);
 }
 
 #[test]
