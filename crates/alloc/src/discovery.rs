@@ -5,9 +5,19 @@
 //! the location of an available and suitable replica" (Section V-A).
 //! Selection ranks online replicas by social hop distance, then network
 //! latency, then availability.
+//!
+//! Two equivalent paths compute the social-hop leg of the ranking:
+//!
+//! * [`select_replica`] — full BFS over the adjacency-list [`Graph`].
+//!   Allocates a distance vector per call; kept as the oracle the CSR
+//!   path is property-tested against.
+//! * [`select_replica_csr`] — bounded multi-target BFS over a frozen
+//!   [`CsrGraph`] through a reusable [`TraversalScratch`]: the traversal
+//!   stops as soon as every candidate is reached (or a hop budget is
+//!   spent) and allocates nothing. This is the per-request hot path.
 
 use scdn_graph::traversal::bfs_distances;
-use scdn_graph::{Graph, NodeId};
+use scdn_graph::{CsrGraph, Graph, NodeId, TraversalScratch};
 
 /// Per-candidate information used in ranking.
 #[derive(Clone, Copy, Debug)]
@@ -48,16 +58,49 @@ pub fn select_replica(
         return None;
     }
     let dist = bfs_distances(social, requester);
+    select_from_hops(candidates, |c| dist.get(c.node.index()).copied().flatten())
+}
+
+/// [`select_replica`] on a frozen CSR graph: identical selection, but the
+/// BFS is multi-target and early-exits once every online candidate is
+/// reached (or `max_hops` is exhausted — pass `u32::MAX` for exact
+/// full-BFS equivalence). The caller-owned `scratch` makes repeated
+/// resolutions allocation-free.
+pub fn select_replica_csr(
+    social: &CsrGraph,
+    requester: NodeId,
+    candidates: &[Candidate],
+    scratch: &mut TraversalScratch,
+    max_hops: u32,
+) -> Option<Selection> {
+    if candidates.iter().all(|c| !c.online) {
+        return None;
+    }
+    scratch.bfs_to_targets(
+        social,
+        requester,
+        // Stack-free target pass: `bfs_to_targets` skips out-of-range ids,
+        // and offline candidates never win, so targeting every candidate
+        // (not just online ones) is correct; targeting all of them keeps
+        // the cached-hops path (which is online-mask-agnostic) identical.
+        &candidates.iter().map(|c| c.node).collect::<Vec<_>>(),
+        max_hops,
+    );
+    select_from_hops(candidates, |c| scratch.target_hops(c.node))
+}
+
+/// Shared ranking loop: pick the best online candidate given a social-hop
+/// lookup. Returns `None` when no candidate is online.
+pub(crate) fn select_from_hops(
+    candidates: &[Candidate],
+    hop_of: impl Fn(&Candidate) -> Option<u32>,
+) -> Option<Selection> {
     let mut best: Option<(&Candidate, Option<u32>)> = None;
     for c in candidates.iter().filter(|c| c.online) {
-        let hops = dist.get(c.node.index()).copied().flatten();
+        let hops = hop_of(c);
         let better = match &best {
             None => true,
-            Some((b, bh)) => {
-                let key_new = rank_key(hops, c);
-                let key_old = rank_key(*bh, b);
-                key_new < key_old
-            }
+            Some((b, bh)) => rank_key(hops, c) < rank_key(*bh, b),
         };
         if better {
             best = Some((c, hops));
@@ -70,15 +113,34 @@ pub fn select_replica(
     })
 }
 
+/// Map an `f64` onto a `u64` whose unsigned order is the `f64::total_cmp`
+/// order, except that every NaN (either sign) ranks above every non-NaN —
+/// "worst possible" for a lower-is-better key.
+fn total_order_key(x: f64) -> u64 {
+    if x.is_nan() {
+        return u64::MAX;
+    }
+    let bits = x.to_bits();
+    // Standard order-preserving bijection: flip all bits for negatives,
+    // set the sign bit for non-negatives.
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
 /// Lexicographic ranking key (lower is better).
-fn rank_key(hops: Option<u32>, c: &Candidate) -> (u32, u64, u64, u32) {
-    let h = hops.unwrap_or(u32::MAX);
-    // Latency in microseconds, availability inverted to "unavailability"
-    // per-million, then node id.
+///
+/// Latency and unavailability use [`total_order_key`], so negative values
+/// order naturally below smaller magnitudes and NaN always ranks worst —
+/// the old `(x * 1000.0) as u64` cast sent NaN and negative latencies to
+/// 0, ranking a corrupt measurement as best-possible.
+pub(crate) fn rank_key(hops: Option<u32>, c: &Candidate) -> (u32, u64, u64, u32) {
     (
-        h,
-        (c.latency_ms * 1000.0) as u64,
-        ((1.0 - c.availability) * 1_000_000.0) as u64,
+        hops.unwrap_or(u32::MAX),
+        total_order_key(c.latency_ms),
+        total_order_key(1.0 - c.availability),
         c.node.0,
     )
 }
@@ -173,5 +235,78 @@ mod tests {
         let sel2 = select_replica(&g, NodeId(0), &[cand(2, true, 1.0, 0.99)]).expect("online");
         assert_eq!(sel2.node, NodeId(2));
         assert_eq!(sel2.social_hops, None);
+    }
+
+    #[test]
+    fn nan_latency_ranks_worst() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (0, 2, 1)]);
+        // Regression: NaN used to cast to 0 μs and rank best-possible.
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(1, true, f64::NAN, 0.99), cand(2, true, 500.0, 0.1)],
+        )
+        .expect("online");
+        assert_eq!(sel.node, NodeId(2));
+        // NaN availability likewise loses the tie-break.
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(1, true, 10.0, f64::NAN), cand(2, true, 10.0, 0.01)],
+        )
+        .expect("online");
+        assert_eq!(sel.node, NodeId(2));
+        // All-NaN still serves someone (node id tie-break).
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(2, true, f64::NAN, 0.9), cand(1, true, f64::NAN, 0.9)],
+        )
+        .expect("online");
+        assert_eq!(sel.node, NodeId(1));
+    }
+
+    #[test]
+    fn negative_latency_orders_totally() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        // Regression: negatives used to cast to 0 and tie with true zero;
+        // now -5 < -1 < 3 in the latency leg.
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[
+                cand(1, true, 3.0, 0.9),
+                cand(2, true, -1.0, 0.9),
+                cand(3, true, -5.0, 0.9),
+            ],
+        )
+        .expect("online");
+        assert_eq!(sel.node, NodeId(3));
+        // Sub-microsecond latencies are distinct, not quantized equal.
+        let sel = select_replica(
+            &g,
+            NodeId(0),
+            &[cand(1, true, 0.0005, 0.1), cand(2, true, 0.0001, 0.1)],
+        )
+        .expect("online");
+        assert_eq!(sel.node, NodeId(2));
+    }
+
+    #[test]
+    fn csr_selection_matches_adjacency() {
+        let g = scdn_graph::generators::barabasi_albert(60, 2, 3);
+        let csr = CsrGraph::from(&g);
+        let mut scratch = TraversalScratch::new();
+        let candidates = [
+            cand(3, true, 12.0, 0.7),
+            cand(40, false, 1.0, 0.99),
+            cand(59, true, 12.0, 0.7),
+            cand(7, true, f64::NAN, 0.5),
+        ];
+        for req in [0u32, 17, 59] {
+            let a = select_replica(&g, NodeId(req), &candidates);
+            let c = select_replica_csr(&csr, NodeId(req), &candidates, &mut scratch, u32::MAX);
+            assert_eq!(a, c, "requester {req}");
+        }
     }
 }

@@ -21,6 +21,7 @@ pub mod group;
 pub mod partitioning;
 pub mod placement;
 pub mod replication;
+mod resolve_cache;
 pub mod server;
 
 pub use group::ServerGroup;

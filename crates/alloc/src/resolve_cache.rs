@@ -1,0 +1,228 @@
+//! Version-keyed social-distance cache for replica resolution.
+//!
+//! Resolution ranks a dataset's replicas by social hop distance from the
+//! requester. Those hop distances depend only on the (frozen) social
+//! graph and the replica set — not on the per-call online mask or latency
+//! estimates — so they can be memoized per `(requester, dataset)` and
+//! keyed by the catalog entry's version: any `add_replica` /
+//! `remove_replica` / `migrate_replica` / placement change bumps the
+//! entry version, which invalidates the cached hops implicitly (no
+//! eager cache walk on the write path).
+//!
+//! The cache is sharded (requester-hashed) so parallel
+//! [`resolve_batch`](crate::server::AllocationServer::resolve_batch)
+//! workers don't serialize on one mutex, and bounded: each shard evicts
+//! FIFO once it reaches its capacity share. A graph fingerprint
+//! (node + half-edge counts) guards against a caller swapping in a
+//! different social graph between calls — a mismatch flushes everything.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+use scdn_graph::{CsrGraph, NodeId};
+use scdn_storage::object::DatasetId;
+
+/// Number of independent shards (power of two).
+const SHARDS: usize = 8;
+
+/// Cache key: one requester resolving one dataset.
+type Key = (NodeId, DatasetId);
+
+/// Cached hop distances for one key at one catalog-entry version.
+struct Slot {
+    /// Catalog entry version the hops were computed against.
+    version: u64,
+    /// Hop distance per replica, parallel to the entry's replica list at
+    /// `version` (`None` = socially unreachable).
+    hops: Box<[Option<u32>]>,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, Slot>,
+    /// Insertion order for FIFO eviction. Keys are pushed only on fresh
+    /// insert (version refreshes update in place), so the queue length
+    /// tracks the map size.
+    fifo: VecDeque<Key>,
+}
+
+/// Outcome of a cache insert (for telemetry).
+pub(crate) struct InsertOutcome {
+    /// Number of entries evicted to make room.
+    pub evicted: u64,
+}
+
+/// Sharded, bounded, version-keyed hop-distance cache.
+pub(crate) struct ResolveCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Total capacity across shards; 0 disables the cache entirely.
+    capacity: Mutex<usize>,
+    /// `(node_count, half_edge_count)` of the graph the cached hops were
+    /// computed on; `None` until the first traversal.
+    graph_fp: Mutex<Option<(usize, usize)>>,
+}
+
+impl ResolveCache {
+    pub(crate) fn new(capacity: usize) -> ResolveCache {
+        ResolveCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity: Mutex::new(capacity),
+            graph_fp: Mutex::new(None),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+        // Requester id spreads batch workloads; dataset id decorrelates a
+        // single hot requester fanning over many datasets.
+        let h = (key.0 .0 as usize).wrapping_mul(0x9E37_79B9) ^ (key.1 .0 as usize);
+        &self.shards[h % SHARDS]
+    }
+
+    /// Current total capacity (0 = disabled).
+    pub(crate) fn capacity(&self) -> usize {
+        *self.capacity.lock()
+    }
+
+    /// Resize the cache; shrinking (or disabling) drops everything.
+    pub(crate) fn set_capacity(&self, capacity: usize) {
+        let mut cap = self.capacity.lock();
+        if capacity < *cap {
+            for shard in &self.shards {
+                let mut s = shard.lock();
+                s.map.clear();
+                s.fifo.clear();
+            }
+        }
+        *cap = capacity;
+    }
+
+    /// Flush the cache if `csr` is not the graph the cached hops were
+    /// computed on (first call just records the fingerprint).
+    pub(crate) fn ensure_graph(&self, csr: &CsrGraph) {
+        let fp = (csr.node_count(), csr.half_edge_count());
+        let mut cur = self.graph_fp.lock();
+        match *cur {
+            Some(prev) if prev == fp => {}
+            Some(_) => {
+                for shard in &self.shards {
+                    let mut s = shard.lock();
+                    s.map.clear();
+                    s.fifo.clear();
+                }
+                *cur = Some(fp);
+            }
+            None => *cur = Some(fp),
+        }
+    }
+
+    /// Run `f` over the cached hops for `key` if they exist *and* were
+    /// computed at `version`; `None` is a miss (absent or stale).
+    pub(crate) fn with_hops<R>(
+        &self,
+        key: Key,
+        version: u64,
+        f: impl FnOnce(&[Option<u32>]) -> R,
+    ) -> Option<R> {
+        let shard = self.shard(&key).lock();
+        match shard.map.get(&key) {
+            Some(slot) if slot.version == version => Some(f(&slot.hops)),
+            _ => None,
+        }
+    }
+
+    /// Insert (or refresh) the hops for `key` at `version`, evicting FIFO
+    /// past the capacity share. No-op when the cache is disabled.
+    pub(crate) fn insert(&self, key: Key, version: u64, hops: Box<[Option<u32>]>) -> InsertOutcome {
+        let capacity = self.capacity();
+        let mut outcome = InsertOutcome { evicted: 0 };
+        if capacity == 0 {
+            return outcome;
+        }
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        let mut shard = self.shard(&key).lock();
+        // A `Some` return is an in-place version refresh: the FIFO slot
+        // pushed at first insert is kept, so no eviction check is needed.
+        let fresh = shard.map.insert(key, Slot { version, hops }).is_none();
+        if fresh {
+            while shard.map.len() > per_shard {
+                let Some(old) = shard.fifo.pop_front() else {
+                    break;
+                };
+                if shard.map.remove(&old).is_some() {
+                    outcome.evicted += 1;
+                }
+            }
+            shard.fifo.push_back(key);
+        }
+        outcome
+    }
+
+    /// Number of cached entries (test/diagnostic surface).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(r: u32, d: u32) -> Key {
+        (NodeId(r), DatasetId(d))
+    }
+
+    fn hops(v: &[Option<u32>]) -> Box<[Option<u32>]> {
+        v.to_vec().into_boxed_slice()
+    }
+
+    #[test]
+    fn hit_requires_matching_version() {
+        let c = ResolveCache::new(64);
+        c.insert(key(1, 2), 7, hops(&[Some(1), None]));
+        assert_eq!(
+            c.with_hops(key(1, 2), 7, <[Option<u32>]>::to_vec),
+            Some(vec![Some(1), None])
+        );
+        assert!(c.with_hops(key(1, 2), 8, |_| ()).is_none(), "stale version");
+        assert!(c.with_hops(key(1, 3), 7, |_| ()).is_none(), "absent key");
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let c = ResolveCache::new(0);
+        c.insert(key(1, 1), 1, hops(&[Some(0)]));
+        assert!(c.with_hops(key(1, 1), 1, |_| ()).is_none());
+    }
+
+    #[test]
+    fn eviction_is_bounded_fifo() {
+        let c = ResolveCache::new(SHARDS); // one slot per shard
+        let mut evicted = 0;
+        for i in 0..64u32 {
+            evicted += c.insert(key(i, 0), 1, hops(&[Some(1)])).evicted;
+        }
+        assert!(c.len() <= SHARDS, "len {} > {}", c.len(), SHARDS);
+        assert!(evicted >= 64 - SHARDS as u64);
+    }
+
+    #[test]
+    fn refresh_updates_in_place() {
+        let c = ResolveCache::new(64);
+        c.insert(key(4, 4), 1, hops(&[Some(3)]));
+        c.insert(key(4, 4), 2, hops(&[Some(5)]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.with_hops(key(4, 4), 2, <[Option<u32>]>::to_vec),
+            Some(vec![Some(5)])
+        );
+    }
+
+    #[test]
+    fn shrinking_capacity_flushes() {
+        let c = ResolveCache::new(64);
+        c.insert(key(1, 1), 1, hops(&[Some(1)]));
+        c.set_capacity(8);
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -4,18 +4,40 @@
 //! "One or more allocation servers act as catalogs for global datasets …
 //! together they maintain a list of current replicas and place, move,
 //! update, and maintain replicas." (Section V.)
+//!
+//! Request resolution — the per-request control-plane hot path — is
+//! read-mostly and allocation-free:
+//!
+//! * [`resolve_csr`](AllocationServer::resolve_csr) runs a bounded
+//!   multi-target BFS on a frozen CSR graph through a pooled
+//!   [`TraversalScratch`], early-exiting once every replica is reached;
+//! * hop distances are memoized in a version-keyed
+//!   [`ResolveCache`](crate::resolve_cache::ResolveCache) — catalog
+//!   writes bump the entry version, which invalidates stale hops without
+//!   touching the cache;
+//! * demand hit/miss accounting uses sharded atomic [`Counter`]s inside
+//!   the catalog entries, so resolution takes only the catalog *read*
+//!   lock end to end;
+//! * [`resolve_batch`](AllocationServer::resolve_batch) fans a request
+//!   slice over worker threads via `par_map_collect`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-use parking_lot::RwLock;
-use scdn_graph::{Graph, NodeId};
+use parking_lot::{Mutex, RwLock};
+use scdn_graph::parallel::par_map_collect;
+use scdn_graph::{CsrGraph, Graph, NodeId, TraversalScratch};
 use scdn_obs::{Counter, Registry};
 use scdn_social::author::AuthorId;
 use scdn_storage::object::DatasetId;
 
-use crate::discovery::{select_replica, Candidate, Selection};
+use crate::discovery::{rank_key, select_replica, Candidate, Selection};
 use crate::placement::PlacementAlgorithm;
 use crate::replication::{DemandWindow, ReplicationPolicy};
+use crate::resolve_cache::ResolveCache;
+
+/// Default bound on the version-keyed hop-distance cache (entries).
+pub const DEFAULT_RESOLVE_CACHE_CAPACITY: usize = 4096;
 
 /// Telemetry handles for one allocation server. Standalone by default;
 /// bind to a [`Registry`] with [`AllocMetrics::from_registry`] so the
@@ -31,6 +53,12 @@ pub struct AllocMetrics {
     pub demand_hits: Counter,
     /// Resolutions that needed a distant replica.
     pub demand_misses: Counter,
+    /// Resolutions whose hop distances came from the version-keyed cache.
+    pub cache_hits: Counter,
+    /// Resolutions that had to run the bounded BFS.
+    pub cache_misses: Counter,
+    /// Cache entries evicted by the capacity bound.
+    pub cache_evictions: Counter,
     /// Datasets flagged for replica-count changes by rebalance plans.
     pub rebalance_datasets: Counter,
 }
@@ -43,6 +71,9 @@ impl AllocMetrics {
             resolve_failed: reg.counter("alloc.resolve.failed"),
             demand_hits: reg.counter("alloc.demand.hits"),
             demand_misses: reg.counter("alloc.demand.misses"),
+            cache_hits: reg.counter("alloc.resolve.cache.hit"),
+            cache_misses: reg.counter("alloc.resolve.cache.miss"),
+            cache_evictions: reg.counter("alloc.resolve.cache.evict"),
             rebalance_datasets: reg.counter("alloc.rebalance.datasets"),
         }
     }
@@ -63,13 +94,47 @@ pub struct RepositoryInfo {
 }
 
 /// Catalog entry for one dataset.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct CatalogEntry {
     replicas: Vec<NodeId>,
     segments: u32,
-    demand: DemandWindow,
-    /// Version for inter-server sync (higher wins).
+    /// Demand accounting: sharded atomic counters bumped under the read
+    /// lock by `resolve*`. A window is `counter − drained`; draining (the
+    /// replication policy's observation reset) just advances the
+    /// baseline.
+    demand_hits: Counter,
+    demand_misses: Counter,
+    hits_drained: u64,
+    misses_drained: u64,
+    /// Version for inter-server sync (higher wins) and hop-cache keying.
     version: u64,
+}
+
+impl CatalogEntry {
+    fn demand(&self) -> DemandWindow {
+        DemandWindow {
+            hits: self.demand_hits.get().saturating_sub(self.hits_drained),
+            misses: self.demand_misses.get().saturating_sub(self.misses_drained),
+        }
+    }
+
+    /// Clone for catalog sync: counters are *snapshotted* into fresh
+    /// shards, not shared — two servers must never pool their demand.
+    fn sync_clone(&self) -> CatalogEntry {
+        let hits = Counter::new();
+        hits.add(self.demand_hits.get());
+        let misses = Counter::new();
+        misses.add(self.demand_misses.get());
+        CatalogEntry {
+            replicas: self.replicas.clone(),
+            segments: self.segments,
+            demand_hits: hits,
+            demand_misses: misses,
+            hits_drained: self.hits_drained,
+            misses_drained: self.misses_drained,
+            version: self.version,
+        }
+    }
 }
 
 /// Errors from allocation operations.
@@ -104,14 +169,52 @@ impl std::error::Error for AllocationError {}
 struct State {
     repositories: HashMap<NodeId, RepositoryInfo>,
     catalog: HashMap<DatasetId, CatalogEntry>,
+    /// Reverse index node → datasets with a replica there, kept in sync
+    /// with every catalog mutation so departure repair is O(answer), not
+    /// an O(catalog) scan.
+    hosted: HashMap<NodeId, BTreeSet<DatasetId>>,
     version_counter: u64,
 }
 
+impl State {
+    fn index_add(&mut self, dataset: DatasetId, node: NodeId) {
+        self.hosted.entry(node).or_default().insert(dataset);
+    }
+
+    fn index_remove(&mut self, dataset: DatasetId, node: NodeId) {
+        if let Some(set) = self.hosted.get_mut(&node) {
+            set.remove(&dataset);
+            if set.is_empty() {
+                self.hosted.remove(&node);
+            }
+        }
+    }
+}
+
 /// An allocation server. Thread-safe.
-#[derive(Default)]
 pub struct AllocationServer {
     state: RwLock<State>,
     metrics: AllocMetrics,
+    /// Version-keyed hop-distance cache for `resolve_csr`.
+    cache: ResolveCache,
+    /// Reusable traversal scratches for the bounded BFS (one per
+    /// concurrently-resolving thread; grown on demand).
+    scratch_pool: Mutex<Vec<TraversalScratch>>,
+    /// Hop budget for the bounded BFS (`u32::MAX` = exact full-BFS
+    /// equivalence; the early exit on all-replicas-reached still applies).
+    hop_budget: AtomicU32,
+}
+
+impl Default for AllocationServer {
+    fn default() -> Self {
+        AllocationServer {
+            state: RwLock::default(),
+            metrics: AllocMetrics::default(),
+            cache: ResolveCache::new(DEFAULT_RESOLVE_CACHE_CAPACITY),
+            scratch_pool: Mutex::new(Vec::new()),
+            hop_budget: AtomicU32::new(u32::MAX),
+        }
+    }
 }
 
 impl AllocationServer {
@@ -124,14 +227,26 @@ impl AllocationServer {
     /// `alloc.*`).
     pub fn with_registry(reg: &Registry) -> Self {
         AllocationServer {
-            state: RwLock::default(),
             metrics: AllocMetrics::from_registry(reg),
+            ..Self::default()
         }
     }
 
     /// This server's telemetry handles.
     pub fn metrics(&self) -> &AllocMetrics {
         &self.metrics
+    }
+
+    /// Resize the hop-distance cache (0 disables it; shrinking flushes).
+    pub fn set_resolve_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
+    /// Bound the resolution BFS to `hops` social hops: replicas beyond
+    /// the budget rank as socially unreachable (still servable on
+    /// latency). `u32::MAX` (the default) keeps exact full-BFS semantics.
+    pub fn set_resolve_hop_budget(&self, hops: u32) {
+        self.hop_budget.store(hops, Ordering::Relaxed);
     }
 
     /// Register (or update) a contributed repository.
@@ -186,10 +301,14 @@ impl AllocationServer {
             CatalogEntry {
                 replicas: vec![primary],
                 segments,
-                demand: DemandWindow::default(),
+                demand_hits: Counter::new(),
+                demand_misses: Counter::new(),
+                hits_drained: 0,
+                misses_drained: 0,
                 version,
             },
         );
+        s.index_add(dataset, primary);
         Ok(())
     }
 
@@ -254,6 +373,9 @@ impl AllocationServer {
             }
         }
         entry.version = version;
+        for &n in &added {
+            s.index_add(dataset, n);
+        }
         Ok(added)
     }
 
@@ -265,17 +387,20 @@ impl AllocationServer {
         if !s.repositories.contains_key(&node) {
             return Err(AllocationError::UnknownRepository(node));
         }
-        s.version_counter += 1;
-        let version = s.version_counter;
-        let entry = s
-            .catalog
-            .get_mut(&dataset)
-            .ok_or(AllocationError::UnknownDataset(dataset))?;
-        if entry.replicas.contains(&node) {
+        if !s.catalog.contains_key(&dataset) {
+            return Err(AllocationError::UnknownDataset(dataset));
+        }
+        if s.catalog[&dataset].replicas.contains(&node) {
+            // No catalog change: don't burn a version (a spurious bump
+            // would invalidate cached hop distances for nothing).
             return Ok(false);
         }
+        s.version_counter += 1;
+        let version = s.version_counter;
+        let entry = s.catalog.get_mut(&dataset).expect("checked above");
         entry.replicas.push(node);
         entry.version = version;
+        s.index_add(dataset, node);
         Ok(true)
     }
 
@@ -286,19 +411,25 @@ impl AllocationServer {
         node: NodeId,
     ) -> Result<bool, AllocationError> {
         let mut s = self.state.write();
+        if !s.catalog.contains_key(&dataset) {
+            return Err(AllocationError::UnknownDataset(dataset));
+        }
+        if !s.catalog[&dataset].replicas.contains(&node) {
+            return Ok(false);
+        }
         s.version_counter += 1;
         let version = s.version_counter;
-        let entry = s
-            .catalog
-            .get_mut(&dataset)
-            .ok_or(AllocationError::UnknownDataset(dataset))?;
-        let before = entry.replicas.len();
+        let entry = s.catalog.get_mut(&dataset).expect("checked above");
         entry.replicas.retain(|&n| n != node);
         entry.version = version;
-        Ok(entry.replicas.len() != before)
+        s.index_remove(dataset, node);
+        Ok(true)
     }
 
-    /// Move a replica from one node to another (migration).
+    /// Move a replica from one node to another (migration). Validation
+    /// happens before the version bump: a failed migration must not
+    /// spuriously invalidate catalog versions (or the hop cache keyed on
+    /// them).
     pub fn migrate_replica(
         &self,
         dataset: DatasetId,
@@ -309,27 +440,37 @@ impl AllocationServer {
         if !s.repositories.contains_key(&to) {
             return Err(AllocationError::UnknownRepository(to));
         }
-        s.version_counter += 1;
-        let version = s.version_counter;
         let entry = s
             .catalog
-            .get_mut(&dataset)
+            .get(&dataset)
             .ok_or(AllocationError::UnknownDataset(dataset))?;
         let Some(pos) = entry.replicas.iter().position(|&n| n == from) else {
             return Err(AllocationError::UnknownRepository(from));
         };
-        if entry.replicas.contains(&to) {
+        let to_exists = entry.replicas.contains(&to);
+        s.version_counter += 1;
+        let version = s.version_counter;
+        let entry = s.catalog.get_mut(&dataset).expect("checked above");
+        if to_exists {
             entry.replicas.remove(pos);
         } else {
             entry.replicas[pos] = to;
         }
         entry.version = version;
+        s.index_remove(dataset, from);
+        s.index_add(dataset, to);
         Ok(())
     }
 
     /// Resolve a request: pick the best online replica for `requester`.
     /// `online` reports current liveness per node. Records demand (hit =
     /// within 1 social hop).
+    ///
+    /// This is the adjacency-list path: a full BFS over `social` per
+    /// call. It is kept as the oracle the CSR fast path
+    /// ([`resolve_csr`](AllocationServer::resolve_csr)) is
+    /// property-tested against; both record demand through the entry's
+    /// atomic counters and never take the catalog write lock.
     pub fn resolve(
         &self,
         dataset: DatasetId,
@@ -338,7 +479,7 @@ impl AllocationServer {
         online: impl Fn(NodeId) -> bool,
         latency_ms: impl Fn(NodeId) -> f64,
     ) -> Result<Selection, AllocationError> {
-        let candidates: Vec<Candidate> = {
+        let (candidates, hits, misses) = {
             let s = self.state.read();
             let entry = match s.catalog.get(&dataset) {
                 Some(e) => e,
@@ -347,7 +488,7 @@ impl AllocationServer {
                     return Err(AllocationError::UnknownDataset(dataset));
                 }
             };
-            entry
+            let candidates: Vec<Candidate> = entry
                 .replicas
                 .iter()
                 .map(|&n| Candidate {
@@ -360,36 +501,168 @@ impl AllocationServer {
                         .map(|r| r.availability)
                         .unwrap_or(0.0),
                 })
-                .collect()
+                .collect();
+            (
+                candidates,
+                entry.demand_hits.clone(),
+                entry.demand_misses.clone(),
+            )
         };
         let Some(sel) = select_replica(social, requester, &candidates) else {
             self.metrics.resolve_failed.inc();
             return Err(AllocationError::NoReplicaAvailable(dataset));
         };
         self.metrics.resolve_ok.inc();
-        let mut s = self.state.write();
-        if let Some(entry) = s.catalog.get_mut(&dataset) {
-            if matches!(sel.social_hops, Some(h) if h <= 1) {
-                entry.demand.hits += 1;
-                self.metrics.demand_hits.inc();
-            } else {
-                entry.demand.misses += 1;
-                self.metrics.demand_misses.inc();
-            }
-        }
+        self.record_demand(&hits, &misses, sel.social_hops);
         Ok(sel)
     }
 
-    /// All datasets with a replica on `node` (used for departure repair).
-    pub fn datasets_hosted_by(&self, node: NodeId) -> Vec<DatasetId> {
+    /// Bump per-dataset and server-wide demand counters for a selection.
+    fn record_demand(&self, hits: &Counter, misses: &Counter, hops: Option<u32>) {
+        if matches!(hops, Some(h) if h <= 1) {
+            hits.inc();
+            self.metrics.demand_hits.inc();
+        } else {
+            misses.inc();
+            self.metrics.demand_misses.inc();
+        }
+    }
+
+    /// [`resolve`](AllocationServer::resolve) on a frozen CSR social
+    /// graph — the allocation-free hot path. Hop distances come from the
+    /// version-keyed cache when fresh; otherwise one bounded multi-target
+    /// BFS (early exit once every replica is reached, pooled scratch, no
+    /// per-request allocation proportional to the graph) recomputes and
+    /// caches them. Selection is identical to `resolve` on the same
+    /// graph while the default `u32::MAX` hop budget is in effect.
+    ///
+    /// The cache assumes `csr` is frozen: passing a structurally
+    /// different graph flushes it (node/edge-count fingerprint).
+    pub fn resolve_csr(
+        &self,
+        dataset: DatasetId,
+        requester: NodeId,
+        csr: &CsrGraph,
+        online: impl Fn(NodeId) -> bool,
+        latency_ms: impl Fn(NodeId) -> f64,
+    ) -> Result<Selection, AllocationError> {
+        self.cache.ensure_graph(csr);
         let s = self.state.read();
-        let mut out: Vec<DatasetId> = s
-            .catalog
-            .iter()
-            .filter_map(|(&d, e)| e.replicas.contains(&node).then_some(d))
-            .collect();
-        out.sort_unstable();
-        out
+        let Some(entry) = s.catalog.get(&dataset) else {
+            self.metrics.resolve_failed.inc();
+            return Err(AllocationError::UnknownDataset(dataset));
+        };
+        let key = (requester, dataset);
+        let cached = self.cache.with_hops(key, entry.version, |hops| {
+            Self::select_online(&s.repositories, &entry.replicas, hops, &online, &latency_ms)
+        });
+        let sel = match cached {
+            Some(sel) => {
+                self.metrics.cache_hits.inc();
+                sel
+            }
+            None => {
+                self.metrics.cache_misses.inc();
+                let mut scratch = self.scratch_pool.lock().pop().unwrap_or_default();
+                scratch.bfs_to_targets(
+                    csr,
+                    requester,
+                    &entry.replicas,
+                    self.hop_budget.load(Ordering::Relaxed),
+                );
+                let hops: Box<[Option<u32>]> = entry
+                    .replicas
+                    .iter()
+                    .map(|&r| scratch.target_hops(r))
+                    .collect();
+                let sel = Self::select_online(
+                    &s.repositories,
+                    &entry.replicas,
+                    &hops,
+                    &online,
+                    &latency_ms,
+                );
+                let outcome = self.cache.insert(key, entry.version, hops);
+                self.metrics.cache_evictions.add(outcome.evicted);
+                self.scratch_pool.lock().push(scratch);
+                sel
+            }
+        };
+        let Some(sel) = sel else {
+            self.metrics.resolve_failed.inc();
+            return Err(AllocationError::NoReplicaAvailable(dataset));
+        };
+        self.metrics.resolve_ok.inc();
+        self.record_demand(&entry.demand_hits, &entry.demand_misses, sel.social_hops);
+        Ok(sel)
+    }
+
+    /// Ranking loop shared by the cached and freshly-traversed paths:
+    /// best online replica by (hops, latency, availability, id), exactly
+    /// [`select_replica`]'s order. `hops` is parallel to `replicas`.
+    fn select_online(
+        repositories: &HashMap<NodeId, RepositoryInfo>,
+        replicas: &[NodeId],
+        hops: &[Option<u32>],
+        online: &impl Fn(NodeId) -> bool,
+        latency_ms: &impl Fn(NodeId) -> f64,
+    ) -> Option<Selection> {
+        let mut best: Option<(Selection, (u32, u64, u64, u32))> = None;
+        for (i, &n) in replicas.iter().enumerate() {
+            if !online(n) {
+                continue;
+            }
+            let c = Candidate {
+                node: n,
+                online: true,
+                latency_ms: latency_ms(n),
+                availability: repositories.get(&n).map(|r| r.availability).unwrap_or(0.0),
+            };
+            let h = hops.get(i).copied().flatten();
+            let key = rank_key(h, &c);
+            if best.as_ref().is_none_or(|(_, bk)| key < *bk) {
+                best = Some((
+                    Selection {
+                        node: n,
+                        social_hops: h,
+                        latency_ms: c.latency_ms,
+                    },
+                    key,
+                ));
+            }
+        }
+        best.map(|(sel, _)| sel)
+    }
+
+    /// Resolve a batch of `(dataset, requester)` requests in parallel
+    /// over the CSR fast path. Results are positionally parallel to
+    /// `requests`. The hop cache is shared (and warmed) across workers;
+    /// each worker draws its own scratch from the pool. `latency_ms` takes
+    /// `(requester, replica)` since one batch spans many requesters.
+    pub fn resolve_batch(
+        &self,
+        requests: &[(DatasetId, NodeId)],
+        csr: &CsrGraph,
+        online: impl Fn(NodeId) -> bool + Sync,
+        latency_ms: impl Fn(NodeId, NodeId) -> f64 + Sync,
+    ) -> Vec<Result<Selection, AllocationError>> {
+        par_map_collect(requests.len(), 64, |i| {
+            let (dataset, requester) = requests[i];
+            self.resolve_csr(dataset, requester, csr, &online, |n| {
+                latency_ms(requester, n)
+            })
+        })
+    }
+
+    /// All datasets with a replica on `node` (used for departure repair).
+    /// Served from the reverse index in O(answer).
+    pub fn datasets_hosted_by(&self, node: NodeId) -> Vec<DatasetId> {
+        self.state
+            .read()
+            .hosted
+            .get(&node)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Demand window of a dataset (for the replication policy).
@@ -398,14 +671,16 @@ impl AllocationServer {
             .read()
             .catalog
             .get(&dataset)
-            .map(|e| e.demand)
+            .map(CatalogEntry::demand)
             .ok_or(AllocationError::UnknownDataset(dataset))
     }
 
-    /// Reset all demand windows (start of a new observation period).
+    /// Drain all demand windows (start of a new observation period): the
+    /// atomic totals keep counting, the per-dataset baselines advance.
     pub fn reset_demand(&self) {
         for e in self.state.write().catalog.values_mut() {
-            e.demand = DemandWindow::default();
+            e.hits_drained = e.demand_hits.get();
+            e.misses_drained = e.demand_misses.get();
         }
     }
 
@@ -418,8 +693,9 @@ impl AllocationServer {
             .iter()
             .filter_map(|(&d, e)| {
                 let current = e.replicas.len();
-                let target = policy.target_replicas(current, e.demand);
-                let target = if policy.should_shrink(current, e.demand) {
+                let demand = e.demand();
+                let target = policy.target_replicas(current, demand);
+                let target = if policy.should_shrink(current, demand) {
                     target
                         .min(current.saturating_sub(1))
                         .max(policy.min_replicas)
@@ -436,7 +712,8 @@ impl AllocationServer {
 
     /// Merge another server's catalog into this one (gossip-style sync):
     /// for each dataset the entry with the higher version wins; repository
-    /// registrations are unioned.
+    /// registrations are unioned. Demand counters are snapshotted, never
+    /// shared across servers.
     pub fn sync_from(&self, other: &AllocationServer) {
         let other_state = other.state.read();
         let mut s = self.state.write();
@@ -446,8 +723,16 @@ impl AllocationServer {
         for (d, e) in &other_state.catalog {
             match s.catalog.get(d) {
                 Some(mine) if mine.version >= e.version => {}
-                _ => {
-                    s.catalog.insert(*d, e.clone());
+                prev => {
+                    let old_replicas: Vec<NodeId> =
+                        prev.map(|p| p.replicas.clone()).unwrap_or_default();
+                    s.catalog.insert(*d, e.sync_clone());
+                    for n in old_replicas {
+                        s.index_remove(*d, n);
+                    }
+                    for &n in &e.replicas {
+                        s.index_add(*d, n);
+                    }
                 }
             }
         }
@@ -549,6 +834,10 @@ mod tests {
         let d = srv.demand_of(DatasetId(0)).expect("known");
         assert_eq!(d.hits, 1);
         assert_eq!(d.misses, 1);
+        // Draining resets the window without losing the counters.
+        srv.reset_demand();
+        let d = srv.demand_of(DatasetId(0)).expect("known");
+        assert_eq!((d.hits, d.misses), (0, 0));
     }
 
     #[test]
@@ -576,6 +865,8 @@ mod tests {
             srv.replicas_of(DatasetId(0)).expect("known"),
             vec![NodeId(7)]
         );
+        assert_eq!(srv.datasets_hosted_by(NodeId(2)), vec![]);
+        assert_eq!(srv.datasets_hosted_by(NodeId(7)), vec![DatasetId(0)]);
     }
 
     #[test]
@@ -605,11 +896,20 @@ mod tests {
         b.sync_from(&a);
         assert_eq!(b.dataset_count(), 1);
         assert_eq!(b.repository_count(), 10);
-        // A later change on b propagates back to a.
+        assert_eq!(b.datasets_hosted_by(NodeId(1)), vec![DatasetId(0)]);
+        // A later change on b propagates back to a (index follows).
         b.migrate_replica(DatasetId(0), NodeId(1), NodeId(3))
             .expect("ok");
         a.sync_from(&b);
         assert_eq!(a.replicas_of(DatasetId(0)).expect("known"), vec![NodeId(3)]);
+        assert_eq!(a.datasets_hosted_by(NodeId(1)), vec![]);
+        assert_eq!(a.datasets_hosted_by(NodeId(3)), vec![DatasetId(0)]);
+        // Synced demand counters are snapshots, not shared handles.
+        let ga = Graph::from_edges(10, [(3, 4, 1)]);
+        a.resolve(DatasetId(0), NodeId(4), &ga, |_| true, |_| 1.0)
+            .expect("resolves");
+        assert_eq!(a.demand_of(DatasetId(0)).expect("known").total(), 1);
+        assert_eq!(b.demand_of(DatasetId(0)).expect("known").total(), 0);
     }
 
     #[test]
@@ -650,5 +950,143 @@ mod tests {
             srv.report_availability(NodeId(99), 0.5).unwrap_err(),
             AllocationError::UnknownRepository(NodeId(99))
         );
+    }
+
+    #[test]
+    fn resolve_csr_matches_adjacency_and_caches() {
+        let reg = Registry::new();
+        let g = barabasi_albert(60, 2, 9);
+        let csr = CsrGraph::from(&g);
+        let srv = AllocationServer::with_registry(&reg);
+        for v in g.nodes() {
+            srv.register_repository(RepositoryInfo {
+                node: v,
+                owner: AuthorId(v.0),
+                capacity: 1 << 30,
+                availability: 0.9,
+            });
+        }
+        srv.register_dataset(DatasetId(0), 1, NodeId(3))
+            .expect("ok");
+        srv.add_replica(DatasetId(0), NodeId(41)).expect("ok");
+        srv.add_replica(DatasetId(0), NodeId(17)).expect("ok");
+        for req in [0u32, 10, 59, 10, 0] {
+            let a = srv
+                .resolve(DatasetId(0), NodeId(req), &g, |_| true, |n| n.0 as f64)
+                .expect("adjacency resolves");
+            let c = srv
+                .resolve_csr(DatasetId(0), NodeId(req), &csr, |_| true, |n| n.0 as f64)
+                .expect("csr resolves");
+            assert_eq!(a, c, "requester {req}");
+        }
+        let snap = reg.snapshot();
+        // 5 CSR resolutions over 3 distinct requesters: 3 misses, 2 hits.
+        assert_eq!(snap.counter("alloc.resolve.cache.miss"), Some(3));
+        assert_eq!(snap.counter("alloc.resolve.cache.hit"), Some(2));
+    }
+
+    #[test]
+    fn failed_migration_keeps_cache_warm() {
+        let reg = Registry::new();
+        let g = barabasi_albert(20, 2, 13);
+        let csr = CsrGraph::from(&g);
+        let srv = AllocationServer::with_registry(&reg);
+        for v in g.nodes() {
+            srv.register_repository(RepositoryInfo {
+                node: v,
+                owner: AuthorId(v.0),
+                capacity: 1,
+                availability: 1.0,
+            });
+        }
+        srv.register_dataset(DatasetId(0), 1, NodeId(5))
+            .expect("ok");
+        let warm = |srv: &AllocationServer| {
+            srv.resolve_csr(DatasetId(0), NodeId(9), &csr, |_| true, |_| 1.0)
+                .expect("resolves")
+        };
+        warm(&srv);
+        // Invalid migrations (unknown repo / dataset / source) must not
+        // bump versions: the next resolution still hits the cache.
+        assert!(srv
+            .migrate_replica(DatasetId(0), NodeId(5), NodeId(99))
+            .is_err());
+        assert!(srv
+            .migrate_replica(DatasetId(7), NodeId(5), NodeId(2))
+            .is_err());
+        assert!(srv
+            .migrate_replica(DatasetId(0), NodeId(11), NodeId(2))
+            .is_err());
+        warm(&srv);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("alloc.resolve.cache.hit"), Some(1));
+        assert_eq!(snap.counter("alloc.resolve.cache.miss"), Some(1));
+    }
+
+    #[test]
+    fn hosted_index_tracks_mutations() {
+        let g = barabasi_albert(12, 2, 17);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(1))
+            .expect("ok");
+        srv.register_dataset(DatasetId(1), 1, NodeId(1))
+            .expect("ok");
+        srv.add_replica(DatasetId(0), NodeId(2)).expect("ok");
+        assert_eq!(
+            srv.datasets_hosted_by(NodeId(1)),
+            vec![DatasetId(0), DatasetId(1)]
+        );
+        assert_eq!(srv.datasets_hosted_by(NodeId(2)), vec![DatasetId(0)]);
+        srv.remove_replica(DatasetId(0), NodeId(1)).expect("ok");
+        assert_eq!(srv.datasets_hosted_by(NodeId(1)), vec![DatasetId(1)]);
+        // Migrating onto an existing replica collapses to one entry.
+        srv.add_replica(DatasetId(1), NodeId(2)).expect("ok");
+        srv.migrate_replica(DatasetId(1), NodeId(1), NodeId(2))
+            .expect("ok");
+        assert_eq!(srv.datasets_hosted_by(NodeId(1)), vec![]);
+        assert_eq!(
+            srv.datasets_hosted_by(NodeId(2)),
+            vec![DatasetId(0), DatasetId(1)]
+        );
+        assert_eq!(srv.datasets_hosted_by(NodeId(11)), vec![]);
+    }
+
+    #[test]
+    fn resolve_batch_matches_sequential() {
+        let g = barabasi_albert(80, 3, 23);
+        let csr = CsrGraph::from(&g);
+        let srv = server_with_repos(&g);
+        for d in 0..6u32 {
+            srv.register_dataset(DatasetId(d), 1, NodeId(d * 7 % 80))
+                .expect("ok");
+            srv.add_replica(DatasetId(d), NodeId((d * 13 + 1) % 80))
+                .expect("ok");
+        }
+        let requests: Vec<(DatasetId, NodeId)> = (0..200u32)
+            .map(|i| (DatasetId(i % 6), NodeId((i * 31) % 80)))
+            .collect();
+        let online = |n: NodeId| n.0 % 5 != 0;
+        let latency = |req: NodeId, n: NodeId| ((req.0 ^ n.0) % 17) as f64;
+        let batch = srv.resolve_batch(&requests, &csr, online, latency);
+        assert_eq!(batch.len(), requests.len());
+        for (i, &(d, r)) in requests.iter().enumerate() {
+            let seq = srv.resolve_csr(d, r, &csr, online, |n| latency(r, n));
+            assert_eq!(batch[i], seq, "request {i}");
+        }
+    }
+
+    #[test]
+    fn hop_budget_bounds_social_reach() {
+        let g = Graph::from_edges(5, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]);
+        let csr = CsrGraph::from(&g);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(4))
+            .expect("ok");
+        srv.set_resolve_hop_budget(2);
+        let sel = srv
+            .resolve_csr(DatasetId(0), NodeId(0), &csr, |_| true, |_| 1.0)
+            .expect("still served, just unranked socially");
+        assert_eq!(sel.node, NodeId(4));
+        assert_eq!(sel.social_hops, None, "beyond the 2-hop budget");
     }
 }

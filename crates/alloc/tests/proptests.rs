@@ -1,11 +1,16 @@
-//! Property-based tests for placement, partitioning, and replication.
+//! Property-based tests for placement, partitioning, replication, and
+//! replica resolution (bounded-CSR fast path vs full-BFS oracle).
 
 use proptest::prelude::*;
+use scdn_alloc::discovery::{select_replica, select_replica_csr, Candidate};
 use scdn_alloc::partitioning::{hash_partition, social_partition, AccessLog};
 use scdn_alloc::placement::PlacementAlgorithm;
 use scdn_alloc::replication::{DemandWindow, ReplicationPolicy};
+use scdn_alloc::server::{AllocationServer, RepositoryInfo};
 use scdn_graph::community::Partition;
-use scdn_graph::{Graph, NodeId};
+use scdn_graph::{CsrGraph, Graph, NodeId, TraversalScratch};
+use scdn_social::author::AuthorId;
+use scdn_storage::object::DatasetId;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (3usize..40).prop_flat_map(|n| {
@@ -103,4 +108,171 @@ proptest! {
         };
         prop_assert!(policy.target_replicas(current, d2) >= target);
     }
+}
+
+/// Candidate sets with arbitrary node ids (possibly out of range or
+/// duplicated), online masks, and rough-edged latencies (negative, huge,
+/// occasionally NaN) and availabilities.
+fn arb_candidates(n: usize) -> impl Strategy<Value = Vec<Candidate>> {
+    proptest::collection::vec(
+        (
+            0..(n as u32 + 3),
+            0u32..4, // 0 = offline
+            -50.0f64..5_000.0,
+            0u32..10, // 0 = NaN latency
+            0.0f64..1.0,
+        ),
+        0..10,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(node, online, latency, nan, availability)| Candidate {
+                node: NodeId(node),
+                online: online != 0,
+                latency_ms: if nan == 0 { f64::NAN } else { latency },
+                availability,
+            })
+            .collect()
+    })
+}
+
+/// A random graph plus candidate sets and requesters sized to it (some
+/// requesters deliberately out of range).
+fn arb_selection_case() -> impl Strategy<Value = (Graph, Vec<Vec<Candidate>>, Vec<u32>)> {
+    arb_graph().prop_flat_map(|g| {
+        let n = g.node_count();
+        (
+            Just(g),
+            proptest::collection::vec(arb_candidates(n), 1..4),
+            proptest::collection::vec(0u32..(n as u32 + 2), 1..5),
+        )
+    })
+}
+
+fn selections_equal(
+    a: &Option<scdn_alloc::discovery::Selection>,
+    b: &Option<scdn_alloc::discovery::Selection>,
+) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.node == y.node
+                && x.social_hops == y.social_hops
+                && (x.latency_ms == y.latency_ms
+                    || (x.latency_ms.is_nan() && y.latency_ms.is_nan()))
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    /// The bounded multi-target CSR path selects exactly what the full-BFS
+    /// adjacency oracle selects, for any graph, candidate set, and online
+    /// mask — including out-of-range candidates, NaN latencies, and a
+    /// reused scratch carried across cases.
+    #[test]
+    fn bounded_csr_selection_matches_oracle((g, candidate_sets, requesters) in arb_selection_case()) {
+        let csr = CsrGraph::from(&g);
+        let mut scratch = TraversalScratch::new();
+        for candidates in &candidate_sets {
+            for &req in &requesters {
+                let oracle = select_replica(&g, NodeId(req), candidates);
+                let fast = select_replica_csr(
+                    &csr,
+                    NodeId(req),
+                    candidates,
+                    &mut scratch,
+                    u32::MAX,
+                );
+                prop_assert!(
+                    selections_equal(&oracle, &fast),
+                    "req {req}: oracle {oracle:?} != csr {fast:?}"
+                );
+            }
+        }
+    }
+
+    /// End-to-end: `resolve_csr` (cache + pooled scratch) agrees with the
+    /// adjacency `resolve` oracle under random replica sets and online
+    /// masks — asked twice per requester so the second pass exercises the
+    /// warm cache.
+    #[test]
+    fn resolve_csr_matches_resolve_oracle(
+        g in arb_graph(),
+        replicas in proptest::collection::vec(0u32..40, 1..6),
+        offline_mod in 2u32..5,
+        requesters in proptest::collection::vec(0u32..40, 1..5),
+    ) {
+        let csr = CsrGraph::from(&g);
+        let n = g.node_count() as u32;
+        let srv = AllocationServer::new();
+        for v in g.nodes() {
+            srv.register_repository(RepositoryInfo {
+                node: v,
+                owner: AuthorId(v.0),
+                capacity: 1,
+                availability: (v.0 % 7) as f64 / 7.0,
+            });
+        }
+        let primary = NodeId(replicas[0] % n);
+        srv.register_dataset(DatasetId(0), 1, primary).expect("ok");
+        for &r in &replicas[1..] {
+            let _ = srv.add_replica(DatasetId(0), NodeId(r % n));
+        }
+        let online = |v: NodeId| v.0 % offline_mod != 0;
+        let latency = |v: NodeId| (v.0 % 13) as f64 - 3.0;
+        for _pass in 0..2 {
+            for &req in &requesters {
+                let req = NodeId(req % n);
+                let oracle = srv.resolve(DatasetId(0), req, &g, online, latency);
+                let fast = srv.resolve_csr(DatasetId(0), req, &csr, online, latency);
+                match (&oracle, &fast) {
+                    (Ok(a), Ok(b)) => prop_assert!(
+                        selections_equal(&Some(*a), &Some(*b)),
+                        "req {req:?}: {a:?} != {b:?}"
+                    ),
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    _ => prop_assert!(false, "req {req:?}: {oracle:?} vs {fast:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Migrating a replica bumps the catalog-entry version, so the next
+/// resolution recomputes hop distances instead of serving the stale
+/// cached set: the selection moves to the new host.
+#[test]
+fn migration_invalidates_cached_resolution() {
+    // Path: 0 - 1 - 2 - 3 - 4. Replica starts far (4), moves adjacent (1).
+    let g = Graph::from_edges(5, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)]);
+    let csr = CsrGraph::from(&g);
+    let srv = AllocationServer::new();
+    for v in g.nodes() {
+        srv.register_repository(RepositoryInfo {
+            node: v,
+            owner: AuthorId(v.0),
+            capacity: 1,
+            availability: 1.0,
+        });
+    }
+    srv.register_dataset(DatasetId(0), 1, NodeId(4))
+        .expect("ok");
+    let first = srv
+        .resolve_csr(DatasetId(0), NodeId(0), &csr, |_| true, |_| 1.0)
+        .expect("resolves");
+    assert_eq!(first.node, NodeId(4));
+    assert_eq!(first.social_hops, Some(4));
+    // Warm the cache, then migrate.
+    let again = srv
+        .resolve_csr(DatasetId(0), NodeId(0), &csr, |_| true, |_| 1.0)
+        .expect("resolves");
+    assert_eq!(again.node, NodeId(4));
+    srv.migrate_replica(DatasetId(0), NodeId(4), NodeId(1))
+        .expect("migrates");
+    let after = srv
+        .resolve_csr(DatasetId(0), NodeId(0), &csr, |_| true, |_| 1.0)
+        .expect("resolves");
+    assert_eq!(after.node, NodeId(1), "stale cache would still say 4");
+    assert_eq!(after.social_hops, Some(1));
 }

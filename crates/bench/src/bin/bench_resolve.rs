@@ -1,0 +1,413 @@
+//! Replica-resolution throughput reporter.
+//!
+//! Replays an identical request trace against the four resolution paths
+//! of the allocation server, on Barabási–Albert social graphs:
+//!
+//! * `full_bfs` — the adjacency-list oracle: one full BFS per request;
+//! * `csr_uncached` — bounded multi-target CSR BFS, hop cache disabled;
+//! * `csr_cached` — the same with the version-keyed hop cache on;
+//! * `batch` — `resolve_batch` fanning the trace over worker threads
+//!   (cache on, cold at the start of the timed region).
+//!
+//! Every path must select the same replica for every request; the run
+//! aborts otherwise. Results go to `BENCH_resolve.json` (hand-rolled
+//! JSON; the workspace has no serde_json) after passing the same style of
+//! self-validation `metrics_report --check` applies to the obs export.
+//!
+//! ```text
+//! cargo run -p scdn-bench --release --bin bench_resolve              # full run
+//! cargo run -p scdn-bench --release --bin bench_resolve -- --smoke   # CI gate
+//! ```
+//!
+//! `--smoke` runs a small workload, asserts the cache actually hit, and
+//! writes to `target/BENCH_resolve_smoke.json` so the committed full-run
+//! report is not clobbered.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use scdn_alloc::server::{AllocationServer, RepositoryInfo};
+use scdn_graph::generators::barabasi_albert;
+use scdn_graph::{CsrGraph, Graph, NodeId};
+use scdn_obs::Registry;
+use scdn_social::author::AuthorId;
+use scdn_storage::object::DatasetId;
+
+/// One benchmark workload: a social graph plus a deterministic request
+/// trace over a pool of distinct requesters.
+struct Workload {
+    name: &'static str,
+    graph: Graph,
+    csr: CsrGraph,
+    datasets: u32,
+    replicas_per_dataset: u32,
+    /// Distinct requester nodes the trace cycles through.
+    requester_pool: Vec<NodeId>,
+    /// The request trace: `(dataset, requester)` pairs.
+    requests: Vec<(DatasetId, NodeId)>,
+}
+
+impl Workload {
+    fn new(
+        name: &'static str,
+        nodes: usize,
+        seed: u64,
+        datasets: u32,
+        replicas_per_dataset: u32,
+        pool_size: usize,
+        request_count: usize,
+    ) -> Workload {
+        let graph = barabasi_albert(nodes, 3, seed);
+        let csr = CsrGraph::from(&graph);
+        let n = nodes as u32;
+        let requester_pool: Vec<NodeId> = (0..pool_size as u32)
+            .map(|j| NodeId(j.wrapping_mul(97) % n))
+            .collect();
+        let requests: Vec<(DatasetId, NodeId)> = (0..request_count)
+            .map(|i| {
+                (
+                    DatasetId(i as u32 * 7 % datasets),
+                    requester_pool[i * 13 % pool_size],
+                )
+            })
+            .collect();
+        Workload {
+            name,
+            graph,
+            csr,
+            datasets,
+            replicas_per_dataset,
+            requester_pool,
+            requests,
+        }
+    }
+
+    /// A fresh allocation server with every node registered and the same
+    /// deterministic replica layout — one per timed path, so no path
+    /// benefits from another's warm state.
+    fn build_server(&self, reg: &Registry) -> AllocationServer {
+        let srv = AllocationServer::with_registry(reg);
+        let n = self.graph.node_count() as u32;
+        for v in self.graph.nodes() {
+            srv.register_repository(RepositoryInfo {
+                node: v,
+                owner: AuthorId(v.0),
+                capacity: 1 << 30,
+                availability: 0.5 + (v.0 % 50) as f64 / 100.0,
+            });
+        }
+        for d in 0..self.datasets {
+            let primary = NodeId(d.wrapping_mul(37) % n);
+            srv.register_dataset(DatasetId(d), 1, primary)
+                .expect("fresh catalog");
+            for k in 1..self.replicas_per_dataset {
+                let _ = srv.add_replica(DatasetId(d), NodeId((d * 37 + k * 101) % n));
+            }
+        }
+        // The trace's key space must fit, or steady-state evictions turn
+        // cache timing into eviction timing.
+        srv.set_resolve_cache_capacity(2 * self.requester_pool.len() * self.datasets as usize);
+        srv
+    }
+}
+
+fn latency_of(requester: NodeId, replica: NodeId) -> f64 {
+    ((requester.0 ^ replica.0) % 200) as f64 / 4.0
+}
+
+/// Timed throughput + the replica chosen per request (for the
+/// identical-selection gate).
+struct PathResult {
+    ms: f64,
+    selected: Vec<Option<NodeId>>,
+}
+
+impl PathResult {
+    fn requests_per_sec(&self, requests: usize) -> f64 {
+        requests as f64 / (self.ms / 1_000.0)
+    }
+}
+
+fn run_path(w: &Workload, reg: &Registry, mode: &str) -> PathResult {
+    let srv = w.build_server(reg);
+    if mode == "csr_uncached" {
+        srv.set_resolve_cache_capacity(0);
+    }
+    let online = |_: NodeId| true;
+    let start = Instant::now();
+    let selected: Vec<Option<NodeId>> = if mode == "batch" {
+        srv.resolve_batch(&w.requests, &w.csr, online, latency_of)
+            .into_iter()
+            .map(|r| r.ok().map(|s| s.node))
+            .collect()
+    } else {
+        w.requests
+            .iter()
+            .map(|&(d, req)| {
+                let sel = match mode {
+                    "full_bfs" => srv.resolve(d, req, &w.graph, online, |n| latency_of(req, n)),
+                    _ => srv.resolve_csr(d, req, &w.csr, online, |n| latency_of(req, n)),
+                };
+                sel.ok().map(|s| s.node)
+            })
+            .collect()
+    };
+    PathResult {
+        ms: start.elapsed().as_secs_f64() * 1_000.0,
+        selected,
+    }
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    nodes: usize,
+    edges: usize,
+    datasets: u32,
+    requests: usize,
+    distinct_requesters: usize,
+    paths: Vec<(&'static str, f64, f64)>, // (name, ms, req/s)
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    speedup_cached: f64,
+    speedup_batch: f64,
+}
+
+impl WorkloadReport {
+    fn to_json(&self) -> String {
+        let paths = self
+            .paths
+            .iter()
+            .map(|(name, ms, rps)| {
+                format!("        \"{name}\": {{ \"ms\": {ms:.3}, \"requests_per_sec\": {rps:.1} }}")
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"nodes\": {},\n",
+                "      \"edges\": {},\n",
+                "      \"datasets\": {},\n",
+                "      \"requests\": {},\n",
+                "      \"distinct_requesters\": {},\n",
+                "      \"paths\": {{\n{}\n      }},\n",
+                "      \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }},\n",
+                "      \"speedup_cached_vs_full_bfs\": {:.2},\n",
+                "      \"speedup_batch_vs_full_bfs\": {:.2}\n",
+                "    }}"
+            ),
+            self.name,
+            self.nodes,
+            self.edges,
+            self.datasets,
+            self.requests,
+            self.distinct_requesters,
+            paths,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.speedup_cached,
+            self.speedup_batch,
+        )
+    }
+}
+
+/// The four resolution paths every workload times, in report order.
+const PATHS: [&str; 4] = ["full_bfs", "csr_uncached", "csr_cached", "batch"];
+
+fn run_workload(w: &Workload) -> WorkloadReport {
+    eprintln!(
+        "workload {}: {} nodes, {} requests over {} requesters...",
+        w.name,
+        w.graph.node_count(),
+        w.requests.len(),
+        w.requester_pool.len()
+    );
+    let mut results: Vec<(&'static str, PathResult)> = Vec::new();
+    let mut cache = (0, 0, 0);
+    for mode in PATHS {
+        let reg = Registry::new();
+        let r = run_path(w, &reg, mode);
+        if mode == "csr_cached" {
+            let snap = reg.snapshot();
+            cache = (
+                snap.counter("alloc.resolve.cache.hit").unwrap_or(0),
+                snap.counter("alloc.resolve.cache.miss").unwrap_or(0),
+                snap.counter("alloc.resolve.cache.evict").unwrap_or(0),
+            );
+        }
+        eprintln!(
+            "  {:<14} {:9.1} ms  {:>10.0} req/s",
+            mode,
+            r.ms,
+            r.requests_per_sec(w.requests.len())
+        );
+        results.push((mode, r));
+    }
+    // Identical-selection gate: all four paths serve every request from
+    // the same replica.
+    let oracle = &results[0].1.selected;
+    for (mode, r) in &results[1..] {
+        assert_eq!(
+            oracle, &r.selected,
+            "{mode} disagreed with full_bfs on workload {}",
+            w.name
+        );
+    }
+    let ms_of = |mode: &str| {
+        results
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|(_, r)| r.ms)
+            .expect("path ran")
+    };
+    WorkloadReport {
+        name: w.name,
+        nodes: w.graph.node_count(),
+        edges: w.graph.edge_count(),
+        datasets: w.datasets,
+        requests: w.requests.len(),
+        distinct_requesters: w.requester_pool.len(),
+        paths: results
+            .iter()
+            .map(|(m, r)| (*m, r.ms, r.requests_per_sec(w.requests.len())))
+            .collect(),
+        cache_hits: cache.0,
+        cache_misses: cache.1,
+        cache_evictions: cache.2,
+        speedup_cached: ms_of("full_bfs") / ms_of("csr_cached"),
+        speedup_batch: ms_of("full_bfs") / ms_of("batch"),
+    }
+}
+
+/// Schema gate on the emitted document (the `metrics_report --check`
+/// pattern): balanced braces, required keys, no NaN/infinite numbers.
+fn validate_report(text: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    let mut depth = 0i64;
+    for c in text.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            violations.push("unbalanced braces: closed more than opened".into());
+            break;
+        }
+    }
+    if depth != 0 {
+        violations.push(format!("unbalanced braces: depth {depth} at end"));
+    }
+    for key in [
+        "\"schema\": \"scdn-bench-resolve/v1\"",
+        "\"workloads\"",
+        "\"full_bfs\"",
+        "\"csr_uncached\"",
+        "\"csr_cached\"",
+        "\"batch\"",
+        "\"cache\"",
+        "\"speedup_cached_vs_full_bfs\"",
+    ] {
+        if !text.contains(key) {
+            violations.push(format!("missing key {key}"));
+        }
+    }
+    for bad in ["NaN", "inf"] {
+        if text.contains(bad) {
+            violations.push(format!("non-finite number ({bad}) in report"));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn emit(reports: &[WorkloadReport], out_path: &str) -> ExitCode {
+    let body = reports
+        .iter()
+        .map(WorkloadReport::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"scdn-bench-resolve/v1\",\n",
+            "  \"description\": \"replica-resolution throughput: adjacency full-BFS ",
+            "vs bounded CSR BFS vs version-keyed hop cache vs parallel batch; ",
+            "identical selections enforced\",\n",
+            "  \"generator\": \"barabasi_albert(n, 3)\",\n",
+            "  \"workloads\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        body
+    );
+    if let Err(violations) = validate_report(&json) {
+        eprintln!("bench_resolve report FAILED validation:");
+        for v in violations {
+            eprintln!("  - {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    std::fs::write(out_path, &json).expect("write results");
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                // Keep CI runs from clobbering the committed full report.
+                "target/BENCH_resolve_smoke.json".to_string()
+            } else {
+                "BENCH_resolve.json".to_string()
+            }
+        });
+
+    let workloads = if smoke {
+        vec![Workload::new("ba_1500_smoke", 1_500, 5, 8, 3, 64, 600)]
+    } else {
+        vec![
+            Workload::new("ba_10k", 10_000, 21, 16, 3, 128, 4_000),
+            Workload::new("ba_100k", 100_000, 22, 16, 3, 128, 1_000),
+        ]
+    };
+    let reports: Vec<WorkloadReport> = workloads.iter().map(run_workload).collect();
+    for r in &reports {
+        println!(
+            "{:<16} n={:<7} cached {:5.2}x  batch {:5.2}x  (cache {} hit / {} miss / {} evict)",
+            r.name,
+            r.nodes,
+            r.speedup_cached,
+            r.speedup_batch,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_evictions
+        );
+    }
+    if smoke {
+        // The smoke trace revisits (requester, dataset) keys, so a working
+        // cache must register hits; zero hits means the version keying or
+        // the lookup path regressed.
+        let r = &reports[0];
+        assert!(
+            r.cache_hits >= 1,
+            "smoke run expected at least one cache hit, saw {}",
+            r.cache_hits
+        );
+        println!(
+            "smoke OK: {} cache hits over {} requests",
+            r.cache_hits, r.requests
+        );
+    }
+    emit(&reports, &out_path)
+}

@@ -174,7 +174,9 @@ impl<'c> CaseStudy<'c> {
 
     /// Produce the full Fig. 3 panel for one subgraph: hit-rate curves for
     /// each algorithm over `ks`, averaged over `runs`. The subgraph is
-    /// frozen to CSR exactly once for the whole sweep.
+    /// frozen to CSR exactly once for the whole sweep, and the
+    /// (algorithm, k) cells evaluate in parallel — each cell is an
+    /// independent placement + scoring job over the shared frozen graph.
     pub fn sweep(
         &self,
         sub: &TrustSubgraph,
@@ -183,15 +185,40 @@ impl<'c> CaseStudy<'c> {
         runs: usize,
     ) -> Vec<HitRateCurve> {
         let csr = CsrGraph::from(&sub.graph);
+        if ks.is_empty() {
+            return algorithms
+                .iter()
+                .map(|&algorithm| HitRateCurve {
+                    algorithm,
+                    ks: Vec::new(),
+                    hit_rate_pct: Vec::new(),
+                })
+                .collect();
+        }
+        let cells = par_map_collect(algorithms.len() * ks.len(), 1, |i| {
+            let algorithm = algorithms[i / ks.len()];
+            let k = ks[i % ks.len()];
+            // Random averages its runs serially inside the cell: the cells
+            // themselves already saturate the worker pool.
+            if algorithm == PlacementAlgorithm::Random {
+                (0..runs)
+                    .map(|run| {
+                        let replicas = algorithm.place_csr(&csr, k, run as u64);
+                        self.hit_rate_csr(sub, &csr, &replicas)
+                    })
+                    .sum::<f64>()
+                    / (runs.max(1) as f64)
+            } else {
+                self.mean_hit_rate_csr(sub, &csr, algorithm, k, runs)
+            }
+        });
         algorithms
             .iter()
-            .map(|&algorithm| HitRateCurve {
+            .enumerate()
+            .map(|(a, &algorithm)| HitRateCurve {
                 algorithm,
                 ks: ks.to_vec(),
-                hit_rate_pct: ks
-                    .iter()
-                    .map(|&k| self.mean_hit_rate_csr(sub, &csr, algorithm, k, runs))
-                    .collect(),
+                hit_rate_pct: cells[a * ks.len()..(a + 1) * ks.len()].to_vec(),
             })
             .collect()
     }

@@ -703,10 +703,13 @@ impl Scdn {
         let availability = &self.availability;
         let topology = &self.engine.topology;
         let discover_start = std::time::Instant::now();
-        let selection = match self.alloc.resolve(
+        // CSR fast path: bounded multi-target BFS + the version-keyed hop
+        // cache. The membership graph is frozen at build, so the catalog
+        // versions are the only invalidation the cache needs.
+        let selection = match self.alloc.resolve_csr(
             dataset,
             node,
-            &self.social,
+            &self.social_csr,
             |n| availability.is_online(n.index(), clock),
             |n| topology.latency_ms(node.index(), n.index()),
         ) {

@@ -176,6 +176,7 @@ fn brandes_from_source_csr(
         pred_len,
         pred_buf,
         order,
+        ..
     } = scratch;
     let offsets = g.offsets();
     sigma[s.index()] = 1.0;

@@ -220,6 +220,19 @@ pub struct TraversalScratch {
     /// cursor), the Brandes stack (iterated in reverse), and the touched
     /// list driving the `O(visited)` reset.
     pub(crate) order: Vec<u32>,
+    /// Epoch stamp per node for the bounded multi-target BFS: a node is
+    /// visited in the current call iff `stamp[v] == epoch`. Never cleared
+    /// between calls — bumping `epoch` invalidates every mark in O(1).
+    stamp: Vec<u32>,
+    /// Epoch stamp marking the current call's target set.
+    target_stamp: Vec<u32>,
+    /// Hop distance per node, valid iff `stamp[v] == epoch`.
+    hops: Vec<u32>,
+    /// Frontier queue for the bounded BFS (separate from `order` so the
+    /// touched-list reset contract of the full kernels is untouched).
+    queue: Vec<u32>,
+    /// Current epoch; 0 means "no bounded traversal has run yet".
+    epoch: u32,
 }
 
 impl TraversalScratch {
@@ -301,6 +314,97 @@ impl TraversalScratch {
     #[inline]
     pub fn visited(&self) -> &[u32] {
         &self.order
+    }
+
+    /// Open a fresh epoch for the bounded BFS: grow the stamp arrays to
+    /// `n` and invalidate every previous mark in O(1) (O(n) only on the
+    /// rare u32 wrap-around).
+    fn begin_epoch(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.target_stamp.resize(n, 0);
+            self.hops.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.target_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    /// Bounded multi-target BFS from `src`: explore outward until every
+    /// node in `targets` has been reached, the `max_hops` budget is
+    /// exhausted, or the component is spent — whichever comes first.
+    /// Returns the number of distinct in-range targets reached.
+    ///
+    /// Distances are exact for every reached target (BFS discovers nodes
+    /// in distance order, so early exit never truncates a target's
+    /// distance); with `max_hops == u32::MAX` a reached/unreached verdict
+    /// matches a full BFS exactly. Visited marks are epoch-stamped, so
+    /// back-to-back calls pay O(visited) with no clearing or allocation.
+    /// Out-of-range and duplicate targets are ignored.
+    ///
+    /// Query distances afterwards with
+    /// [`target_hops`](TraversalScratch::target_hops); they stay valid
+    /// until the next `bfs_to_targets` call on this scratch.
+    pub fn bfs_to_targets(
+        &mut self,
+        g: &CsrGraph,
+        src: NodeId,
+        targets: &[NodeId],
+        max_hops: u32,
+    ) -> usize {
+        let n = g.node_count();
+        self.begin_epoch(n);
+        let epoch = self.epoch;
+        if src.index() >= n {
+            return 0;
+        }
+        let mut wanted = 0usize;
+        for &t in targets {
+            if t.index() < n && self.target_stamp[t.index()] != epoch {
+                self.target_stamp[t.index()] = epoch;
+                wanted += 1;
+            }
+        }
+        self.stamp[src.index()] = epoch;
+        self.hops[src.index()] = 0;
+        self.queue.push(src.0);
+        let mut reached = usize::from(self.target_stamp[src.index()] == epoch);
+        let mut head = 0;
+        while head < self.queue.len() && reached < wanted {
+            let v = self.queue[head] as usize;
+            head += 1;
+            let dv = self.hops[v];
+            if dv >= max_hops {
+                // The queue is distance-ordered: every later node is at
+                // least this far out, so the budget is spent.
+                break;
+            }
+            for &w in g.neighbor_ids(NodeId(v as u32)) {
+                let wi = w as usize;
+                if self.stamp[wi] != epoch {
+                    self.stamp[wi] = epoch;
+                    self.hops[wi] = dv + 1;
+                    reached += usize::from(self.target_stamp[wi] == epoch);
+                    self.queue.push(w);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Hop distance of `v` from the last
+    /// [`bfs_to_targets`](TraversalScratch::bfs_to_targets) source;
+    /// `None` if `v` was not reached before the traversal stopped.
+    #[inline]
+    pub fn target_hops(&self, v: NodeId) -> Option<u32> {
+        match self.stamp.get(v.index()) {
+            Some(&s) if s == self.epoch && self.epoch != 0 => Some(self.hops[v.index()]),
+            _ => None,
+        }
     }
 }
 

@@ -68,6 +68,27 @@ pub fn multi_source_bfs_csr(g: &CsrGraph, sources: &[NodeId]) -> Vec<Option<u32>
     collect_distances(g, &scratch)
 }
 
+/// Hop distances from `src` to each of `targets` (in input order) via the
+/// bounded multi-target BFS: the traversal early-exits once every target
+/// is reached or `max_hops` is exhausted. `None` marks targets that were
+/// not reached before the traversal stopped; with `max_hops == u32::MAX`
+/// that verdict matches a full [`bfs_distances`].
+///
+/// This is the allocation-free replica-resolution kernel — callers on the
+/// hot path should hold a [`TraversalScratch`] and use
+/// [`TraversalScratch::bfs_to_targets`] directly to also skip the output
+/// allocation.
+pub fn bounded_hops_csr(
+    g: &CsrGraph,
+    src: NodeId,
+    targets: &[NodeId],
+    max_hops: u32,
+) -> Vec<Option<u32>> {
+    let mut scratch = TraversalScratch::new();
+    scratch.bfs_to_targets(g, src, targets, max_hops);
+    targets.iter().map(|&t| scratch.target_hops(t)).collect()
+}
+
 fn collect_distances(g: &CsrGraph, scratch: &TraversalScratch) -> Vec<Option<u32>> {
     scratch.distances()[..g.node_count()]
         .iter()
@@ -233,6 +254,60 @@ mod tests {
             multi_source_bfs_csr(&c, &sources)
         );
         assert!(multi_source_bfs_csr(&c, &[]).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn bounded_hops_match_full_bfs() {
+        let g = crate::generators::barabasi_albert(120, 3, 9);
+        let c = CsrGraph::from(&g);
+        let full = bfs_distances(&g, NodeId(4));
+        let targets = [NodeId(0), NodeId(60), NodeId(119), NodeId(4)];
+        let bounded = bounded_hops_csr(&c, NodeId(4), &targets, u32::MAX);
+        for (i, &t) in targets.iter().enumerate() {
+            assert_eq!(bounded[i], full[t.index()], "target {t:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_hops_respect_budget() {
+        let g = path4();
+        let c = CsrGraph::from(&g);
+        let targets = [NodeId(1), NodeId(3)];
+        assert_eq!(
+            bounded_hops_csr(&c, NodeId(0), &targets, 1),
+            vec![Some(1), None]
+        );
+        assert_eq!(
+            bounded_hops_csr(&c, NodeId(0), &targets, 3),
+            vec![Some(1), Some(3)]
+        );
+        // Out-of-range source and targets are ignored, not panicked on.
+        assert_eq!(
+            bounded_hops_csr(&c, NodeId(99), &targets, 3),
+            vec![None, None]
+        );
+        assert_eq!(
+            bounded_hops_csr(&c, NodeId(0), &[NodeId(42)], 3),
+            vec![None]
+        );
+    }
+
+    #[test]
+    fn bounded_bfs_epoch_reuse_is_clean() {
+        let g = crate::generators::barabasi_albert(90, 2, 2);
+        let c = CsrGraph::from(&g);
+        let mut scratch = TraversalScratch::new();
+        // Interleave bounded calls with full-kernel calls on the same
+        // scratch: neither may corrupt the other.
+        for src in [0u32, 17, 89, 3] {
+            scratch.bfs(&c, &[NodeId(src)]);
+            let full = bfs_distances(&g, NodeId(src));
+            let targets: Vec<NodeId> = [1u32, 40, 88].map(NodeId).to_vec();
+            scratch.bfs_to_targets(&c, NodeId(src), &targets, u32::MAX);
+            for &t in &targets {
+                assert_eq!(scratch.target_hops(t), full[t.index()], "src {src} t {t:?}");
+            }
+        }
     }
 
     #[test]
