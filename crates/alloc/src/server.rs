@@ -546,11 +546,72 @@ impl AllocationServer {
         online: impl Fn(NodeId) -> bool,
         latency_ms: impl Fn(NodeId) -> f64,
     ) -> Result<Selection, AllocationError> {
+        self.resolve_csr_core(dataset, requester, csr, online, latency_ms, true)
+            .0
+    }
+
+    /// [`resolve_csr`](AllocationServer::resolve_csr) for planning
+    /// threads: identical selection, but the resolve/demand accounting is
+    /// deferred — the caller records the outcome that actually commits via
+    /// [`commit_resolution`](AllocationServer::commit_resolution). Also
+    /// returns the catalog-entry version the selection was computed
+    /// against (`None` for an unknown dataset), the staleness token a
+    /// deferred commit checks before applying the plan. Hop-cache counters
+    /// (`alloc.resolve.cache.*`) still tick: they instrument the cache
+    /// mechanics, not the request outcome.
+    pub fn resolve_csr_planned(
+        &self,
+        dataset: DatasetId,
+        requester: NodeId,
+        csr: &CsrGraph,
+        online: impl Fn(NodeId) -> bool,
+        latency_ms: impl Fn(NodeId) -> f64,
+    ) -> (Result<Selection, AllocationError>, Option<u64>) {
+        self.resolve_csr_core(dataset, requester, csr, online, latency_ms, false)
+    }
+
+    /// Record the resolve outcome a deferred plan committed with:
+    /// `Some(hops)` for a successful selection (its social-hop distance),
+    /// `None` for a failed resolve. This is the accounting
+    /// [`resolve_csr`](AllocationServer::resolve_csr) performs inline and
+    /// [`resolve_csr_planned`](AllocationServer::resolve_csr_planned)
+    /// defers.
+    pub fn commit_resolution(&self, dataset: DatasetId, outcome: Option<Option<u32>>) {
+        match outcome {
+            None => self.metrics.resolve_failed.inc(),
+            Some(hops) => {
+                self.metrics.resolve_ok.inc();
+                let s = self.state.read();
+                if let Some(entry) = s.catalog.get(&dataset) {
+                    self.record_demand(&entry.demand_hits, &entry.demand_misses, hops);
+                }
+            }
+        }
+    }
+
+    /// Current catalog-entry version of `dataset` (`None` if unknown).
+    /// Every replica-set mutation bumps it, so comparing versions detects
+    /// whether a deferred plan's selection might be stale.
+    pub fn catalog_version(&self, dataset: DatasetId) -> Option<u64> {
+        self.state.read().catalog.get(&dataset).map(|e| e.version)
+    }
+
+    fn resolve_csr_core(
+        &self,
+        dataset: DatasetId,
+        requester: NodeId,
+        csr: &CsrGraph,
+        online: impl Fn(NodeId) -> bool,
+        latency_ms: impl Fn(NodeId) -> f64,
+        record: bool,
+    ) -> (Result<Selection, AllocationError>, Option<u64>) {
         self.cache.ensure_graph(csr);
         let s = self.state.read();
         let Some(entry) = s.catalog.get(&dataset) else {
-            self.metrics.resolve_failed.inc();
-            return Err(AllocationError::UnknownDataset(dataset));
+            if record {
+                self.metrics.resolve_failed.inc();
+            }
+            return (Err(AllocationError::UnknownDataset(dataset)), None);
         };
         let key = (requester, dataset);
         let cached = self.cache.with_hops(key, entry.version, |hops| {
@@ -588,13 +649,21 @@ impl AllocationServer {
                 sel
             }
         };
+        let version = entry.version;
         let Some(sel) = sel else {
-            self.metrics.resolve_failed.inc();
-            return Err(AllocationError::NoReplicaAvailable(dataset));
+            if record {
+                self.metrics.resolve_failed.inc();
+            }
+            return (
+                Err(AllocationError::NoReplicaAvailable(dataset)),
+                Some(version),
+            );
         };
-        self.metrics.resolve_ok.inc();
-        self.record_demand(&entry.demand_hits, &entry.demand_misses, sel.social_hops);
-        Ok(sel)
+        if record {
+            self.metrics.resolve_ok.inc();
+            self.record_demand(&entry.demand_hits, &entry.demand_misses, sel.social_hops);
+        }
+        (Ok(sel), Some(version))
     }
 
     /// Ranking loop shared by the cached and freshly-traversed paths:

@@ -1,0 +1,471 @@
+//! End-to-end request-pipeline throughput reporter.
+//!
+//! Hosts a full S-CDN on a Barabási–Albert social graph and replays an
+//! identical closed-loop request trace two ways:
+//!
+//! * `serial` — the classic loop: one `Scdn::request` per trace entry;
+//! * `batch@W` — the same trace in fixed-size batches through
+//!   `Scdn::request_batch`, with the planning worker pool clamped to `W`
+//!   threads (`scdn_graph::parallel::set_worker_limit`).
+//!
+//! Every run starts from a freshly built, bit-identical system. The
+//! **identical-outcome gate** aborts the benchmark if any batched run
+//! diverges from the serial baseline in outcome sequence, metric
+//! snapshot (minus the resolve-cache and re-plan diagnostics), or trace
+//! span shapes — throughput numbers for a pipeline that changes behavior
+//! are meaningless.
+//!
+//! Results go to `BENCH_throughput.json` (hand-rolled JSON; the
+//! workspace has no serde_json). `hardware_parallelism` records how many
+//! CPUs the host actually offers: worker counts above it measure
+//! oversubscription, not speedup, and single-core hosts are expected to
+//! report ~1x.
+//!
+//! ```text
+//! cargo run -p scdn-bench --release --bin bench_throughput             # full run
+//! cargo run -p scdn-bench --release --bin bench_throughput -- --smoke  # CI gate
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bytes::Bytes;
+use scdn_core::system::{Scdn, ScdnConfig};
+use scdn_graph::generators::barabasi_albert;
+use scdn_graph::parallel::set_worker_limit;
+use scdn_graph::NodeId;
+use scdn_social::author::{Author, AuthorId, Institution, InstitutionId, Region};
+use scdn_social::corpus::Corpus;
+use scdn_social::trustgraph::{TrustFilter, TrustSubgraph};
+use scdn_storage::object::{DatasetId, Sensitivity};
+
+/// A dozen research sites spread over the paper's "different regions of
+/// the world", so topology latencies are non-trivial.
+const SITES: [(&str, Region, f64, f64); 12] = [
+    ("Ann Arbor", Region::NorthAmerica, 42.28, -83.74),
+    ("Chicago", Region::NorthAmerica, 41.88, -87.63),
+    ("San Diego", Region::NorthAmerica, 32.72, -117.16),
+    ("Vancouver", Region::NorthAmerica, 49.26, -123.11),
+    ("Sao Paulo", Region::SouthAmerica, -23.55, -46.63),
+    ("Amsterdam", Region::Europe, 52.37, 4.90),
+    ("Geneva", Region::Europe, 46.20, 6.14),
+    ("Warsaw", Region::Europe, 52.23, 21.01),
+    ("Tokyo", Region::Asia, 35.68, 139.69),
+    ("Singapore", Region::Asia, 1.35, 103.82),
+    ("Cape Town", Region::Africa, -33.92, 18.42),
+    ("Melbourne", Region::Oceania, -37.81, 144.96),
+];
+
+/// One benchmark scenario: a synthetic membership plus a deterministic
+/// request trace issued in fixed-size batches.
+struct Workload {
+    name: &'static str,
+    nodes: usize,
+    graph_seed: u64,
+    datasets: u32,
+    dataset_bytes: usize,
+    pool_size: usize,
+    request_count: usize,
+    batch_size: usize,
+}
+
+impl Workload {
+    /// A fresh, fully built system with every dataset published and
+    /// replicated, plus the request trace. Bit-identical across calls.
+    fn build(&self) -> (Scdn, Vec<(NodeId, DatasetId)>) {
+        let graph = barabasi_albert(self.nodes, 3, self.graph_seed);
+        let authors: Vec<AuthorId> = (0..self.nodes as u32).map(AuthorId).collect();
+        let institutions: Vec<Institution> = SITES
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, region, lat, lon))| Institution {
+                id: InstitutionId(i as u32),
+                name: name.to_string(),
+                region,
+                lat,
+                lon,
+            })
+            .collect();
+        let members: Vec<Author> = authors
+            .iter()
+            .map(|&a| Author {
+                id: a,
+                name: format!("member-{}", a.0),
+                institution: InstitutionId(a.0 % SITES.len() as u32),
+            })
+            .collect();
+        let corpus = Corpus::new(members, institutions, Vec::new()).expect("dense ids");
+        let sub = TrustSubgraph::from_parts(TrustFilter::Baseline, graph, authors);
+        let config = ScdnConfig {
+            segment_size: 16 << 10,
+            repo_capacity: 64 << 20,
+            transfer_concurrency: 2,
+            ..Default::default()
+        };
+        let mut scdn = Scdn::build(&sub, &corpus, config);
+        let n = self.nodes as u32;
+        let mut datasets = Vec::with_capacity(self.datasets as usize);
+        for d in 0..self.datasets {
+            let owner = NodeId(d.wrapping_mul(37) % n);
+            let id = scdn
+                .publish(
+                    owner,
+                    &format!("bench-{d:03}"),
+                    Bytes::from(vec![d as u8; self.dataset_bytes]),
+                    Sensitivity::Public,
+                    None,
+                )
+                .expect("publish succeeds");
+            scdn.replicate(id).expect("replication succeeds");
+            datasets.push(id);
+        }
+        let pool: Vec<NodeId> = (0..self.pool_size as u32)
+            .map(|j| NodeId(j.wrapping_mul(97) % n))
+            .collect();
+        let trace: Vec<(NodeId, DatasetId)> = (0..self.request_count)
+            .map(|i| {
+                (
+                    pool[i * 13 % self.pool_size],
+                    datasets[i * 7 % datasets.len()],
+                )
+            })
+            .collect();
+        (scdn, trace)
+    }
+}
+
+/// Everything a timed run produces that must be identical across modes.
+struct RunOutcome {
+    ms: f64,
+    results: Vec<String>,
+    snapshot: String,
+    traces: Vec<String>,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Exported snapshot minus the diagnostics that legitimately differ
+/// between serial and batched execution (resolve-cache probe counts and
+/// the re-plan counter).
+fn comparable_snapshot(scdn: &Scdn) -> String {
+    scdn_obs::to_json(&scdn.observability_snapshot())
+        .lines()
+        .filter(|l| !l.contains("alloc.resolve.cache.") && !l.contains("core.batch."))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Trace structure without wall-clock span durations.
+fn trace_shapes(scdn: &Scdn) -> Vec<String> {
+    scdn.traces()
+        .recent()
+        .map(|t| {
+            let spans: Vec<String> = t
+                .spans
+                .iter()
+                .map(|s| format!("{:?}/{:?}/{}/{:?}", s.kind, s.status, s.attempt, s.peer))
+                .collect();
+            format!("{}:{}:[{}]", t.requester, t.dataset, spans.join(","))
+        })
+        .collect()
+}
+
+/// Replay the trace. `workers == 0` is the serial baseline (`request`
+/// per entry); otherwise fixed-size batches through `request_batch` with
+/// the worker pool clamped to `workers`.
+fn run_mode(w: &Workload, workers: usize) -> RunOutcome {
+    let (mut scdn, trace) = w.build();
+    set_worker_limit(workers);
+    let start = Instant::now();
+    let results: Vec<String> = if workers == 0 {
+        trace
+            .iter()
+            .map(|&(node, dataset)| format!("{:?}", scdn.request(node, dataset)))
+            .collect()
+    } else {
+        trace
+            .chunks(w.batch_size)
+            .flat_map(|batch| scdn.request_batch(batch))
+            .map(|r| format!("{r:?}"))
+            .collect()
+    };
+    let ms = start.elapsed().as_secs_f64() * 1_000.0;
+    set_worker_limit(0);
+    RunOutcome {
+        ms,
+        results,
+        snapshot: comparable_snapshot(&scdn),
+        traces: trace_shapes(&scdn),
+        p50_ms: scdn.cdn_metrics.response_time_ms.quantile(0.5),
+        p99_ms: scdn.cdn_metrics.response_time_ms.quantile(0.99),
+    }
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    nodes: usize,
+    datasets: u32,
+    requests: usize,
+    batch_size: usize,
+    serial_ms: f64,
+    /// `(workers, ms)` per batched run.
+    batched: Vec<(usize, f64)>,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl WorkloadReport {
+    fn rps(&self, ms: f64) -> f64 {
+        self.requests as f64 / (ms / 1_000.0)
+    }
+
+    fn best_speedup(&self) -> f64 {
+        self.batched
+            .iter()
+            .map(|&(_, ms)| self.serial_ms / ms)
+            .fold(0.0, f64::max)
+    }
+
+    fn to_json(&self) -> String {
+        let workers = self
+            .batched
+            .iter()
+            .map(|&(wk, ms)| {
+                format!(
+                    concat!(
+                        "        \"{}\": {{ \"ms\": {:.3}, \"requests_per_sec\": {:.1}, ",
+                        "\"speedup_vs_serial\": {:.2} }}"
+                    ),
+                    wk,
+                    ms,
+                    self.rps(ms),
+                    self.serial_ms / ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"nodes\": {},\n",
+                "      \"datasets\": {},\n",
+                "      \"requests\": {},\n",
+                "      \"batch_size\": {},\n",
+                "      \"response_p50_ms\": {:.3},\n",
+                "      \"response_p99_ms\": {:.3},\n",
+                "      \"serial\": {{ \"ms\": {:.3}, \"requests_per_sec\": {:.1} }},\n",
+                "      \"batched_workers\": {{\n{}\n      }},\n",
+                "      \"identical_outcomes\": true\n",
+                "    }}"
+            ),
+            self.name,
+            self.nodes,
+            self.datasets,
+            self.requests,
+            self.batch_size,
+            self.p50_ms,
+            self.p99_ms,
+            self.serial_ms,
+            self.rps(self.serial_ms),
+            workers,
+        )
+    }
+}
+
+fn run_workload(w: &Workload, worker_counts: &[usize]) -> WorkloadReport {
+    eprintln!(
+        "workload {}: {} nodes, {} requests in batches of {}...",
+        w.name, w.nodes, w.request_count, w.batch_size
+    );
+    let serial = run_mode(w, 0);
+    eprintln!(
+        "  {:<10} {:9.1} ms  {:>10.0} req/s",
+        "serial",
+        serial.ms,
+        w.request_count as f64 / (serial.ms / 1_000.0)
+    );
+    let mut batched = Vec::new();
+    for &wk in worker_counts {
+        let run = run_mode(w, wk);
+        // Identical-outcome gate: a batched pipeline that changes any
+        // outcome, metric, or trace is wrong, whatever its throughput.
+        assert_eq!(
+            serial.results, run.results,
+            "batch@{wk} outcome sequence diverged from serial on {}",
+            w.name
+        );
+        assert_eq!(
+            serial.snapshot, run.snapshot,
+            "batch@{wk} metric snapshot diverged from serial on {}",
+            w.name
+        );
+        assert_eq!(
+            serial.traces, run.traces,
+            "batch@{wk} trace spans diverged from serial on {}",
+            w.name
+        );
+        eprintln!(
+            "  batch@{:<4} {:9.1} ms  {:>10.0} req/s  ({:.2}x)",
+            wk,
+            run.ms,
+            w.request_count as f64 / (run.ms / 1_000.0),
+            serial.ms / run.ms
+        );
+        batched.push((wk, run.ms));
+    }
+    WorkloadReport {
+        name: w.name,
+        nodes: w.nodes,
+        datasets: w.datasets,
+        requests: w.request_count,
+        batch_size: w.batch_size,
+        serial_ms: serial.ms,
+        batched,
+        p50_ms: serial.p50_ms,
+        p99_ms: serial.p99_ms,
+    }
+}
+
+/// Schema gate on the emitted document (the `metrics_report --check`
+/// pattern): balanced braces, required keys, no NaN/infinite numbers.
+fn validate_report(text: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    let mut depth = 0i64;
+    for c in text.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            violations.push("unbalanced braces: closed more than opened".into());
+            break;
+        }
+    }
+    if depth != 0 {
+        violations.push(format!("unbalanced braces: depth {depth} at end"));
+    }
+    for key in [
+        "\"schema\": \"scdn-bench-throughput/v1\"",
+        "\"hardware_parallelism\"",
+        "\"workloads\"",
+        "\"serial\"",
+        "\"batched_workers\"",
+        "\"identical_outcomes\": true",
+        "\"response_p50_ms\"",
+        "\"response_p99_ms\"",
+    ] {
+        if !text.contains(key) {
+            violations.push(format!("missing key {key}"));
+        }
+    }
+    for bad in ["NaN", "inf"] {
+        if text.contains(bad) {
+            violations.push(format!("non-finite number ({bad}) in report"));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn emit(reports: &[WorkloadReport], hardware: usize, out_path: &str) -> ExitCode {
+    let body = reports
+        .iter()
+        .map(WorkloadReport::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"scdn-bench-throughput/v1\",\n",
+            "  \"description\": \"end-to-end request throughput: serial request loop ",
+            "vs parallel-plan/ordered-commit request_batch; identical outcomes, ",
+            "metrics, and traces enforced\",\n",
+            "  \"hardware_parallelism\": {},\n",
+            "  \"note\": \"worker counts above hardware_parallelism measure ",
+            "oversubscription; single-core hosts are expected to report ~1x\",\n",
+            "  \"workloads\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        hardware, body
+    );
+    if let Err(violations) = validate_report(&json) {
+        eprintln!("bench_throughput report FAILED validation:");
+        for v in violations {
+            eprintln!("  - {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    std::fs::write(out_path, &json).expect("write results");
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            if smoke {
+                // Keep CI runs from clobbering the committed full report.
+                "target/BENCH_throughput_smoke.json".to_string()
+            } else {
+                "BENCH_throughput.json".to_string()
+            }
+        });
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (workloads, worker_counts): (Vec<Workload>, Vec<usize>) = if smoke {
+        (
+            vec![Workload {
+                name: "ba_1500_smoke",
+                nodes: 1_500,
+                graph_seed: 5,
+                datasets: 16,
+                dataset_bytes: 64 << 10,
+                pool_size: 64,
+                request_count: 600,
+                batch_size: 32,
+            }],
+            vec![1, 2],
+        )
+    } else {
+        (
+            vec![Workload {
+                name: "ba_10k",
+                nodes: 10_000,
+                graph_seed: 21,
+                datasets: 50,
+                dataset_bytes: 64 << 10,
+                pool_size: 128,
+                request_count: 4_000,
+                batch_size: 64,
+            }],
+            vec![1, 2, 4, 8],
+        )
+    };
+
+    let reports: Vec<WorkloadReport> = workloads
+        .iter()
+        .map(|w| run_workload(w, &worker_counts))
+        .collect();
+    for r in &reports {
+        println!(
+            "{:<16} n={:<6} serial {:>8.0} req/s  best batched {:.2}x  (host cpus: {})",
+            r.name,
+            r.nodes,
+            r.rps(r.serial_ms),
+            r.best_speedup(),
+            hardware,
+        );
+    }
+    emit(&reports, hardware, &out_path)
+}

@@ -1,0 +1,779 @@
+//! Batched request pipeline: parallel read-only *plan* phase, strictly
+//! ordered *commit* phase.
+//!
+//! [`Scdn::request_batch`] splits the old monolithic `request` state
+//! machine in two:
+//!
+//! * **Plan** — embarrassingly parallel over the batch. Each worker runs
+//!   authenticate (read-only [`Middleware::peek_op`][peek]) → policy check
+//!   → discover/select (quiet
+//!   [`resolve_csr_planned`][planned], against the per-batch online
+//!   bitmap and the batch-entry clock) → simulated transfer timing
+//!   ([`TransferEngine::simulate_segment`], a pure hash of endpoints ×
+//!   segment × attempt, so planning order cannot change outcomes). The
+//!   result is a [`RequestPlan`]: the outcome body, the chosen replica,
+//!   the fetched segment payloads, and the exact trace-span sequence —
+//!   with no shared mutation.
+//!
+//! * **Commit** — applies plans on the calling thread in submission
+//!   order: authoritative session-budget consumption, audit trail,
+//!   resolve/demand accounting, repository stores, cache touches and
+//!   opportunistic promotion, Cdn/Social metrics, trace records, clock
+//!   advance. A commit re-plans its request (from live state, at the
+//!   current clock) only when an earlier commit in the same batch
+//!   invalidated its snapshot: the dataset's catalog-entry version moved
+//!   (replica set changed), the requester's repository was touched, the
+//!   clock advanced under a time-dependent availability model or trust
+//!   policy, or the session budget ran out mid-batch.
+//!
+//! Determinism argument: every plan is a pure function of the snapshot it
+//! was computed against; every effect is applied at commit, in submission
+//! order; and every snapshot ingredient a plan read is covered by a
+//! staleness trigger (catalog versions for replica sets and cache
+//! contents, a per-batch touched-repository bitmap for quota/pre-existing
+//! checks, the clock for churn and trust windows, commit-time
+//! `authorize_op` for session budgets). A stale plan is discarded and
+//! recomputed from committed state — exactly what the serial loop would
+//! have seen — so a batched run is bit-identical to issuing the same
+//! requests one `request` at a time under a fixed seed. `request` itself
+//! is a batch of one through this same pipeline.
+//!
+//! [peek]: scdn_middleware::auth::Middleware::peek_op
+//! [planned]: scdn_alloc::server::AllocationServer::resolve_csr_planned
+//! [`TransferEngine::simulate_segment`]: scdn_net::transfer::TransferEngine::simulate_segment
+
+use scdn_alloc::discovery::Selection;
+use scdn_alloc::server::AllocationError;
+use scdn_graph::parallel::par_map_collect;
+use scdn_graph::NodeId;
+use scdn_middleware::auth::MiddlewareError;
+use scdn_middleware::authz::AccessDecision;
+use scdn_net::failure::AttemptOutcome;
+use scdn_net::transfer::TransferError;
+use scdn_obs::{SpanKind, SpanStatus, TraceBuilder};
+use scdn_sim::engine::SimTime;
+use scdn_social::platform::UserId;
+use scdn_storage::object::{DatasetId, Segment, SegmentId};
+use scdn_storage::repository::{Partition, RepoError};
+
+use super::{attempt_status, elapsed_ms, Availability, RequestOutcome, Scdn, ScdnError};
+
+/// One deferred trace operation, replayed into a [`TraceBuilder`] at
+/// commit time (attempt ops also drive the `net.attempts.*` counters).
+enum TraceOp {
+    Span {
+        kind: SpanKind,
+        status: SpanStatus,
+        duration_ms: f64,
+    },
+    SpanPeer {
+        kind: SpanKind,
+        status: SpanStatus,
+        duration_ms: f64,
+        peer: u32,
+    },
+    Attempt {
+        outcome: AttemptOutcome,
+        duration_ms: f64,
+        attempt: u32,
+        peer: u32,
+    },
+}
+
+/// Where a planned request ended up, with everything the commit phase
+/// needs to apply (or surface) it.
+enum PlanBody {
+    /// Node index outside the membership (no trace is begun — mirrors the
+    /// serial early return).
+    UnknownNode,
+    /// The session failed the read-only authentication preview.
+    AuthFailed(MiddlewareError),
+    /// Dataset not in the runtime's policy table.
+    UnknownDataset,
+    /// Policy denied the requester.
+    AccessDenied {
+        user: UserId,
+        decision: AccessDecision,
+    },
+    /// Discovery found no online replica.
+    ResolveFailed {
+        user: UserId,
+        decision: AccessDecision,
+        error: AllocationError,
+    },
+    /// A replica was selected but the social-boundary rule blocks it.
+    BoundaryBlocked {
+        user: UserId,
+        decision: AccessDecision,
+        selection: Selection,
+    },
+    /// The catalog lost the segment table between selection and transfer
+    /// (unreachable in practice; mirrors the serial `?` that abandons the
+    /// trace builder unrecorded).
+    SegmentsUnavailable {
+        user: UserId,
+        decision: AccessDecision,
+        error: ScdnError,
+    },
+    /// The simulated transfer failed permanently.
+    TransferFailed {
+        user: UserId,
+        decision: AccessDecision,
+        selection: Selection,
+        error: TransferError,
+    },
+    /// Delivered (or self-served): payloads staged for the commit-side
+    /// stores.
+    Served {
+        user: UserId,
+        decision: AccessDecision,
+        selection: Selection,
+        segments: Vec<SegmentId>,
+        deliveries: Vec<(SegmentId, Segment)>,
+        total_ms: f64,
+        total_bytes: u64,
+    },
+}
+
+/// A fully planned request: pure output of the parallel phase.
+struct RequestPlan {
+    node: NodeId,
+    dataset: DatasetId,
+    /// Catalog-entry version the resolution was computed against (`None`
+    /// before resolution or for unknown datasets) — the commit-side
+    /// staleness token.
+    catalog_version: Option<u64>,
+    /// Deferred trace ops in emission order (terminal span excluded; the
+    /// body implies it).
+    trace: Vec<TraceOp>,
+    body: PlanBody,
+}
+
+impl Scdn {
+    /// Serve a batch of requests: plan all of them in parallel against an
+    /// immutable snapshot (social CSR, catalog read view, per-batch online
+    /// bitmap, session/policy state, batch-entry clock), then commit the
+    /// plans strictly in submission order. Results are positionally
+    /// parallel to `reqs`.
+    ///
+    /// Under a fixed seed the outcomes, metrics, audit trail, and trace
+    /// span sequences are bit-identical to calling
+    /// [`request`](Scdn::request) once per entry in order — see the module
+    /// docs for the determinism argument.
+    pub fn request_batch(
+        &mut self,
+        reqs: &[(NodeId, DatasetId)],
+    ) -> Vec<Result<RequestOutcome, ScdnError>> {
+        self.refresh_online_mask();
+        let planned_clock = self.clock;
+        let plans: Vec<RequestPlan> = {
+            let this: &Scdn = self;
+            par_map_collect(reqs.len(), 8, |i| {
+                let (node, dataset) = reqs[i];
+                if node.index() >= this.repos.len() {
+                    return RequestPlan {
+                        node,
+                        dataset,
+                        catalog_version: None,
+                        trace: Vec::new(),
+                        body: PlanBody::UnknownNode,
+                    };
+                }
+                let auth = this.middleware.peek_op(this.sessions[node.index()]);
+                this.plan_after_auth(node, dataset, auth, planned_clock, &|n: NodeId| {
+                    this.online_mask.get(n.index()).copied().unwrap_or(false)
+                })
+            })
+        };
+        let mut touched = vec![false; self.repos.len()];
+        plans
+            .into_iter()
+            .map(|p| self.commit_plan(p, planned_clock, &mut touched))
+            .collect()
+    }
+
+    /// Plan one request given an authentication result. Read-only: safe
+    /// from parallel planning workers (snapshot `clock` + `online` view)
+    /// and reused for commit-side re-planning (live clock + live
+    /// availability, authoritative auth result).
+    fn plan_after_auth(
+        &self,
+        node: NodeId,
+        dataset: DatasetId,
+        auth: Result<UserId, MiddlewareError>,
+        clock: SimTime,
+        online: &dyn Fn(NodeId) -> bool,
+    ) -> RequestPlan {
+        let mut trace: Vec<TraceOp> = Vec::new();
+        let plan = |catalog_version, trace, body| RequestPlan {
+            node,
+            dataset,
+            catalog_version,
+            trace,
+            body,
+        };
+        let auth_start = std::time::Instant::now();
+        let user = match auth {
+            Ok(u) => u,
+            Err(e) => {
+                trace.push(TraceOp::Span {
+                    kind: SpanKind::Authenticate,
+                    status: SpanStatus::Denied,
+                    duration_ms: elapsed_ms(auth_start),
+                });
+                return plan(None, trace, PlanBody::AuthFailed(e));
+            }
+        };
+        let Some(meta) = self.datasets.get(&dataset) else {
+            trace.push(TraceOp::Span {
+                kind: SpanKind::Authenticate,
+                status: SpanStatus::Ok,
+                duration_ms: elapsed_ms(auth_start),
+            });
+            trace.push(TraceOp::Span {
+                kind: SpanKind::Discover,
+                status: SpanStatus::Error,
+                duration_ms: 0.0,
+            });
+            return plan(None, trace, PlanBody::UnknownDataset);
+        };
+        let decision = meta.policy.check(
+            &self.platform,
+            user,
+            Some(self.authors[node.index()]),
+            &self.trust_model,
+            &self.ledger,
+            clock.as_secs_f64(),
+        );
+        if !decision.allowed() {
+            trace.push(TraceOp::Span {
+                kind: SpanKind::Authenticate,
+                status: SpanStatus::Denied,
+                duration_ms: elapsed_ms(auth_start),
+            });
+            return plan(None, trace, PlanBody::AccessDenied { user, decision });
+        }
+        trace.push(TraceOp::Span {
+            kind: SpanKind::Authenticate,
+            status: SpanStatus::Ok,
+            duration_ms: elapsed_ms(auth_start),
+        });
+        let topology = &self.engine.topology;
+        let discover_start = std::time::Instant::now();
+        // Quiet CSR resolution: selection identical to `resolve_csr`, but
+        // the resolve/demand accounting is deferred to the commit.
+        let (resolved, version) =
+            self.alloc
+                .resolve_csr_planned(dataset, node, &self.social_csr, online, |n| {
+                    topology.latency_ms(node.index(), n.index())
+                });
+        let selection = match resolved {
+            Ok(sel) => sel,
+            Err(error) => {
+                trace.push(TraceOp::Span {
+                    kind: SpanKind::Discover,
+                    status: SpanStatus::NoReplica,
+                    duration_ms: elapsed_ms(discover_start),
+                });
+                return plan(
+                    version,
+                    trace,
+                    PlanBody::ResolveFailed {
+                        user,
+                        decision,
+                        error,
+                    },
+                );
+            }
+        };
+        trace.push(TraceOp::Span {
+            kind: SpanKind::Discover,
+            status: SpanStatus::Ok,
+            duration_ms: elapsed_ms(discover_start),
+        });
+        if self.config.enforce_social_boundary
+            && selection.node != node
+            && self.overlay.route(selection.node, node).is_none()
+        {
+            trace.push(TraceOp::SpanPeer {
+                kind: SpanKind::SelectReplica,
+                status: SpanStatus::BoundaryBlocked,
+                duration_ms: 0.0,
+                peer: selection.node.0,
+            });
+            return plan(
+                version,
+                trace,
+                PlanBody::BoundaryBlocked {
+                    user,
+                    decision,
+                    selection,
+                },
+            );
+        }
+        trace.push(TraceOp::SpanPeer {
+            kind: SpanKind::SelectReplica,
+            status: SpanStatus::Ok,
+            duration_ms: 0.0,
+            peer: selection.node.0,
+        });
+        let segments = match self.segment_ids(dataset) {
+            Ok(s) => s,
+            Err(error) => {
+                return plan(
+                    version,
+                    trace,
+                    PlanBody::SegmentsUnavailable {
+                        user,
+                        decision,
+                        error,
+                    },
+                );
+            }
+        };
+        if selection.node == node {
+            // Self-service: the requester already holds a replica.
+            return plan(
+                version,
+                trace,
+                PlanBody::Served {
+                    user,
+                    decision,
+                    selection,
+                    segments,
+                    deliveries: Vec::new(),
+                    total_ms: 0.0,
+                    total_bytes: 0,
+                },
+            );
+        }
+        let src_repo = &self.repos[selection.node.index()];
+        let dst_repo = &self.repos[node.index()];
+        let peer = selection.node.0;
+        let mut deliveries = Vec::with_capacity(segments.len());
+        let mut segment_ms = Vec::with_capacity(segments.len());
+        let mut total_bytes = 0u64;
+        // Quota simulation mirroring `StorageRepository::store`: an
+        // overwrite of a pre-existing copy is size-neutral (one dataset
+        // has one segmentation), a new segment must fit what remains.
+        let capacity = dst_repo.capacity();
+        let mut sim_used = dst_repo.used();
+        for &s in &segments {
+            let seg = match src_repo.fetch_any(s) {
+                Ok(seg) => seg,
+                Err(e) => {
+                    let error = match e {
+                        RepoError::IntegrityFailure(id) => TransferError::SourceCorrupt(id),
+                        _ => TransferError::SourceMissing(s),
+                    };
+                    return plan(
+                        version,
+                        trace,
+                        PlanBody::TransferFailed {
+                            user,
+                            decision,
+                            selection,
+                            error,
+                        },
+                    );
+                }
+            };
+            let bytes = seg.len() as u64;
+            let sim = self
+                .engine
+                .simulate_segment(selection.node.index(), node.index(), s, bytes);
+            for rec in &sim.attempts {
+                trace.push(TraceOp::Attempt {
+                    outcome: rec.outcome,
+                    duration_ms: rec.duration_ms,
+                    attempt: rec.attempt,
+                    peer,
+                });
+            }
+            if !sim.delivered {
+                return plan(
+                    version,
+                    trace,
+                    PlanBody::TransferFailed {
+                        user,
+                        decision,
+                        selection,
+                        error: TransferError::RetriesExhausted {
+                            segment: s,
+                            attempts: self.engine.max_attempts,
+                        },
+                    },
+                );
+            }
+            if !dst_repo.contains_in(Partition::User, s) {
+                if sim_used + bytes > capacity {
+                    // The delivered attempt was already observed (span
+                    // recorded) before the destination rejected it —
+                    // exactly the serial store-after-observe order.
+                    return plan(
+                        version,
+                        trace,
+                        PlanBody::TransferFailed {
+                            user,
+                            decision,
+                            selection,
+                            error: TransferError::Destination(RepoError::QuotaExceeded {
+                                needed: bytes,
+                                available: capacity - sim_used,
+                            }),
+                        },
+                    );
+                }
+                sim_used += bytes;
+            }
+            segment_ms.push(sim.elapsed_ms);
+            total_bytes += bytes;
+            deliveries.push((s, seg));
+        }
+        // Segments move in waves of `concurrency` parallel streams; with
+        // concurrency 1 this is the serial sum of per-segment times.
+        let total_ms = self.engine.aggregate_elapsed_ms(&segment_ms);
+        plan(
+            version,
+            trace,
+            PlanBody::Served {
+                user,
+                decision,
+                selection,
+                segments,
+                deliveries,
+                total_ms,
+                total_bytes,
+            },
+        )
+    }
+
+    /// Re-plan from live committed state (current clock, live
+    /// availability, authoritative auth result).
+    fn plan_live(
+        &self,
+        node: NodeId,
+        dataset: DatasetId,
+        auth: Result<UserId, MiddlewareError>,
+    ) -> RequestPlan {
+        let clock = self.clock;
+        self.plan_after_auth(node, dataset, auth, clock, &|n: NodeId| {
+            n.index() < self.departed.len()
+                && !self.departed[n.index()]
+                && self.availability.is_online(n.index(), clock)
+        })
+    }
+
+    /// `true` if the policy decision for `dataset` can change as the
+    /// clock moves (trust windows decay over time).
+    fn policy_is_time_dependent(&self, dataset: DatasetId) -> bool {
+        self.datasets
+            .get(&dataset)
+            .is_some_and(|m| m.policy.trust.is_some())
+    }
+
+    /// `true` if the snapshot a resolution-bearing plan was computed
+    /// against no longer matches committed state.
+    fn resolution_stale(&self, plan: &RequestPlan, clock_moved: bool) -> bool {
+        self.alloc.catalog_version(plan.dataset) != plan.catalog_version
+            || (clock_moved
+                && (matches!(self.availability, Availability::Periodic(_))
+                    || self.policy_is_time_dependent(plan.dataset)))
+    }
+
+    /// Decide whether an earlier commit in this batch invalidated `plan`.
+    fn plan_is_stale(&self, plan: &RequestPlan, planned_clock: SimTime, touched: &[bool]) -> bool {
+        let clock_moved = self.clock != planned_clock;
+        match &plan.body {
+            // Node membership and the dataset policy table are immutable
+            // within a batch; auth is re-checked authoritatively anyway.
+            PlanBody::UnknownNode | PlanBody::AuthFailed(_) | PlanBody::UnknownDataset => false,
+            PlanBody::AccessDenied { .. } => {
+                clock_moved && self.policy_is_time_dependent(plan.dataset)
+            }
+            PlanBody::ResolveFailed { .. }
+            | PlanBody::BoundaryBlocked { .. }
+            | PlanBody::SegmentsUnavailable { .. } => self.resolution_stale(plan, clock_moved),
+            // Transfer outcomes additionally read the requester's
+            // repository (quota + pre-existing checks). Serving-side
+            // repositories are only mutated through catalog operations,
+            // which the version check already covers.
+            PlanBody::TransferFailed { .. } | PlanBody::Served { .. } => {
+                self.resolution_stale(plan, clock_moved) || touched[plan.node.index()]
+            }
+        }
+    }
+
+    /// Replay deferred trace ops into a live builder, driving the
+    /// `net.attempts.*` counters exactly as the serial observer did.
+    fn replay_trace(&self, tb: &mut TraceBuilder, ops: &[TraceOp]) {
+        for op in ops {
+            match *op {
+                TraceOp::Span {
+                    kind,
+                    status,
+                    duration_ms,
+                } => tb.span(kind, status, duration_ms),
+                TraceOp::SpanPeer {
+                    kind,
+                    status,
+                    duration_ms,
+                    peer,
+                } => tb.span_with_peer(kind, status, duration_ms, peer),
+                TraceOp::Attempt {
+                    outcome,
+                    duration_ms,
+                    attempt,
+                    peer,
+                } => {
+                    match outcome {
+                        AttemptOutcome::Delivered => self.att_delivered.inc(),
+                        AttemptOutcome::Lost => self.att_lost.inc(),
+                        AttemptOutcome::Corrupted => self.att_corrupted.inc(),
+                    }
+                    tb.attempt(attempt_status(outcome), duration_ms, attempt, peer);
+                }
+            }
+        }
+    }
+
+    /// Commit one plan: authoritative auth, staleness check (re-plan if an
+    /// earlier commit invalidated the snapshot), then effect application
+    /// in the serial order.
+    fn commit_plan(
+        &mut self,
+        plan: RequestPlan,
+        planned_clock: SimTime,
+        touched: &mut [bool],
+    ) -> Result<RequestOutcome, ScdnError> {
+        let node = plan.node;
+        let dataset = plan.dataset;
+        if matches!(plan.body, PlanBody::UnknownNode) {
+            return Err(ScdnError::UnknownNode(node));
+        }
+        let mut tb = self.traces.begin(node.0, dataset.0);
+        // Authoritative authentication: consumes one op from the session
+        // budget and expires the session at zero, exactly like the serial
+        // path. The plan's read-only preview cannot have done either.
+        let user = match self.middleware.authorize_op(self.sessions[node.index()]) {
+            Ok(u) => u,
+            Err(e) => {
+                if matches!(plan.body, PlanBody::AuthFailed(_)) {
+                    self.replay_trace(&mut tb, &plan.trace);
+                } else {
+                    // The plan saw a live session that an earlier commit
+                    // in this batch exhausted.
+                    tb.span(SpanKind::Authenticate, SpanStatus::Denied, 0.0);
+                }
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::Denied));
+                return Err(ScdnError::Auth(e));
+            }
+        };
+        let mut plan = plan;
+        if matches!(plan.body, PlanBody::AuthFailed(_))
+            || self.plan_is_stale(&plan, planned_clock, touched)
+        {
+            self.batch_replans.inc();
+            plan = self.plan_live(node, dataset, Ok(user));
+        }
+        let mut store_failures = 0u32;
+        loop {
+            match self.apply_plan(tb, plan, touched) {
+                Ok(result) => return result,
+                Err((builder, repo_err)) => {
+                    // A commit-side store failed, meaning the staleness
+                    // triggers missed a state change. Re-plan from live
+                    // state; a fresh plan simulates quota against exactly
+                    // the repositories its commit will store into.
+                    store_failures += 1;
+                    debug_assert!(
+                        store_failures <= 1,
+                        "fresh plan committed against unchanged state cannot fail its stores"
+                    );
+                    if store_failures > 3 {
+                        self.cdn_metrics.failures += 1;
+                        self.traces
+                            .record(builder.finish(SpanKind::Fail, SpanStatus::Error));
+                        return Err(ScdnError::Transfer(TransferError::Destination(repo_err)));
+                    }
+                    tb = builder;
+                    self.batch_replans.inc();
+                    plan = self.plan_live(node, dataset, Ok(user));
+                }
+            }
+        }
+    }
+
+    /// Apply a (fresh) plan's effects. Returns the request result, or the
+    /// trace builder + repository error if a commit-side store failed (the
+    /// caller re-plans; no effect has been applied in that case).
+    #[allow(clippy::type_complexity)]
+    fn apply_plan(
+        &mut self,
+        mut tb: TraceBuilder,
+        plan: RequestPlan,
+        touched: &mut [bool],
+    ) -> Result<Result<RequestOutcome, ScdnError>, (TraceBuilder, RepoError)> {
+        let node = plan.node;
+        let dataset = plan.dataset;
+        let trace = plan.trace;
+        let at_ms = self.clock.as_millis();
+        match plan.body {
+            PlanBody::UnknownNode => Ok(Err(ScdnError::UnknownNode(node))),
+            PlanBody::AuthFailed(e) => {
+                self.replay_trace(&mut tb, &trace);
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::Denied));
+                Ok(Err(ScdnError::Auth(e)))
+            }
+            PlanBody::UnknownDataset => {
+                self.replay_trace(&mut tb, &trace);
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::Error));
+                Ok(Err(ScdnError::Alloc(AllocationError::UnknownDataset(
+                    dataset,
+                ))))
+            }
+            PlanBody::AccessDenied { user, decision } => {
+                self.audit.record(at_ms, user, dataset, decision.clone());
+                self.replay_trace(&mut tb, &trace);
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::Denied));
+                Ok(Err(ScdnError::Access(decision)))
+            }
+            PlanBody::ResolveFailed {
+                user,
+                decision,
+                error,
+            } => {
+                self.audit.record(at_ms, user, dataset, decision);
+                self.alloc.commit_resolution(dataset, None);
+                self.cdn_metrics.failures += 1;
+                self.replay_trace(&mut tb, &trace);
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::NoReplica));
+                Ok(Err(ScdnError::Alloc(error)))
+            }
+            PlanBody::BoundaryBlocked {
+                user,
+                decision,
+                selection,
+            } => {
+                self.audit.record(at_ms, user, dataset, decision);
+                self.alloc
+                    .commit_resolution(dataset, Some(selection.social_hops));
+                self.cdn_metrics.failures += 1;
+                self.replay_trace(&mut tb, &trace);
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::BoundaryBlocked));
+                Ok(Err(ScdnError::Alloc(AllocationError::NoReplicaAvailable(
+                    dataset,
+                ))))
+            }
+            PlanBody::SegmentsUnavailable {
+                user,
+                decision,
+                error,
+            } => {
+                self.audit.record(at_ms, user, dataset, decision);
+                // The serial path resolved successfully before the segment
+                // lookup failed, then abandoned the trace builder without
+                // recording it. `tb` is dropped here for the same reason.
+                self.replay_trace(&mut tb, &trace);
+                drop(tb);
+                Ok(Err(error))
+            }
+            PlanBody::TransferFailed {
+                user,
+                decision,
+                selection,
+                error,
+            } => {
+                // The serial path stored the successfully transferred
+                // segments and then rolled them back; net repository state
+                // is unchanged, so the commit stores nothing.
+                self.audit.record(at_ms, user, dataset, decision);
+                self.alloc
+                    .commit_resolution(dataset, Some(selection.social_hops));
+                self.replay_trace(&mut tb, &trace);
+                self.cdn_metrics.failures += 1;
+                self.social_metrics
+                    .record_exchange(selection.node.index(), node.index(), 0, false);
+                self.traces
+                    .record(tb.finish(SpanKind::Fail, SpanStatus::Error));
+                Ok(Err(ScdnError::Transfer(error)))
+            }
+            PlanBody::Served {
+                user,
+                decision,
+                selection,
+                segments,
+                deliveries,
+                total_ms,
+                total_bytes,
+            } => {
+                // Stores first: if one fails the commit retries with a
+                // fresh plan and no effect has been applied yet.
+                if selection.node != node {
+                    let dst_repo = self.repos[node.index()].clone();
+                    let mut applied_new: Vec<SegmentId> = Vec::new();
+                    for (id, seg) in &deliveries {
+                        let pre_existing = dst_repo.contains_in(Partition::User, *id);
+                        match dst_repo.store(Partition::User, seg.clone()) {
+                            Ok(()) => {
+                                if !pre_existing {
+                                    applied_new.push(*id);
+                                }
+                            }
+                            Err(e) => {
+                                for &d in &applied_new {
+                                    let _ = dst_repo.remove(Partition::User, d, true);
+                                }
+                                return Err((tb, e));
+                            }
+                        }
+                    }
+                }
+                self.audit.record(at_ms, user, dataset, decision);
+                self.alloc
+                    .commit_resolution(dataset, Some(selection.social_hops));
+                self.replay_trace(&mut tb, &trace);
+                let hit = matches!(selection.social_hops, Some(h) if h <= 1);
+                if hit {
+                    self.cdn_metrics.hits += 1;
+                } else {
+                    self.cdn_metrics.misses += 1;
+                }
+                self.cdn_metrics
+                    .response_time_ms
+                    .record(total_ms.max(selection.latency_ms));
+                self.cdn_metrics.bytes_transferred += total_bytes;
+                if selection.node != node {
+                    self.social_metrics.record_exchange(
+                        selection.node.index(),
+                        node.index(),
+                        total_bytes,
+                        true,
+                    );
+                    self.clients[selection.node.index()].record_served(total_bytes);
+                    touched[node.index()] = true;
+                }
+                // Bump recency/frequency for the serving node's copies.
+                self.caches[selection.node.index()].touch_all(segments.iter().copied());
+                self.clock = self.clock.plus_millis(total_ms as u64);
+                if self.config.opportunistic_caching && selection.node != node {
+                    self.promote_opportunistically(node, dataset, &segments);
+                }
+                self.traces
+                    .record(tb.finish(SpanKind::Deliver, SpanStatus::Ok));
+                Ok(Ok(RequestOutcome {
+                    served_by: selection.node,
+                    social_hit: hit,
+                    response_ms: total_ms.max(selection.latency_ms),
+                    bytes: total_bytes,
+                }))
+            }
+        }
+    }
+}

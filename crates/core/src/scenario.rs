@@ -135,16 +135,39 @@ pub fn run(cfg: &ScenarioConfig) -> ScenarioReport {
     let mut failed = 0usize;
     let mut maintenance_changes = 0usize;
     let mut last_time = 0u64;
-    for (i, req) in workload.iter().enumerate() {
-        let dt = req.at.as_millis().saturating_sub(last_time);
-        last_time = req.at.as_millis();
+    let mut batch: Vec<(NodeId, DatasetId)> = Vec::new();
+    let mut i = 0usize;
+    while i < workload.len() {
+        let dt = workload[i].at.as_millis().saturating_sub(last_time);
+        last_time = workload[i].at.as_millis();
         scdn.tick(dt);
-        let node = NodeId(req.user as u32);
-        let dataset = datasets[req.dataset % datasets.len()];
-        if scdn.request(node, dataset).is_err() {
-            failed += 1;
+        // Requests arriving at the same instant share one batch (planned
+        // in parallel, committed in order); a maintenance boundary cuts
+        // the batch so the cycle still runs at exactly the request index
+        // the serial loop ran it.
+        batch.clear();
+        let mut maintain_after = false;
+        loop {
+            let req = &workload[i];
+            batch.push((
+                NodeId(req.user as u32),
+                datasets[req.dataset % datasets.len()],
+            ));
+            i += 1;
+            if cfg.maintenance_every > 0 && i.is_multiple_of(cfg.maintenance_every) {
+                maintain_after = true;
+                break;
+            }
+            if i >= workload.len() || workload[i].at.as_millis() != last_time {
+                break;
+            }
         }
-        if cfg.maintenance_every > 0 && (i + 1) % cfg.maintenance_every == 0 {
+        failed += scdn
+            .request_batch(&batch)
+            .iter()
+            .filter(|r| r.is_err())
+            .count();
+        if maintain_after {
             maintenance_changes += scdn.maintain();
         }
     }

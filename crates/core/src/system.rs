@@ -21,7 +21,7 @@ use scdn_net::failure::{AttemptOutcome, FailureModel};
 use scdn_net::overlay::{PeerCertificate, SocialOverlay};
 use scdn_net::topology::{LinkQuality, Topology};
 use scdn_net::transfer::{TransferEngine, TransferError};
-use scdn_obs::{Counter, Gauge, Registry, SpanKind, SpanStatus, TraceCollector};
+use scdn_obs::{Counter, Gauge, Registry, SpanStatus, TraceCollector};
 use scdn_sim::availability::{AvailabilityModel, PeriodicChurn};
 use scdn_sim::engine::SimTime;
 use scdn_sim::metrics::{CdnMetrics, SocialMetrics};
@@ -78,6 +78,11 @@ pub struct ScdnConfig {
     /// replica partition if so instructed by an allocation server",
     /// Section V-A). Subsequent requests from that neighborhood then hit.
     pub opportunistic_caching: bool,
+    /// Parallel streams per endpoint pair assumed by the transfer engine
+    /// (Globus-style striping). Values above 1 overlap segment transfers
+    /// in waves: per-stream bandwidth drops, but multi-segment datasets
+    /// finish sooner whenever per-attempt latency is non-zero.
+    pub transfer_concurrency: u32,
     /// Master RNG seed (placement + workload side).
     pub seed: u64,
 }
@@ -94,6 +99,7 @@ impl Default for ScdnConfig {
             replication: ReplicationPolicy::default(),
             enforce_social_boundary: false,
             opportunistic_caching: false,
+            transfer_concurrency: 1,
             seed: 7,
         }
     }
@@ -150,7 +156,7 @@ impl From<MiddlewareError> for ScdnError {
 }
 
 /// Outcome of a data request.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RequestOutcome {
     /// Replica node that served the request.
     pub served_by: NodeId,
@@ -232,6 +238,15 @@ pub struct Scdn {
     att_corrupted: Counter,
     /// Latest sampled online fraction (`core.online_fraction`).
     online_fraction: Gauge,
+    /// Per-node online bitmap, computed in parallel once per clock value
+    /// and shared by `tick` and the batch plan snapshot.
+    online_mask: Vec<bool>,
+    /// Clock the mask was computed at (`None` = invalid, e.g. after a
+    /// departure).
+    online_mask_at: Option<SimTime>,
+    /// Commits that had to re-plan because an earlier commit in the same
+    /// batch invalidated their snapshot (`core.batch.replans`).
+    batch_replans: Counter,
 }
 
 /// Wall-clock elapsed time in milliseconds (control-plane span timing).
@@ -329,7 +344,7 @@ impl Scdn {
             topology,
             failure: config.failure,
             max_attempts: 3,
-            concurrency: 1,
+            concurrency: config.transfer_concurrency.max(1),
         };
         let clients = (0..n)
             .map(|i| crate::client::MonitoringClient::new(NodeId(i as u32), 0.05))
@@ -351,6 +366,7 @@ impl Scdn {
         let att_lost = registry.counter("net.attempts.lost");
         let att_corrupted = registry.counter("net.attempts.corrupted");
         let online_fraction = registry.gauge("core.online_fraction");
+        let batch_replans = registry.counter("core.batch.replans");
         Scdn {
             social: sub.graph.clone(),
             social_csr: CsrGraph::from(&sub.graph),
@@ -380,6 +396,9 @@ impl Scdn {
             att_lost,
             att_corrupted,
             online_fraction,
+            online_mask: vec![false; n],
+            online_mask_at: None,
+            batch_replans,
             config,
         }
     }
@@ -396,11 +415,17 @@ impl Scdn {
 
     /// Advance the simulation clock by `ms` milliseconds, sample fabric
     /// availability into the metrics, and feed each node's CDN client.
+    ///
+    /// The per-node online bitmap is computed in parallel once per tick
+    /// (the availability model is a pure function of `(node, clock)`) and
+    /// retained: a request batch planned at the same clock reuses it
+    /// instead of re-querying the model per request.
     pub fn tick(&mut self, ms: u64) {
         self.clock = self.clock.plus_millis(ms);
+        self.refresh_online_mask();
         let mut online = 0usize;
         for i in 0..self.repos.len() {
-            let up = !self.departed[i] && self.availability.is_online(i, self.clock);
+            let up = self.online_mask[i];
             self.clients[i].sample_online(up);
             online += usize::from(up);
         }
@@ -409,6 +434,21 @@ impl Scdn {
             self.cdn_metrics.availability_samples.record(fraction);
             self.online_fraction.set(fraction);
         }
+    }
+
+    /// Recompute the per-node online bitmap for the current clock if it is
+    /// stale (clock moved or a member departed since it was built).
+    pub(crate) fn refresh_online_mask(&mut self) {
+        if self.online_mask_at == Some(self.clock) {
+            return;
+        }
+        let clock = self.clock;
+        let availability = &self.availability;
+        let departed = &self.departed;
+        self.online_mask = scdn_graph::parallel::par_map_collect(self.repos.len(), 256, |i| {
+            !departed[i] && availability.is_online(i, clock)
+        });
+        self.online_mask_at = Some(clock);
     }
 
     /// `true` if `node` is online at the current clock (departed members
@@ -432,6 +472,7 @@ impl Scdn {
     pub fn depart(&mut self, node: NodeId) -> Result<Vec<DatasetId>, ScdnError> {
         self.check_node(node)?;
         self.departed[node.index()] = true;
+        self.online_mask_at = None;
         let affected = self.alloc.datasets_hosted_by(node);
         for &d in &affected {
             let _ = self.alloc.remove_replica(d, node);
@@ -566,7 +607,7 @@ impl Scdn {
             // Third-party transfer of every segment into the host.
             let src_repo = self.repos[owner.index()].clone();
             let dst_repo = self.repos[cand.index()].clone();
-            let mut total_ms = 0.0;
+            let mut segment_ms = Vec::with_capacity(segments.len());
             let mut total_bytes = 0u64;
             let mut failed = false;
             let mut newly_delivered: Vec<SegmentId> = Vec::new();
@@ -591,7 +632,7 @@ impl Scdn {
                     },
                 ) {
                     Ok(r) => {
-                        total_ms += r.duration_ms;
+                        segment_ms.push(r.duration_ms);
                         total_bytes += r.bytes;
                         if !pre_existing {
                             newly_delivered.push(s);
@@ -603,6 +644,9 @@ impl Scdn {
                     }
                 }
             }
+            // Segments move in waves of `concurrency` parallel streams;
+            // with concurrency 1 this is the plain serial sum.
+            let total_ms = self.engine.aggregate_elapsed_ms(&segment_ms);
             if failed {
                 // A partial replica must not squat in the candidate's
                 // replica partition: the catalog never learns about it, so
@@ -647,212 +691,12 @@ impl Scdn {
         node: NodeId,
         dataset: DatasetId,
     ) -> Result<RequestOutcome, ScdnError> {
-        self.check_node(node)?;
-        let mut tb = self.traces.begin(node.0, dataset.0);
-        let auth_start = std::time::Instant::now();
-        let user = match self.middleware.authorize_op(self.sessions[node.index()]) {
-            Ok(u) => u,
-            Err(e) => {
-                tb.span(
-                    SpanKind::Authenticate,
-                    SpanStatus::Denied,
-                    elapsed_ms(auth_start),
-                );
-                self.traces
-                    .record(tb.finish(SpanKind::Fail, SpanStatus::Denied));
-                return Err(ScdnError::Auth(e));
-            }
-        };
-        let Some(meta) = self.datasets.get(&dataset) else {
-            tb.span(
-                SpanKind::Authenticate,
-                SpanStatus::Ok,
-                elapsed_ms(auth_start),
-            );
-            tb.span(SpanKind::Discover, SpanStatus::Error, 0.0);
-            self.traces
-                .record(tb.finish(SpanKind::Fail, SpanStatus::Error));
-            return Err(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)));
-        };
-        let decision = meta.policy.check(
-            &self.platform,
-            user,
-            Some(self.authors[node.index()]),
-            &self.trust_model,
-            &self.ledger,
-            self.clock.as_secs_f64(),
-        );
-        self.audit
-            .record(self.clock.as_millis(), user, dataset, decision.clone());
-        if !decision.allowed() {
-            tb.span(
-                SpanKind::Authenticate,
-                SpanStatus::Denied,
-                elapsed_ms(auth_start),
-            );
-            self.traces
-                .record(tb.finish(SpanKind::Fail, SpanStatus::Denied));
-            return Err(ScdnError::Access(decision));
-        }
-        tb.span(
-            SpanKind::Authenticate,
-            SpanStatus::Ok,
-            elapsed_ms(auth_start),
-        );
-        let clock = self.clock;
-        let availability = &self.availability;
-        let topology = &self.engine.topology;
-        let discover_start = std::time::Instant::now();
-        // CSR fast path: bounded multi-target BFS + the version-keyed hop
-        // cache. The membership graph is frozen at build, so the catalog
-        // versions are the only invalidation the cache needs.
-        let selection = match self.alloc.resolve_csr(
-            dataset,
-            node,
-            &self.social_csr,
-            |n| availability.is_online(n.index(), clock),
-            |n| topology.latency_ms(node.index(), n.index()),
-        ) {
-            Ok(sel) => sel,
-            Err(e) => {
-                self.cdn_metrics.failures += 1;
-                tb.span(
-                    SpanKind::Discover,
-                    SpanStatus::NoReplica,
-                    elapsed_ms(discover_start),
-                );
-                self.traces
-                    .record(tb.finish(SpanKind::Fail, SpanStatus::NoReplica));
-                return Err(ScdnError::Alloc(e));
-            }
-        };
-        tb.span(
-            SpanKind::Discover,
-            SpanStatus::Ok,
-            elapsed_ms(discover_start),
-        );
-        if self.config.enforce_social_boundary
-            && selection.node != node
-            && self.overlay.route(selection.node, node).is_none()
-        {
-            // No verified overlay path: the data may not leave the
-            // project's social boundary.
-            self.cdn_metrics.failures += 1;
-            tb.span_with_peer(
-                SpanKind::SelectReplica,
-                SpanStatus::BoundaryBlocked,
-                0.0,
-                selection.node.0,
-            );
-            self.traces
-                .record(tb.finish(SpanKind::Fail, SpanStatus::BoundaryBlocked));
-            return Err(ScdnError::Alloc(AllocationError::NoReplicaAvailable(
-                dataset,
-            )));
-        }
-        tb.span_with_peer(
-            SpanKind::SelectReplica,
-            SpanStatus::Ok,
-            0.0,
-            selection.node.0,
-        );
-        let segments = self.segment_ids(dataset)?;
-        let src_repo = self.repos[selection.node.index()].clone();
-        let dst_repo = self.repos[node.index()].clone();
-        let mut total_ms = 0.0;
-        let mut total_bytes = 0u64;
-        let mut newly_delivered: Vec<SegmentId> = Vec::new();
-        let (att_ok, att_lost, att_bad) = (
-            self.att_delivered.clone(),
-            self.att_lost.clone(),
-            self.att_corrupted.clone(),
-        );
-        for &s in &segments {
-            // Self-service (the requester already hosts a replica) is free.
-            if selection.node == node {
-                break;
-            }
-            let pre_existing = dst_repo.contains_in(Partition::User, s);
-            let peer = selection.node.0;
-            match self.engine.transfer_segment_observed(
-                selection.node.index(),
-                node.index(),
-                &src_repo,
-                &dst_repo,
-                s,
-                Partition::User,
-                &mut |r| {
-                    match r.outcome {
-                        AttemptOutcome::Delivered => att_ok.inc(),
-                        AttemptOutcome::Lost => att_lost.inc(),
-                        AttemptOutcome::Corrupted => att_bad.inc(),
-                    }
-                    tb.attempt(attempt_status(r.outcome), r.duration_ms, r.attempt, peer);
-                },
-            ) {
-                Ok(r) => {
-                    total_ms += r.duration_ms;
-                    total_bytes += r.bytes;
-                    if !pre_existing {
-                        newly_delivered.push(s);
-                    }
-                }
-                Err(e) => {
-                    // Roll back the segments this request delivered so a
-                    // failed download does not leave a partial dataset in
-                    // the requester's user partition.
-                    for &d in &newly_delivered {
-                        let _ = dst_repo.remove(Partition::User, d, true);
-                    }
-                    self.cdn_metrics.failures += 1;
-                    self.social_metrics.record_exchange(
-                        selection.node.index(),
-                        node.index(),
-                        0,
-                        false,
-                    );
-                    self.traces
-                        .record(tb.finish(SpanKind::Fail, SpanStatus::Error));
-                    return Err(ScdnError::Transfer(e));
-                }
-            }
-        }
-        let hit = matches!(selection.social_hops, Some(h) if h <= 1);
-        if hit {
-            self.cdn_metrics.hits += 1;
-        } else {
-            self.cdn_metrics.misses += 1;
-        }
-        self.cdn_metrics
-            .response_time_ms
-            .record(total_ms.max(selection.latency_ms));
-        self.cdn_metrics.bytes_transferred += total_bytes;
-        if selection.node != node {
-            self.social_metrics.record_exchange(
-                selection.node.index(),
-                node.index(),
-                total_bytes,
-                true,
-            );
-            self.clients[selection.node.index()].record_served(total_bytes);
-        }
-        // Bump recency/frequency for the serving node's copies.
-        let serving_cache = &mut self.caches[selection.node.index()];
-        for &s in &segments {
-            serving_cache.touch(s);
-        }
-        self.clock = self.clock.plus_millis(total_ms as u64);
-        if self.config.opportunistic_caching && selection.node != node {
-            self.promote_opportunistically(node, dataset, &segments);
-        }
-        self.traces
-            .record(tb.finish(SpanKind::Deliver, SpanStatus::Ok));
-        Ok(RequestOutcome {
-            served_by: selection.node,
-            social_hit: hit,
-            response_ms: total_ms.max(selection.latency_ms),
-            bytes: total_bytes,
-        })
+        // A batch of one through the plan/commit pipeline (see the
+        // `pipeline` module): the commit path applies exactly the effects
+        // the old inline state machine produced, in the same order.
+        self.request_batch(std::slice::from_ref(&(node, dataset)))
+            .pop()
+            .expect("one request in, one result out")
     }
 
     /// Promote the freshly downloaded copy into the requester's replica
@@ -1013,6 +857,11 @@ impl Scdn {
         Ok(self.alloc.replicas_of(dataset)?)
     }
 }
+
+// Child module so the plan/commit pipeline can reach the runtime's private
+// fields without widening their visibility.
+#[path = "pipeline.rs"]
+mod pipeline;
 
 #[cfg(test)]
 #[path = "system_tests.rs"]

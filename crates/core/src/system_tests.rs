@@ -521,3 +521,65 @@ fn caching_disabled_keeps_catalog_stable() {
     scdn.request(far, id).expect("served");
     assert_eq!(scdn.replicas_of(id).expect("known"), vec![NodeId(0)]);
 }
+
+#[test]
+fn transfer_concurrency_config_reduces_multi_segment_time() {
+    // Two identical systems, differing only in the configured stream
+    // count. With 5 ms of per-attempt access latency, 8 segments in waves
+    // of 4 must finish strictly sooner than 8 serial segments.
+    let (c, sub) = community();
+    let request_once = |streams: u32| {
+        let mut config = ScdnConfig::default();
+        config.segment_size = 16 << 10;
+        config.transfer_concurrency = streams;
+        let mut scdn = Scdn::build(&sub, &c.corpus, config);
+        let owner = NodeId(0);
+        let id = scdn
+            .publish(
+                owner,
+                "striped",
+                Bytes::from(vec![3u8; 128 << 10]), // 8 × 16 KiB segments
+                Sensitivity::Public,
+                None,
+            )
+            .expect("publishes");
+        let requester = sub.graph.neighbors(owner)[0].to;
+        scdn.request(requester, id).expect("served").response_ms
+    };
+    let serial_ms = request_once(1);
+    let striped_ms = request_once(4);
+    assert!(
+        striped_ms < serial_ms,
+        "4 streams ({striped_ms} ms) must beat 1 stream ({serial_ms} ms)"
+    );
+}
+
+#[test]
+fn batch_never_selects_node_departed_after_cache_warm() {
+    // Warm the resolve cache with a served request, then permanently
+    // depart the node that served it. A subsequent batch must re-resolve
+    // against committed state and never select the departed host, even
+    // though the hop-distance cache was warmed while it was alive.
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let owner = NodeId(0);
+    let id = scdn
+        .publish(
+            owner,
+            "warm",
+            Bytes::from(vec![9u8; 8192]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    scdn.replicate(id).expect("replicates");
+    let requester = sub.graph.neighbors(owner)[0].to;
+    let warm = scdn.request(requester, id).expect("served");
+    let victim = warm.served_by;
+    scdn.depart(victim).expect("departs");
+    let reqs = vec![(requester, id); 4];
+    for outcome in scdn.request_batch(&reqs) {
+        let o = outcome.expect("surviving replicas still serve");
+        assert_ne!(o.served_by, victim, "departed node must never serve");
+    }
+}

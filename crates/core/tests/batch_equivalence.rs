@@ -1,0 +1,209 @@
+//! Property test: `request_batch` is bit-identical to the serial request
+//! loop.
+//!
+//! Two identically built systems run the same random workload — mixed
+//! datasets (public, confidential, trust-gated), periodic churn (offline
+//! nodes), a lossy transfer fabric, opportunistic caching (catalog
+//! mutations mid-batch), and an optional mid-run departure. One system
+//! issues every request through `request` (a batch of one), the other
+//! batches all same-tick requests through `request_batch`. Outcomes,
+//! metric snapshots, and trace span sequences must match exactly.
+//!
+//! The only counters excluded from the comparison are the resolve-cache
+//! statistics (`alloc.resolve.cache.*` — a re-planned request probes the
+//! hop cache more often than a serial one) and the re-plan counter itself
+//! (`core.batch.*`), both of which are diagnostics rather than simulation
+//! state.
+
+use std::sync::OnceLock;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use scdn_core::system::{AvailabilityConfig, Scdn, ScdnConfig};
+use scdn_graph::NodeId;
+use scdn_middleware::authz::AccessPolicy;
+use scdn_net::failure::FailureModel;
+use scdn_social::generator::{generate, CaseStudyParams};
+use scdn_social::trustgraph::{build_trust_subgraph, TrustFilter, TrustSubgraph};
+use scdn_social::SyntheticDblp;
+use scdn_storage::object::{DatasetId, Sensitivity};
+use scdn_trust::threshold::TrustPolicy;
+
+fn community() -> &'static (SyntheticDblp, TrustSubgraph) {
+    static CELL: OnceLock<(SyntheticDblp, TrustSubgraph)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut params = CaseStudyParams::default();
+        params.level2_prob = 0.3;
+        params.level3_prob = 0.0;
+        params.mega_pub_authors = 0;
+        params.rng_seed = 77;
+        let c = generate(&params);
+        let sub = build_trust_subgraph(
+            &c.corpus,
+            c.seed_author,
+            3,
+            2009..=2010,
+            TrustFilter::Baseline,
+        )
+        .expect("seed present");
+        (c, sub)
+    })
+}
+
+/// A freshly built system plus its published datasets. Deterministic:
+/// two calls produce bit-identical systems.
+fn build_system() -> (Scdn, Vec<DatasetId>) {
+    let (c, sub) = community();
+    let config = ScdnConfig {
+        segment_size: 2 << 10,
+        repo_capacity: 4 << 20,
+        availability: AvailabilityConfig::Periodic {
+            period_ms: 8_000,
+            duty: 0.5,
+        },
+        failure: FailureModel {
+            loss_prob: 0.25,
+            corruption_prob: 0.1,
+            seed: 11,
+        },
+        opportunistic_caching: true,
+        transfer_concurrency: 2,
+        ..Default::default()
+    };
+    let mut scdn = Scdn::build(sub, &c.corpus, config);
+    let mut datasets = Vec::new();
+    for (i, sensitivity) in [
+        Sensitivity::Public,
+        Sensitivity::Confidential,
+        Sensitivity::Public,
+        Sensitivity::Public,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let owner = NodeId(i as u32);
+        // Dataset 2 additionally carries a trust gate, making its policy
+        // decision time-dependent (trust decays with the clock).
+        let policy = (i == 2).then(|| AccessPolicy {
+            sensitivity,
+            owner: sub.author_of(owner),
+            group: None,
+            grants: Vec::new(),
+            trust: Some(TrustPolicy::default()),
+        });
+        let id = scdn
+            .publish(
+                owner,
+                &format!("eq-{i}"),
+                Bytes::from(vec![i as u8 + 1; 9 << 10]),
+                sensitivity,
+                policy,
+            )
+            .expect("publish succeeds");
+        let _ = scdn.replicate(id);
+        datasets.push(id);
+    }
+    (scdn, datasets)
+}
+
+type Op = (u16, Vec<(u8, u8)>);
+
+/// Drive a system through the ops; `serial` issues requests one by one,
+/// otherwise each op's requests go through one `request_batch` call.
+fn drive(
+    scdn: &mut Scdn,
+    datasets: &[DatasetId],
+    ops: &[Op],
+    depart_sel: Option<u8>,
+    serial: bool,
+) -> Vec<String> {
+    let members = scdn.member_count() as u32;
+    let mut results = Vec::new();
+    for (i, (dt, batch)) in ops.iter().enumerate() {
+        if i == 1 {
+            if let Some(sel) = depart_sel {
+                let _ = scdn.depart(NodeId(u32::from(sel) % members));
+            }
+        }
+        scdn.tick(u64::from(*dt));
+        let reqs: Vec<(NodeId, DatasetId)> = batch
+            .iter()
+            .map(|&(n, d)| {
+                (
+                    NodeId(u32::from(n) % members),
+                    datasets[usize::from(d) % datasets.len()],
+                )
+            })
+            .collect();
+        if serial {
+            for &(n, d) in &reqs {
+                results.push(format!("{:?}", scdn.request(n, d)));
+            }
+        } else {
+            results.extend(
+                scdn.request_batch(&reqs)
+                    .into_iter()
+                    .map(|r| format!("{r:?}")),
+            );
+        }
+    }
+    results
+}
+
+/// Exported snapshot minus the diagnostics that legitimately differ
+/// between serial and batched execution.
+fn comparable_snapshot(scdn: &Scdn) -> String {
+    scdn_obs::to_json(&scdn.observability_snapshot())
+        .lines()
+        .filter(|l| !l.contains("alloc.resolve.cache.") && !l.contains("core.batch."))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Trace structure without wall-clock span durations (which measure host
+/// time, not simulation state).
+fn trace_shapes(scdn: &Scdn) -> Vec<String> {
+    scdn.traces()
+        .recent()
+        .map(|t| {
+            let spans: Vec<String> = t
+                .spans
+                .iter()
+                .map(|s| format!("{:?}/{:?}/{}/{:?}", s.kind, s.status, s.attempt, s.peer))
+                .collect();
+            format!("{}:{}:[{}]", t.requester, t.dataset, spans.join(","))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn batched_requests_match_serial_loop(
+        ops in proptest::collection::vec(
+            (0u16..5_000, proptest::collection::vec((any::<u8>(), any::<u8>()), 1..6)),
+            1..6,
+        ),
+        depart in (any::<bool>(), any::<u8>()),
+    ) {
+        let depart_sel = depart.0.then_some(depart.1);
+        let (mut serial, datasets) = build_system();
+        let (mut batched, datasets_b) = build_system();
+        prop_assert_eq!(&datasets, &datasets_b, "builds are deterministic");
+
+        let serial_out = drive(&mut serial, &datasets, &ops, depart_sel, true);
+        let batched_out = drive(&mut batched, &datasets, &ops, depart_sel, false);
+
+        prop_assert_eq!(serial_out, batched_out, "outcome sequences diverge");
+        prop_assert_eq!(serial.now(), batched.now(), "clocks diverge");
+        prop_assert_eq!(
+            comparable_snapshot(&serial),
+            comparable_snapshot(&batched),
+            "metric snapshots diverge"
+        );
+        prop_assert_eq!(
+            trace_shapes(&serial),
+            trace_shapes(&batched),
+            "trace span sequences diverge"
+        );
+    }
+}

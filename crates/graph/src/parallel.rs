@@ -8,12 +8,36 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Number of worker threads to use: the available parallelism, capped so
-/// tiny inputs don't pay spawn overhead.
+/// Process-wide worker override: `0` means "use the hardware parallelism".
+/// Set by benchmarks sweeping thread counts; see [`set_worker_limit`].
+static WORKER_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the number of worker threads every helper in this module uses.
+///
+/// `0` restores the default (hardware parallelism). A non-zero value is
+/// taken literally — it may exceed the core count, which is exactly what a
+/// thread-scaling benchmark wants when measuring oversubscription. The
+/// limit is process-wide and racy by design (plain atomic store); callers
+/// that sweep it (benchmarks) are single-threaded at the point of the call.
+pub fn set_worker_limit(limit: usize) {
+    WORKER_LIMIT.store(limit, Ordering::Relaxed);
+}
+
+/// The current worker override (`0` = none). See [`set_worker_limit`].
+pub fn worker_limit() -> usize {
+    WORKER_LIMIT.load(Ordering::Relaxed)
+}
+
+/// Number of worker threads to use: the available parallelism (or the
+/// [`set_worker_limit`] override), capped so tiny inputs don't pay spawn
+/// overhead.
 pub fn worker_count(items: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw = match WORKER_LIMIT.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    };
     hw.min(items.max(1))
 }
 
@@ -249,5 +273,26 @@ mod tests {
     fn worker_count_caps_at_items() {
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn worker_limit_overrides_hardware_count() {
+        // Other tests in this binary use the default limit concurrently,
+        // so restore it even on assertion failure via a guard.
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                set_worker_limit(0);
+            }
+        }
+        let _reset = Reset;
+        set_worker_limit(3);
+        assert_eq!(worker_limit(), 3);
+        assert_eq!(worker_count(1_000_000), 3);
+        assert_eq!(worker_count(2), 2); // still capped by item count
+        let v = par_map_collect(100, 4, |i| i * i);
+        assert_eq!(v[99], 99 * 99);
+        set_worker_limit(0);
+        assert_eq!(worker_limit(), 0);
     }
 }

@@ -98,6 +98,22 @@ impl Middleware {
         Ok(s.user)
     }
 
+    /// Read-only preview of [`authorize_op`](Self::authorize_op): reports
+    /// the same decision the next `authorize_op` call would make, without
+    /// consuming an operation or expiring the session. Safe to call from
+    /// concurrent planning threads (takes only the read lock); the
+    /// authoritative, budget-consuming check still happens at commit time.
+    pub fn peek_op(&self, session_id: u64) -> Result<UserId, MiddlewareError> {
+        let sessions = self.sessions.read();
+        let s = sessions
+            .get(&session_id)
+            .ok_or(MiddlewareError::SessionInvalid)?;
+        if s.remaining_ops == 0 {
+            return Err(MiddlewareError::SessionInvalid);
+        }
+        Ok(s.user)
+    }
+
     /// Terminate a session.
     pub fn end_session(&self, session_id: u64) {
         self.sessions.write().remove(&session_id);
@@ -173,6 +189,37 @@ mod tests {
         mw.end_session(s.id);
         assert_eq!(
             mw.authorize_op(s.id).unwrap_err(),
+            MiddlewareError::SessionInvalid
+        );
+    }
+
+    #[test]
+    fn peek_op_previews_without_consuming() {
+        let p = platform();
+        let mut mw = Middleware::new(p.clone());
+        mw.ttl_ops = 2;
+        let tok = p.login("alice", "pw").expect("login");
+        let s = mw.establish_session(&tok).expect("session");
+        // Any number of peeks consume nothing.
+        for _ in 0..10 {
+            assert!(mw.peek_op(s.id).is_ok());
+        }
+        assert!(mw.authorize_op(s.id).is_ok());
+        assert!(mw.authorize_op(s.id).is_ok());
+        // Budget exhausted: peek agrees with authorize, but unlike
+        // authorize it does not remove the session.
+        assert_eq!(
+            mw.peek_op(s.id).unwrap_err(),
+            MiddlewareError::SessionInvalid
+        );
+        assert_eq!(mw.session_count(), 1);
+        assert_eq!(
+            mw.authorize_op(s.id).unwrap_err(),
+            MiddlewareError::SessionInvalid
+        );
+        assert_eq!(mw.session_count(), 0);
+        assert_eq!(
+            mw.peek_op(404).unwrap_err(),
             MiddlewareError::SessionInvalid
         );
     }

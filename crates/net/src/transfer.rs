@@ -73,6 +73,23 @@ pub struct AttemptRecord {
     pub duration_ms: f64,
 }
 
+/// Pure simulation of one segment's retry chain: what the network would do
+/// to every attempt, with no repository access and no observer side
+/// effects. Produced by
+/// [`simulate_segment`](TransferEngine::simulate_segment) on (possibly
+/// concurrent) planning threads; replayed against real repositories and
+/// observers at commit time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SegmentSim {
+    /// Every attempt in order, including the final delivered one (when
+    /// `delivered`) or the last exhausted retry (when not).
+    pub attempts: Vec<AttemptRecord>,
+    /// `true` if some attempt delivered the segment.
+    pub delivered: bool,
+    /// Total charged time across all attempts in milliseconds.
+    pub elapsed_ms: f64,
+}
+
 /// Result of a successful transfer.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TransferReport {
@@ -113,6 +130,74 @@ impl TransferEngine {
     pub fn attempt_time_ms(&self, src: usize, dst: usize, bytes: u64) -> f64 {
         self.topology
             .transfer_time_ms(src, dst, bytes, self.concurrency)
+    }
+
+    /// Pure, side-effect-free simulation of one segment's retry chain.
+    ///
+    /// The per-attempt outcome comes from [`FailureModel::outcome`], a
+    /// stateless hash of `(src, dst, segment key, attempt)` — so the result
+    /// is independent of call order and safe to compute from concurrent
+    /// planning threads. [`transfer_segment_observed`] is this simulation
+    /// replayed against real repositories, so a plan built from
+    /// `simulate_segment` commits to exactly the attempts/timings the
+    /// serial path would produce.
+    ///
+    /// [`transfer_segment_observed`]: Self::transfer_segment_observed
+    pub fn simulate_segment(
+        &self,
+        src: usize,
+        dst: usize,
+        segment: SegmentId,
+        bytes: u64,
+    ) -> SegmentSim {
+        let key = (u64::from(segment.dataset.0) << 32) | u64::from(segment.ordinal);
+        let mut attempts = Vec::new();
+        let mut elapsed = 0.0;
+        for attempt in 1..=self.max_attempts {
+            let attempt_ms = self.attempt_time_ms(src, dst, bytes);
+            let outcome = self.failure.outcome(src, dst, key, attempt);
+            // Lost attempts drop mid-flight and are charged half an
+            // attempt; delivered/corrupted attempts are charged in full.
+            let charged = match outcome {
+                AttemptOutcome::Lost => attempt_ms * 0.5,
+                _ => attempt_ms,
+            };
+            elapsed += charged;
+            attempts.push(AttemptRecord {
+                segment,
+                attempt,
+                outcome,
+                duration_ms: charged,
+            });
+            if outcome == AttemptOutcome::Delivered {
+                return SegmentSim {
+                    attempts,
+                    delivered: true,
+                    elapsed_ms: elapsed,
+                };
+            }
+        }
+        SegmentSim {
+            attempts,
+            delivered: false,
+            elapsed_ms: elapsed,
+        }
+    }
+
+    /// Fold per-segment elapsed times into a wall-clock total under this
+    /// engine's endpoint concurrency: segments move in waves of
+    /// `concurrency` parallel streams, each wave costing its slowest
+    /// member. With `concurrency == 1` this is the plain serial sum.
+    /// (Per-stream bandwidth already divides by `concurrency` inside
+    /// [`attempt_time_ms`](Self::attempt_time_ms), so raising concurrency
+    /// trades slower individual streams for overlap — a win whenever
+    /// per-attempt latency is non-zero.)
+    pub fn aggregate_elapsed_ms(&self, per_segment_ms: &[f64]) -> f64 {
+        let wave = self.concurrency.max(1) as usize;
+        per_segment_ms
+            .chunks(wave)
+            .map(|w| w.iter().copied().fold(0.0f64, f64::max))
+            .sum()
     }
 
     /// Move `segment` from `src_repo` (node index `src`) into the replica
@@ -175,48 +260,26 @@ impl TransferEngine {
             Err(RepoError::IntegrityFailure(id)) => return Err(TransferError::SourceCorrupt(id)),
             Err(_) => return Err(TransferError::SourceMissing(segment)),
         };
-        let key = (u64::from(segment.dataset.0) << 32) | u64::from(segment.ordinal);
-        let mut elapsed = 0.0;
-        for attempt in 1..=self.max_attempts {
-            let attempt_ms = self.attempt_time_ms(src, dst, seg.len() as u64);
-            let outcome = self.failure.outcome(src, dst, key, attempt);
-            match outcome {
+        // The network behaviour is a pure function of the endpoints and
+        // segment identity: simulate the full retry chain, then replay it
+        // against the observer and the destination repository.
+        let sim = self.simulate_segment(src, dst, segment, seg.len() as u64);
+        for record in &sim.attempts {
+            observe(*record);
+            match record.outcome {
                 AttemptOutcome::Delivered => {
-                    elapsed += attempt_ms;
-                    observe(AttemptRecord {
-                        segment,
-                        attempt,
-                        outcome,
-                        duration_ms: attempt_ms,
-                    });
                     dst_repo
                         .store(partition, seg.clone())
                         .map_err(TransferError::Destination)?;
                     return Ok(TransferReport {
                         bytes: seg.len() as u64,
-                        duration_ms: elapsed,
-                        attempts: attempt,
+                        duration_ms: sim.elapsed_ms,
+                        attempts: record.attempt,
                     });
                 }
-                AttemptOutcome::Lost => {
-                    // Drop mid-flight: charge half an attempt.
-                    elapsed += attempt_ms * 0.5;
-                    observe(AttemptRecord {
-                        segment,
-                        attempt,
-                        outcome,
-                        duration_ms: attempt_ms * 0.5,
-                    });
-                }
+                AttemptOutcome::Lost => {}
                 AttemptOutcome::Corrupted => {
                     // Full attempt spent; destination checksum rejects.
-                    elapsed += attempt_ms;
-                    observe(AttemptRecord {
-                        segment,
-                        attempt,
-                        outcome,
-                        duration_ms: attempt_ms,
-                    });
                     debug_assert!(
                         {
                             let mut raw = seg.data.to_vec();
@@ -454,6 +517,78 @@ mod tests {
         // Only the pre-existing replica remains; the three new deliveries
         // were rolled back instead of squatting in the replica partition.
         assert_eq!(b.list(Partition::Replica), vec![kept.id]);
+    }
+
+    #[test]
+    fn simulation_matches_observed_transfer() {
+        let a = StorageRepository::new(1 << 20);
+        let b = StorageRepository::new(1 << 20);
+        let e = two_node_engine(FailureModel {
+            loss_prob: 0.4,
+            corruption_prob: 0.1,
+            seed: 23,
+        });
+        for ds in 0..50 {
+            let s = seg(ds, 0, 777);
+            a.store(Partition::User, s.clone()).expect("stored");
+            let sim = e.simulate_segment(0, 1, s.id, 777);
+            let mut records: Vec<AttemptRecord> = Vec::new();
+            let result =
+                e.transfer_segment_observed(0, 1, &a, &b, s.id, Partition::Replica, &mut |r| {
+                    records.push(r)
+                });
+            assert_eq!(records, sim.attempts, "dataset {ds}");
+            match result {
+                Ok(report) => {
+                    assert!(sim.delivered);
+                    assert_eq!(report.duration_ms, sim.elapsed_ms);
+                    assert_eq!(report.attempts, sim.attempts.len() as u32);
+                }
+                Err(TransferError::RetriesExhausted { .. }) => assert!(!sim.delivered),
+                Err(other) => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrency_strictly_reduces_multi_segment_time() {
+        // Per-stream bandwidth divides by the concurrency, so each wave is
+        // slower than a lone stream — but waves overlap, and with non-zero
+        // latency the overlap strictly wins for multi-segment transfers.
+        let topo = Topology::uniform(vec![(41.88, -87.63), (49.01, 8.40)], LinkQuality::default());
+        let serial = TransferEngine {
+            topology: topo.clone(),
+            failure: FailureModel::reliable(),
+            max_attempts: 3,
+            concurrency: 1,
+        };
+        let wide = TransferEngine {
+            topology: topo,
+            failure: FailureModel::reliable(),
+            max_attempts: 3,
+            concurrency: 4,
+        };
+        let per_seg = |e: &TransferEngine| {
+            (0..8)
+                .map(|ord| {
+                    let id = SegmentId {
+                        dataset: DatasetId(5),
+                        ordinal: ord,
+                    };
+                    e.simulate_segment(0, 1, id, 64 * 1024).elapsed_ms
+                })
+                .collect::<Vec<f64>>()
+        };
+        let t1 = serial.aggregate_elapsed_ms(&per_seg(&serial));
+        let t4 = wide.aggregate_elapsed_ms(&per_seg(&wide));
+        assert!(
+            t4 < t1,
+            "concurrency 4 must beat serial: {t4} ms vs {t1} ms"
+        );
+        // concurrency == 1 aggregation is the plain sum.
+        let times = per_seg(&serial);
+        let sum: f64 = times.iter().sum();
+        assert_eq!(serial.aggregate_elapsed_ms(&times), sum);
     }
 
     #[test]

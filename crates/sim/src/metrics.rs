@@ -11,56 +11,6 @@ use scdn_obs::Histogram;
 
 use crate::engine::SimTime;
 
-/// Deprecated compatibility shim over [`scdn_obs::Histogram`].
-///
-/// The original `Summary` documented itself as keeping "approximate
-/// percentiles via a retained sample", but it actually pushed **every**
-/// observation into an internal `Vec` (unbounded memory on a long-running
-/// node) and re-sorted the whole series on each `quantile` call. It now
-/// delegates to the bounded log-linear histogram in `scdn-obs`, which
-/// stores `O(buckets)` regardless of how many values are recorded;
-/// quantiles are approximate within the error bound documented on
-/// [`Histogram::quantile`].
-#[deprecated(note = "use `scdn_obs::Histogram` directly")]
-#[derive(Clone, Debug, Default)]
-pub struct Summary {
-    hist: Histogram,
-}
-
-#[allow(deprecated)]
-impl Summary {
-    /// Record one observation.
-    pub fn record(&mut self, v: f64) {
-        self.hist.record(v);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> usize {
-        self.hist.count() as usize
-    }
-
-    /// Arithmetic mean (0 when empty).
-    pub fn mean(&self) -> f64 {
-        self.hist.mean()
-    }
-
-    /// Minimum (0 when empty).
-    pub fn min(&self) -> f64 {
-        self.hist.min()
-    }
-
-    /// Maximum (0 when empty).
-    pub fn max(&self) -> f64 {
-        self.hist.max()
-    }
-
-    /// `q`-quantile (0..=1) by nearest rank; 0 when empty. Approximate
-    /// within the bound documented on [`Histogram::quantile`].
-    pub fn quantile(&self, q: f64) -> f64 {
-        self.hist.quantile(q)
-    }
-}
-
 /// CDN-quality metrics (paper Section V-E list: availability, scalability,
 /// reliability, redundancy, response time, stability).
 #[derive(Clone, Debug, Default)]
@@ -238,31 +188,6 @@ impl SocialMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    #[allow(deprecated)]
-    fn summary_statistics() {
-        let mut s = Summary::default();
-        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
-            s.record(v);
-        }
-        assert_eq!(s.count(), 5);
-        assert!((s.mean() - 3.0).abs() < 1e-12);
-        assert_eq!(s.min(), 1.0);
-        assert_eq!(s.max(), 5.0);
-        assert_eq!(s.quantile(0.5), 3.0);
-        assert_eq!(s.quantile(1.0), 5.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn summary_empty_is_zero() {
-        let s = Summary::default();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.min(), 0.0);
-        assert_eq!(s.max(), 0.0);
-        assert_eq!(s.quantile(0.9), 0.0);
-    }
 
     #[test]
     fn cdn_metrics_histograms_stay_bounded() {

@@ -78,6 +78,35 @@ pub struct TrustSubgraph {
 }
 
 impl TrustSubgraph {
+    /// Assemble a subgraph directly from a graph and its node → author
+    /// mapping, bypassing the corpus-driven ego explosion. Benchmarks and
+    /// tests use this to host an S-CDN on a synthetic topology (e.g. a
+    /// Barabási–Albert graph) of a size no literature corpus provides.
+    ///
+    /// `authors[v]` is the author behind node `v`; duplicates keep the
+    /// first node. `retained_pubs` is left empty.
+    ///
+    /// # Panics
+    /// Panics if `authors.len()` differs from the graph's node count.
+    pub fn from_parts(filter: TrustFilter, graph: Graph, authors: Vec<AuthorId>) -> TrustSubgraph {
+        assert_eq!(
+            authors.len(),
+            graph.node_count(),
+            "one author per graph node"
+        );
+        let mut author_to_node = HashMap::with_capacity(authors.len());
+        for (i, &a) in authors.iter().enumerate() {
+            author_to_node.entry(a).or_insert(NodeId(i as u32));
+        }
+        TrustSubgraph {
+            filter,
+            graph,
+            authors,
+            retained_pubs: Vec::new(),
+            author_to_node,
+        }
+    }
+
     /// Node of `a`, if the author survives pruning.
     pub fn node_of(&self, a: AuthorId) -> Option<NodeId> {
         self.author_to_node.get(&a).copied()

@@ -96,6 +96,17 @@ impl CacheManager {
         self.metrics.touches.inc();
     }
 
+    /// Commit-side batch form of [`touch`](Self::touch): record one access
+    /// per segment, in order. A deferred request plan that served a whole
+    /// dataset applies its recency/frequency updates through this in a
+    /// single call, with tick/count/metric effects identical to touching
+    /// each segment individually.
+    pub fn touch_all(&mut self, ids: impl IntoIterator<Item = SegmentId>) {
+        for id in ids {
+            self.touch(id);
+        }
+    }
+
     /// Pin (or unpin) a segment: pinned segments are never evicted —
     /// these are the catalog-mandated persistent replicas.
     pub fn set_pinned(&mut self, id: SegmentId, pinned: bool) {
