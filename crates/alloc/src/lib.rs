@@ -12,6 +12,8 @@
 //!   migration;
 //! * [`partitioning`] — data-segment partitioning across replicas: hash
 //!   partitioning and the socially-informed community partitioner;
+//! * [`ranking_cache`] — memoized full placement orderings for
+//!   maintenance cycles (rank once per cycle, slice per dataset);
 //! * [`replication`] — demand-driven replication level policies;
 //! * [`discovery`] — replica selection for a requesting user (social
 //!   distance, then latency, then availability).
@@ -20,10 +22,12 @@ pub mod discovery;
 pub mod group;
 pub mod partitioning;
 pub mod placement;
+pub mod ranking_cache;
 pub mod replication;
 mod resolve_cache;
 pub mod server;
 
 pub use group::ServerGroup;
 pub use placement::PlacementAlgorithm;
+pub use ranking_cache::RankingCache;
 pub use server::{AllocationError, AllocationServer, RepositoryInfo};

@@ -1,0 +1,207 @@
+//! Memoized placement rankings for maintenance cycles.
+//!
+//! Every placement algorithm in this crate is *prefix-consistent*: the
+//! ranking for `k` replicas is the first `k` entries of the ranking for
+//! any larger `k` (score-based algorithms sort the full node set before
+//! truncating; the community-degree greedy picks each next node
+//! independently of how many more will be taken; `Random` shuffles the
+//! full node set then truncates). Rankings are also *dataset-independent*
+//! — they depend only on `(algorithm, seed, graph)` — yet the serial
+//! replication path used to recompute one per dataset per cycle, which
+//! made ranking cost the dominant term of a maintenance cycle at scale.
+//!
+//! [`RankingCache`] computes the **full** ordering once per
+//! `(algorithm, seed)` and hands out a shared slice; callers take
+//! whatever prefix they need and apply their own owner / current-replica
+//! / offline filtering. A [`CsrGraph::fingerprint`] mismatch flushes the
+//! cache (the graph changed under us), and a disabled cache recomputes
+//! the full ordering on every call — same candidates, no memoization —
+//! which benchmarks use to price the uncached baseline honestly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use scdn_graph::{CsrGraph, NodeId};
+
+use crate::placement::PlacementAlgorithm;
+
+/// One memoized full ordering.
+struct Entry {
+    /// Fingerprint of the graph the ordering was computed on.
+    graph_fp: (usize, usize),
+    /// The complete ranking: every node of the graph, best first.
+    order: Arc<Vec<NodeId>>,
+}
+
+/// Memoized full placement orderings keyed on `(algorithm, seed)`.
+pub struct RankingCache {
+    entries: Mutex<HashMap<(PlacementAlgorithm, u64), Entry>>,
+    enabled: Mutex<bool>,
+}
+
+impl Default for RankingCache {
+    fn default() -> Self {
+        RankingCache::new()
+    }
+}
+
+impl RankingCache {
+    /// An empty, enabled cache.
+    pub fn new() -> RankingCache {
+        RankingCache {
+            entries: Mutex::new(HashMap::new()),
+            enabled: Mutex::new(true),
+        }
+    }
+
+    /// Enable or disable memoization. Disabling drops every entry, so
+    /// subsequent calls recompute the full ordering each time (identical
+    /// results, uncached cost).
+    pub fn set_enabled(&self, enabled: bool) {
+        let mut e = self.enabled.lock();
+        if !enabled {
+            self.entries.lock().clear();
+        }
+        *e = enabled;
+    }
+
+    /// `true` if memoization is on.
+    pub fn is_enabled(&self) -> bool {
+        *self.enabled.lock()
+    }
+
+    /// The full placement ordering of `csr` under `(algorithm, seed)`,
+    /// plus whether it was served from cache. The ordering contains every
+    /// node of the graph; any prefix of it is bit-identical to a direct
+    /// `place_csr` call with that prefix length (prefix consistency).
+    pub fn full_ranking(
+        &self,
+        csr: &CsrGraph,
+        algorithm: PlacementAlgorithm,
+        seed: u64,
+    ) -> (Arc<Vec<NodeId>>, bool) {
+        let fp = csr.fingerprint();
+        let key = (algorithm, seed);
+        if self.is_enabled() {
+            let entries = self.entries.lock();
+            if let Some(e) = entries.get(&key) {
+                if e.graph_fp == fp {
+                    return (e.order.clone(), true);
+                }
+            }
+        }
+        // Compute outside the lock: rankings can be expensive (community
+        // detection, Brandes) and may themselves use the parallel pool.
+        let order = Arc::new(algorithm.place_csr(csr, csr.node_count(), seed));
+        if self.is_enabled() {
+            let mut entries = self.entries.lock();
+            // A fingerprint change means the caller swapped graphs: every
+            // memoized ordering (not just this key's) is garbage.
+            if entries.values().any(|e| e.graph_fp != fp) {
+                entries.clear();
+            }
+            entries.insert(
+                key,
+                Entry {
+                    graph_fp: fp,
+                    order: order.clone(),
+                },
+            );
+        }
+        (order, false)
+    }
+
+    /// Number of memoized orderings (test/diagnostic surface).
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// `true` if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdn_graph::Graph;
+
+    fn line_graph(n: usize) -> CsrGraph {
+        let mut g = Graph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1);
+        }
+        CsrGraph::from(&g)
+    }
+
+    #[test]
+    fn second_call_is_a_hit_with_identical_order() {
+        let csr = line_graph(12);
+        let cache = RankingCache::new();
+        let (a, hit_a) = cache.full_ranking(&csr, PlacementAlgorithm::NodeDegree, 7);
+        let (b, hit_b) = cache.full_ranking(&csr, PlacementAlgorithm::NodeDegree, 7);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12, "full ordering covers every node");
+    }
+
+    #[test]
+    fn prefix_matches_direct_place_csr() {
+        let csr = line_graph(20);
+        let cache = RankingCache::new();
+        for algorithm in PlacementAlgorithm::PAPER_SET {
+            let (full, _) = cache.full_ranking(&csr, algorithm, 13);
+            for k in [1usize, 3, 7, 20] {
+                assert_eq!(
+                    full[..k.min(full.len())],
+                    algorithm.place_csr(&csr, k, 13)[..],
+                    "{algorithm:?} prefix {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn graph_fingerprint_change_invalidates() {
+        let cache = RankingCache::new();
+        let small = line_graph(8);
+        let (_, hit) = cache.full_ranking(&small, PlacementAlgorithm::NodeDegree, 1);
+        assert!(!hit);
+        // Same key, different graph: must recompute, and the stale entry
+        // must not survive alongside the fresh one.
+        let big = line_graph(9);
+        let (order, hit) = cache.full_ranking(&big, PlacementAlgorithm::NodeDegree, 1);
+        assert!(!hit, "fingerprint change must miss");
+        assert_eq!(order.len(), 9);
+        assert_eq!(cache.len(), 1, "stale ordering flushed");
+        let (_, hit) = cache.full_ranking(&big, PlacementAlgorithm::NodeDegree, 1);
+        assert!(hit, "fresh graph now cached");
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_but_matches() {
+        let csr = line_graph(10);
+        let cache = RankingCache::new();
+        let (warm, _) = cache.full_ranking(&csr, PlacementAlgorithm::ClusteringCoefficient, 3);
+        cache.set_enabled(false);
+        assert!(cache.is_empty(), "disabling drops entries");
+        let (cold, hit) = cache.full_ranking(&csr, PlacementAlgorithm::ClusteringCoefficient, 3);
+        assert!(!hit);
+        assert_eq!(warm, cold, "memoization never changes the ranking");
+        let (_, hit) = cache.full_ranking(&csr, PlacementAlgorithm::ClusteringCoefficient, 3);
+        assert!(!hit, "disabled cache never hits");
+    }
+
+    #[test]
+    fn distinct_seeds_are_distinct_entries() {
+        let csr = line_graph(16);
+        let cache = RankingCache::new();
+        let (a, _) = cache.full_ranking(&csr, PlacementAlgorithm::Random, 1);
+        let (b, _) = cache.full_ranking(&csr, PlacementAlgorithm::Random, 2);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(a, b, "different seeds shuffle differently");
+    }
+}

@@ -99,7 +99,7 @@ impl ResolveCache {
     /// Flush the cache if `csr` is not the graph the cached hops were
     /// computed on (first call just records the fingerprint).
     pub(crate) fn ensure_graph(&self, csr: &CsrGraph) {
-        let fp = (csr.node_count(), csr.half_edge_count());
+        let fp = csr.fingerprint();
         let mut cur = self.graph_fp.lock();
         match *cur {
             Some(prev) if prev == fp => {}

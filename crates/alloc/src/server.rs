@@ -327,6 +327,21 @@ impl AllocationServer {
             .ok_or(AllocationError::UnknownDataset(dataset))
     }
 
+    /// Replica list and catalog-entry version in one consistent read —
+    /// the snapshot a maintenance plan is computed against, with the
+    /// version doubling as the commit-side staleness token.
+    pub fn replicas_and_version(
+        &self,
+        dataset: DatasetId,
+    ) -> Result<(Vec<NodeId>, u64), AllocationError> {
+        self.state
+            .read()
+            .catalog
+            .get(&dataset)
+            .map(|e| (e.replicas.clone(), e.version))
+            .ok_or(AllocationError::UnknownDataset(dataset))
+    }
+
     /// Segment count of a dataset.
     pub fn segments_of(&self, dataset: DatasetId) -> Result<u32, AllocationError> {
         self.state
@@ -1134,7 +1149,7 @@ mod tests {
         let requests: Vec<(DatasetId, NodeId)> = (0..200u32)
             .map(|i| (DatasetId(i % 6), NodeId((i * 31) % 80)))
             .collect();
-        let online = |n: NodeId| n.0 % 5 != 0;
+        let online = |n: NodeId| !n.0.is_multiple_of(5);
         let latency = |req: NodeId, n: NodeId| ((req.0 ^ n.0) % 17) as f64;
         let batch = srv.resolve_batch(&requests, &csr, online, latency);
         assert_eq!(batch.len(), requests.len());

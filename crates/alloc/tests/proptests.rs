@@ -219,7 +219,7 @@ proptest! {
         for &r in &replicas[1..] {
             let _ = srv.add_replica(DatasetId(0), NodeId(r % n));
         }
-        let online = |v: NodeId| v.0 % offline_mod != 0;
+        let online = |v: NodeId| !v.0.is_multiple_of(offline_mod);
         let latency = |v: NodeId| (v.0 % 13) as f64 - 3.0;
         for _pass in 0..2 {
             for &req in &requesters {

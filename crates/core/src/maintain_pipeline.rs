@@ -1,0 +1,528 @@
+//! Maintenance/repair plan/commit pipeline: parallel read-only *plan*
+//! phase, strictly ordered *commit* phase — the request-batch
+//! architecture of the `pipeline` module applied to the CDN-management
+//! half of the system (demand-driven replication, post-departure
+//! repair).
+//!
+//! [`Scdn::maintain`] and [`Scdn::repair`] both drive one cycle:
+//!
+//! * **Plan** — embarrassingly parallel over the cycle's work items.
+//!   The full placement ordering is memoized once per cycle
+//!   ([`RankingCache`][cache]; rankings are dataset-independent and
+//!   prefix-consistent), then each worker slices it per dataset: walk
+//!   the ordering, skip the owner and current replicas, check candidate
+//!   liveness against the per-cycle online bitmap, and simulate every
+//!   segment transfer ([`TransferEngine::simulate_segment`], a pure hash
+//!   of endpoints × segment × attempt) including a quota simulation that
+//!   mirrors `StorageRepository::store`. The result is a
+//!   [`MaintainPlan`]: the per-candidate hosting decisions, attempt
+//!   tallies, staged segment payloads, and wave-aggregated timings —
+//!   with no shared mutation.
+//!
+//! * **Commit** — applies plans on the calling thread in dataset order:
+//!   hosting-request and exchange records, `net.attempts.*` counters,
+//!   repository stores with partial-failure rollback, catalog
+//!   `add_replica`, cache pinning, redundancy samples, clock advance.
+//!   Shrink items always execute against live state (victim selection is
+//!   cheap and reads nothing a concurrent plan could cache). A grow
+//!   commit discards its plan and re-runs [`Scdn::replicate_to`] from
+//!   live state — counted in `core.maintain.replanned` — only when an
+//!   earlier commit in the same cycle invalidated its snapshot: the
+//!   dataset's catalog-entry version moved, a repository whose quota the
+//!   plan read was touched, or the clock advanced under a time-dependent
+//!   availability model.
+//!
+//! Determinism argument: a transfer simulation depends only on endpoint
+//! identities, segment identities, and the failure model — never on the
+//! clock — so under an always-on availability model the only snapshot
+//! ingredients a grow plan reads are the catalog entry (covered by the
+//! version token) and destination repository quotas (covered by the
+//! per-cycle touched-repository bitmap, which both grow stores and
+//! shrink evictions mark). Under periodic churn the online bitmap also
+//! depends on the clock, which transfers advance — covered by the
+//! clock-moved trigger. A stale plan is recomputed from committed state,
+//! exactly what the serial loop would have seen — so a pipelined cycle
+//! is bit-identical to [`Scdn::maintain_serial`] /
+//! [`Scdn::repair_serial`] under a fixed seed.
+//!
+//! [cache]: scdn_alloc::ranking_cache::RankingCache
+//! [`TransferEngine::simulate_segment`]: scdn_net::transfer::TransferEngine::simulate_segment
+
+use std::sync::Arc;
+
+use scdn_graph::parallel::par_map_collect;
+use scdn_graph::NodeId;
+use scdn_sim::engine::SimTime;
+use scdn_storage::object::{DatasetId, Segment, SegmentId};
+use scdn_storage::repository::Partition;
+
+use super::{Availability, Scdn};
+
+/// One work item of a maintenance or repair cycle.
+struct WorkItem {
+    dataset: DatasetId,
+    target: Target,
+}
+
+/// What the cycle wants for one dataset.
+enum Target {
+    /// Bring the dataset up to `want` replicas.
+    Grow { want: usize },
+    /// Shed the last-added `drop` replicas.
+    Shrink { drop: usize },
+}
+
+/// One candidate host considered by a grow plan, in ranking order.
+struct GrowCand {
+    cand: NodeId,
+    /// Candidate liveness per the cycle's online bitmap (offline
+    /// candidates still cost a rejected hosting request).
+    online: bool,
+    /// Owner → candidate latency (immediacy sample of an accepted
+    /// hosting request).
+    latency_ms: f64,
+    /// Planned transfer outcome; `None` when the candidate is offline.
+    xfer: Option<GrowXfer>,
+}
+
+/// Simulated transfer of the full segment set to one candidate.
+struct GrowXfer {
+    /// Attempt tallies `(delivered, lost, corrupted)` across every
+    /// segment the serial loop would have processed, including the
+    /// retries of a segment that ultimately failed.
+    attempts: (u64, u64, u64),
+    /// Staged payloads of the delivered segments in order; emptied when
+    /// the transfer failed (the serial path stores then rolls back, so
+    /// the commit stores nothing).
+    deliveries: Vec<(SegmentId, Segment)>,
+    /// Wave-aggregated wall-clock of the delivered segments.
+    total_ms: f64,
+    /// Bytes of the delivered segments (charged even on failure).
+    total_bytes: u64,
+    /// `true` if a segment exhausted its retries or overflowed the
+    /// candidate's quota.
+    failed: bool,
+}
+
+/// What the plan phase decided for one work item.
+enum PlanKind {
+    /// Nothing to do (already at target, or the dataset vanished — the
+    /// serial path would have returned before any effect).
+    Noop,
+    /// Grow: the exact candidate sequence the serial walk would process.
+    Grow { owner: NodeId, cands: Vec<GrowCand> },
+    /// Shrink: victim selection is deferred to commit time (live state),
+    /// exactly like the serial path.
+    Shrink { drop: usize },
+}
+
+/// A fully planned work item: pure output of the parallel phase.
+struct MaintainPlan {
+    /// Catalog-entry version the plan was computed against (`None` for
+    /// unknown datasets) — the commit-side staleness token.
+    version: Option<u64>,
+    /// Node indices of repositories whose quota/contents the plan read
+    /// (the online candidates it simulated stores into). The owner's
+    /// repository is deliberately absent: source reads fetch this
+    /// dataset's segments by id, and no other dataset's commit can
+    /// create or remove those.
+    repos_read: Vec<u32>,
+    kind: PlanKind,
+}
+
+impl Scdn {
+    /// Run one maintenance cycle: apply the replication policy to every
+    /// dataset (growing hot datasets, shrinking idle ones), then reset
+    /// the demand windows. Returns the number of replica changes made.
+    ///
+    /// Grow/shrink decisions, host selection, and transfer simulation
+    /// run in parallel against an immutable snapshot; effects apply in
+    /// dataset order. Bit-identical to
+    /// [`maintain_serial`](Self::maintain_serial) under a fixed seed —
+    /// see the module docs for the determinism argument.
+    pub fn maintain(&mut self) -> usize {
+        let items: Vec<WorkItem> = self
+            .alloc
+            .rebalance_plan(&self.config.replication)
+            .into_iter()
+            .map(|(dataset, current, target)| WorkItem {
+                dataset,
+                target: if target > current {
+                    Target::Grow {
+                        want: self.config.replicas_per_dataset.max(target),
+                    }
+                } else {
+                    Target::Shrink {
+                        drop: current - target,
+                    }
+                },
+            })
+            .collect();
+        let changes = self.run_maintenance_cycle(&items);
+        self.alloc.reset_demand();
+        changes
+    }
+
+    /// Re-replicate every dataset below the configured replica count
+    /// (post-departure repair). Returns the number of replicas restored.
+    ///
+    /// Same plan/commit cycle as [`maintain`](Self::maintain) with every
+    /// dataset targeted at the configured count; bit-identical to
+    /// [`repair_serial`](Self::repair_serial) under a fixed seed.
+    pub fn repair(&mut self) -> usize {
+        let mut datasets: Vec<DatasetId> = self.datasets.keys().copied().collect();
+        datasets.sort_unstable();
+        let items: Vec<WorkItem> = datasets
+            .into_iter()
+            .map(|dataset| WorkItem {
+                dataset,
+                target: Target::Grow {
+                    want: self.config.replicas_per_dataset,
+                },
+            })
+            .collect();
+        self.run_maintenance_cycle(&items)
+    }
+
+    /// Plan every item in parallel against the current snapshot, then
+    /// commit in item order. Returns the number of replica changes.
+    fn run_maintenance_cycle(&mut self, items: &[WorkItem]) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        self.refresh_online_mask();
+        let planned_clock = self.clock;
+        // Warm the memoized ranking once, on this thread, iff some item
+        // will actually walk it — the serial loop only ranks when a
+        // dataset really grows, and ranking from inside a planning worker
+        // would nest the parallel pool.
+        let ranking: Option<Arc<Vec<NodeId>>> = items
+            .iter()
+            .any(|item| match item.target {
+                Target::Grow { want } => self
+                    .alloc
+                    .replicas_of(item.dataset)
+                    .map(|r| r.len() < want)
+                    .unwrap_or(false),
+                Target::Shrink { .. } => false,
+            })
+            .then(|| self.placement_ranking());
+        let ranked: &[NodeId] = ranking.as_ref().map(|r| r.as_slice()).unwrap_or(&[]);
+        let plans: Vec<MaintainPlan> = {
+            let this: &Scdn = self;
+            par_map_collect(items.len(), 1, |i| this.plan_item(&items[i], ranked))
+        };
+        self.maintain_planned.add(plans.len() as u64);
+        let mut touched = vec![false; self.repos.len()];
+        items
+            .iter()
+            .zip(plans)
+            .map(|(item, plan)| self.commit_item(item, plan, planned_clock, &mut touched))
+            .sum()
+    }
+
+    /// Plan one work item. Read-only: safe from parallel planning
+    /// workers (snapshot clock + per-cycle online bitmap).
+    fn plan_item(&self, item: &WorkItem, ranked: &[NodeId]) -> MaintainPlan {
+        let noop = |version| MaintainPlan {
+            version,
+            repos_read: Vec::new(),
+            kind: PlanKind::Noop,
+        };
+        let Ok((current, version)) = self.alloc.replicas_and_version(item.dataset) else {
+            return noop(None);
+        };
+        let version = Some(version);
+        match item.target {
+            Target::Shrink { drop } => MaintainPlan {
+                version,
+                repos_read: Vec::new(),
+                kind: PlanKind::Shrink { drop },
+            },
+            Target::Grow { want } => {
+                if current.len() >= want {
+                    return noop(version);
+                }
+                // The serial path looks the owner up and fetches the
+                // segment table before any effect; failures there abort
+                // with nothing recorded.
+                let Some(owner) = self.datasets.get(&item.dataset).map(|m| m.owner) else {
+                    return noop(version);
+                };
+                let Ok(segments) = self.segment_ids(item.dataset) else {
+                    return noop(version);
+                };
+                let mut cands = Vec::new();
+                let mut repos_read = Vec::new();
+                let mut have = current.len();
+                for &cand in ranked {
+                    if have >= want {
+                        break;
+                    }
+                    if current.contains(&cand) || cand == owner {
+                        continue;
+                    }
+                    let online = self.online_mask.get(cand.index()).copied().unwrap_or(false);
+                    let latency_ms = self.engine.topology.latency_ms(owner.index(), cand.index());
+                    if !online {
+                        cands.push(GrowCand {
+                            cand,
+                            online,
+                            latency_ms,
+                            xfer: None,
+                        });
+                        continue;
+                    }
+                    repos_read.push(cand.index() as u32);
+                    let xfer = self.simulate_fan_in(owner, cand, &segments);
+                    if !xfer.failed {
+                        have += 1;
+                    }
+                    cands.push(GrowCand {
+                        cand,
+                        online,
+                        latency_ms,
+                        xfer: Some(xfer),
+                    });
+                }
+                MaintainPlan {
+                    version,
+                    repos_read,
+                    kind: PlanKind::Grow { owner, cands },
+                }
+            }
+        }
+    }
+
+    /// Simulate the full segment fan-in from `owner` to `cand`: retry
+    /// chains via the pure failure model, destination quota mirroring
+    /// `StorageRepository::store` (an overwrite of a same-partition copy
+    /// is size-neutral; a new segment must fit the remaining capacity).
+    fn simulate_fan_in(&self, owner: NodeId, cand: NodeId, segments: &[SegmentId]) -> GrowXfer {
+        let src_repo = &self.repos[owner.index()];
+        let dst_repo = &self.repos[cand.index()];
+        let capacity = dst_repo.capacity();
+        let mut sim_used = dst_repo.used();
+        let mut attempts = (0u64, 0u64, 0u64);
+        let mut deliveries = Vec::with_capacity(segments.len());
+        let mut segment_ms = Vec::with_capacity(segments.len());
+        let mut total_bytes = 0u64;
+        let mut failed = false;
+        for &s in segments {
+            // A missing/corrupt source aborts before any network attempt,
+            // exactly like `transfer_segment_observed`.
+            let Ok(seg) = src_repo.fetch_any(s) else {
+                failed = true;
+                break;
+            };
+            let bytes = seg.len() as u64;
+            let sim = self
+                .engine
+                .simulate_segment(owner.index(), cand.index(), s, bytes);
+            for rec in &sim.attempts {
+                match rec.outcome {
+                    scdn_net::failure::AttemptOutcome::Delivered => attempts.0 += 1,
+                    scdn_net::failure::AttemptOutcome::Lost => attempts.1 += 1,
+                    scdn_net::failure::AttemptOutcome::Corrupted => attempts.2 += 1,
+                }
+            }
+            if !sim.delivered {
+                failed = true;
+                break;
+            }
+            // The store happens on the delivered attempt (already
+            // tallied above); quota rejection fails the candidate there.
+            if !dst_repo.contains_in(Partition::Replica, s) {
+                if sim_used + bytes > capacity {
+                    failed = true;
+                    break;
+                }
+                sim_used += bytes;
+            }
+            segment_ms.push(sim.elapsed_ms);
+            total_bytes += bytes;
+            deliveries.push((s, seg));
+        }
+        let total_ms = self.engine.aggregate_elapsed_ms(&segment_ms);
+        if failed {
+            // The serial path stores then rolls back: net repository
+            // state is unchanged, so the commit won't store anything.
+            deliveries.clear();
+        }
+        GrowXfer {
+            attempts,
+            deliveries,
+            total_ms,
+            total_bytes,
+            failed,
+        }
+    }
+
+    /// `true` if an earlier commit in this cycle invalidated a grow
+    /// plan's snapshot.
+    fn grow_plan_stale(
+        &self,
+        dataset: DatasetId,
+        version: Option<u64>,
+        repos_read: &[u32],
+        planned_clock: SimTime,
+        touched: &[bool],
+    ) -> bool {
+        self.alloc.catalog_version(dataset) != version
+            || (self.clock != planned_clock
+                && matches!(self.availability, Availability::Periodic(_)))
+            || repos_read
+                .iter()
+                .any(|&r| touched.get(r as usize).copied().unwrap_or(false))
+    }
+
+    /// Commit one work item in the serial order, re-planning from live
+    /// state when the snapshot went stale. Returns the replica changes
+    /// this item made.
+    fn commit_item(
+        &mut self,
+        item: &WorkItem,
+        plan: MaintainPlan,
+        planned_clock: SimTime,
+        touched: &mut [bool],
+    ) -> usize {
+        let MaintainPlan {
+            version,
+            repos_read,
+            kind,
+        } = plan;
+        match kind {
+            PlanKind::Noop => {
+                // A noop can only go stale if the catalog entry changed
+                // under it — impossible within a cycle (every commit only
+                // touches its own dataset's entry) but cheap to honor.
+                if self.alloc.catalog_version(item.dataset) != version {
+                    self.maintain_replanned.inc();
+                    return self.commit_item_live(item, touched);
+                }
+                self.maintain_committed.inc();
+                0
+            }
+            PlanKind::Shrink { drop } => {
+                // Victim selection runs against live state either way —
+                // the serial loop also re-reads the replica list at item
+                // time — so a shrink plan is never stale.
+                self.maintain_committed.inc();
+                let shed = self.shed_replicas(item.dataset, drop);
+                for &v in &shed {
+                    touched[v.index()] = true;
+                }
+                shed.len()
+            }
+            PlanKind::Grow { owner, cands } => {
+                if self.grow_plan_stale(item.dataset, version, &repos_read, planned_clock, touched)
+                {
+                    self.maintain_replanned.inc();
+                    return self.commit_item_live(item, touched);
+                }
+                self.maintain_committed.inc();
+                self.apply_grow(item.dataset, owner, cands, touched)
+            }
+        }
+    }
+
+    /// Re-run a stale item from live committed state — exactly the
+    /// serial loop's view — marking the repositories it mutates.
+    fn commit_item_live(&mut self, item: &WorkItem, touched: &mut [bool]) -> usize {
+        match item.target {
+            Target::Grow { want } => {
+                let added = self.replicate_to(item.dataset, want).unwrap_or_default();
+                for &n in &added {
+                    touched[n.index()] = true;
+                }
+                added.len()
+            }
+            Target::Shrink { drop } => {
+                let shed = self.shed_replicas(item.dataset, drop);
+                for &v in &shed {
+                    touched[v.index()] = true;
+                }
+                shed.len()
+            }
+        }
+    }
+
+    /// Apply a fresh grow plan's effects in the serial per-candidate
+    /// order: hosting-request records, attempt counters, stores with
+    /// rollback, exchange/byte accounting, clock advance, catalog and
+    /// cache updates, closing redundancy sample.
+    fn apply_grow(
+        &mut self,
+        dataset: DatasetId,
+        owner: NodeId,
+        cands: Vec<GrowCand>,
+        touched: &mut [bool],
+    ) -> usize {
+        let mut added = 0usize;
+        for c in cands {
+            self.social_metrics.record_hosting_request(
+                c.online,
+                c.online.then(|| SimTime::from_millis(c.latency_ms as u64)),
+            );
+            let Some(x) = c.xfer else {
+                continue;
+            };
+            self.att_delivered.add(x.attempts.0);
+            self.att_lost.add(x.attempts.1);
+            self.att_corrupted.add(x.attempts.2);
+            let mut failed = x.failed;
+            if !failed {
+                let dst_repo = self.repos[c.cand.index()].clone();
+                let mut applied_new: Vec<SegmentId> = Vec::new();
+                for (id, seg) in &x.deliveries {
+                    let pre_existing = dst_repo.contains_in(Partition::Replica, *id);
+                    match dst_repo.store(Partition::Replica, seg.clone()) {
+                        Ok(()) => {
+                            if !pre_existing {
+                                applied_new.push(*id);
+                            }
+                        }
+                        Err(_) => {
+                            // Unreachable while the staleness triggers
+                            // cover every quota the plan simulated; fail
+                            // the candidate gracefully if they ever miss.
+                            debug_assert!(false, "non-stale maintain plan stores cannot fail");
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                if failed {
+                    for &s in &applied_new {
+                        let _ = dst_repo.remove(Partition::Replica, s, false);
+                    }
+                }
+            }
+            self.social_metrics.record_exchange(
+                owner.index(),
+                c.cand.index(),
+                x.total_bytes,
+                !failed,
+            );
+            self.cdn_metrics.bytes_transferred += x.total_bytes;
+            self.clock = self.clock.plus_millis(x.total_ms as u64);
+            if failed {
+                continue;
+            }
+            let _ = self.alloc.add_replica(dataset, c.cand);
+            let cache = &mut self.caches[c.cand.index()];
+            for &(id, _) in &x.deliveries {
+                cache.set_pinned(id, true);
+            }
+            touched[c.cand.index()] = true;
+            added += 1;
+        }
+        let replica_count = self
+            .alloc
+            .replicas_of(dataset)
+            .map(|r| r.len())
+            .unwrap_or(0);
+        self.cdn_metrics.redundancy.record(replica_count as f64);
+        added
+    }
+}

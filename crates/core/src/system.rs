@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use scdn_alloc::placement::PlacementAlgorithm;
+use scdn_alloc::ranking_cache::RankingCache;
 use scdn_alloc::replication::ReplicationPolicy;
 use scdn_alloc::server::{AllocationError, AllocationServer, RepositoryInfo};
 use scdn_graph::{CsrGraph, Graph, NodeId};
@@ -247,6 +248,16 @@ pub struct Scdn {
     /// Commits that had to re-plan because an earlier commit in the same
     /// batch invalidated their snapshot (`core.batch.replans`).
     batch_replans: Counter,
+    /// Memoized full placement orderings: `replicate_to`, `maintain`, and
+    /// `repair` rank the social graph once per cycle and slice per
+    /// dataset instead of re-running the placement algorithm per dataset.
+    rankings: RankingCache,
+    /// Maintenance plan/commit counters (`core.maintain.*`).
+    maintain_planned: Counter,
+    maintain_committed: Counter,
+    maintain_replanned: Counter,
+    ranking_hits: Counter,
+    ranking_misses: Counter,
 }
 
 /// Wall-clock elapsed time in milliseconds (control-plane span timing).
@@ -367,6 +378,11 @@ impl Scdn {
         let att_corrupted = registry.counter("net.attempts.corrupted");
         let online_fraction = registry.gauge("core.online_fraction");
         let batch_replans = registry.counter("core.batch.replans");
+        let maintain_planned = registry.counter("core.maintain.planned");
+        let maintain_committed = registry.counter("core.maintain.committed");
+        let maintain_replanned = registry.counter("core.maintain.replanned");
+        let ranking_hits = registry.counter("core.maintain.ranking_cache_hit");
+        let ranking_misses = registry.counter("core.maintain.ranking_cache_miss");
         Scdn {
             social: sub.graph.clone(),
             social_csr: CsrGraph::from(&sub.graph),
@@ -399,6 +415,12 @@ impl Scdn {
             online_mask: vec![false; n],
             online_mask_at: None,
             batch_replans,
+            rankings: RankingCache::new(),
+            maintain_planned,
+            maintain_committed,
+            maintain_replanned,
+            ranking_hits,
+            ranking_misses,
             config,
         }
     }
@@ -480,9 +502,12 @@ impl Scdn {
         Ok(affected)
     }
 
-    /// Re-replicate every dataset below the configured replica count
-    /// (post-departure repair). Returns the number of replicas restored.
-    pub fn repair(&mut self) -> usize {
+    /// Serial oracle for [`repair`](Self::repair): one
+    /// [`replicate`](Self::replicate) call per dataset, in dataset order.
+    /// Kept as the reference implementation the equivalence tests and the
+    /// `bench_maintain` identical-outcome gate compare the plan/commit
+    /// pipeline against.
+    pub fn repair_serial(&mut self) -> usize {
         let datasets: Vec<DatasetId> = {
             let mut v: Vec<DatasetId> = self.datasets.keys().copied().collect();
             v.sort_unstable();
@@ -568,27 +593,59 @@ impl Scdn {
     ///
     /// Returns the nodes that now host new replicas.
     pub fn replicate(&mut self, dataset: DatasetId) -> Result<Vec<NodeId>, ScdnError> {
+        self.replicate_to(dataset, self.config.replicas_per_dataset)
+    }
+
+    /// The full memoized placement ordering for the configured algorithm
+    /// and seed, counting cache hits/misses in
+    /// `core.maintain.ranking_cache_{hit,miss}`.
+    fn placement_ranking(&self) -> Arc<Vec<NodeId>> {
+        let (order, hit) =
+            self.rankings
+                .full_ranking(&self.social_csr, self.config.placement, self.config.seed);
+        if hit {
+            self.ranking_hits.inc();
+        } else {
+            self.ranking_misses.inc();
+        }
+        order
+    }
+
+    /// Enable or disable placement-ranking memoization. Rankings are
+    /// recomputed per call while disabled — identical candidates, uncached
+    /// cost — which is how `bench_maintain` prices its serial baseline.
+    pub fn set_ranking_cache_enabled(&self, enabled: bool) {
+        self.rankings.set_enabled(enabled);
+    }
+
+    /// [`replicate`](Self::replicate) with an explicit target replica
+    /// count (maintenance cycles grow past the configured default when
+    /// demand justifies it).
+    ///
+    /// Candidates come from the memoized full placement ordering: the
+    /// walk extends as far as it must — past any fixed over-provisioning
+    /// prefix — until `want` replicas exist or every member has been
+    /// considered, so a mostly-offline membership degrades to "as many
+    /// replicas as are reachable" instead of silently under-provisioning.
+    pub fn replicate_to(
+        &mut self,
+        dataset: DatasetId,
+        want: usize,
+    ) -> Result<Vec<NodeId>, ScdnError> {
         let meta = self
             .datasets
             .get(&dataset)
             .ok_or(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)))?;
         let owner = meta.owner;
         let current = self.alloc.replicas_of(dataset)?;
-        let want = self.config.replicas_per_dataset;
         if current.len() >= want {
             return Ok(Vec::new());
         }
-        // Over-provision the ranking: offline or already-hosting nodes are
-        // skipped.
-        let ranked = self.config.placement.place_csr(
-            &self.social_csr,
-            want + current.len() + 4,
-            self.config.seed,
-        );
+        let ranked = self.placement_ranking();
         let segments = self.segment_ids(dataset)?;
         let mut added = Vec::new();
         let mut have = current.len();
-        for cand in ranked {
+        for &cand in ranked.iter() {
             if have >= want {
                 break;
             }
@@ -604,57 +661,36 @@ impl Scdn {
             if !online {
                 continue;
             }
-            // Third-party transfer of every segment into the host.
+            // Third-party transfer of the segment set into the host, in
+            // waves of `transfer_concurrency` parallel streams. A failed
+            // batch rolls its newly delivered segments back — a partial
+            // replica must not squat in the candidate's replica partition,
+            // since the catalog never learns about it and nothing would
+            // ever reclaim that space.
             let src_repo = self.repos[owner.index()].clone();
             let dst_repo = self.repos[cand.index()].clone();
-            let mut segment_ms = Vec::with_capacity(segments.len());
-            let mut total_bytes = 0u64;
-            let mut failed = false;
-            let mut newly_delivered: Vec<SegmentId> = Vec::new();
             let (att_ok, att_lost, att_bad) = (
                 self.att_delivered.clone(),
                 self.att_lost.clone(),
                 self.att_corrupted.clone(),
             );
-            for &s in &segments {
-                let pre_existing = dst_repo.contains_in(Partition::Replica, s);
-                match self.engine.transfer_segment_observed(
-                    owner.index(),
-                    cand.index(),
-                    &src_repo,
-                    &dst_repo,
-                    s,
-                    Partition::Replica,
-                    &mut |r| match r.outcome {
-                        AttemptOutcome::Delivered => att_ok.inc(),
-                        AttemptOutcome::Lost => att_lost.inc(),
-                        AttemptOutcome::Corrupted => att_bad.inc(),
-                    },
-                ) {
-                    Ok(r) => {
-                        segment_ms.push(r.duration_ms);
-                        total_bytes += r.bytes;
-                        if !pre_existing {
-                            newly_delivered.push(s);
-                        }
-                    }
-                    Err(_) => {
-                        failed = true;
-                        break;
-                    }
-                }
-            }
-            // Segments move in waves of `concurrency` parallel streams;
-            // with concurrency 1 this is the plain serial sum.
+            let (reports, error) = self.engine.transfer_many_observed(
+                owner.index(),
+                cand.index(),
+                &src_repo,
+                &dst_repo,
+                &segments,
+                Partition::Replica,
+                &mut |r| match r.outcome {
+                    AttemptOutcome::Delivered => att_ok.inc(),
+                    AttemptOutcome::Lost => att_lost.inc(),
+                    AttemptOutcome::Corrupted => att_bad.inc(),
+                },
+            );
+            let failed = error.is_some();
+            let segment_ms: Vec<f64> = reports.iter().map(|r| r.duration_ms).collect();
+            let total_bytes: u64 = reports.iter().map(|r| r.bytes).sum();
             let total_ms = self.engine.aggregate_elapsed_ms(&segment_ms);
-            if failed {
-                // A partial replica must not squat in the candidate's
-                // replica partition: the catalog never learns about it, so
-                // nothing would ever reclaim that space.
-                for &s in &newly_delivered {
-                    let _ = dst_repo.remove(Partition::Replica, s, false);
-                }
-            }
             self.social_metrics
                 .record_exchange(owner.index(), cand.index(), total_bytes, !failed);
             self.cdn_metrics.bytes_transferred += total_bytes;
@@ -744,47 +780,46 @@ impl Scdn {
         }
     }
 
-    /// Run one maintenance cycle: apply the replication policy to every
-    /// dataset (growing hot datasets, shrinking idle ones), then reset the
-    /// demand windows. Returns the number of replica changes made.
-    pub fn maintain(&mut self) -> usize {
+    /// Shed the last-added `n` replicas of `dataset` from live state:
+    /// catalog entries removed, stored segments evicted (CDN-initiated),
+    /// cache bookkeeping forgotten. Returns the victims actually removed,
+    /// in shedding order.
+    pub(crate) fn shed_replicas(&mut self, dataset: DatasetId, n: usize) -> Vec<NodeId> {
+        let mut shed = Vec::new();
+        if let Ok(replicas) = self.alloc.replicas_of(dataset) {
+            for &v in replicas.iter().rev().take(n) {
+                if self.alloc.remove_replica(dataset, v).unwrap_or(false) {
+                    if let Ok(segments) = self.segment_ids(dataset) {
+                        for s in segments {
+                            let _ = self.repos[v.index()].remove(Partition::Replica, s, false);
+                            self.caches[v.index()].forget(s);
+                        }
+                    }
+                    shed.push(v);
+                }
+            }
+        }
+        shed
+    }
+
+    /// Serial oracle for [`maintain`](Self::maintain): the replication
+    /// policy applied one dataset at a time, in dataset order. Kept as the
+    /// reference implementation the equivalence tests and the
+    /// `bench_maintain` identical-outcome gate compare the plan/commit
+    /// pipeline against.
+    pub fn maintain_serial(&mut self) -> usize {
         let plan = self.alloc.rebalance_plan(&self.config.replication);
         let mut changes = 0usize;
         for (dataset, current, target) in plan {
             if target > current {
-                let before = self
-                    .alloc
-                    .replicas_of(dataset)
-                    .map(|r| r.len())
-                    .unwrap_or(0);
                 let want = self.config.replicas_per_dataset.max(target);
-                let saved = self.config.replicas_per_dataset;
-                self.config.replicas_per_dataset = want;
-                let _ = self.replicate(dataset);
-                self.config.replicas_per_dataset = saved;
-                let after = self
-                    .alloc
-                    .replicas_of(dataset)
-                    .map(|r| r.len())
+                changes += self
+                    .replicate_to(dataset, want)
+                    .map(|added| added.len())
                     .unwrap_or(0);
-                changes += after.saturating_sub(before);
             } else if target < current {
                 // Shed the last-added replica(s).
-                if let Ok(replicas) = self.alloc.replicas_of(dataset) {
-                    for &n in replicas.iter().rev().take(current - target) {
-                        if self.alloc.remove_replica(dataset, n).unwrap_or(false) {
-                            // Evict the stored segments (CDN-initiated).
-                            if let Ok(segments) = self.segment_ids(dataset) {
-                                for s in segments {
-                                    let _ =
-                                        self.repos[n.index()].remove(Partition::Replica, s, false);
-                                    self.caches[n.index()].forget(s);
-                                }
-                            }
-                            changes += 1;
-                        }
-                    }
-                }
+                changes += self.shed_replicas(dataset, current - target).len();
             }
         }
         self.alloc.reset_demand();
@@ -856,12 +891,40 @@ impl Scdn {
     pub fn replicas_of(&self, dataset: DatasetId) -> Result<Vec<NodeId>, ScdnError> {
         Ok(self.alloc.replicas_of(dataset)?)
     }
+
+    /// Resolve `dataset` to the replica the allocation server would serve
+    /// `requester` from, without transferring anything — the discovery
+    /// half of a request. Records the same resolve and demand accounting
+    /// as a served request's resolution step, so the demand-driven
+    /// replication policy observes the load (maintenance studies use this
+    /// to synthesize demand without paying for transfers).
+    pub fn resolve_replica(
+        &self,
+        requester: NodeId,
+        dataset: DatasetId,
+    ) -> Result<NodeId, ScdnError> {
+        let clock = self.clock;
+        let availability = &self.availability;
+        let topology = &self.engine.topology;
+        let sel = self.alloc.resolve_csr(
+            dataset,
+            requester,
+            &self.social_csr,
+            |n| availability.is_online(n.index(), clock),
+            |n| topology.latency_ms(requester.index(), n.index()),
+        )?;
+        Ok(sel.node)
+    }
 }
 
 // Child module so the plan/commit pipeline can reach the runtime's private
 // fields without widening their visibility.
 #[path = "pipeline.rs"]
 mod pipeline;
+
+// Maintenance/repair plan/commit pipeline (same child-module pattern).
+#[path = "maintain_pipeline.rs"]
+mod maintain_pipeline;
 
 #[cfg(test)]
 #[path = "system_tests.rs"]

@@ -85,6 +85,20 @@ impl CsrGraph {
         self.edge_count
     }
 
+    /// Cheap identity fingerprint: `(node_count, half_edge_count)`.
+    ///
+    /// Caches keyed on traversal results over a frozen graph (hop
+    /// distances, placement rankings) store this alongside their entries
+    /// and flush when a caller swaps in a different graph. It is not a
+    /// content hash — two distinct graphs can collide — but the runtime
+    /// freezes its membership graph once at build time, so a mismatch can
+    /// only mean "different graph object", which is exactly the event the
+    /// caches must survive.
+    #[inline]
+    pub fn fingerprint(&self) -> (usize, usize) {
+        (self.node_count(), self.half_edge_count())
+    }
+
     /// `true` if the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {

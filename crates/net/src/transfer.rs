@@ -320,11 +320,51 @@ impl TransferEngine {
         dst_repo: &StorageRepository,
         segments: &[SegmentId],
     ) -> Result<Vec<TransferReport>, TransferError> {
+        let (out, error) = self.transfer_many_observed(
+            src,
+            dst,
+            src_repo,
+            dst_repo,
+            segments,
+            Partition::Replica,
+            &mut |_| {},
+        );
+        match error {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// [`transfer_many`](Self::transfer_many) with an attempt observer, a
+    /// destination partition, and a partial-result return: the reports of
+    /// every segment that delivered (in order) plus the first permanent
+    /// failure, if one stopped the batch early.
+    ///
+    /// Rollback semantics are identical to `transfer_many` — on failure,
+    /// newly delivered segments are removed from the destination while
+    /// pre-existing copies survive — but the successful reports are kept,
+    /// because replication accounting charges the bytes and wave time of
+    /// the segments that did move even when the batch ultimately failed.
+    /// The observer sees every attempt of every processed segment,
+    /// including the retries of the segment that failed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_many_observed(
+        &self,
+        src: usize,
+        dst: usize,
+        src_repo: &StorageRepository,
+        dst_repo: &StorageRepository,
+        segments: &[SegmentId],
+        partition: Partition,
+        observe: &mut dyn FnMut(AttemptRecord),
+    ) -> (Vec<TransferReport>, Option<TransferError>) {
         let mut out = Vec::with_capacity(segments.len());
         let mut newly_delivered: Vec<SegmentId> = Vec::new();
         for &s in segments {
-            let pre_existing = dst_repo.contains_in(Partition::Replica, s);
-            match self.transfer_segment(src, dst, src_repo, dst_repo, s) {
+            let pre_existing = dst_repo.contains_in(partition, s);
+            match self
+                .transfer_segment_observed(src, dst, src_repo, dst_repo, s, partition, observe)
+            {
                 Ok(report) => {
                     out.push(report);
                     if !pre_existing {
@@ -333,13 +373,13 @@ impl TransferEngine {
                 }
                 Err(e) => {
                     for id in newly_delivered {
-                        dst_repo.remove(Partition::Replica, id, false).ok();
+                        dst_repo.remove(partition, id, false).ok();
                     }
-                    return Err(e);
+                    return (out, Some(e));
                 }
             }
         }
-        Ok(out)
+        (out, None)
     }
 }
 
@@ -517,6 +557,54 @@ mod tests {
         // Only the pre-existing replica remains; the three new deliveries
         // were rolled back instead of squatting in the replica partition.
         assert_eq!(b.list(Partition::Replica), vec![kept.id]);
+    }
+
+    #[test]
+    fn transfer_many_observed_keeps_partial_reports_and_rolls_back() {
+        let e = two_node_engine(FailureModel::reliable());
+        let a = StorageRepository::new(1 << 20);
+        let b = StorageRepository::new(1 << 20);
+        let mut ids = Vec::new();
+        for ord in 0..3 {
+            let s = seg(4, ord, 512);
+            ids.push(s.id);
+            a.store(Partition::User, s).expect("stored");
+        }
+        // Missing at the source: fails after two successful deliveries.
+        ids.insert(
+            2,
+            SegmentId {
+                dataset: DatasetId(4),
+                ordinal: 99,
+            },
+        );
+        let mut attempts = 0usize;
+        let (reports, error) =
+            e.transfer_many_observed(0, 1, &a, &b, &ids, Partition::Replica, &mut |_| {
+                attempts += 1
+            });
+        assert!(matches!(error, Some(TransferError::SourceMissing(_))));
+        assert_eq!(reports.len(), 2, "the two delivered segments are reported");
+        assert_eq!(attempts, 2, "one reliable attempt per delivered segment");
+        assert!(
+            b.list(Partition::Replica).is_empty(),
+            "failed batch rolled back"
+        );
+    }
+
+    #[test]
+    fn transfer_many_observed_honors_partition() {
+        let e = two_node_engine(FailureModel::reliable());
+        let a = StorageRepository::new(1 << 20);
+        let b = StorageRepository::new(1 << 20);
+        let s = seg(6, 0, 256);
+        a.store(Partition::User, s.clone()).expect("stored");
+        let (reports, error) =
+            e.transfer_many_observed(0, 1, &a, &b, &[s.id], Partition::User, &mut |_| {});
+        assert!(error.is_none());
+        assert_eq!(reports.len(), 1);
+        assert!(b.fetch(Partition::User, s.id).is_ok());
+        assert!(b.fetch(Partition::Replica, s.id).is_err());
     }
 
     #[test]
