@@ -19,6 +19,7 @@
 //!   distance, then latency, then availability).
 
 pub mod discovery;
+pub mod epoch;
 pub mod group;
 pub mod partitioning;
 pub mod placement;
@@ -27,6 +28,7 @@ pub mod replication;
 mod resolve_cache;
 pub mod server;
 
+pub use epoch::{CatalogSnapshot, ShardStamp, DEFAULT_CATALOG_SHARDS};
 pub use group::ServerGroup;
 pub use placement::PlacementAlgorithm;
 pub use ranking_cache::RankingCache;

@@ -17,6 +17,13 @@
 //! cache (the graph changed under us), and a disabled cache recomputes
 //! the full ordering on every call — same candidates, no memoization —
 //! which benchmarks use to price the uncached baseline honestly.
+//!
+//! Rankings never read the catalog, so catalog commits — and the shard
+//! epochs they advance (see [`crate::epoch`]) — cannot invalidate an
+//! ordering: the graph fingerprint is the *only* guard this cache
+//! needs, and it is deliberately coarser than any shard epoch. A
+//! maintenance cycle that replans a stale item re-slices the same
+//! memoized ordering; only a structural graph change recomputes it.
 
 use std::collections::HashMap;
 use std::sync::Arc;

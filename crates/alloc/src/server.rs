@@ -5,8 +5,13 @@
 //! together they maintain a list of current replicas and place, move,
 //! update, and maintain replicas." (Section V.)
 //!
-//! Request resolution — the per-request control-plane hot path — is
-//! read-mostly and allocation-free:
+//! State is dataset-sharded and epoch-published (see [`crate::epoch`]):
+//! each shard is an immutable [`ShardSnapshot`] behind a publication
+//! cell. Readers load `Arc` snapshots and never hold a lock across any
+//! work; writers copy-on-write the one shard they touch, advance its
+//! epoch, and publish. Request resolution — the per-request
+//! control-plane hot path — is read-mostly, allocation-free, and after
+//! the snapshot load entirely lock-free on the catalog:
 //!
 //! * [`resolve_csr`](AllocationServer::resolve_csr) runs a bounded
 //!   multi-target BFS on a frozen CSR graph through a pooled
@@ -14,17 +19,25 @@
 //! * hop distances are memoized in a version-keyed
 //!   [`ResolveCache`](crate::resolve_cache::ResolveCache) — catalog
 //!   writes bump the entry version, which invalidates stale hops without
-//!   touching the cache;
-//! * demand hit/miss accounting uses sharded atomic [`Counter`]s inside
-//!   the catalog entries, so resolution takes only the catalog *read*
-//!   lock end to end;
-//! * [`resolve_batch`](AllocationServer::resolve_batch) fans a request
-//!   slice over worker threads via `par_map_collect`.
+//!   touching the cache. Entry versions are strictly finer-grained than
+//!   shard epochs (an entry bump implies a shard bump, never the
+//!   reverse), so commits to *other* datasets — even same-shard ones —
+//!   retain every cached hop table;
+//! * demand hit/miss accounting uses sharded atomic [`Counter`]s shared
+//!   across entry versions, so resolution never publishes anything;
+//! * [`resolve_batch`](AllocationServer::resolve_batch) loads one
+//!   catalog snapshot and fans a request slice over worker threads via
+//!   `par_map_collect` — zero catalog locks per request;
+//! * planning pipelines call [`snapshot`](AllocationServer::snapshot)
+//!   once per batch and resolve via
+//!   [`resolve_csr_snapshot`](AllocationServer::resolve_csr_snapshot),
+//!   carrying the returned [`ShardStamp`] to commit time as the
+//!   staleness token.
 
-use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use scdn_graph::parallel::par_map_collect;
 use scdn_graph::{CsrGraph, Graph, NodeId, TraversalScratch};
 use scdn_obs::{Counter, Registry};
@@ -32,6 +45,10 @@ use scdn_social::author::AuthorId;
 use scdn_storage::object::DatasetId;
 
 use crate::discovery::{rank_key, select_replica, Candidate, Selection};
+use crate::epoch::{
+    shard_index, CatalogSnapshot, DemandState, EntryState, Published, RepoRecord, RepoTable,
+    ShardSnapshot, ShardStamp, DEFAULT_CATALOG_SHARDS,
+};
 use crate::placement::PlacementAlgorithm;
 use crate::replication::{DemandWindow, ReplicationPolicy};
 use crate::resolve_cache::ResolveCache;
@@ -61,6 +78,11 @@ pub struct AllocMetrics {
     pub cache_evictions: Counter,
     /// Datasets flagged for replica-count changes by rebalance plans.
     pub rebalance_datasets: Counter,
+    /// Catalog entries force-invalidated by
+    /// [`touch_all`](AllocationServer::touch_all) — each one costs a hop
+    /// cache refill and a stale-plan replan, which is exactly why
+    /// per-entry versions and per-shard epochs exist.
+    pub touch_all: Counter,
 }
 
 impl AllocMetrics {
@@ -75,6 +97,7 @@ impl AllocMetrics {
             cache_misses: reg.counter("alloc.resolve.cache.miss"),
             cache_evictions: reg.counter("alloc.resolve.cache.evict"),
             rebalance_datasets: reg.counter("alloc.rebalance.datasets"),
+            touch_all: reg.counter("alloc.catalog.touch_all"),
         }
     }
 }
@@ -91,50 +114,6 @@ pub struct RepositoryInfo {
     /// Monitored long-run availability fraction (from the CDN client's
     /// "system statistics … sent to allocation servers").
     pub availability: f64,
-}
-
-/// Catalog entry for one dataset.
-#[derive(Debug)]
-struct CatalogEntry {
-    replicas: Vec<NodeId>,
-    segments: u32,
-    /// Demand accounting: sharded atomic counters bumped under the read
-    /// lock by `resolve*`. A window is `counter − drained`; draining (the
-    /// replication policy's observation reset) just advances the
-    /// baseline.
-    demand_hits: Counter,
-    demand_misses: Counter,
-    hits_drained: u64,
-    misses_drained: u64,
-    /// Version for inter-server sync (higher wins) and hop-cache keying.
-    version: u64,
-}
-
-impl CatalogEntry {
-    fn demand(&self) -> DemandWindow {
-        DemandWindow {
-            hits: self.demand_hits.get().saturating_sub(self.hits_drained),
-            misses: self.demand_misses.get().saturating_sub(self.misses_drained),
-        }
-    }
-
-    /// Clone for catalog sync: counters are *snapshotted* into fresh
-    /// shards, not shared — two servers must never pool their demand.
-    fn sync_clone(&self) -> CatalogEntry {
-        let hits = Counter::new();
-        hits.add(self.demand_hits.get());
-        let misses = Counter::new();
-        misses.add(self.demand_misses.get());
-        CatalogEntry {
-            replicas: self.replicas.clone(),
-            segments: self.segments,
-            demand_hits: hits,
-            demand_misses: misses,
-            hits_drained: self.hits_drained,
-            misses_drained: self.misses_drained,
-            version: self.version,
-        }
-    }
 }
 
 /// Errors from allocation operations.
@@ -165,35 +144,19 @@ impl std::fmt::Display for AllocationError {
 
 impl std::error::Error for AllocationError {}
 
-#[derive(Default)]
-struct State {
-    repositories: HashMap<NodeId, RepositoryInfo>,
-    catalog: HashMap<DatasetId, CatalogEntry>,
-    /// Reverse index node → datasets with a replica there, kept in sync
-    /// with every catalog mutation so departure repair is O(answer), not
-    /// an O(catalog) scan.
-    hosted: HashMap<NodeId, BTreeSet<DatasetId>>,
-    version_counter: u64,
-}
-
-impl State {
-    fn index_add(&mut self, dataset: DatasetId, node: NodeId) {
-        self.hosted.entry(node).or_default().insert(dataset);
-    }
-
-    fn index_remove(&mut self, dataset: DatasetId, node: NodeId) {
-        if let Some(set) = self.hosted.get_mut(&node) {
-            set.remove(&dataset);
-            if set.is_empty() {
-                self.hosted.remove(&node);
-            }
-        }
-    }
-}
-
-/// An allocation server. Thread-safe.
+/// An allocation server. Thread-safe: reads are snapshot loads, writes
+/// copy-on-write exactly one shard (or the repository table).
 pub struct AllocationServer {
-    state: RwLock<State>,
+    /// Dataset-sharded catalog, each shard epoch-published.
+    shards: Vec<Published<ShardSnapshot>>,
+    /// `shards.len() - 1` (shard count is a power of two).
+    shard_mask: usize,
+    /// Repository registry. Additions republish the table; availability
+    /// telemetry mutates records in place.
+    repos: Published<RepoTable>,
+    /// Server-wide monotonic source of per-entry versions, shared by
+    /// every shard so versions order consistently for inter-server sync.
+    version_counter: AtomicU64,
     metrics: AllocMetrics,
     /// Version-keyed hop-distance cache for `resolve_csr`.
     cache: ResolveCache,
@@ -207,18 +170,13 @@ pub struct AllocationServer {
 
 impl Default for AllocationServer {
     fn default() -> Self {
-        AllocationServer {
-            state: RwLock::default(),
-            metrics: AllocMetrics::default(),
-            cache: ResolveCache::new(DEFAULT_RESOLVE_CACHE_CAPACITY),
-            scratch_pool: Mutex::new(Vec::new()),
-            hop_budget: AtomicU32::new(u32::MAX),
-        }
+        Self::with_shards(DEFAULT_CATALOG_SHARDS)
     }
 }
 
 impl AllocationServer {
-    /// New empty server with standalone (unregistered) metrics.
+    /// New empty server with standalone (unregistered) metrics and the
+    /// default shard count.
     pub fn new() -> Self {
         Self::default()
     }
@@ -226,9 +184,36 @@ impl AllocationServer {
     /// New empty server whose metrics are bound to `reg` (exported under
     /// `alloc.*`).
     pub fn with_registry(reg: &Registry) -> Self {
+        Self::with_registry_and_shards(reg, DEFAULT_CATALOG_SHARDS)
+    }
+
+    /// New empty server with an explicit catalog shard count (rounded up
+    /// to a power of two, minimum 1). The shard count is a performance
+    /// knob, never a correctness one: fewer shards mean coarser commit
+    /// granularity — more stale-plan replans under contention — and the
+    /// equivalence suites deliberately run with tiny counts to stress
+    /// exactly that.
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        AllocationServer {
+            shards: (0..count)
+                .map(|i| Published::new(ShardSnapshot::empty(i as u32)))
+                .collect(),
+            shard_mask: count - 1,
+            repos: Published::new(RepoTable::new()),
+            version_counter: AtomicU64::new(0),
+            metrics: AllocMetrics::default(),
+            cache: ResolveCache::new(DEFAULT_RESOLVE_CACHE_CAPACITY),
+            scratch_pool: Mutex::new(Vec::new()),
+            hop_budget: AtomicU32::new(u32::MAX),
+        }
+    }
+
+    /// [`with_shards`](Self::with_shards) with metrics bound to `reg`.
+    pub fn with_registry_and_shards(reg: &Registry, shards: usize) -> Self {
         AllocationServer {
             metrics: AllocMetrics::from_registry(reg),
-            ..Self::default()
+            ..Self::with_shards(shards)
         }
     }
 
@@ -249,33 +234,90 @@ impl AllocationServer {
         self.hop_budget.store(hops, Ordering::Relaxed);
     }
 
+    /// Number of catalog shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index of `dataset`.
+    pub fn shard_of(&self, dataset: DatasetId) -> usize {
+        shard_index(dataset, self.shard_mask)
+    }
+
+    /// Current publication epoch of one shard.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].load().epoch
+    }
+
+    /// Current epoch of every shard — the live version vector.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.load().epoch).collect()
+    }
+
+    /// `true` while the shard a plan read has not republished since:
+    /// the commit-side staleness check for a recorded [`ShardStamp`].
+    pub fn stamp_current(&self, stamp: ShardStamp) -> bool {
+        self.shard_epoch(stamp.shard as usize) == stamp.epoch
+    }
+
+    /// One consistent-per-shard view of the whole catalog and the
+    /// repository table. Loading is O(shards) refcount bumps; everything
+    /// read through the snapshot afterwards is lock-free. This is what a
+    /// planning phase grabs once per batch.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            shards: self.shards.iter().map(Published::load).collect(),
+            repos: self.repos.load(),
+        }
+    }
+
+    /// Advance `version_counter` and return the fresh version.
+    fn next_version(&self) -> u64 {
+        self.version_counter.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
     /// Register (or update) a contributed repository.
     pub fn register_repository(&self, info: RepositoryInfo) {
-        self.state.write().repositories.insert(info.node, info);
+        self.register_repositories(std::iter::once(info));
+    }
+
+    /// Bulk-register repositories with a single table republication —
+    /// O(n) total instead of the O(n²) a loop of
+    /// [`register_repository`](Self::register_repository) copy-on-writes
+    /// would cost. System build-up registers every member through this.
+    pub fn register_repositories(&self, infos: impl IntoIterator<Item = RepositoryInfo>) {
+        let mut guard = self.repos.write();
+        let mut next: RepoTable = (**guard).clone();
+        for info in infos {
+            next.insert(info.node, Arc::new(RepoRecord::from_info(&info)));
+        }
+        *guard = Arc::new(next);
     }
 
     /// Registered repository count.
     pub fn repository_count(&self) -> usize {
-        self.state.read().repositories.len()
+        self.repos.load().len()
     }
 
     /// Fetch a repository record.
     pub fn repository(&self, node: NodeId) -> Option<RepositoryInfo> {
-        self.state.read().repositories.get(&node).cloned()
+        self.repos.load().get(&node).map(|r| r.info())
     }
 
-    /// Update a repository's monitored availability (CDN-client telemetry).
+    /// Update a repository's monitored availability (CDN-client
+    /// telemetry). In-place atomic store on the shared record — no
+    /// republication, no epoch movement: availability is telemetry, and
+    /// planners deliberately read the freshest value.
     pub fn report_availability(
         &self,
         node: NodeId,
         availability: f64,
     ) -> Result<(), AllocationError> {
-        let mut s = self.state.write();
-        let info = s
-            .repositories
-            .get_mut(&node)
-            .ok_or(AllocationError::UnknownRepository(node))?;
-        info.availability = availability.clamp(0.0, 1.0);
+        self.repos
+            .load()
+            .get(&node)
+            .ok_or(AllocationError::UnknownRepository(node))?
+            .set_availability(availability);
         Ok(())
     }
 
@@ -287,41 +329,41 @@ impl AllocationServer {
         segments: u32,
         primary: NodeId,
     ) -> Result<(), AllocationError> {
-        let mut s = self.state.write();
-        if !s.repositories.contains_key(&primary) {
+        if !self.repos.load().contains_key(&primary) {
             return Err(AllocationError::UnknownRepository(primary));
         }
-        if s.catalog.contains_key(&dataset) {
+        let cell = &self.shards[self.shard_of(dataset)];
+        let mut guard = cell.write();
+        if guard.entries.contains_key(&dataset) {
             return Err(AllocationError::DuplicateDataset(dataset));
         }
-        s.version_counter += 1;
-        let version = s.version_counter;
-        s.catalog.insert(
+        let version = self.next_version();
+        let mut next = guard.cow();
+        next.entries.insert(
             dataset,
-            CatalogEntry {
+            Arc::new(EntryState {
                 replicas: vec![primary],
                 segments,
-                demand_hits: Counter::new(),
-                demand_misses: Counter::new(),
-                hits_drained: 0,
-                misses_drained: 0,
                 version,
-            },
+                demand: Arc::new(DemandState::new()),
+            }),
         );
-        s.index_add(dataset, primary);
+        next.index_add(dataset, primary);
+        next.epoch += 1;
+        *guard = Arc::new(next);
         Ok(())
     }
 
     /// Number of datasets in the catalog.
     pub fn dataset_count(&self) -> usize {
-        self.state.read().catalog.len()
+        self.shards.iter().map(|s| s.load().entries.len()).sum()
     }
 
     /// Current replica locations of a dataset.
     pub fn replicas_of(&self, dataset: DatasetId) -> Result<Vec<NodeId>, AllocationError> {
-        self.state
-            .read()
-            .catalog
+        self.shards[self.shard_of(dataset)]
+            .load()
+            .entries
             .get(&dataset)
             .map(|e| e.replicas.clone())
             .ok_or(AllocationError::UnknownDataset(dataset))
@@ -334,9 +376,9 @@ impl AllocationServer {
         &self,
         dataset: DatasetId,
     ) -> Result<(Vec<NodeId>, u64), AllocationError> {
-        self.state
-            .read()
-            .catalog
+        self.shards[self.shard_of(dataset)]
+            .load()
+            .entries
             .get(&dataset)
             .map(|e| (e.replicas.clone(), e.version))
             .ok_or(AllocationError::UnknownDataset(dataset))
@@ -344,9 +386,9 @@ impl AllocationServer {
 
     /// Segment count of a dataset.
     pub fn segments_of(&self, dataset: DatasetId) -> Result<u32, AllocationError> {
-        self.state
-            .read()
-            .catalog
+        self.shards[self.shard_of(dataset)]
+            .load()
+            .entries
             .get(&dataset)
             .map(|e| e.segments)
             .ok_or(AllocationError::UnknownDataset(dataset))
@@ -364,33 +406,39 @@ impl AllocationServer {
         social: &Graph,
         seed: u64,
     ) -> Result<Vec<NodeId>, AllocationError> {
-        let mut s = self.state.write();
-        if !s.catalog.contains_key(&dataset) {
+        let repos = self.repos.load();
+        let cell = &self.shards[self.shard_of(dataset)];
+        let mut guard = cell.write();
+        let Some(entry) = guard.entries.get(&dataset) else {
             return Err(AllocationError::UnknownDataset(dataset));
-        }
+        };
         // Over-provision the ranking so skipped candidates don't starve us.
-        let ranked = algorithm.place(social, k + s.catalog[&dataset].replicas.len(), seed);
+        let ranked = algorithm.place(social, k + entry.replicas.len(), seed);
         let eligible: Vec<NodeId> = ranked
             .into_iter()
-            .filter(|n| s.repositories.contains_key(n))
+            .filter(|n| repos.contains_key(n))
             .collect();
-        s.version_counter += 1;
-        let version = s.version_counter;
-        let entry = s.catalog.get_mut(&dataset).expect("checked above");
+        let version = self.next_version();
+        let mut next = guard.cow();
         let mut added = Vec::new();
-        for n in eligible {
-            if entry.replicas.len() >= k {
-                break;
+        {
+            let entry = next.entry_mut(dataset);
+            for n in eligible {
+                if entry.replicas.len() >= k {
+                    break;
+                }
+                if !entry.replicas.contains(&n) {
+                    entry.replicas.push(n);
+                    added.push(n);
+                }
             }
-            if !entry.replicas.contains(&n) {
-                entry.replicas.push(n);
-                added.push(n);
-            }
+            entry.version = version;
         }
-        entry.version = version;
         for &n in &added {
-            s.index_add(dataset, n);
+            next.index_add(dataset, n);
         }
+        next.epoch += 1;
+        *guard = Arc::new(next);
         Ok(added)
     }
 
@@ -398,24 +446,30 @@ impl AllocationServer {
     /// runtime after a successful replication transfer). Returns `false`
     /// if the node already hosts the dataset.
     pub fn add_replica(&self, dataset: DatasetId, node: NodeId) -> Result<bool, AllocationError> {
-        let mut s = self.state.write();
-        if !s.repositories.contains_key(&node) {
+        if !self.repos.load().contains_key(&node) {
             return Err(AllocationError::UnknownRepository(node));
         }
-        if !s.catalog.contains_key(&dataset) {
+        let cell = &self.shards[self.shard_of(dataset)];
+        let mut guard = cell.write();
+        let Some(entry) = guard.entries.get(&dataset) else {
             return Err(AllocationError::UnknownDataset(dataset));
-        }
-        if s.catalog[&dataset].replicas.contains(&node) {
-            // No catalog change: don't burn a version (a spurious bump
-            // would invalidate cached hop distances for nothing).
+        };
+        if entry.replicas.contains(&node) {
+            // No catalog change: don't burn a version or an epoch (a
+            // spurious bump would invalidate cached hop distances and
+            // in-flight plans for nothing).
             return Ok(false);
         }
-        s.version_counter += 1;
-        let version = s.version_counter;
-        let entry = s.catalog.get_mut(&dataset).expect("checked above");
-        entry.replicas.push(node);
-        entry.version = version;
-        s.index_add(dataset, node);
+        let version = self.next_version();
+        let mut next = guard.cow();
+        {
+            let entry = next.entry_mut(dataset);
+            entry.replicas.push(node);
+            entry.version = version;
+        }
+        next.index_add(dataset, node);
+        next.epoch += 1;
+        *guard = Arc::new(next);
         Ok(true)
     }
 
@@ -425,56 +479,96 @@ impl AllocationServer {
         dataset: DatasetId,
         node: NodeId,
     ) -> Result<bool, AllocationError> {
-        let mut s = self.state.write();
-        if !s.catalog.contains_key(&dataset) {
+        let cell = &self.shards[self.shard_of(dataset)];
+        let mut guard = cell.write();
+        let Some(entry) = guard.entries.get(&dataset) else {
             return Err(AllocationError::UnknownDataset(dataset));
-        }
-        if !s.catalog[&dataset].replicas.contains(&node) {
+        };
+        if !entry.replicas.contains(&node) {
             return Ok(false);
         }
-        s.version_counter += 1;
-        let version = s.version_counter;
-        let entry = s.catalog.get_mut(&dataset).expect("checked above");
-        entry.replicas.retain(|&n| n != node);
-        entry.version = version;
-        s.index_remove(dataset, node);
+        let version = self.next_version();
+        let mut next = guard.cow();
+        {
+            let entry = next.entry_mut(dataset);
+            entry.replicas.retain(|&n| n != node);
+            entry.version = version;
+        }
+        next.index_remove(dataset, node);
+        next.epoch += 1;
+        *guard = Arc::new(next);
         Ok(true)
     }
 
     /// Move a replica from one node to another (migration). Validation
-    /// happens before the version bump: a failed migration must not
+    /// happens before anything publishes: a failed migration must not
     /// spuriously invalidate catalog versions (or the hop cache keyed on
-    /// them).
+    /// them) or advance the shard epoch (or the plans stamped on it).
     pub fn migrate_replica(
         &self,
         dataset: DatasetId,
         from: NodeId,
         to: NodeId,
     ) -> Result<(), AllocationError> {
-        let mut s = self.state.write();
-        if !s.repositories.contains_key(&to) {
+        if !self.repos.load().contains_key(&to) {
             return Err(AllocationError::UnknownRepository(to));
         }
-        let entry = s
-            .catalog
-            .get(&dataset)
-            .ok_or(AllocationError::UnknownDataset(dataset))?;
+        let cell = &self.shards[self.shard_of(dataset)];
+        let mut guard = cell.write();
+        let Some(entry) = guard.entries.get(&dataset) else {
+            return Err(AllocationError::UnknownDataset(dataset));
+        };
         let Some(pos) = entry.replicas.iter().position(|&n| n == from) else {
             return Err(AllocationError::UnknownRepository(from));
         };
         let to_exists = entry.replicas.contains(&to);
-        s.version_counter += 1;
-        let version = s.version_counter;
-        let entry = s.catalog.get_mut(&dataset).expect("checked above");
-        if to_exists {
-            entry.replicas.remove(pos);
-        } else {
-            entry.replicas[pos] = to;
+        let version = self.next_version();
+        let mut next = guard.cow();
+        {
+            let entry = next.entry_mut(dataset);
+            if to_exists {
+                entry.replicas.remove(pos);
+            } else {
+                entry.replicas[pos] = to;
+            }
+            entry.version = version;
         }
-        entry.version = version;
-        s.index_remove(dataset, from);
-        s.index_add(dataset, to);
+        next.index_remove(dataset, from);
+        next.index_add(dataset, to);
+        next.epoch += 1;
+        *guard = Arc::new(next);
         Ok(())
+    }
+
+    /// Force-invalidate every catalog entry: each entry's version is
+    /// bumped (every cached hop table goes stale) and every non-empty
+    /// shard republishes (every in-flight plan replans). This is the
+    /// wholesale counterpart of the per-entry invalidation the normal
+    /// mutations perform — kept for out-of-band catalog surgery, and
+    /// deliberately expensive. `alloc.catalog.touch_all` counts the
+    /// entries invalidated so the cost is visible next to the retention
+    /// the sharded design otherwise buys. Returns the entry count.
+    pub fn touch_all(&self) -> u64 {
+        let mut touched = 0u64;
+        for cell in &self.shards {
+            let mut guard = cell.write();
+            if guard.entries.is_empty() {
+                continue;
+            }
+            // Deterministic version assignment within the shard.
+            let mut ids: Vec<DatasetId> = guard.entries.keys().copied().collect();
+            ids.sort_unstable();
+            let mut next = guard.cow();
+            for d in ids {
+                let version = self.next_version();
+                next.entry_mut(d).version = version;
+                touched += 1;
+            }
+            next.epoch += 1;
+            *guard = Arc::new(next);
+        }
+        self.metrics.touch_all.add(touched);
+        touched
     }
 
     /// Resolve a request: pick the best online replica for `requester`.
@@ -485,7 +579,7 @@ impl AllocationServer {
     /// call. It is kept as the oracle the CSR fast path
     /// ([`resolve_csr`](AllocationServer::resolve_csr)) is
     /// property-tested against; both record demand through the entry's
-    /// atomic counters and never take the catalog write lock.
+    /// atomic counters and never take any catalog lock across the work.
     pub fn resolve(
         &self,
         dataset: DatasetId,
@@ -494,51 +588,38 @@ impl AllocationServer {
         online: impl Fn(NodeId) -> bool,
         latency_ms: impl Fn(NodeId) -> f64,
     ) -> Result<Selection, AllocationError> {
-        let (candidates, hits, misses) = {
-            let s = self.state.read();
-            let entry = match s.catalog.get(&dataset) {
-                Some(e) => e,
-                None => {
-                    self.metrics.resolve_failed.inc();
-                    return Err(AllocationError::UnknownDataset(dataset));
-                }
-            };
-            let candidates: Vec<Candidate> = entry
-                .replicas
-                .iter()
-                .map(|&n| Candidate {
-                    node: n,
-                    online: online(n),
-                    latency_ms: latency_ms(n),
-                    availability: s
-                        .repositories
-                        .get(&n)
-                        .map(|r| r.availability)
-                        .unwrap_or(0.0),
-                })
-                .collect();
-            (
-                candidates,
-                entry.demand_hits.clone(),
-                entry.demand_misses.clone(),
-            )
+        let shard = self.shards[self.shard_of(dataset)].load();
+        let repos = self.repos.load();
+        let Some(entry) = shard.entries.get(&dataset) else {
+            self.metrics.resolve_failed.inc();
+            return Err(AllocationError::UnknownDataset(dataset));
         };
+        let candidates: Vec<Candidate> = entry
+            .replicas
+            .iter()
+            .map(|&n| Candidate {
+                node: n,
+                online: online(n),
+                latency_ms: latency_ms(n),
+                availability: repos.get(&n).map(|r| r.availability()).unwrap_or(0.0),
+            })
+            .collect();
         let Some(sel) = select_replica(social, requester, &candidates) else {
             self.metrics.resolve_failed.inc();
             return Err(AllocationError::NoReplicaAvailable(dataset));
         };
         self.metrics.resolve_ok.inc();
-        self.record_demand(&hits, &misses, sel.social_hops);
+        self.record_demand(&entry.demand, sel.social_hops);
         Ok(sel)
     }
 
     /// Bump per-dataset and server-wide demand counters for a selection.
-    fn record_demand(&self, hits: &Counter, misses: &Counter, hops: Option<u32>) {
+    fn record_demand(&self, demand: &DemandState, hops: Option<u32>) {
         if matches!(hops, Some(h) if h <= 1) {
-            hits.inc();
+            demand.hits.inc();
             self.metrics.demand_hits.inc();
         } else {
-            misses.inc();
+            demand.misses.inc();
             self.metrics.demand_misses.inc();
         }
     }
@@ -561,19 +642,24 @@ impl AllocationServer {
         online: impl Fn(NodeId) -> bool,
         latency_ms: impl Fn(NodeId) -> f64,
     ) -> Result<Selection, AllocationError> {
-        self.resolve_csr_core(dataset, requester, csr, online, latency_ms, true)
-            .0
+        let shard = self.shards[self.shard_of(dataset)].load();
+        let repos = self.repos.load();
+        self.resolve_csr_in(
+            &shard, &repos, dataset, requester, csr, online, latency_ms, true,
+        )
+        .0
     }
 
     /// [`resolve_csr`](AllocationServer::resolve_csr) for planning
     /// threads: identical selection, but the resolve/demand accounting is
     /// deferred — the caller records the outcome that actually commits via
     /// [`commit_resolution`](AllocationServer::commit_resolution). Also
-    /// returns the catalog-entry version the selection was computed
-    /// against (`None` for an unknown dataset), the staleness token a
-    /// deferred commit checks before applying the plan. Hop-cache counters
-    /// (`alloc.resolve.cache.*`) still tick: they instrument the cache
-    /// mechanics, not the request outcome.
+    /// returns the [`ShardStamp`] the selection was computed against —
+    /// the staleness token a deferred commit checks (via
+    /// [`stamp_current`](AllocationServer::stamp_current)) before
+    /// applying the plan. Hop-cache counters (`alloc.resolve.cache.*`)
+    /// still tick: they instrument the cache mechanics, not the request
+    /// outcome.
     pub fn resolve_csr_planned(
         &self,
         dataset: DatasetId,
@@ -581,24 +667,52 @@ impl AllocationServer {
         csr: &CsrGraph,
         online: impl Fn(NodeId) -> bool,
         latency_ms: impl Fn(NodeId) -> f64,
-    ) -> (Result<Selection, AllocationError>, Option<u64>) {
-        self.resolve_csr_core(dataset, requester, csr, online, latency_ms, false)
+    ) -> (Result<Selection, AllocationError>, ShardStamp) {
+        let shard = self.shards[self.shard_of(dataset)].load();
+        let repos = self.repos.load();
+        self.resolve_csr_in(
+            &shard, &repos, dataset, requester, csr, online, latency_ms, false,
+        )
+    }
+
+    /// [`resolve_csr_planned`](AllocationServer::resolve_csr_planned)
+    /// against a caller-held [`CatalogSnapshot`]: the batch-planning hot
+    /// path. Acquires **no catalog lock at all** — every read is against
+    /// the snapshot the caller loaded once for the whole batch.
+    pub fn resolve_csr_snapshot(
+        &self,
+        snap: &CatalogSnapshot,
+        dataset: DatasetId,
+        requester: NodeId,
+        csr: &CsrGraph,
+        online: impl Fn(NodeId) -> bool,
+        latency_ms: impl Fn(NodeId) -> f64,
+    ) -> (Result<Selection, AllocationError>, ShardStamp) {
+        self.resolve_csr_in(
+            snap.shard_for(dataset),
+            &snap.repos,
+            dataset,
+            requester,
+            csr,
+            online,
+            latency_ms,
+            false,
+        )
     }
 
     /// Record the resolve outcome a deferred plan committed with:
     /// `Some(hops)` for a successful selection (its social-hop distance),
     /// `None` for a failed resolve. This is the accounting
     /// [`resolve_csr`](AllocationServer::resolve_csr) performs inline and
-    /// [`resolve_csr_planned`](AllocationServer::resolve_csr_planned)
-    /// defers.
+    /// the planned/snapshot variants defer.
     pub fn commit_resolution(&self, dataset: DatasetId, outcome: Option<Option<u32>>) {
         match outcome {
             None => self.metrics.resolve_failed.inc(),
             Some(hops) => {
                 self.metrics.resolve_ok.inc();
-                let s = self.state.read();
-                if let Some(entry) = s.catalog.get(&dataset) {
-                    self.record_demand(&entry.demand_hits, &entry.demand_misses, hops);
+                let shard = self.shards[self.shard_of(dataset)].load();
+                if let Some(entry) = shard.entries.get(&dataset) {
+                    self.record_demand(&entry.demand, hops);
                 }
             }
         }
@@ -608,29 +722,39 @@ impl AllocationServer {
     /// Every replica-set mutation bumps it, so comparing versions detects
     /// whether a deferred plan's selection might be stale.
     pub fn catalog_version(&self, dataset: DatasetId) -> Option<u64> {
-        self.state.read().catalog.get(&dataset).map(|e| e.version)
+        self.shards[self.shard_of(dataset)]
+            .load()
+            .entries
+            .get(&dataset)
+            .map(|e| e.version)
     }
 
-    fn resolve_csr_core(
+    /// Shared resolution core over one shard snapshot and repository
+    /// table: no lock is held (the caller loaded the `Arc`s), so the BFS
+    /// and the ranking loop run entirely on frozen data.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_csr_in(
         &self,
+        shard: &ShardSnapshot,
+        repos: &RepoTable,
         dataset: DatasetId,
         requester: NodeId,
         csr: &CsrGraph,
         online: impl Fn(NodeId) -> bool,
         latency_ms: impl Fn(NodeId) -> f64,
         record: bool,
-    ) -> (Result<Selection, AllocationError>, Option<u64>) {
+    ) -> (Result<Selection, AllocationError>, ShardStamp) {
         self.cache.ensure_graph(csr);
-        let s = self.state.read();
-        let Some(entry) = s.catalog.get(&dataset) else {
+        let stamp = shard.stamp();
+        let Some(entry) = shard.entries.get(&dataset) else {
             if record {
                 self.metrics.resolve_failed.inc();
             }
-            return (Err(AllocationError::UnknownDataset(dataset)), None);
+            return (Err(AllocationError::UnknownDataset(dataset)), stamp);
         };
         let key = (requester, dataset);
         let cached = self.cache.with_hops(key, entry.version, |hops| {
-            Self::select_online(&s.repositories, &entry.replicas, hops, &online, &latency_ms)
+            Self::select_online(repos, &entry.replicas, hops, &online, &latency_ms)
         });
         let sel = match cached {
             Some(sel) => {
@@ -651,41 +775,31 @@ impl AllocationServer {
                     .iter()
                     .map(|&r| scratch.target_hops(r))
                     .collect();
-                let sel = Self::select_online(
-                    &s.repositories,
-                    &entry.replicas,
-                    &hops,
-                    &online,
-                    &latency_ms,
-                );
+                let sel = Self::select_online(repos, &entry.replicas, &hops, &online, &latency_ms);
                 let outcome = self.cache.insert(key, entry.version, hops);
                 self.metrics.cache_evictions.add(outcome.evicted);
                 self.scratch_pool.lock().push(scratch);
                 sel
             }
         };
-        let version = entry.version;
         let Some(sel) = sel else {
             if record {
                 self.metrics.resolve_failed.inc();
             }
-            return (
-                Err(AllocationError::NoReplicaAvailable(dataset)),
-                Some(version),
-            );
+            return (Err(AllocationError::NoReplicaAvailable(dataset)), stamp);
         };
         if record {
             self.metrics.resolve_ok.inc();
-            self.record_demand(&entry.demand_hits, &entry.demand_misses, sel.social_hops);
+            self.record_demand(&entry.demand, sel.social_hops);
         }
-        (Ok(sel), Some(version))
+        (Ok(sel), stamp)
     }
 
     /// Ranking loop shared by the cached and freshly-traversed paths:
     /// best online replica by (hops, latency, availability, id), exactly
     /// [`select_replica`]'s order. `hops` is parallel to `replicas`.
     fn select_online(
-        repositories: &HashMap<NodeId, RepositoryInfo>,
+        repositories: &RepoTable,
         replicas: &[NodeId],
         hops: &[Option<u32>],
         online: &impl Fn(NodeId) -> bool,
@@ -700,7 +814,10 @@ impl AllocationServer {
                 node: n,
                 online: true,
                 latency_ms: latency_ms(n),
-                availability: repositories.get(&n).map(|r| r.availability).unwrap_or(0.0),
+                availability: repositories
+                    .get(&n)
+                    .map(|r| r.availability())
+                    .unwrap_or(0.0),
             };
             let h = hops.get(i).copied().flatten();
             let key = rank_key(h, &c);
@@ -720,9 +837,10 @@ impl AllocationServer {
 
     /// Resolve a batch of `(dataset, requester)` requests in parallel
     /// over the CSR fast path. Results are positionally parallel to
-    /// `requests`. The hop cache is shared (and warmed) across workers;
-    /// each worker draws its own scratch from the pool. `latency_ms` takes
-    /// `(requester, replica)` since one batch spans many requesters.
+    /// `requests`. One catalog snapshot is loaded for the whole batch;
+    /// workers share it (and the warmed hop cache) with zero catalog
+    /// locks per request. `latency_ms` takes `(requester, replica)`
+    /// since one batch spans many requesters.
     pub fn resolve_batch(
         &self,
         requests: &[(DatasetId, NodeId)],
@@ -730,54 +848,67 @@ impl AllocationServer {
         online: impl Fn(NodeId) -> bool + Sync,
         latency_ms: impl Fn(NodeId, NodeId) -> f64 + Sync,
     ) -> Vec<Result<Selection, AllocationError>> {
+        let snap = self.snapshot();
         par_map_collect(requests.len(), 64, |i| {
             let (dataset, requester) = requests[i];
-            self.resolve_csr(dataset, requester, csr, &online, |n| {
-                latency_ms(requester, n)
-            })
+            self.resolve_csr_in(
+                snap.shard_for(dataset),
+                &snap.repos,
+                dataset,
+                requester,
+                csr,
+                &online,
+                |n| latency_ms(requester, n),
+                true,
+            )
+            .0
         })
     }
 
     /// All datasets with a replica on `node` (used for departure repair).
-    /// Served from the reverse index in O(answer).
+    /// Served from the per-shard reverse indexes in O(answer).
     pub fn datasets_hosted_by(&self, node: NodeId) -> Vec<DatasetId> {
-        self.state
-            .read()
-            .hosted
-            .get(&node)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        for cell in &self.shards {
+            if let Some(set) = cell.load().hosted.get(&node) {
+                out.extend(set.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Demand window of a dataset (for the replication policy).
     pub fn demand_of(&self, dataset: DatasetId) -> Result<DemandWindow, AllocationError> {
-        self.state
-            .read()
-            .catalog
+        self.shards[self.shard_of(dataset)]
+            .load()
+            .entries
             .get(&dataset)
-            .map(CatalogEntry::demand)
+            .map(|e| e.demand.window())
             .ok_or(AllocationError::UnknownDataset(dataset))
     }
 
     /// Drain all demand windows (start of a new observation period): the
     /// atomic totals keep counting, the per-dataset baselines advance.
+    /// In-place on the shared demand state — no shard republishes, no
+    /// epoch moves, no plan goes stale.
     pub fn reset_demand(&self) {
-        for e in self.state.write().catalog.values_mut() {
-            e.hits_drained = e.demand_hits.get();
-            e.misses_drained = e.demand_misses.get();
+        for cell in &self.shards {
+            for entry in cell.load().entries.values() {
+                entry.demand.drain();
+            }
         }
     }
 
     /// Datasets whose replica count should change under `policy`:
     /// `(dataset, current, target)`.
     pub fn rebalance_plan(&self, policy: &ReplicationPolicy) -> Vec<(DatasetId, usize, usize)> {
-        let s = self.state.read();
-        let mut plan: Vec<(DatasetId, usize, usize)> = s
-            .catalog
-            .iter()
-            .filter_map(|(&d, e)| {
+        let mut plan: Vec<(DatasetId, usize, usize)> = Vec::new();
+        for cell in &self.shards {
+            let shard = cell.load();
+            plan.extend(shard.entries.iter().filter_map(|(&d, e)| {
                 let current = e.replicas.len();
-                let demand = e.demand();
+                let demand = e.demand.window();
                 let target = policy.target_replicas(current, demand);
                 let target = if policy.should_shrink(current, demand) {
                     target
@@ -787,8 +918,8 @@ impl AllocationServer {
                     target
                 };
                 (target != current).then_some((d, current, target))
-            })
-            .collect();
+            }));
+        }
         plan.sort_by_key(|&(d, _, _)| d);
         self.metrics.rebalance_datasets.add(plan.len() as u64);
         plan
@@ -798,30 +929,78 @@ impl AllocationServer {
     /// for each dataset the entry with the higher version wins; repository
     /// registrations are unioned. Demand counters are snapshotted, never
     /// shared across servers.
+    ///
+    /// Lock ordering: `other` is snapshotted **first** and completely —
+    /// no lock of `other` is held while any of `self`'s cells are
+    /// acquired. Two servers syncing from each other concurrently
+    /// therefore cannot deadlock (the old single-lock implementation
+    /// held `other`'s read lock across `self`'s write acquisition, which
+    /// could).
     pub fn sync_from(&self, other: &AllocationServer) {
-        let other_state = other.state.read();
-        let mut s = self.state.write();
-        for (node, info) in &other_state.repositories {
-            s.repositories.entry(*node).or_insert_with(|| info.clone());
-        }
-        for (d, e) in &other_state.catalog {
-            match s.catalog.get(d) {
-                Some(mine) if mine.version >= e.version => {}
-                prev => {
-                    let old_replicas: Vec<NodeId> =
-                        prev.map(|p| p.replicas.clone()).unwrap_or_default();
-                    s.catalog.insert(*d, e.sync_clone());
-                    for n in old_replicas {
-                        s.index_remove(*d, n);
-                    }
-                    for &n in &e.replicas {
-                        s.index_add(*d, n);
-                    }
+        let theirs = other.snapshot();
+        let their_versions = other.version_counter.load(Ordering::SeqCst);
+        // Union missing repositories in one republication. Records are
+        // copied, not shared: availability telemetry must stay per-server.
+        {
+            let mut guard = self.repos.write();
+            let missing: Vec<&Arc<RepoRecord>> = theirs
+                .repos
+                .values()
+                .filter(|r| !guard.contains_key(&r.node))
+                .collect();
+            if !missing.is_empty() {
+                let mut next: RepoTable = (**guard).clone();
+                for r in missing {
+                    next.insert(r.node, Arc::new(RepoRecord::from_info(&r.info())));
                 }
+                *guard = Arc::new(next);
             }
         }
-        let max_v = other_state.version_counter.max(s.version_counter);
-        s.version_counter = max_v;
+        // Group their entries by *our* shard layout (shard counts may
+        // differ between servers), then merge shard by shard with one
+        // publication per shard that actually changed.
+        let mut by_shard: Vec<Vec<(DatasetId, &Arc<EntryState>)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for shard in &theirs.shards {
+            for (&d, e) in &shard.entries {
+                by_shard[self.shard_of(d)].push((d, e));
+            }
+        }
+        for (idx, items) in by_shard.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let mut guard = self.shards[idx].write();
+            let winners: Vec<(DatasetId, &Arc<EntryState>)> = items
+                .into_iter()
+                .filter(|(d, e)| match guard.entries.get(d) {
+                    Some(mine) => mine.version < e.version,
+                    None => true,
+                })
+                .collect();
+            if winners.is_empty() {
+                continue;
+            }
+            let mut next = guard.cow();
+            for (d, e) in winners {
+                let old_replicas: Vec<NodeId> = next
+                    .entries
+                    .get(&d)
+                    .map(|p| p.replicas.clone())
+                    .unwrap_or_default();
+                next.entries.insert(d, Arc::new(e.sync_clone()));
+                for n in old_replicas {
+                    next.index_remove(d, n);
+                }
+                for &n in &e.replicas {
+                    next.index_add(d, n);
+                }
+            }
+            next.epoch += 1;
+            *guard = Arc::new(next);
+        }
+        self.version_counter
+            .fetch_max(their_versions, Ordering::SeqCst);
     }
 }
 
@@ -832,14 +1011,12 @@ mod tests {
 
     fn server_with_repos(g: &Graph) -> AllocationServer {
         let srv = AllocationServer::new();
-        for v in g.nodes() {
-            srv.register_repository(RepositoryInfo {
-                node: v,
-                owner: AuthorId(v.0),
-                capacity: 1 << 30,
-                availability: 0.9,
-            });
-        }
+        srv.register_repositories(g.nodes().map(|v| RepositoryInfo {
+            node: v,
+            owner: AuthorId(v.0),
+            capacity: 1 << 30,
+            availability: 0.9,
+        }));
         srv
     }
 
@@ -886,14 +1063,12 @@ mod tests {
         let g = barabasi_albert(50, 2, 2);
         let srv = AllocationServer::new();
         // Register only even nodes.
-        for v in g.nodes().filter(|v| v.0 % 2 == 0) {
-            srv.register_repository(RepositoryInfo {
-                node: v,
-                owner: AuthorId(v.0),
-                capacity: 1,
-                availability: 1.0,
-            });
-        }
+        srv.register_repositories(g.nodes().filter(|v| v.0 % 2 == 0).map(|v| RepositoryInfo {
+            node: v,
+            owner: AuthorId(v.0),
+            capacity: 1,
+            availability: 1.0,
+        }));
         srv.register_dataset(DatasetId(0), 1, NodeId(0))
             .expect("ok");
         srv.place_replicas(DatasetId(0), 5, PlacementAlgorithm::NodeDegree, &g, 0)
@@ -997,18 +1172,41 @@ mod tests {
     }
 
     #[test]
+    fn sync_between_different_shard_counts() {
+        // Shard count is a per-server layout choice; sync must re-shard.
+        let g = barabasi_albert(10, 2, 5);
+        let a = server_with_repos(&g);
+        let b = AllocationServer::with_shards(1);
+        for d in 0..20u32 {
+            a.register_dataset(DatasetId(d), 1, NodeId(d % 10))
+                .expect("ok");
+        }
+        b.sync_from(&a);
+        assert_eq!(b.dataset_count(), 20);
+        for d in 0..20u32 {
+            assert_eq!(
+                b.replicas_of(DatasetId(d)).expect("synced"),
+                vec![NodeId(d % 10)]
+            );
+        }
+        // And back the other way into the wider layout.
+        b.migrate_replica(DatasetId(7), NodeId(7), NodeId(0))
+            .expect("ok");
+        a.sync_from(&b);
+        assert_eq!(a.replicas_of(DatasetId(7)).expect("known"), vec![NodeId(0)]);
+    }
+
+    #[test]
     fn registry_bound_metrics_track_resolutions() {
         let reg = Registry::new();
         let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
         let srv = AllocationServer::with_registry(&reg);
-        for v in g.nodes() {
-            srv.register_repository(RepositoryInfo {
-                node: v,
-                owner: AuthorId(v.0),
-                capacity: 1 << 30,
-                availability: 0.9,
-            });
-        }
+        srv.register_repositories(g.nodes().map(|v| RepositoryInfo {
+            node: v,
+            owner: AuthorId(v.0),
+            capacity: 1 << 30,
+            availability: 0.9,
+        }));
         srv.register_dataset(DatasetId(0), 1, NodeId(0))
             .expect("ok");
         srv.resolve(DatasetId(0), NodeId(1), &g, |_| true, |_| 10.0)
@@ -1037,19 +1235,36 @@ mod tests {
     }
 
     #[test]
+    fn availability_reports_do_not_republish() {
+        // Telemetry mutates the shared record in place: no shard epoch
+        // moves and no in-flight snapshot goes stale.
+        let g = barabasi_albert(5, 2, 6);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(1))
+            .expect("ok");
+        let epochs = srv.shard_epochs();
+        let snap = srv.snapshot();
+        srv.report_availability(NodeId(1), 0.11).expect("ok");
+        assert_eq!(srv.shard_epochs(), epochs, "no epoch movement");
+        // The held snapshot sees the fresh telemetry (shared record).
+        assert!(
+            (snap.repos.get(&NodeId(1)).expect("known").availability() - 0.11).abs() < 1e-12,
+            "availability is shared live state"
+        );
+    }
+
+    #[test]
     fn resolve_csr_matches_adjacency_and_caches() {
         let reg = Registry::new();
         let g = barabasi_albert(60, 2, 9);
         let csr = CsrGraph::from(&g);
         let srv = AllocationServer::with_registry(&reg);
-        for v in g.nodes() {
-            srv.register_repository(RepositoryInfo {
-                node: v,
-                owner: AuthorId(v.0),
-                capacity: 1 << 30,
-                availability: 0.9,
-            });
-        }
+        srv.register_repositories(g.nodes().map(|v| RepositoryInfo {
+            node: v,
+            owner: AuthorId(v.0),
+            capacity: 1 << 30,
+            availability: 0.9,
+        }));
         srv.register_dataset(DatasetId(0), 1, NodeId(3))
             .expect("ok");
         srv.add_replica(DatasetId(0), NodeId(41)).expect("ok");
@@ -1075,14 +1290,12 @@ mod tests {
         let g = barabasi_albert(20, 2, 13);
         let csr = CsrGraph::from(&g);
         let srv = AllocationServer::with_registry(&reg);
-        for v in g.nodes() {
-            srv.register_repository(RepositoryInfo {
-                node: v,
-                owner: AuthorId(v.0),
-                capacity: 1,
-                availability: 1.0,
-            });
-        }
+        srv.register_repositories(g.nodes().map(|v| RepositoryInfo {
+            node: v,
+            owner: AuthorId(v.0),
+            capacity: 1,
+            availability: 1.0,
+        }));
         srv.register_dataset(DatasetId(0), 1, NodeId(5))
             .expect("ok");
         let warm = |srv: &AllocationServer| {
@@ -1090,8 +1303,10 @@ mod tests {
                 .expect("resolves")
         };
         warm(&srv);
+        let epochs = srv.shard_epochs();
         // Invalid migrations (unknown repo / dataset / source) must not
-        // bump versions: the next resolution still hits the cache.
+        // bump versions or epochs: the next resolution still hits the
+        // cache and no in-flight plan would replan.
         assert!(srv
             .migrate_replica(DatasetId(0), NodeId(5), NodeId(99))
             .is_err());
@@ -1102,9 +1317,101 @@ mod tests {
             .migrate_replica(DatasetId(0), NodeId(11), NodeId(2))
             .is_err());
         warm(&srv);
+        assert_eq!(srv.shard_epochs(), epochs, "failed ops publish nothing");
         let snap = reg.snapshot();
         assert_eq!(snap.counter("alloc.resolve.cache.hit"), Some(1));
         assert_eq!(snap.counter("alloc.resolve.cache.miss"), Some(1));
+    }
+
+    #[test]
+    fn unrelated_commits_leave_other_shards_alone() {
+        // The retention win the sharded catalog buys: a commit advances
+        // only its own shard's epoch, so plans and cached state keyed on
+        // every other shard stay valid.
+        let g = barabasi_albert(30, 2, 21);
+        let srv = server_with_repos(&g);
+        // Find two datasets in different shards.
+        let (a, b) = {
+            let a = DatasetId(0);
+            let mut b = DatasetId(1);
+            while srv.shard_of(b) == srv.shard_of(a) {
+                b = DatasetId(b.0 + 1);
+            }
+            (a, b)
+        };
+        srv.register_dataset(a, 1, NodeId(1)).expect("ok");
+        srv.register_dataset(b, 1, NodeId(2)).expect("ok");
+        let snap = srv.snapshot();
+        let stamp_a = snap.stamp_of(a);
+        let stamp_b = snap.stamp_of(b);
+        srv.add_replica(a, NodeId(9)).expect("ok");
+        assert!(
+            !srv.stamp_current(stamp_a),
+            "a's shard republished — plans that read it must replan"
+        );
+        assert!(
+            srv.stamp_current(stamp_b),
+            "b's shard is untouched — plans that read it stay fresh"
+        );
+        // The held snapshot still serves the pre-commit view of a.
+        assert_eq!(snap.replicas_of(a), Some(&[NodeId(1)][..]));
+        assert_eq!(
+            srv.replicas_of(a).expect("known"),
+            vec![NodeId(1), NodeId(9)]
+        );
+    }
+
+    #[test]
+    fn touch_all_invalidates_wholesale() {
+        // Regression documenting the cost `touch_all` pays and the
+        // retention normal commits keep: a targeted mutation invalidates
+        // one entry's cached hops, `touch_all` invalidates every entry
+        // (counted in `alloc.catalog.touch_all`) and republishes every
+        // non-empty shard.
+        let reg = Registry::new();
+        let g = barabasi_albert(40, 2, 31);
+        let csr = CsrGraph::from(&g);
+        let srv = AllocationServer::with_registry(&reg);
+        srv.register_repositories(g.nodes().map(|v| RepositoryInfo {
+            node: v,
+            owner: AuthorId(v.0),
+            capacity: 1 << 30,
+            availability: 0.9,
+        }));
+        let (a, b) = (DatasetId(0), DatasetId(1));
+        srv.register_dataset(a, 1, NodeId(1)).expect("ok");
+        srv.register_dataset(b, 1, NodeId(2)).expect("ok");
+        let warm = |d: DatasetId| {
+            srv.resolve_csr(d, NodeId(9), &csr, |_| true, |_| 1.0)
+                .expect("resolves");
+        };
+        let misses = || reg.snapshot().counter("alloc.resolve.cache.miss").unwrap();
+        warm(a);
+        warm(b);
+        assert_eq!(misses(), 2, "both cold");
+        // Targeted mutation: only a's cached hops go stale.
+        srv.add_replica(a, NodeId(7)).expect("ok");
+        warm(a);
+        warm(b);
+        assert_eq!(misses(), 3, "a refilled, b retained");
+        // Wholesale: every entry's version bumps, everything refills.
+        let touched = srv.touch_all();
+        assert_eq!(touched, 2);
+        assert_eq!(
+            reg.snapshot().counter("alloc.catalog.touch_all"),
+            Some(2),
+            "invalidation cost is exported"
+        );
+        let stamped = srv.snapshot();
+        warm(a);
+        warm(b);
+        assert_eq!(misses(), 5, "both refilled after touch_all");
+        // Replica sets are untouched — only versions/epochs moved.
+        assert_eq!(
+            stamped.replicas_of(a).map(<[NodeId]>::len),
+            Some(2),
+            "touch_all does not change placement"
+        );
     }
 
     #[test]
@@ -1172,5 +1479,31 @@ mod tests {
             .expect("still served, just unranked socially");
         assert_eq!(sel.node, NodeId(4));
         assert_eq!(sel.social_hops, None, "beyond the 2-hop budget");
+    }
+
+    #[test]
+    fn snapshot_resolution_is_lock_free_and_stamped() {
+        let g = barabasi_albert(25, 2, 41);
+        let csr = CsrGraph::from(&g);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(3))
+            .expect("ok");
+        let snap = srv.snapshot();
+        let (sel, stamp) =
+            srv.resolve_csr_snapshot(&snap, DatasetId(0), NodeId(8), &csr, |_| true, |_| 1.0);
+        assert_eq!(sel.expect("resolves").node, NodeId(3));
+        assert!(srv.stamp_current(stamp), "nothing committed since");
+        // A commit to the same shard invalidates the stamp; the snapshot
+        // keeps resolving to the frozen view.
+        srv.add_replica(DatasetId(0), NodeId(11)).expect("ok");
+        assert!(!srv.stamp_current(stamp));
+        let (sel2, stamp2) =
+            srv.resolve_csr_snapshot(&snap, DatasetId(0), NodeId(8), &csr, |_| true, |_| 1.0);
+        assert_eq!(stamp2, stamp, "snapshot stamps are frozen");
+        assert_eq!(
+            sel2.expect("resolves").node,
+            NodeId(3),
+            "snapshot still serves the pre-commit replica set"
+        );
     }
 }

@@ -1,0 +1,207 @@
+//! Concurrent stress for the epoch-snapshot catalog: readers resolving
+//! against lock-free snapshots while writers commit and migrate, plus a
+//! regression for the `sync_from` mutual-merge deadlock.
+//!
+//! What the readers prove about the publication protocol:
+//!
+//! * **No torn shards** — a snapshot's entry table and hosted index are
+//!   published in one `Arc` swap, so every observed shard must be
+//!   internally consistent ([`ShardSnapshot::is_consistent`]) and every
+//!   dataset must show exactly the replica cardinality the writers
+//!   maintain (one, here — a torn migrate would show zero or two).
+//! * **Every read maps to a published epoch** — per-shard epochs are
+//!   monotone within a reader (a later load never observes an earlier
+//!   publication) and bounded by the final epochs after the writers
+//!   join.
+//! * **Resolution agrees with its own snapshot** — a selection computed
+//!   via [`AllocationServer::resolve_csr_snapshot`] lands on the replica
+//!   that snapshot holds, even while the live catalog has long moved on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use scdn_alloc::server::{AllocationServer, RepositoryInfo};
+use scdn_graph::{CsrGraph, Graph, NodeId};
+use scdn_social::author::AuthorId;
+use scdn_storage::object::DatasetId;
+
+const NODES: u32 = 64;
+const DATASETS: u32 = 64;
+const WRITERS: u32 = 4;
+const READERS: u32 = 4;
+const MIGRATIONS_PER_WRITER: u32 = 1500;
+
+fn build_server() -> Arc<AllocationServer> {
+    let srv = AllocationServer::new();
+    srv.register_repositories((0..NODES).map(|i| RepositoryInfo {
+        node: NodeId(i),
+        owner: AuthorId(i),
+        capacity: 1 << 30,
+        availability: 0.9,
+    }));
+    for d in 0..DATASETS {
+        srv.register_dataset(DatasetId(d), 4, NodeId(d % NODES))
+            .expect("register");
+    }
+    Arc::new(srv)
+}
+
+fn ring_csr() -> CsrGraph {
+    let mut g = Graph::new(NODES as usize);
+    for i in 0..NODES {
+        g.add_edge(NodeId(i), NodeId((i + 1) % NODES), 1);
+    }
+    CsrGraph::from(&g)
+}
+
+#[test]
+fn readers_never_observe_torn_or_unpublished_state() {
+    let srv = build_server();
+    let csr = Arc::new(ring_csr());
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Each writer owns the datasets congruent to its index and walks
+    // each one's single replica around the node ring, so every dataset
+    // always has exactly one replica in any published state.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let srv = srv.clone();
+            thread::spawn(move || {
+                for step in 0..MIGRATIONS_PER_WRITER {
+                    for d in (w..DATASETS).step_by(WRITERS as usize) {
+                        let from = NodeId((d + step) % NODES);
+                        let to = NodeId((d + step + 1) % NODES);
+                        srv.migrate_replica(DatasetId(d), from, to)
+                            .expect("sole mutator of this dataset");
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let srv = srv.clone();
+            let csr = csr.clone();
+            let done = done.clone();
+            thread::spawn(move || {
+                let mut last_epochs = vec![0u64; srv.shard_count()];
+                let mut snapshots_checked = 0u64;
+                while !done.load(Ordering::Relaxed) || snapshots_checked < 50 {
+                    let snap = srv.snapshot();
+                    let epochs = snap.epochs();
+                    for (shard, (&now, last)) in epochs.iter().zip(&mut last_epochs).enumerate() {
+                        assert!(
+                            now >= *last,
+                            "shard {shard} epoch went backwards: {now} < {last}"
+                        );
+                        *last = now;
+                        assert!(snap.shard(shard).is_consistent(), "torn shard {shard}");
+                    }
+                    for d in (r..DATASETS).step_by(READERS as usize) {
+                        let dataset = DatasetId(d);
+                        let replicas = snap
+                            .replicas_of(dataset)
+                            .expect("dataset registered before any reader started");
+                        assert_eq!(
+                            replicas.len(),
+                            1,
+                            "dataset {d}: a migrate must never expose 0 or 2 replicas"
+                        );
+                        let (sel, stamp) = srv.resolve_csr_snapshot(
+                            &snap,
+                            dataset,
+                            NodeId(d % NODES),
+                            &csr,
+                            |_| true,
+                            |_| 1.0,
+                        );
+                        let sel = sel.expect("one online replica always resolvable");
+                        assert_eq!(
+                            sel.node, replicas[0],
+                            "selection disagrees with its own snapshot"
+                        );
+                        assert_eq!(
+                            stamp.epoch,
+                            epochs[snap.shard_of(dataset)],
+                            "stamp must identify the snapshot actually read"
+                        );
+                    }
+                    snapshots_checked += 1;
+                }
+                last_epochs
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    done.store(true, Ordering::Relaxed);
+    let final_epochs = srv.shard_epochs();
+    for reader in readers {
+        let observed = reader.join().expect("reader panicked");
+        for (shard, (seen, fin)) in observed.iter().zip(&final_epochs).enumerate() {
+            assert!(
+                seen <= fin,
+                "shard {shard}: reader observed epoch {seen} beyond final {fin}"
+            );
+        }
+    }
+    // Every migration republished exactly one shard: total epoch advance
+    // equals total migrations (plus the initial registrations).
+    let total: u64 = final_epochs.iter().sum();
+    assert_eq!(
+        total,
+        (DATASETS + WRITERS * MIGRATIONS_PER_WRITER * (DATASETS / WRITERS)) as u64,
+        "each commit advances its shard's epoch by exactly one"
+    );
+}
+
+/// Two servers merging from each other on concurrent threads. Before
+/// `sync_from` snapshotted the source first, this interleaving could
+/// deadlock: each side held its own shard write lock while waiting to
+/// read the other's. A hang here fails via the watchdog timeout instead
+/// of wedging the test binary forever.
+#[test]
+fn mutual_sync_from_does_not_deadlock() {
+    let a = build_server();
+    let b = build_server();
+    // Skew the two catalogs so the merges do real work.
+    for d in 0..DATASETS {
+        if d % 2 == 0 {
+            a.add_replica(DatasetId(d), NodeId((d + 7) % NODES))
+                .expect("add");
+        } else {
+            b.add_replica(DatasetId(d), NodeId((d + 11) % NODES))
+                .expect("add");
+        }
+    }
+    let (tx, rx) = mpsc::channel();
+    for (src, dst) in [(a.clone(), b.clone()), (b.clone(), a.clone())] {
+        let tx = tx.clone();
+        thread::spawn(move || {
+            for _ in 0..200 {
+                dst.sync_from(&src);
+            }
+            tx.send(()).expect("main alive");
+        });
+    }
+    drop(tx);
+    for _ in 0..2 {
+        rx.recv_timeout(Duration::from_secs(60))
+            .expect("mutual sync_from deadlocked");
+    }
+    // Both catalogs converged: merge is a join, and each side has now
+    // absorbed the other.
+    for d in 0..DATASETS {
+        let dataset = DatasetId(d);
+        let mut ra = a.replicas_of(dataset).expect("known");
+        let mut rb = b.replicas_of(dataset).expect("known");
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb, "dataset {d} did not converge");
+    }
+}

@@ -6,17 +6,26 @@
 //! * `full_bfs` — the adjacency-list oracle: one full BFS per request;
 //! * `csr_uncached` — bounded multi-target CSR BFS, hop cache disabled;
 //! * `csr_cached` — the same with the version-keyed hop cache on;
-//! * `batch` — `resolve_batch` fanning the trace over worker threads
-//!   (cache on, cold at the start of the timed region).
+//! * `batch@W` — `resolve_batch` fanning the trace over `W` worker
+//!   threads (cache on, cold at the start of the timed region), once per
+//!   swept thread count.
 //!
-//! Every path must select the same replica for every request; the run
-//! aborts otherwise. Results go to `BENCH_resolve.json` (hand-rolled
+//! Every path must select the same replica as the oracle for every
+//! request it checks; the run aborts otherwise. On huge graphs the
+//! oracle is **prefix-limited**: `full_bfs` resolves only the first
+//! `oracle_prefix` trace entries (a full BFS per request over a
+//! million-node graph would dominate the run), the other paths still
+//! replay the whole trace, and the gate compares selections on that
+//! prefix. The report records the prefix so a partial gate can never
+//! read as a full one. Results go to `BENCH_resolve.json` (hand-rolled
 //! JSON; the workspace has no serde_json) after passing the same style of
 //! self-validation `metrics_report --check` applies to the obs export.
 //!
 //! ```text
-//! cargo run -p scdn-bench --release --bin bench_resolve              # full run
-//! cargo run -p scdn-bench --release --bin bench_resolve -- --smoke   # CI gate
+//! cargo run -p scdn-bench --release --bin bench_resolve                    # full run
+//! cargo run -p scdn-bench --release --bin bench_resolve -- --smoke         # CI gate
+//! cargo run -p scdn-bench --release --bin bench_resolve -- --threads 1,2,4 # explicit sweep
+//! cargo run -p scdn-bench --release --bin bench_resolve -- --huge          # adds ba_1m
 //! ```
 //!
 //! `--smoke` runs a small workload, asserts the cache actually hit, and
@@ -28,6 +37,7 @@ use std::time::Instant;
 
 use scdn_alloc::server::{AllocationServer, RepositoryInfo};
 use scdn_graph::generators::barabasi_albert;
+use scdn_graph::parallel::set_worker_limit;
 use scdn_graph::{CsrGraph, Graph, NodeId};
 use scdn_obs::Registry;
 use scdn_social::author::AuthorId;
@@ -45,6 +55,11 @@ struct Workload {
     requester_pool: Vec<NodeId>,
     /// The request trace: `(dataset, requester)` pairs.
     requests: Vec<(DatasetId, NodeId)>,
+    /// How many leading trace entries the `full_bfs` oracle resolves and
+    /// the identical-selection gate checks. Equal to the trace length
+    /// except on huge graphs, where a full BFS per request is
+    /// intractable.
+    oracle_prefix: usize,
 }
 
 impl Workload {
@@ -79,7 +94,15 @@ impl Workload {
             replicas_per_dataset,
             requester_pool,
             requests,
+            oracle_prefix: request_count,
         }
+    }
+
+    /// Limit the `full_bfs` oracle (and the identical-selection gate) to
+    /// the first `prefix` trace entries.
+    fn with_oracle_prefix(mut self, prefix: usize) -> Workload {
+        self.oracle_prefix = prefix.min(self.requests.len());
+        self
     }
 
     /// A fresh allocation server with every node registered and the same
@@ -88,14 +111,15 @@ impl Workload {
     fn build_server(&self, reg: &Registry) -> AllocationServer {
         let srv = AllocationServer::with_registry(reg);
         let n = self.graph.node_count() as u32;
-        for v in self.graph.nodes() {
-            srv.register_repository(RepositoryInfo {
-                node: v,
-                owner: AuthorId(v.0),
-                capacity: 1 << 30,
-                availability: 0.5 + (v.0 % 50) as f64 / 100.0,
-            });
-        }
+        // Bulk registration: one table republication instead of the
+        // O(n²) copy-on-write a per-repository loop costs — at a
+        // million nodes that loop dominates the whole run.
+        srv.register_repositories(self.graph.nodes().map(|v| RepositoryInfo {
+            node: v,
+            owner: AuthorId(v.0),
+            capacity: 1 << 30,
+            availability: 0.5 + (v.0 % 50) as f64 / 100.0,
+        }));
         for d in 0..self.datasets {
             let primary = NodeId(d.wrapping_mul(37) % n);
             srv.register_dataset(DatasetId(d), 1, primary)
@@ -128,7 +152,10 @@ impl PathResult {
     }
 }
 
-fn run_path(w: &Workload, reg: &Registry, mode: &str) -> PathResult {
+/// Time one path. `workers` only matters for `batch`, where the planning
+/// pool is clamped to that many threads. `full_bfs` resolves only the
+/// oracle prefix; every other path replays the whole trace.
+fn run_path(w: &Workload, reg: &Registry, mode: &str, workers: usize) -> PathResult {
     let srv = w.build_server(reg);
     if mode == "csr_uncached" {
         srv.set_resolve_cache_capacity(0);
@@ -136,12 +163,21 @@ fn run_path(w: &Workload, reg: &Registry, mode: &str) -> PathResult {
     let online = |_: NodeId| true;
     let start = Instant::now();
     let selected: Vec<Option<NodeId>> = if mode == "batch" {
-        srv.resolve_batch(&w.requests, &w.csr, online, latency_of)
+        set_worker_limit(workers);
+        let out = srv
+            .resolve_batch(&w.requests, &w.csr, online, latency_of)
             .into_iter()
             .map(|r| r.ok().map(|s| s.node))
-            .collect()
+            .collect();
+        set_worker_limit(0);
+        out
     } else {
-        w.requests
+        let trace = if mode == "full_bfs" {
+            &w.requests[..w.oracle_prefix]
+        } else {
+            &w.requests[..]
+        };
+        trace
             .iter()
             .map(|&(d, req)| {
                 let sel = match mode {
@@ -165,7 +201,10 @@ struct WorkloadReport {
     datasets: u32,
     requests: usize,
     distinct_requesters: usize,
-    paths: Vec<(&'static str, f64, f64)>, // (name, ms, req/s)
+    /// How many leading requests the oracle checked (== `requests`
+    /// unless prefix-limited).
+    oracle_prefix: usize,
+    paths: Vec<(String, f64, f64)>, // (name, ms, req/s)
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
@@ -191,6 +230,7 @@ impl WorkloadReport {
                 "      \"datasets\": {},\n",
                 "      \"requests\": {},\n",
                 "      \"distinct_requesters\": {},\n",
+                "      \"oracle\": {{ \"requests_checked\": {}, \"prefix_limited\": {} }},\n",
                 "      \"paths\": {{\n{}\n      }},\n",
                 "      \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }},\n",
                 "      \"speedup_cached_vs_full_bfs\": {:.2},\n",
@@ -203,6 +243,8 @@ impl WorkloadReport {
             self.datasets,
             self.requests,
             self.distinct_requesters,
+            self.oracle_prefix,
+            self.oracle_prefix < self.requests,
             paths,
             self.cache_hits,
             self.cache_misses,
@@ -213,23 +255,34 @@ impl WorkloadReport {
     }
 }
 
-/// The four resolution paths every workload times, in report order.
-const PATHS: [&str; 4] = ["full_bfs", "csr_uncached", "csr_cached", "batch"];
+/// The serial resolution paths every workload times, in report order;
+/// the batch path follows once per swept worker count.
+const SERIAL_PATHS: [&str; 3] = ["full_bfs", "csr_uncached", "csr_cached"];
 
-fn run_workload(w: &Workload) -> WorkloadReport {
+fn run_workload(w: &Workload, worker_counts: &[usize]) -> WorkloadReport {
     eprintln!(
-        "workload {}: {} nodes, {} requests over {} requesters...",
+        "workload {}: {} nodes, {} requests over {} requesters (oracle prefix {})...",
         w.name,
         w.graph.node_count(),
         w.requests.len(),
-        w.requester_pool.len()
+        w.requester_pool.len(),
+        w.oracle_prefix,
     );
-    let mut results: Vec<(&'static str, PathResult)> = Vec::new();
+    let modes: Vec<(String, &'static str, usize)> = SERIAL_PATHS
+        .iter()
+        .map(|&m| (m.to_string(), m, 0))
+        .chain(
+            worker_counts
+                .iter()
+                .map(|&wk| (format!("batch@{wk}"), "batch", wk)),
+        )
+        .collect();
+    let mut results: Vec<(String, usize, PathResult)> = Vec::new();
     let mut cache = (0, 0, 0);
-    for mode in PATHS {
+    for (label, mode, workers) in &modes {
         let reg = Registry::new();
-        let r = run_path(w, &reg, mode);
-        if mode == "csr_cached" {
+        let r = run_path(w, &reg, mode, *workers);
+        if *label == "csr_cached" {
             let snap = reg.snapshot();
             cache = (
                 snap.counter("alloc.resolve.cache.hit").unwrap_or(0),
@@ -237,31 +290,39 @@ fn run_workload(w: &Workload) -> WorkloadReport {
                 snap.counter("alloc.resolve.cache.evict").unwrap_or(0),
             );
         }
+        let timed = r.selected.len();
         eprintln!(
             "  {:<14} {:9.1} ms  {:>10.0} req/s",
-            mode,
+            label,
             r.ms,
-            r.requests_per_sec(w.requests.len())
+            r.requests_per_sec(timed)
         );
-        results.push((mode, r));
+        results.push((label.clone(), timed, r));
     }
-    // Identical-selection gate: all four paths serve every request from
-    // the same replica.
-    let oracle = &results[0].1.selected;
-    for (mode, r) in &results[1..] {
+    // Identical-selection gate: every path serves each oracle-checked
+    // request from the same replica the full-BFS oracle picked.
+    let oracle = &results[0].2.selected;
+    for (label, _, r) in &results[1..] {
         assert_eq!(
-            oracle, &r.selected,
-            "{mode} disagreed with full_bfs on workload {}",
+            oracle.as_slice(),
+            &r.selected[..w.oracle_prefix],
+            "{label} disagreed with full_bfs on workload {}",
             w.name
         );
     }
-    let ms_of = |mode: &str| {
+    // Speedups compare throughputs, not raw times — a prefix-limited
+    // oracle times fewer requests than the CSR paths.
+    let rps_of = |label: &str| {
         results
             .iter()
-            .find(|(m, _)| *m == mode)
-            .map(|(_, r)| r.ms)
+            .find(|(l, _, _)| l == label)
+            .map(|(_, timed, r)| r.requests_per_sec(*timed))
             .expect("path ran")
     };
+    let best_batch_rps = worker_counts
+        .iter()
+        .map(|&wk| rps_of(&format!("batch@{wk}")))
+        .fold(0.0, f64::max);
     WorkloadReport {
         name: w.name,
         nodes: w.graph.node_count(),
@@ -269,15 +330,16 @@ fn run_workload(w: &Workload) -> WorkloadReport {
         datasets: w.datasets,
         requests: w.requests.len(),
         distinct_requesters: w.requester_pool.len(),
+        oracle_prefix: w.oracle_prefix,
         paths: results
             .iter()
-            .map(|(m, r)| (*m, r.ms, r.requests_per_sec(w.requests.len())))
+            .map(|(l, timed, r)| (l.clone(), r.ms, r.requests_per_sec(*timed)))
             .collect(),
         cache_hits: cache.0,
         cache_misses: cache.1,
         cache_evictions: cache.2,
-        speedup_cached: ms_of("full_bfs") / ms_of("csr_cached"),
-        speedup_batch: ms_of("full_bfs") / ms_of("batch"),
+        speedup_cached: rps_of("csr_cached") / rps_of("full_bfs"),
+        speedup_batch: best_batch_rps / rps_of("full_bfs"),
     }
 }
 
@@ -301,12 +363,14 @@ fn validate_report(text: &str) -> Result<(), Vec<String>> {
         violations.push(format!("unbalanced braces: depth {depth} at end"));
     }
     for key in [
-        "\"schema\": \"scdn-bench-resolve/v1\"",
+        "\"schema\": \"scdn-bench-resolve/v2\"",
         "\"workloads\"",
         "\"full_bfs\"",
         "\"csr_uncached\"",
         "\"csr_cached\"",
-        "\"batch\"",
+        "\"batch@",
+        "\"threads_swept\"",
+        "\"oracle\"",
         "\"cache\"",
         "\"speedup_cached_vs_full_bfs\"",
     ] {
@@ -326,24 +390,31 @@ fn validate_report(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
-fn emit(reports: &[WorkloadReport], out_path: &str) -> ExitCode {
+fn emit(reports: &[WorkloadReport], worker_counts: &[usize], out_path: &str) -> ExitCode {
     let body = reports
         .iter()
         .map(WorkloadReport::to_json)
         .collect::<Vec<_>>()
         .join(",\n");
+    let threads_swept = worker_counts
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"scdn-bench-resolve/v1\",\n",
+            "  \"schema\": \"scdn-bench-resolve/v2\",\n",
             "  \"description\": \"replica-resolution throughput: adjacency full-BFS ",
-            "vs bounded CSR BFS vs version-keyed hop cache vs parallel batch; ",
-            "identical selections enforced\",\n",
+            "vs bounded CSR BFS vs version-keyed hop cache vs parallel batch swept ",
+            "over worker counts; selections gated against the oracle on every ",
+            "oracle-checked request\",\n",
             "  \"generator\": \"barabasi_albert(n, 3)\",\n",
+            "  \"threads_swept\": [{}],\n",
             "  \"workloads\": {{\n{}\n  }}\n",
             "}}\n"
         ),
-        body
+        threads_swept, body
     );
     if let Err(violations) = validate_report(&json) {
         eprintln!("bench_resolve report FAILED validation:");
@@ -360,8 +431,16 @@ fn emit(reports: &[WorkloadReport], out_path: &str) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let huge = args.iter().any(|a| a == "--huge");
+    let threads = scdn_bench::parse_threads(&args);
+    let mut after_threads_flag = false;
     let out_path = args
         .iter()
+        .filter(|a| {
+            // Skip the value operand of a space-separated `--threads`.
+            let skip = std::mem::replace(&mut after_threads_flag, **a == "--threads");
+            !skip
+        })
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| {
@@ -373,15 +452,32 @@ fn main() -> ExitCode {
             }
         });
 
-    let workloads = if smoke {
-        vec![Workload::new("ba_1500_smoke", 1_500, 5, 8, 3, 64, 600)]
+    let (mut workloads, default_counts) = if smoke {
+        (
+            vec![Workload::new("ba_1500_smoke", 1_500, 5, 8, 3, 64, 600)],
+            vec![1, 2],
+        )
     } else {
-        vec![
-            Workload::new("ba_10k", 10_000, 21, 16, 3, 128, 4_000),
-            Workload::new("ba_100k", 100_000, 22, 16, 3, 128, 1_000),
-        ]
+        (
+            vec![
+                Workload::new("ba_10k", 10_000, 21, 16, 3, 128, 4_000),
+                Workload::new("ba_100k", 100_000, 22, 16, 3, 128, 1_000),
+            ],
+            vec![1, 2, 4, 8],
+        )
     };
-    let reports: Vec<WorkloadReport> = workloads.iter().map(run_workload).collect();
+    if huge {
+        // A full BFS over a million-node graph per request would dominate
+        // the run, so the oracle checks a 64-request prefix; the CSR and
+        // batch paths still replay the whole trace.
+        workloads
+            .push(Workload::new("ba_1m", 1_000_000, 23, 16, 3, 128, 1_000).with_oracle_prefix(64));
+    }
+    let worker_counts = threads.unwrap_or(default_counts);
+    let reports: Vec<WorkloadReport> = workloads
+        .iter()
+        .map(|w| run_workload(w, &worker_counts))
+        .collect();
     for r in &reports {
         println!(
             "{:<16} n={:<7} cached {:5.2}x  batch {:5.2}x  (cache {} hit / {} miss / {} evict)",
@@ -409,5 +505,5 @@ fn main() -> ExitCode {
             r.cache_hits, r.requests
         );
     }
-    emit(&reports, &out_path)
+    emit(&reports, &worker_counts, &out_path)
 }

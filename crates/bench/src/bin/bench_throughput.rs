@@ -8,28 +8,41 @@
 //!   `Scdn::request_batch`, with the planning worker pool clamped to `W`
 //!   threads (`scdn_graph::parallel::set_worker_limit`).
 //!
-//! Every run starts from a freshly built, bit-identical system. The
-//! **identical-outcome gate** aborts the benchmark if any batched run
-//! diverges from the serial baseline in outcome sequence, metric
-//! snapshot (minus the resolve-cache and re-plan diagnostics), or trace
-//! span shapes — throughput numbers for a pipeline that changes behavior
-//! are meaningless.
+//! Every run starts from a freshly built, bit-identical system. Three
+//! gates make the numbers trustworthy:
+//!
+//! * **identical-outcome** — the benchmark aborts if any batched run
+//!   diverges from the serial baseline in outcome sequence, metric
+//!   snapshot (minus the resolve-cache and re-plan diagnostics), or
+//!   trace span shapes — throughput numbers for a pipeline that changes
+//!   behavior are meaningless;
+//! * **snapshot reuse** — every batched run must amortize at least one
+//!   catalog snapshot across a batch (`core.batch.snapshot_reuse` > 0),
+//!   proving the plan phase really runs lock-free against shared
+//!   epoch snapshots rather than reloading per request;
+//! * **multi-core speedup** — on hosts with ≥ 2 CPUs the largest
+//!   workload's batched run at the hardware's thread count must beat
+//!   serial by `GATE_THRESHOLD`; single-core hosts report the gate as
+//!   skipped (honestly — ~1x is the expected reading there), never as
+//!   a pass.
 //!
 //! Results go to `BENCH_throughput.json` (hand-rolled JSON; the
 //! workspace has no serde_json). `hardware_parallelism` records how many
 //! CPUs the host actually offers: worker counts above it measure
-//! oversubscription, not speedup, and single-core hosts are expected to
-//! report ~1x.
+//! oversubscription, not speedup.
 //!
 //! ```text
-//! cargo run -p scdn-bench --release --bin bench_throughput             # full run
-//! cargo run -p scdn-bench --release --bin bench_throughput -- --smoke  # CI gate
+//! cargo run -p scdn-bench --release --bin bench_throughput                    # full run
+//! cargo run -p scdn-bench --release --bin bench_throughput -- --smoke         # CI gate
+//! cargo run -p scdn-bench --release --bin bench_throughput -- --threads 1,2,4 # explicit sweep
+//! cargo run -p scdn-bench --release --bin bench_throughput -- --huge          # adds ba_1m
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use bytes::Bytes;
+use scdn_bench::parse_threads;
 use scdn_core::system::{Scdn, ScdnConfig};
 use scdn_graph::generators::barabasi_albert;
 use scdn_graph::parallel::set_worker_limit;
@@ -134,7 +147,12 @@ impl Workload {
     }
 }
 
-/// Everything a timed run produces that must be identical across modes.
+/// Minimum speedup over serial the hardware-matched batched run must
+/// show on multi-core hosts for the report to pass.
+const GATE_THRESHOLD: f64 = 1.05;
+
+/// Everything a timed run produces that must be identical across modes,
+/// plus the per-run snapshot-reuse reading.
 struct RunOutcome {
     ms: f64,
     results: Vec<String>,
@@ -142,6 +160,9 @@ struct RunOutcome {
     traces: Vec<String>,
     p50_ms: f64,
     p99_ms: f64,
+    /// `core.batch.snapshot_reuse` after the run: how many requests were
+    /// planned against an already-loaded catalog snapshot.
+    snapshot_reuse: u64,
 }
 
 /// Exported snapshot minus the diagnostics that legitimately differ
@@ -198,6 +219,7 @@ fn run_mode(w: &Workload, workers: usize) -> RunOutcome {
         traces: trace_shapes(&scdn),
         p50_ms: scdn.cdn_metrics.response_time_ms.quantile(0.5),
         p99_ms: scdn.cdn_metrics.response_time_ms.quantile(0.99),
+        snapshot_reuse: scdn.registry().counter("core.batch.snapshot_reuse").get(),
     }
 }
 
@@ -208,8 +230,8 @@ struct WorkloadReport {
     requests: usize,
     batch_size: usize,
     serial_ms: f64,
-    /// `(workers, ms)` per batched run.
-    batched: Vec<(usize, f64)>,
+    /// `(workers, ms, snapshot_reuse)` per batched run.
+    batched: Vec<(usize, f64, u64)>,
     p50_ms: f64,
     p99_ms: f64,
 }
@@ -222,24 +244,37 @@ impl WorkloadReport {
     fn best_speedup(&self) -> f64 {
         self.batched
             .iter()
-            .map(|&(_, ms)| self.serial_ms / ms)
+            .map(|&(_, ms, _)| self.serial_ms / ms)
             .fold(0.0, f64::max)
+    }
+
+    /// Speedup of the batched run whose worker count best matches the
+    /// host: the largest swept count not exceeding `hardware`, falling
+    /// back to the smallest swept count.
+    fn speedup_at_hardware(&self, hardware: usize) -> Option<(usize, f64)> {
+        self.batched
+            .iter()
+            .filter(|&&(wk, _, _)| wk <= hardware)
+            .max_by_key(|&&(wk, _, _)| wk)
+            .or_else(|| self.batched.iter().min_by_key(|&&(wk, _, _)| wk))
+            .map(|&(wk, ms, _)| (wk, self.serial_ms / ms))
     }
 
     fn to_json(&self) -> String {
         let workers = self
             .batched
             .iter()
-            .map(|&(wk, ms)| {
+            .map(|&(wk, ms, reuse)| {
                 format!(
                     concat!(
                         "        \"{}\": {{ \"ms\": {:.3}, \"requests_per_sec\": {:.1}, ",
-                        "\"speedup_vs_serial\": {:.2} }}"
+                        "\"speedup_vs_serial\": {:.2}, \"snapshot_reuse\": {} }}"
                     ),
                     wk,
                     ms,
                     self.rps(ms),
-                    self.serial_ms / ms
+                    self.serial_ms / ms,
+                    reuse,
                 )
             })
             .collect::<Vec<_>>()
@@ -304,14 +339,24 @@ fn run_workload(w: &Workload, worker_counts: &[usize]) -> WorkloadReport {
             "batch@{wk} trace spans diverged from serial on {}",
             w.name
         );
+        // Snapshot-reuse gate: a batched run that never amortizes a
+        // catalog snapshot across a batch is planning against a freshly
+        // loaded catalog per request — the lock-free plan phase is not
+        // actually engaged.
+        assert!(
+            run.snapshot_reuse > 0,
+            "batch@{wk} on {} reused no catalog snapshot (core.batch.snapshot_reuse == 0)",
+            w.name
+        );
         eprintln!(
-            "  batch@{:<4} {:9.1} ms  {:>10.0} req/s  ({:.2}x)",
+            "  batch@{:<4} {:9.1} ms  {:>10.0} req/s  ({:.2}x, {} snapshot reuses)",
             wk,
             run.ms,
             w.request_count as f64 / (run.ms / 1_000.0),
-            serial.ms / run.ms
+            serial.ms / run.ms,
+            run.snapshot_reuse,
         );
-        batched.push((wk, run.ms));
+        batched.push((wk, run.ms, run.snapshot_reuse));
     }
     WorkloadReport {
         name: w.name,
@@ -346,7 +391,7 @@ fn validate_report(text: &str) -> Result<(), Vec<String>> {
         violations.push(format!("unbalanced braces: depth {depth} at end"));
     }
     for key in [
-        "\"schema\": \"scdn-bench-throughput/v1\"",
+        "\"schema\": \"scdn-bench-throughput/v2\"",
         "\"hardware_parallelism\"",
         "\"workloads\"",
         "\"serial\"",
@@ -354,6 +399,12 @@ fn validate_report(text: &str) -> Result<(), Vec<String>> {
         "\"identical_outcomes\": true",
         "\"response_p50_ms\"",
         "\"response_p99_ms\"",
+        "\"snapshot_reuse\"",
+        "\"multi_core\"",
+        "\"threads_swept\"",
+        "\"speedup_at_hardware\"",
+        "\"gate_threshold\"",
+        "\"gate\"",
     ] {
         if !text.contains(key) {
             violations.push(format!("missing key {key}"));
@@ -371,26 +422,85 @@ fn validate_report(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
-fn emit(reports: &[WorkloadReport], hardware: usize, out_path: &str) -> ExitCode {
+/// The multi-core gate verdict for the largest workload, judged at the
+/// swept worker count closest to the host's CPU count.
+struct MultiCore {
+    workload: &'static str,
+    workers: usize,
+    speedup: f64,
+    gate: String,
+    pass: bool,
+}
+
+fn judge_multi_core(reports: &[WorkloadReport], hardware: usize) -> MultiCore {
+    let largest = reports
+        .iter()
+        .max_by_key(|r| r.nodes)
+        .expect("at least one workload");
+    let (workers, speedup) = largest
+        .speedup_at_hardware(hardware)
+        .expect("at least one batched run");
+    let (gate, pass) = if hardware < 2 {
+        // A 1-CPU host cannot demonstrate parallel speedup; saying so is
+        // the honest reading, and the gate must not count it as a pass.
+        (
+            format!("skipped_single_core(hardware_parallelism={hardware})"),
+            true,
+        )
+    } else if speedup >= GATE_THRESHOLD {
+        ("pass".to_string(), true)
+    } else {
+        ("fail".to_string(), false)
+    };
+    MultiCore {
+        workload: largest.name,
+        workers,
+        speedup,
+        gate,
+        pass,
+    }
+}
+
+fn emit(
+    reports: &[WorkloadReport],
+    worker_counts: &[usize],
+    hardware: usize,
+    out_path: &str,
+) -> ExitCode {
     let body = reports
         .iter()
         .map(WorkloadReport::to_json)
         .collect::<Vec<_>>()
         .join(",\n");
+    let mc = judge_multi_core(reports, hardware);
+    let threads_swept = worker_counts
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"scdn-bench-throughput/v1\",\n",
+            "  \"schema\": \"scdn-bench-throughput/v2\",\n",
             "  \"description\": \"end-to-end request throughput: serial request loop ",
-            "vs parallel-plan/ordered-commit request_batch; identical outcomes, ",
-            "metrics, and traces enforced\",\n",
+            "vs lock-free snapshot-plan/ordered-commit request_batch; identical ",
+            "outcomes, metrics, and traces enforced; every batched run must reuse ",
+            "catalog snapshots across batches\",\n",
             "  \"hardware_parallelism\": {},\n",
             "  \"note\": \"worker counts above hardware_parallelism measure ",
             "oversubscription; single-core hosts are expected to report ~1x\",\n",
+            "  \"multi_core\": {{\n",
+            "    \"threads_swept\": [{}],\n",
+            "    \"workload\": \"{}\",\n",
+            "    \"judged_at_workers\": {},\n",
+            "    \"speedup_at_hardware\": {:.2},\n",
+            "    \"gate_threshold\": {:.2},\n",
+            "    \"gate\": \"{}\"\n",
+            "  }},\n",
             "  \"workloads\": {{\n{}\n  }}\n",
             "}}\n"
         ),
-        hardware, body
+        hardware, threads_swept, mc.workload, mc.workers, mc.speedup, GATE_THRESHOLD, mc.gate, body
     );
     if let Err(violations) = validate_report(&json) {
         eprintln!("bench_throughput report FAILED validation:");
@@ -401,14 +511,34 @@ fn emit(reports: &[WorkloadReport], hardware: usize, out_path: &str) -> ExitCode
     }
     std::fs::write(out_path, &json).expect("write results");
     println!("wrote {out_path}");
-    ExitCode::SUCCESS
+    println!(
+        "multi-core gate: {} ({} batch@{} {:.2}x vs threshold {:.2})",
+        mc.gate, mc.workload, mc.workers, mc.speedup, GATE_THRESHOLD
+    );
+    if mc.pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "multi-core gate FAILED: {} batch@{} speedup {:.2} < {:.2} on a {}-CPU host",
+            mc.workload, mc.workers, mc.speedup, GATE_THRESHOLD, hardware
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let huge = args.iter().any(|a| a == "--huge");
+    let threads = parse_threads(&args);
+    let mut after_threads_flag = false;
     let out_path = args
         .iter()
+        .filter(|a| {
+            // Skip the value operand of a space-separated `--threads`.
+            let skip = std::mem::replace(&mut after_threads_flag, **a == "--threads");
+            !skip
+        })
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| {
@@ -423,7 +553,7 @@ fn main() -> ExitCode {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    let (workloads, worker_counts): (Vec<Workload>, Vec<usize>) = if smoke {
+    let (mut workloads, default_counts): (Vec<Workload>, Vec<usize>) = if smoke {
         (
             vec![Workload {
                 name: "ba_1500_smoke",
@@ -439,19 +569,44 @@ fn main() -> ExitCode {
         )
     } else {
         (
-            vec![Workload {
-                name: "ba_10k",
-                nodes: 10_000,
-                graph_seed: 21,
-                datasets: 50,
-                dataset_bytes: 64 << 10,
-                pool_size: 128,
-                request_count: 4_000,
-                batch_size: 64,
-            }],
+            vec![
+                Workload {
+                    name: "ba_10k",
+                    nodes: 10_000,
+                    graph_seed: 21,
+                    datasets: 50,
+                    dataset_bytes: 64 << 10,
+                    pool_size: 128,
+                    request_count: 4_000,
+                    batch_size: 64,
+                },
+                Workload {
+                    name: "ba_100k",
+                    nodes: 100_000,
+                    graph_seed: 22,
+                    datasets: 100,
+                    dataset_bytes: 64 << 10,
+                    pool_size: 256,
+                    request_count: 8_000,
+                    batch_size: 256,
+                },
+            ],
             vec![1, 2, 4, 8],
         )
     };
+    if huge {
+        workloads.push(Workload {
+            name: "ba_1m",
+            nodes: 1_000_000,
+            graph_seed: 23,
+            datasets: 100,
+            dataset_bytes: 64 << 10,
+            pool_size: 512,
+            request_count: 8_000,
+            batch_size: 256,
+        });
+    }
+    let worker_counts = threads.unwrap_or(default_counts);
 
     let reports: Vec<WorkloadReport> = workloads
         .iter()
@@ -459,7 +614,7 @@ fn main() -> ExitCode {
         .collect();
     for r in &reports {
         println!(
-            "{:<16} n={:<6} serial {:>8.0} req/s  best batched {:.2}x  (host cpus: {})",
+            "{:<16} n={:<7} serial {:>8.0} req/s  best batched {:.2}x  (host cpus: {})",
             r.name,
             r.nodes,
             r.rps(r.serial_ms),
@@ -467,5 +622,5 @@ fn main() -> ExitCode {
             hardware,
         );
     }
-    emit(&reports, hardware, &out_path)
+    emit(&reports, &worker_counts, hardware, &out_path)
 }

@@ -11,7 +11,8 @@
 //!   ([`RankingCache`][cache]; rankings are dataset-independent and
 //!   prefix-consistent), then each worker slices it per dataset: walk
 //!   the ordering, skip the owner and current replicas, check candidate
-//!   liveness against the per-cycle online bitmap, and simulate every
+//!   liveness at a simulated clock that replays the serial walk's
+//!   per-transfer advance, and simulate every
 //!   segment transfer ([`TransferEngine::simulate_segment`], a pure hash
 //!   of endpoints × segment × attempt) including a quota simulation that
 //!   mirrors `StorageRepository::store`. The result is a
@@ -28,28 +29,42 @@
 //!   commit discards its plan and re-runs [`Scdn::replicate_to`] from
 //!   live state — counted in `core.maintain.replanned` — only when an
 //!   earlier commit in the same cycle invalidated its snapshot: the
-//!   dataset's catalog-entry version moved, a repository whose quota the
-//!   plan read was touched, or the clock advanced under a time-dependent
-//!   availability model.
+//!   catalog shard the plan read republished (its [`ShardStamp`] went
+//!   stale), a repository epoch the plan recorded advanced, or the clock
+//!   advanced under a time-dependent availability model.
+//!
+//! The plan phase is entirely lock-free on the catalog: one
+//! [`CatalogSnapshot`] is loaded per cycle (`core.maintain.snapshot_reuse`
+//! counts the amortization) and every worker plans against it.
 //!
 //! Determinism argument: a transfer simulation depends only on endpoint
 //! identities, segment identities, and the failure model — never on the
 //! clock — so under an always-on availability model the only snapshot
-//! ingredients a grow plan reads are the catalog entry (covered by the
-//! version token) and destination repository quotas (covered by the
-//! per-cycle touched-repository bitmap, which both grow stores and
-//! shrink evictions mark). Under periodic churn the online bitmap also
-//! depends on the clock, which transfers advance — covered by the
-//! clock-moved trigger. A stale plan is recomputed from committed state,
-//! exactly what the serial loop would have seen — so a pipelined cycle
-//! is bit-identical to [`Scdn::maintain_serial`] /
-//! [`Scdn::repair_serial`] under a fixed seed.
+//! ingredients a grow plan reads are the catalog shard (covered by the
+//! stamp) and destination repository quotas (covered by the per-node
+//! repository epochs, which both grow stores and shrink evictions bump).
+//! Under periodic churn candidate liveness also depends on the clock:
+//! *within* an item the plan replays the serial walk's clock advance
+//! (each online candidate's transfer time pushes a simulated clock
+//! forward, so a transfer straddling an availability boundary flips
+//! later candidates exactly as it would serially), and *across* items
+//! any commit that moved the real clock leaves the item's starting
+//! clock wrong — covered by the clock-moved trigger. Shard
+//! stamps are coarser than the per-entry versions they replaced: a
+//! same-shard commit to another dataset forces a false-positive replan,
+//! and the replayed item — even a Noop — re-reads live state exactly as
+//! the serial loop would, reproducing the identical outcome (the
+//! equivalence proptests force shard collisions by running 1-shard
+//! catalogs). So a pipelined cycle is bit-identical to
+//! [`Scdn::maintain_serial`] / [`Scdn::repair_serial`] under a fixed
+//! seed.
 //!
 //! [cache]: scdn_alloc::ranking_cache::RankingCache
 //! [`TransferEngine::simulate_segment`]: scdn_net::transfer::TransferEngine::simulate_segment
 
 use std::sync::Arc;
 
+use scdn_alloc::{CatalogSnapshot, ShardStamp};
 use scdn_graph::parallel::par_map_collect;
 use scdn_graph::NodeId;
 use scdn_sim::engine::SimTime;
@@ -75,8 +90,10 @@ enum Target {
 /// One candidate host considered by a grow plan, in ranking order.
 struct GrowCand {
     cand: NodeId,
-    /// Candidate liveness per the cycle's online bitmap (offline
-    /// candidates still cost a rejected hosting request).
+    /// Candidate liveness at the plan's simulated clock — the clock the
+    /// serial walk would show when it reaches this candidate, i.e. the
+    /// planned clock plus every earlier online candidate's transfer time
+    /// (offline candidates still cost a rejected hosting request).
     online: bool,
     /// Owner → candidate latency (immediacy sample of an accepted
     /// hosting request).
@@ -118,15 +135,16 @@ enum PlanKind {
 
 /// A fully planned work item: pure output of the parallel phase.
 struct MaintainPlan {
-    /// Catalog-entry version the plan was computed against (`None` for
-    /// unknown datasets) — the commit-side staleness token.
-    version: Option<u64>,
-    /// Node indices of repositories whose quota/contents the plan read
-    /// (the online candidates it simulated stores into). The owner's
-    /// repository is deliberately absent: source reads fetch this
-    /// dataset's segments by id, and no other dataset's commit can
-    /// create or remove those.
-    repos_read: Vec<u32>,
+    /// Stamp of the catalog shard the plan read — the commit-side
+    /// staleness token. Meaningful even for unknown datasets, since
+    /// registering one would republish this same shard.
+    stamp: ShardStamp,
+    /// `(node index, repository epoch at plan time)` of every repository
+    /// whose quota/contents the plan read (the online candidates it
+    /// simulated stores into). The owner's repository is deliberately
+    /// absent: source reads fetch this dataset's segments by id, and no
+    /// other dataset's commit can create or remove those.
+    repos_read: Vec<(u32, u64)>,
     kind: PlanKind,
 }
 
@@ -190,8 +208,13 @@ impl Scdn {
         if items.is_empty() {
             return 0;
         }
-        self.refresh_online_mask();
         let planned_clock = self.clock;
+        // One catalog snapshot serves the ranking-warm check and every
+        // planning worker: after this load the plan phase acquires no
+        // catalog lock at all.
+        let snap = self.alloc.snapshot();
+        self.maintain_snapshot_reuse
+            .add(items.len().saturating_sub(1) as u64);
         // Warm the memoized ranking once, on this thread, iff some item
         // will actually walk it — the serial loop only ranks when a
         // dataset really grows, and ranking from inside a planning worker
@@ -199,62 +222,78 @@ impl Scdn {
         let ranking: Option<Arc<Vec<NodeId>>> = items
             .iter()
             .any(|item| match item.target {
-                Target::Grow { want } => self
-                    .alloc
+                Target::Grow { want } => snap
                     .replicas_of(item.dataset)
-                    .map(|r| r.len() < want)
-                    .unwrap_or(false),
+                    .is_some_and(|r| r.len() < want),
                 Target::Shrink { .. } => false,
             })
             .then(|| self.placement_ranking());
         let ranked: &[NodeId] = ranking.as_ref().map(|r| r.as_slice()).unwrap_or(&[]);
         let plans: Vec<MaintainPlan> = {
             let this: &Scdn = self;
-            par_map_collect(items.len(), 1, |i| this.plan_item(&items[i], ranked))
+            let snap = &snap;
+            par_map_collect(items.len(), 1, |i| this.plan_item(snap, &items[i], ranked))
         };
         self.maintain_planned.add(plans.len() as u64);
-        let mut touched = vec![false; self.repos.len()];
         items
             .iter()
             .zip(plans)
-            .map(|(item, plan)| self.commit_item(item, plan, planned_clock, &mut touched))
+            .map(|(item, plan)| self.commit_item(item, plan, planned_clock))
             .sum()
     }
 
     /// Plan one work item. Read-only: safe from parallel planning
-    /// workers (snapshot clock + per-cycle online bitmap).
-    fn plan_item(&self, item: &WorkItem, ranked: &[NodeId]) -> MaintainPlan {
-        let noop = |version| MaintainPlan {
-            version,
+    /// workers (shared catalog snapshot, simulated per-item clock).
+    fn plan_item(
+        &self,
+        snap: &CatalogSnapshot,
+        item: &WorkItem,
+        ranked: &[NodeId],
+    ) -> MaintainPlan {
+        let stamp = snap.stamp_of(item.dataset);
+        let noop = || MaintainPlan {
+            stamp,
             repos_read: Vec::new(),
             kind: PlanKind::Noop,
         };
-        let Ok((current, version)) = self.alloc.replicas_and_version(item.dataset) else {
-            return noop(None);
+        let Some(current) = snap.replicas_of(item.dataset) else {
+            return noop();
         };
-        let version = Some(version);
         match item.target {
             Target::Shrink { drop } => MaintainPlan {
-                version,
+                stamp,
                 repos_read: Vec::new(),
                 kind: PlanKind::Shrink { drop },
             },
             Target::Grow { want } => {
                 if current.len() >= want {
-                    return noop(version);
+                    return noop();
                 }
                 // The serial path looks the owner up and fetches the
                 // segment table before any effect; failures there abort
                 // with nothing recorded.
                 let Some(owner) = self.datasets.get(&item.dataset).map(|m| m.owner) else {
-                    return noop(version);
+                    return noop();
                 };
-                let Ok(segments) = self.segment_ids(item.dataset) else {
-                    return noop(version);
+                let Some(segment_count) = snap.segments_of(item.dataset) else {
+                    return noop();
                 };
+                let segments: Vec<SegmentId> = (0..segment_count)
+                    .map(|ordinal| SegmentId {
+                        dataset: item.dataset,
+                        ordinal,
+                    })
+                    .collect();
                 let mut cands = Vec::new();
                 let mut repos_read = Vec::new();
                 let mut have = current.len();
+                // The serial walk advances the live clock after every
+                // online candidate's transfer, so under periodic churn a
+                // later candidate's liveness depends on the transfers
+                // before it. Replaying that clock here keeps the plan
+                // bit-identical to the serial walk even when a transfer
+                // straddles an availability boundary.
+                let mut sim_clock = self.clock;
                 for &cand in ranked {
                     if have >= want {
                         break;
@@ -262,7 +301,8 @@ impl Scdn {
                     if current.contains(&cand) || cand == owner {
                         continue;
                     }
-                    let online = self.online_mask.get(cand.index()).copied().unwrap_or(false);
+                    let online = !self.departed[cand.index()]
+                        && self.availability.is_online(cand.index(), sim_clock);
                     let latency_ms = self.engine.topology.latency_ms(owner.index(), cand.index());
                     if !online {
                         cands.push(GrowCand {
@@ -273,8 +313,9 @@ impl Scdn {
                         });
                         continue;
                     }
-                    repos_read.push(cand.index() as u32);
+                    repos_read.push((cand.index() as u32, self.repo_epochs[cand.index()]));
                     let xfer = self.simulate_fan_in(owner, cand, &segments);
+                    sim_clock = sim_clock.plus_millis(xfer.total_ms as u64);
                     if !xfer.failed {
                         have += 1;
                     }
@@ -286,7 +327,7 @@ impl Scdn {
                     });
                 }
                 MaintainPlan {
-                    version,
+                    stamp,
                     repos_read,
                     kind: PlanKind::Grow { owner, cands },
                 }
@@ -362,18 +403,16 @@ impl Scdn {
     /// plan's snapshot.
     fn grow_plan_stale(
         &self,
-        dataset: DatasetId,
-        version: Option<u64>,
-        repos_read: &[u32],
+        stamp: ShardStamp,
+        repos_read: &[(u32, u64)],
         planned_clock: SimTime,
-        touched: &[bool],
     ) -> bool {
-        self.alloc.catalog_version(dataset) != version
+        !self.alloc.stamp_current(stamp)
             || (self.clock != planned_clock
                 && matches!(self.availability, Availability::Periodic(_)))
             || repos_read
                 .iter()
-                .any(|&r| touched.get(r as usize).copied().unwrap_or(false))
+                .any(|&(r, e)| self.repo_epochs[r as usize] != e)
     }
 
     /// Commit one work item in the serial order, re-planning from live
@@ -384,21 +423,22 @@ impl Scdn {
         item: &WorkItem,
         plan: MaintainPlan,
         planned_clock: SimTime,
-        touched: &mut [bool],
     ) -> usize {
         let MaintainPlan {
-            version,
+            stamp,
             repos_read,
             kind,
         } = plan;
         match kind {
             PlanKind::Noop => {
-                // A noop can only go stale if the catalog entry changed
-                // under it — impossible within a cycle (every commit only
-                // touches its own dataset's entry) but cheap to honor.
-                if self.alloc.catalog_version(item.dataset) != version {
+                // A stale noop replays from live state. Shard stamps make
+                // this a possible false positive (a same-shard commit to
+                // another dataset), but the replay is harmless: the item
+                // is still at target (or unknown), so the live path makes
+                // zero changes — exactly the serial outcome.
+                if !self.alloc.stamp_current(stamp) {
                     self.maintain_replanned.inc();
-                    return self.commit_item_live(item, touched);
+                    return self.commit_item_live(item);
                 }
                 self.maintain_committed.inc();
                 0
@@ -410,37 +450,37 @@ impl Scdn {
                 self.maintain_committed.inc();
                 let shed = self.shed_replicas(item.dataset, drop);
                 for &v in &shed {
-                    touched[v.index()] = true;
+                    self.repo_epochs[v.index()] += 1;
                 }
                 shed.len()
             }
             PlanKind::Grow { owner, cands } => {
-                if self.grow_plan_stale(item.dataset, version, &repos_read, planned_clock, touched)
-                {
+                if self.grow_plan_stale(stamp, &repos_read, planned_clock) {
                     self.maintain_replanned.inc();
-                    return self.commit_item_live(item, touched);
+                    return self.commit_item_live(item);
                 }
                 self.maintain_committed.inc();
-                self.apply_grow(item.dataset, owner, cands, touched)
+                self.apply_grow(item.dataset, owner, cands)
             }
         }
     }
 
     /// Re-run a stale item from live committed state — exactly the
-    /// serial loop's view — marking the repositories it mutates.
-    fn commit_item_live(&mut self, item: &WorkItem, touched: &mut [bool]) -> usize {
+    /// serial loop's view — bumping the epochs of the repositories it
+    /// mutates.
+    fn commit_item_live(&mut self, item: &WorkItem) -> usize {
         match item.target {
             Target::Grow { want } => {
                 let added = self.replicate_to(item.dataset, want).unwrap_or_default();
                 for &n in &added {
-                    touched[n.index()] = true;
+                    self.repo_epochs[n.index()] += 1;
                 }
                 added.len()
             }
             Target::Shrink { drop } => {
                 let shed = self.shed_replicas(item.dataset, drop);
                 for &v in &shed {
-                    touched[v.index()] = true;
+                    self.repo_epochs[v.index()] += 1;
                 }
                 shed.len()
             }
@@ -451,13 +491,7 @@ impl Scdn {
     /// order: hosting-request records, attempt counters, stores with
     /// rollback, exchange/byte accounting, clock advance, catalog and
     /// cache updates, closing redundancy sample.
-    fn apply_grow(
-        &mut self,
-        dataset: DatasetId,
-        owner: NodeId,
-        cands: Vec<GrowCand>,
-        touched: &mut [bool],
-    ) -> usize {
+    fn apply_grow(&mut self, dataset: DatasetId, owner: NodeId, cands: Vec<GrowCand>) -> usize {
         let mut added = 0usize;
         for c in cands {
             self.social_metrics.record_hosting_request(
@@ -514,7 +548,7 @@ impl Scdn {
             for &(id, _) in &x.deliveries {
                 cache.set_pinned(id, true);
             }
-            touched[c.cand.index()] = true;
+            self.repo_epochs[c.cand.index()] += 1;
             added += 1;
         }
         let replica_count = self

@@ -4,46 +4,58 @@
 //! [`Scdn::request_batch`] splits the old monolithic `request` state
 //! machine in two:
 //!
-//! * **Plan** — embarrassingly parallel over the batch. Each worker runs
-//!   authenticate (read-only [`Middleware::peek_op`][peek]) → policy check
-//!   → discover/select (quiet
-//!   [`resolve_csr_planned`][planned], against the per-batch online
-//!   bitmap and the batch-entry clock) → simulated transfer timing
-//!   ([`TransferEngine::simulate_segment`], a pure hash of endpoints ×
-//!   segment × attempt, so planning order cannot change outcomes). The
-//!   result is a [`RequestPlan`]: the outcome body, the chosen replica,
-//!   the fetched segment payloads, and the exact trace-span sequence —
-//!   with no shared mutation.
+//! * **Plan** — embarrassingly parallel over the batch, and entirely
+//!   lock-free on the catalog: one [`CatalogSnapshot`] is loaded for the
+//!   whole batch (`core.batch.snapshot_reuse` counts the amortization)
+//!   and every worker plans against it. Each worker runs authenticate
+//!   (read-only [`Middleware::peek_op`][peek]) → policy check →
+//!   discover/select (quiet [`resolve_csr_snapshot`][planned], against
+//!   the per-batch online bitmap and the batch-entry clock) → simulated
+//!   transfer timing ([`TransferEngine::simulate_segment`], a pure hash
+//!   of endpoints × segment × attempt, so planning order cannot change
+//!   outcomes). The result is a [`RequestPlan`]: the outcome body, the
+//!   chosen replica, the fetched segment payloads, the exact trace-span
+//!   sequence — and the staleness tokens below — with no shared
+//!   mutation.
 //!
 //! * **Commit** — applies plans on the calling thread in submission
 //!   order: authoritative session-budget consumption, audit trail,
 //!   resolve/demand accounting, repository stores, cache touches and
 //!   opportunistic promotion, Cdn/Social metrics, trace records, clock
 //!   advance. A commit re-plans its request (from live state, at the
-//!   current clock) only when an earlier commit in the same batch
-//!   invalidated its snapshot: the dataset's catalog-entry version moved
-//!   (replica set changed), the requester's repository was touched, the
-//!   clock advanced under a time-dependent availability model or trust
-//!   policy, or the session budget ran out mid-batch.
+//!   current clock) only when an earlier commit invalidated its
+//!   snapshot: the catalog shard the resolution read republished (its
+//!   [`ShardStamp`] went stale), the requester's repository epoch
+//!   advanced, the clock advanced under a time-dependent availability
+//!   model or trust policy, or the session budget ran out mid-batch.
 //!
 //! Determinism argument: every plan is a pure function of the snapshot it
 //! was computed against; every effect is applied at commit, in submission
 //! order; and every snapshot ingredient a plan read is covered by a
-//! staleness trigger (catalog versions for replica sets and cache
-//! contents, a per-batch touched-repository bitmap for quota/pre-existing
-//! checks, the clock for churn and trust windows, commit-time
-//! `authorize_op` for session budgets). A stale plan is discarded and
-//! recomputed from committed state — exactly what the serial loop would
-//! have seen — so a batched run is bit-identical to issuing the same
-//! requests one `request` at a time under a fixed seed. `request` itself
-//! is a batch of one through this same pipeline.
+//! staleness trigger — a **version vector** in two halves: the catalog
+//! shard epoch for replica sets and cache contents (a plan records the
+//! stamp of the shard it resolved against; any commit that republishes
+//! that shard invalidates it), and per-node repository epochs for
+//! quota/pre-existing checks (a commit that stores into a repository
+//! bumps its epoch). The clock covers churn and trust windows, and
+//! commit-time `authorize_op` covers session budgets. Shard stamps are
+//! deliberately coarser than the per-entry catalog versions of earlier
+//! revisions: a commit to *another* dataset in the same shard triggers a
+//! false-positive replan — recomputed from committed state, which is
+//! exactly what the serial loop would have seen, so outcomes are
+//! unchanged (the equivalence proptests drive shard counts down to 1 to
+//! force these collisions). A stale plan is discarded and recomputed
+//! from committed state, so a batched run is bit-identical to issuing
+//! the same requests one `request` at a time under a fixed seed.
+//! `request` itself is a batch of one through this same pipeline.
 //!
 //! [peek]: scdn_middleware::auth::Middleware::peek_op
-//! [planned]: scdn_alloc::server::AllocationServer::resolve_csr_planned
+//! [planned]: scdn_alloc::server::AllocationServer::resolve_csr_snapshot
 //! [`TransferEngine::simulate_segment`]: scdn_net::transfer::TransferEngine::simulate_segment
 
 use scdn_alloc::discovery::Selection;
 use scdn_alloc::server::AllocationError;
+use scdn_alloc::{CatalogSnapshot, ShardStamp};
 use scdn_graph::parallel::par_map_collect;
 use scdn_graph::NodeId;
 use scdn_middleware::auth::MiddlewareError;
@@ -139,10 +151,14 @@ enum PlanBody {
 struct RequestPlan {
     node: NodeId,
     dataset: DatasetId,
-    /// Catalog-entry version the resolution was computed against (`None`
-    /// before resolution or for unknown datasets) — the commit-side
-    /// staleness token.
-    catalog_version: Option<u64>,
+    /// Stamp of the catalog shard the resolution read (`None` before
+    /// resolution was attempted) — the catalog half of the commit-side
+    /// staleness vector. Valid even when the dataset is unregistered:
+    /// registering it would republish this same shard.
+    stamp: Option<ShardStamp>,
+    /// The requester's repository epoch at plan time — the repository
+    /// half of the staleness vector (quota + pre-existing checks).
+    repo_epoch: u64,
     /// Deferred trace ops in emission order (terminal span excluded; the
     /// body implies it).
     trace: Vec<TraceOp>,
@@ -166,49 +182,60 @@ impl Scdn {
     ) -> Vec<Result<RequestOutcome, ScdnError>> {
         self.refresh_online_mask();
         let planned_clock = self.clock;
+        // One catalog snapshot serves every planner in the batch: after
+        // this load the plan phase acquires no catalog lock at all.
+        let snap = self.alloc.snapshot();
+        self.batch_snapshot_reuse
+            .add(reqs.len().saturating_sub(1) as u64);
         let plans: Vec<RequestPlan> = {
             let this: &Scdn = self;
+            let snap = &snap;
             par_map_collect(reqs.len(), 8, |i| {
                 let (node, dataset) = reqs[i];
                 if node.index() >= this.repos.len() {
                     return RequestPlan {
                         node,
                         dataset,
-                        catalog_version: None,
+                        stamp: None,
+                        repo_epoch: 0,
                         trace: Vec::new(),
                         body: PlanBody::UnknownNode,
                     };
                 }
                 let auth = this.middleware.peek_op(this.sessions[node.index()]);
-                this.plan_after_auth(node, dataset, auth, planned_clock, &|n: NodeId| {
+                this.plan_after_auth(snap, node, dataset, auth, planned_clock, &|n: NodeId| {
                     this.online_mask.get(n.index()).copied().unwrap_or(false)
                 })
             })
         };
-        let mut touched = vec![false; self.repos.len()];
         plans
             .into_iter()
-            .map(|p| self.commit_plan(p, planned_clock, &mut touched))
+            .map(|p| self.commit_plan(p, planned_clock))
             .collect()
     }
 
     /// Plan one request given an authentication result. Read-only: safe
-    /// from parallel planning workers (snapshot `clock` + `online` view)
-    /// and reused for commit-side re-planning (live clock + live
-    /// availability, authoritative auth result).
+    /// from parallel planning workers (shared catalog snapshot, snapshot
+    /// `clock` + `online` view) and reused for commit-side re-planning
+    /// (fresh snapshot — identical to live state on the single commit
+    /// thread — live clock + live availability, authoritative auth
+    /// result).
     fn plan_after_auth(
         &self,
+        snap: &CatalogSnapshot,
         node: NodeId,
         dataset: DatasetId,
         auth: Result<UserId, MiddlewareError>,
         clock: SimTime,
         online: &dyn Fn(NodeId) -> bool,
     ) -> RequestPlan {
+        let repo_epoch = self.repo_epochs[node.index()];
         let mut trace: Vec<TraceOp> = Vec::new();
-        let plan = |catalog_version, trace, body| RequestPlan {
+        let plan = |stamp, trace, body| RequestPlan {
             node,
             dataset,
-            catalog_version,
+            stamp,
+            repo_epoch,
             trace,
             body,
         };
@@ -260,13 +287,15 @@ impl Scdn {
         });
         let topology = &self.engine.topology;
         let discover_start = std::time::Instant::now();
-        // Quiet CSR resolution: selection identical to `resolve_csr`, but
-        // the resolve/demand accounting is deferred to the commit.
-        let (resolved, version) =
+        // Quiet CSR resolution against the shared snapshot: selection
+        // identical to `resolve_csr`, zero catalog locks, and the
+        // resolve/demand accounting is deferred to the commit.
+        let (resolved, stamp) =
             self.alloc
-                .resolve_csr_planned(dataset, node, &self.social_csr, online, |n| {
+                .resolve_csr_snapshot(snap, dataset, node, &self.social_csr, online, |n| {
                     topology.latency_ms(node.index(), n.index())
                 });
+        let stamp = Some(stamp);
         let selection = match resolved {
             Ok(sel) => sel,
             Err(error) => {
@@ -276,7 +305,7 @@ impl Scdn {
                     duration_ms: elapsed_ms(discover_start),
                 });
                 return plan(
-                    version,
+                    stamp,
                     trace,
                     PlanBody::ResolveFailed {
                         user,
@@ -302,7 +331,7 @@ impl Scdn {
                 peer: selection.node.0,
             });
             return plan(
-                version,
+                stamp,
                 trace,
                 PlanBody::BoundaryBlocked {
                     user,
@@ -317,16 +346,20 @@ impl Scdn {
             duration_ms: 0.0,
             peer: selection.node.0,
         });
-        let segments = match self.segment_ids(dataset) {
-            Ok(s) => s,
-            Err(error) => {
+        // Segment table from the same snapshot the resolution used — no
+        // catalog lock, and trivially consistent with the replica set.
+        let segments = match snap.segments_of(dataset) {
+            Some(n) => (0..n)
+                .map(|ordinal| SegmentId { dataset, ordinal })
+                .collect::<Vec<_>>(),
+            None => {
                 return plan(
-                    version,
+                    stamp,
                     trace,
                     PlanBody::SegmentsUnavailable {
                         user,
                         decision,
-                        error,
+                        error: ScdnError::Alloc(AllocationError::UnknownDataset(dataset)),
                     },
                 );
             }
@@ -334,7 +367,7 @@ impl Scdn {
         if selection.node == node {
             // Self-service: the requester already holds a replica.
             return plan(
-                version,
+                stamp,
                 trace,
                 PlanBody::Served {
                     user,
@@ -367,7 +400,7 @@ impl Scdn {
                         _ => TransferError::SourceMissing(s),
                     };
                     return plan(
-                        version,
+                        stamp,
                         trace,
                         PlanBody::TransferFailed {
                             user,
@@ -392,7 +425,7 @@ impl Scdn {
             }
             if !sim.delivered {
                 return plan(
-                    version,
+                    stamp,
                     trace,
                     PlanBody::TransferFailed {
                         user,
@@ -411,7 +444,7 @@ impl Scdn {
                     // recorded) before the destination rejected it —
                     // exactly the serial store-after-observe order.
                     return plan(
-                        version,
+                        stamp,
                         trace,
                         PlanBody::TransferFailed {
                             user,
@@ -434,7 +467,7 @@ impl Scdn {
         // concurrency 1 this is the serial sum of per-segment times.
         let total_ms = self.engine.aggregate_elapsed_ms(&segment_ms);
         plan(
-            version,
+            stamp,
             trace,
             PlanBody::Served {
                 user,
@@ -449,7 +482,9 @@ impl Scdn {
     }
 
     /// Re-plan from live committed state (current clock, live
-    /// availability, authoritative auth result).
+    /// availability, authoritative auth result). The fresh snapshot *is*
+    /// live state: commits run single-threaded, so nothing can republish
+    /// between this load and the plan's application.
     fn plan_live(
         &self,
         node: NodeId,
@@ -457,7 +492,8 @@ impl Scdn {
         auth: Result<UserId, MiddlewareError>,
     ) -> RequestPlan {
         let clock = self.clock;
-        self.plan_after_auth(node, dataset, auth, clock, &|n: NodeId| {
+        let snap = self.alloc.snapshot();
+        self.plan_after_auth(&snap, node, dataset, auth, clock, &|n: NodeId| {
             n.index() < self.departed.len()
                 && !self.departed[n.index()]
                 && self.availability.is_online(n.index(), clock)
@@ -473,16 +509,20 @@ impl Scdn {
     }
 
     /// `true` if the snapshot a resolution-bearing plan was computed
-    /// against no longer matches committed state.
+    /// against no longer matches committed state: the catalog shard the
+    /// resolution read has republished (any replica-set change in it —
+    /// possibly another dataset's, in which case the replan reproduces
+    /// the same selection), or a time-dependent input moved with the
+    /// clock.
     fn resolution_stale(&self, plan: &RequestPlan, clock_moved: bool) -> bool {
-        self.alloc.catalog_version(plan.dataset) != plan.catalog_version
+        plan.stamp.is_some_and(|st| !self.alloc.stamp_current(st))
             || (clock_moved
                 && (matches!(self.availability, Availability::Periodic(_))
                     || self.policy_is_time_dependent(plan.dataset)))
     }
 
-    /// Decide whether an earlier commit in this batch invalidated `plan`.
-    fn plan_is_stale(&self, plan: &RequestPlan, planned_clock: SimTime, touched: &[bool]) -> bool {
+    /// Decide whether an earlier commit invalidated `plan`.
+    fn plan_is_stale(&self, plan: &RequestPlan, planned_clock: SimTime) -> bool {
         let clock_moved = self.clock != planned_clock;
         match &plan.body {
             // Node membership and the dataset policy table are immutable
@@ -495,11 +535,12 @@ impl Scdn {
             | PlanBody::BoundaryBlocked { .. }
             | PlanBody::SegmentsUnavailable { .. } => self.resolution_stale(plan, clock_moved),
             // Transfer outcomes additionally read the requester's
-            // repository (quota + pre-existing checks). Serving-side
-            // repositories are only mutated through catalog operations,
-            // which the version check already covers.
+            // repository (quota + pre-existing checks), covered by its
+            // epoch. Serving-side repositories are only mutated through
+            // catalog operations, which the shard stamp already covers.
             PlanBody::TransferFailed { .. } | PlanBody::Served { .. } => {
-                self.resolution_stale(plan, clock_moved) || touched[plan.node.index()]
+                self.resolution_stale(plan, clock_moved)
+                    || self.repo_epochs[plan.node.index()] != plan.repo_epoch
             }
         }
     }
@@ -544,7 +585,6 @@ impl Scdn {
         &mut self,
         plan: RequestPlan,
         planned_clock: SimTime,
-        touched: &mut [bool],
     ) -> Result<RequestOutcome, ScdnError> {
         let node = plan.node;
         let dataset = plan.dataset;
@@ -571,15 +611,14 @@ impl Scdn {
             }
         };
         let mut plan = plan;
-        if matches!(plan.body, PlanBody::AuthFailed(_))
-            || self.plan_is_stale(&plan, planned_clock, touched)
+        if matches!(plan.body, PlanBody::AuthFailed(_)) || self.plan_is_stale(&plan, planned_clock)
         {
             self.batch_replans.inc();
             plan = self.plan_live(node, dataset, Ok(user));
         }
         let mut store_failures = 0u32;
         loop {
-            match self.apply_plan(tb, plan, touched) {
+            match self.apply_plan(tb, plan) {
                 Ok(result) => return result,
                 Err((builder, repo_err)) => {
                     // A commit-side store failed, meaning the staleness
@@ -613,7 +652,6 @@ impl Scdn {
         &mut self,
         mut tb: TraceBuilder,
         plan: RequestPlan,
-        touched: &mut [bool],
     ) -> Result<Result<RequestOutcome, ScdnError>, (TraceBuilder, RepoError)> {
         let node = plan.node;
         let dataset = plan.dataset;
@@ -757,7 +795,7 @@ impl Scdn {
                         true,
                     );
                     self.clients[selection.node.index()].record_served(total_bytes);
-                    touched[node.index()] = true;
+                    self.repo_epochs[node.index()] += 1;
                 }
                 // Bump recency/frequency for the serving node's copies.
                 self.caches[selection.node.index()].touch_all(segments.iter().copied());

@@ -84,6 +84,12 @@ pub struct ScdnConfig {
     /// in waves: per-stream bandwidth drops, but multi-segment datasets
     /// finish sooner whenever per-attempt latency is non-zero.
     pub transfer_concurrency: u32,
+    /// Catalog shard count for the allocation server (`0` = the alloc
+    /// crate's default). A performance knob, never a correctness one:
+    /// fewer shards coarsen commit granularity, so more plans go
+    /// shard-stale and replan — the equivalence suites run tiny counts
+    /// (down to 1) to stress exactly those replans.
+    pub catalog_shards: usize,
     /// Master RNG seed (placement + workload side).
     pub seed: u64,
 }
@@ -101,6 +107,7 @@ impl Default for ScdnConfig {
             enforce_social_boundary: false,
             opportunistic_caching: false,
             transfer_concurrency: 1,
+            catalog_shards: 0,
             seed: 7,
         }
     }
@@ -248,6 +255,21 @@ pub struct Scdn {
     /// Commits that had to re-plan because an earlier commit in the same
     /// batch invalidated their snapshot (`core.batch.replans`).
     batch_replans: Counter,
+    /// Per-node repository mutation epochs: bumped whenever a commit
+    /// mutates a node's repository contents (stores after a remote
+    /// serve, grow-plan stores, shrink evictions). Plans record the
+    /// epoch of every repository whose quota/contents they read; at
+    /// commit time the plan is stale iff one of those epochs advanced —
+    /// the repository half of the version-vector staleness scheme that
+    /// replaced the per-batch touched-repo bitmap (the catalog half is
+    /// the alloc crate's per-shard epochs).
+    repo_epochs: Vec<u64>,
+    /// Requests planned against a reused catalog snapshot — one load
+    /// serves the whole batch (`core.batch.snapshot_reuse`).
+    batch_snapshot_reuse: Counter,
+    /// Maintenance items planned against a reused catalog snapshot
+    /// (`core.maintain.snapshot_reuse`).
+    maintain_snapshot_reuse: Counter,
     /// Memoized full placement orderings: `replicate_to`, `maintain`, and
     /// `repair` rank the social graph once per cycle and slice per
     /// dataset instead of re-running the placement algorithm per dataset.
@@ -300,7 +322,12 @@ impl Scdn {
             }
         };
         let registry = Arc::new(Registry::new());
-        let alloc = AllocationServer::with_registry(&registry);
+        let shards = match config.catalog_shards {
+            0 => scdn_alloc::DEFAULT_CATALOG_SHARDS,
+            n => n,
+        };
+        let alloc = AllocationServer::with_registry_and_shards(&registry, shards);
+        let mut repo_infos = Vec::with_capacity(n);
         let mut social_metrics = SocialMetrics::default();
         for (i, &author) in sub.authors.iter().enumerate() {
             let a = corpus.author(author);
@@ -323,9 +350,8 @@ impl Scdn {
                 .expect("fresh token validates");
             sessions.push(session.id);
             repos.push(Arc::new(StorageRepository::new(config.repo_capacity)));
-            let node = NodeId(i as u32);
-            alloc.register_repository(RepositoryInfo {
-                node,
+            repo_infos.push(RepositoryInfo {
+                node: NodeId(i as u32),
                 owner: author,
                 capacity: config.repo_capacity,
                 availability: availability.fraction(i),
@@ -337,6 +363,9 @@ impl Scdn {
                 .entry(region_idx)
                 .or_insert(0) += config.repo_capacity;
         }
+        // One catalog publication for the whole membership instead of a
+        // copy-on-write republication per member.
+        alloc.register_repositories(repo_infos);
         // Mirror the social graph into platform relationships.
         let users: Vec<_> = sub
             .authors
@@ -378,6 +407,8 @@ impl Scdn {
         let att_corrupted = registry.counter("net.attempts.corrupted");
         let online_fraction = registry.gauge("core.online_fraction");
         let batch_replans = registry.counter("core.batch.replans");
+        let batch_snapshot_reuse = registry.counter("core.batch.snapshot_reuse");
+        let maintain_snapshot_reuse = registry.counter("core.maintain.snapshot_reuse");
         let maintain_planned = registry.counter("core.maintain.planned");
         let maintain_committed = registry.counter("core.maintain.committed");
         let maintain_replanned = registry.counter("core.maintain.replanned");
@@ -415,6 +446,9 @@ impl Scdn {
             online_mask: vec![false; n],
             online_mask_at: None,
             batch_replans,
+            repo_epochs: vec![0; n],
+            batch_snapshot_reuse,
+            maintain_snapshot_reuse,
             rankings: RankingCache::new(),
             maintain_planned,
             maintain_committed,

@@ -51,8 +51,11 @@ fn community() -> &'static (SyntheticDblp, TrustSubgraph) {
 }
 
 /// A freshly built system plus its published datasets. Deterministic:
-/// two calls produce bit-identical systems.
-fn build_system() -> (Scdn, Vec<DatasetId>) {
+/// two calls produce bit-identical systems. `catalog_shards` exercises
+/// the shard-stale re-plan path: a 1-shard catalog makes every commit
+/// collide with every in-flight plan's stamp, while 16 shards spread
+/// the datasets out (0 = server default).
+fn build_system(catalog_shards: usize) -> (Scdn, Vec<DatasetId>) {
     let (c, sub) = community();
     let config = ScdnConfig {
         segment_size: 2 << 10,
@@ -68,6 +71,7 @@ fn build_system() -> (Scdn, Vec<DatasetId>) {
         },
         opportunistic_caching: true,
         transfer_concurrency: 2,
+        catalog_shards,
         ..Default::default()
     };
     let mut scdn = Scdn::build(sub, &c.corpus, config);
@@ -184,10 +188,11 @@ proptest! {
             1..6,
         ),
         depart in (any::<bool>(), any::<u8>()),
+        shards in (0usize..3).prop_map(|i| [1usize, 2, 16][i]),
     ) {
         let depart_sel = depart.0.then_some(depart.1);
-        let (mut serial, datasets) = build_system();
-        let (mut batched, datasets_b) = build_system();
+        let (mut serial, datasets) = build_system(shards);
+        let (mut batched, datasets_b) = build_system(shards);
         prop_assert_eq!(&datasets, &datasets_b, "builds are deterministic");
 
         let serial_out = drive(&mut serial, &datasets, &ops, depart_sel, true);

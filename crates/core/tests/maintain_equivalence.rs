@@ -51,8 +51,11 @@ fn community() -> &'static (SyntheticDblp, TrustSubgraph) {
 }
 
 /// A freshly built system plus its published datasets. Deterministic:
-/// two calls produce bit-identical systems.
-fn build_system() -> (Scdn, Vec<DatasetId>) {
+/// two calls produce bit-identical systems. `catalog_shards` exercises
+/// the shard-stale re-plan path: a 1-shard catalog makes every commit
+/// collide with every in-flight plan's stamp — including Noop replays —
+/// while 16 shards spread the datasets out (0 = server default).
+fn build_system(catalog_shards: usize) -> (Scdn, Vec<DatasetId>) {
     let (c, sub) = community();
     let config = ScdnConfig {
         segment_size: 2 << 10,
@@ -69,6 +72,7 @@ fn build_system() -> (Scdn, Vec<DatasetId>) {
         },
         opportunistic_caching: true,
         transfer_concurrency: 2,
+        catalog_shards,
         ..Default::default()
     };
     let mut scdn = Scdn::build(sub, &c.corpus, config);
@@ -159,9 +163,10 @@ proptest! {
             ),
             1..5,
         ),
+        shards in (0usize..3).prop_map(|i| [1usize, 2, 16][i]),
     ) {
-        let (mut serial, datasets) = build_system();
-        let (mut piped, datasets_b) = build_system();
+        let (mut serial, datasets) = build_system(shards);
+        let (mut piped, datasets_b) = build_system(shards);
         prop_assert_eq!(&datasets, &datasets_b, "builds are deterministic");
 
         let serial_changes = drive(&mut serial, &datasets, &ops, true);
@@ -245,7 +250,7 @@ fn replication_walks_past_offline_ranking_prefix() {
 /// still.
 #[test]
 fn repeated_cycles_hit_the_ranking_cache() {
-    let (mut scdn, datasets) = build_system();
+    let (mut scdn, datasets) = build_system(0);
     let hits = |s: &Scdn| {
         s.registry()
             .counter("core.maintain.ranking_cache_hit")

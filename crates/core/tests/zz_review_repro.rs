@@ -81,11 +81,12 @@ fn repair_matches_serial_under_fast_churn() {
             b.tick(t0);
             let ra = a.repair_serial();
             let rb = b.repair();
+            assert_eq!(ra, rb, "change counts diverge (period={period_ms} t0={t0})");
             assert_eq!(
-                ra, rb,
-                "change counts diverge (period={period_ms} t0={t0})"
+                a.now(),
+                b.now(),
+                "clocks diverge (period={period_ms} t0={t0})"
             );
-            assert_eq!(a.now(), b.now(), "clocks diverge (period={period_ms} t0={t0})");
             for &d in &ds {
                 assert_eq!(
                     a.replicas_of(d).unwrap_or_default(),

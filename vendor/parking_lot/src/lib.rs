@@ -5,9 +5,10 @@
 //! translated to a panic, which matches how the workspace would have used
 //! parking_lot anyway (parking_lot has no poisoning).
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+// The real parking_lot exports its guard types; callers name them for
+// functions that return a held guard.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Reader–writer lock with parking_lot's guard-returning API.
 #[derive(Debug, Default)]
