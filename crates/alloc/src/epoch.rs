@@ -127,24 +127,42 @@ impl DemandState {
 
     /// Current observation window.
     pub(crate) fn window(&self) -> DemandWindow {
-        DemandWindow {
-            hits: self
-                .hits
-                .get()
-                .saturating_sub(self.hits_drained.load(Ordering::Relaxed)),
-            misses: self
-                .misses
-                .get()
-                .saturating_sub(self.misses_drained.load(Ordering::Relaxed)),
-        }
+        self.observe().1
     }
 
-    /// Start a new observation window: totals keep counting, baselines
-    /// advance. In-place — every snapshot shares this state.
+    /// One consistent read of the counters: the absolute totals
+    /// `(hits, misses)` plus the window they imply against the current
+    /// baselines. A planner records the totals and later drains **to
+    /// them** ([`drain_to`](Self::drain_to)) so requests resolved after
+    /// the read fall into the *next* window instead of vanishing.
+    pub(crate) fn observe(&self) -> ((u64, u64), DemandWindow) {
+        let hits = self.hits.get();
+        let misses = self.misses.get();
+        let window = DemandWindow {
+            hits: hits.saturating_sub(self.hits_drained.load(Ordering::Relaxed)),
+            misses: misses.saturating_sub(self.misses_drained.load(Ordering::Relaxed)),
+        };
+        ((hits, misses), window)
+    }
+
+    /// Start a new observation window **at the totals a plan observed**:
+    /// baselines advance exactly to `(hits, misses)`, so anything the
+    /// counters accumulated since that read stays visible in the next
+    /// window. `fetch_max` keeps baselines monotonic if two drains race.
+    /// In-place — every snapshot shares this state.
+    pub(crate) fn drain_to(&self, hits: u64, misses: u64) {
+        self.hits_drained.fetch_max(hits, Ordering::Relaxed);
+        self.misses_drained.fetch_max(misses, Ordering::Relaxed);
+    }
+
+    /// Start a new observation window at the *current* totals. This is
+    /// the coarse variant for callers without a recorded observation —
+    /// anything resolved between a planner's window read and this call
+    /// is silently dropped from both windows, which is exactly the lost-
+    /// demand bug the maintenance cycles avoid by draining to plan-time
+    /// totals instead.
     pub(crate) fn drain(&self) {
-        self.hits_drained.store(self.hits.get(), Ordering::Relaxed);
-        self.misses_drained
-            .store(self.misses.get(), Ordering::Relaxed);
+        self.drain_to(self.hits.get(), self.misses.get());
     }
 
     /// Snapshot for inter-server sync: counters are copied into fresh

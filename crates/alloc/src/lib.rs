@@ -32,4 +32,8 @@ pub use epoch::{CatalogSnapshot, ShardStamp, DEFAULT_CATALOG_SHARDS};
 pub use group::ServerGroup;
 pub use placement::PlacementAlgorithm;
 pub use ranking_cache::RankingCache;
-pub use server::{AllocationError, AllocationServer, RepositoryInfo};
+pub use replication::{
+    AdaptiveRebalance, CycleStats, DatasetStats, DemandWindow, RebalancePolicy, ReplicationPolicy,
+    StaticRebalance,
+};
+pub use server::{AllocationError, AllocationServer, RebalanceItem, RebalancePlan, RepositoryInfo};

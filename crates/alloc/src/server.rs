@@ -50,7 +50,7 @@ use crate::epoch::{
     ShardSnapshot, ShardStamp, DEFAULT_CATALOG_SHARDS,
 };
 use crate::placement::PlacementAlgorithm;
-use crate::replication::{DemandWindow, ReplicationPolicy};
+use crate::replication::{CycleStats, DatasetStats, DemandWindow, RebalancePolicy};
 use crate::resolve_cache::ResolveCache;
 
 /// Default bound on the version-keyed hop-distance cache (entries).
@@ -143,6 +143,44 @@ impl std::fmt::Display for AllocationError {
 }
 
 impl std::error::Error for AllocationError {}
+
+/// One replica-count change a rebalance plan wants: grow when
+/// `target > current`, shrink when `target < current` (equal counts are
+/// never emitted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RebalanceItem {
+    /// The dataset to adjust.
+    pub dataset: DatasetId,
+    /// Replica count at plan time.
+    pub current: usize,
+    /// Replica count the policy wants. Maintenance honors this verbatim
+    /// — floors and ceilings live in the policy, not in the cycle.
+    pub target: usize,
+}
+
+/// Output of [`AllocationServer::rebalance_plan`]: the replica-count
+/// changes to apply, plus the demand observation (absolute per-dataset
+/// counter totals at plan time) that
+/// [`drain_demand`](AllocationServer::drain_demand) needs to open the
+/// next window without losing mid-cycle requests.
+#[derive(Clone, Debug)]
+pub struct RebalancePlan {
+    /// Datasets whose replica count should change, dataset-sorted.
+    pub items: Vec<RebalanceItem>,
+    /// `(dataset, hits total, misses total)` at the plan's window read,
+    /// for every dataset in the catalog — the drain baseline.
+    observed: Vec<(DatasetId, u64, u64)>,
+}
+
+impl RebalancePlan {
+    /// The `(dataset, current, target)` triples, for drivers that want
+    /// the old tuple shape.
+    pub fn triples(&self) -> impl Iterator<Item = (DatasetId, usize, usize)> + '_ {
+        self.items
+            .iter()
+            .map(|item| (item.dataset, item.current, item.target))
+    }
+}
 
 /// An allocation server. Thread-safe: reads are snapshot loads, writes
 /// copy-on-write exactly one shard (or the repository table).
@@ -888,10 +926,12 @@ impl AllocationServer {
             .ok_or(AllocationError::UnknownDataset(dataset))
     }
 
-    /// Drain all demand windows (start of a new observation period): the
-    /// atomic totals keep counting, the per-dataset baselines advance.
-    /// In-place on the shared demand state — no shard republishes, no
-    /// epoch moves, no plan goes stale.
+    /// Drain all demand windows at their *current* totals. Coarse: any
+    /// request resolved between a planner's window read and this call is
+    /// dropped from both the old and the new window — maintenance cycles
+    /// use [`drain_demand`](Self::drain_demand) with the plan's recorded
+    /// observation instead. In-place on the shared demand state — no
+    /// shard republishes, no epoch moves, no plan goes stale.
     pub fn reset_demand(&self) {
         for cell in &self.shards {
             for entry in cell.load().entries.values() {
@@ -900,29 +940,73 @@ impl AllocationServer {
         }
     }
 
-    /// Datasets whose replica count should change under `policy`:
-    /// `(dataset, current, target)`.
-    pub fn rebalance_plan(&self, policy: &ReplicationPolicy) -> Vec<(DatasetId, usize, usize)> {
-        let mut plan: Vec<(DatasetId, usize, usize)> = Vec::new();
+    /// Drain every demand window **to the totals `plan` observed**: the
+    /// baselines advance exactly to the counter values `rebalance_plan`
+    /// read, so requests resolved mid-cycle (after the plan's read,
+    /// before this drain) stay visible in the next window. Datasets
+    /// registered since the plan are untouched — their demand belongs to
+    /// the window that is just opening.
+    pub fn drain_demand(&self, plan: &RebalancePlan) {
+        for &(dataset, hits, misses) in &plan.observed {
+            if let Some(entry) = self.shards[self.shard_of(dataset)]
+                .load()
+                .entries
+                .get(&dataset)
+            {
+                entry.demand.drain_to(hits, misses);
+            }
+        }
+    }
+
+    /// Datasets whose replica count should change under `policy`, plus
+    /// the demand observation the cycle must drain to when it finishes.
+    ///
+    /// Two passes: the per-dataset windows (read once, at their absolute
+    /// counter totals) are aggregated into the [`CycleStats`] every
+    /// policy evaluation receives, then the policy is asked for each
+    /// dataset's target. Policy evaluations are pure, so the second pass
+    /// is order-independent; the emitted items are dataset-sorted.
+    pub fn rebalance_plan<P: RebalancePolicy>(&self, policy: &P) -> RebalancePlan {
+        // Pass 1: one consistent read per dataset — window for the
+        // policy, absolute totals for the end-of-cycle drain.
+        let mut observed: Vec<(DatasetId, u64, u64)> = Vec::new();
+        let mut stats: Vec<(DatasetId, DatasetStats)> = Vec::new();
+        let mut cycle = CycleStats::default();
         for cell in &self.shards {
             let shard = cell.load();
-            plan.extend(shard.entries.iter().filter_map(|(&d, e)| {
-                let current = e.replicas.len();
-                let demand = e.demand.window();
-                let target = policy.target_replicas(current, demand);
-                let target = if policy.should_shrink(current, demand) {
-                    target
-                        .min(current.saturating_sub(1))
-                        .max(policy.min_replicas)
-                } else {
-                    target
-                };
-                (target != current).then_some((d, current, target))
-            }));
+            for (&d, e) in &shard.entries {
+                let ((hits, misses), window) = e.demand.observe();
+                observed.push((d, hits, misses));
+                stats.push((
+                    d,
+                    DatasetStats {
+                        current: e.replicas.len(),
+                        demand: window,
+                        segments: e.segments,
+                    },
+                ));
+                cycle.datasets += 1;
+                cycle.total_replicas += e.replicas.len();
+                cycle.demand.hits += window.hits;
+                cycle.demand.misses += window.misses;
+            }
         }
-        plan.sort_by_key(|&(d, _, _)| d);
-        self.metrics.rebalance_datasets.add(plan.len() as u64);
-        plan
+        // Pass 2: policy targets against the aggregate.
+        let mut items: Vec<RebalanceItem> = stats
+            .into_iter()
+            .filter_map(|(dataset, s)| {
+                let target = policy.target(&s, &cycle);
+                (target != s.current).then_some(RebalanceItem {
+                    dataset,
+                    current: s.current,
+                    target,
+                })
+            })
+            .collect();
+        items.sort_by_key(|item| item.dataset);
+        observed.sort_by_key(|&(d, _, _)| d);
+        self.metrics.rebalance_datasets.add(items.len() as u64);
+        RebalancePlan { items, observed }
     }
 
     /// Merge another server's catalog into this one (gossip-style sync):
@@ -1007,6 +1091,7 @@ impl AllocationServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::replication::ReplicationPolicy;
     use scdn_graph::generators::barabasi_albert;
 
     fn server_with_repos(g: &Graph) -> AllocationServer {
@@ -1139,11 +1224,61 @@ mod tests {
             let _ = srv.resolve(DatasetId(0), NodeId(15), &g, |_| true, |_| 1.0);
         }
         let plan = srv.rebalance_plan(&ReplicationPolicy::default());
-        assert_eq!(plan.len(), 1);
-        let (d, current, target) = plan[0];
-        assert_eq!(d, DatasetId(0));
-        assert_eq!(current, 1);
-        assert!(target > 1, "target = {target}");
+        assert_eq!(plan.items.len(), 1);
+        let item = plan.items[0];
+        assert_eq!(item.dataset, DatasetId(0));
+        assert_eq!(item.current, 1);
+        assert!(item.target > 1, "target = {}", item.target);
+    }
+
+    /// Regression: requests resolved between `rebalance_plan`'s window
+    /// read and the end-of-cycle drain used to vanish from every window
+    /// (the drain re-read the counters and baselined over them). Drain
+    /// to the plan's recorded observation and the mid-cycle request is
+    /// the first entry of the next window.
+    #[test]
+    fn mid_cycle_demand_survives_the_drain() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(0))
+            .expect("ok");
+        srv.resolve(DatasetId(0), NodeId(1), &g, |_| true, |_| 1.0)
+            .expect("resolves");
+        let plan = srv.rebalance_plan(&ReplicationPolicy::default());
+        // A request lands mid-cycle, after the plan read the windows.
+        srv.resolve(DatasetId(0), NodeId(3), &g, |_| true, |_| 1.0)
+            .expect("resolves");
+        srv.drain_demand(&plan);
+        let next = srv.demand_of(DatasetId(0)).expect("known");
+        assert_eq!(
+            (next.hits, next.misses),
+            (0, 1),
+            "the mid-cycle miss must open the next window, not vanish"
+        );
+        // The coarse reset (no observation) is the lossy baseline the
+        // maintenance cycles no longer use.
+        srv.reset_demand();
+        assert_eq!(srv.demand_of(DatasetId(0)).expect("known").total(), 0);
+    }
+
+    /// Datasets registered after the plan's read are not drained by it.
+    #[test]
+    fn drain_skips_datasets_registered_mid_cycle() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let srv = server_with_repos(&g);
+        srv.register_dataset(DatasetId(0), 1, NodeId(0))
+            .expect("ok");
+        let plan = srv.rebalance_plan(&ReplicationPolicy::default());
+        srv.register_dataset(DatasetId(1), 1, NodeId(2))
+            .expect("ok");
+        srv.resolve(DatasetId(1), NodeId(3), &g, |_| true, |_| 1.0)
+            .expect("resolves");
+        srv.drain_demand(&plan);
+        assert_eq!(
+            srv.demand_of(DatasetId(1)).expect("known").total(),
+            1,
+            "a dataset born mid-cycle keeps its young window"
+        );
     }
 
     #[test]

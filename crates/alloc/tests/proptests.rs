@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use scdn_alloc::discovery::{select_replica, select_replica_csr, Candidate};
 use scdn_alloc::partitioning::{hash_partition, social_partition, AccessLog};
 use scdn_alloc::placement::PlacementAlgorithm;
-use scdn_alloc::replication::{DemandWindow, ReplicationPolicy};
+use scdn_alloc::replication::{DemandWindow, ReplicationPolicy, StaticRebalance};
 use scdn_alloc::server::{AllocationServer, RepositoryInfo};
 use scdn_graph::community::Partition;
 use scdn_graph::{CsrGraph, Graph, NodeId, TraversalScratch};
@@ -107,6 +107,79 @@ proptest! {
             misses,
         };
         prop_assert!(policy.target_replicas(current, d2) >= target);
+    }
+
+    /// The `RebalancePolicy` impl on `ReplicationPolicy` produces plans
+    /// bit-identical to the pre-trait `rebalance_plan` (the inline
+    /// `target_replicas` + `should_shrink` clamp, recomputed here from the
+    /// public formula), and `StaticRebalance` additionally reproduces the
+    /// maintain paths' old `replicas_per_dataset.max(target)` grow clamp —
+    /// on growth only.
+    #[test]
+    fn static_policy_plan_matches_legacy_rebalance_plan(
+        datasets in proptest::collection::vec(
+            (1usize..6, 0u64..400, 0u64..400),
+            1..10,
+        ),
+        requests_per_replica in 1u64..200,
+        grow_floor in 0usize..8,
+    ) {
+        let srv = AllocationServer::new();
+        let members = 32u32;
+        for v in 0..members {
+            srv.register_repository(RepositoryInfo {
+                node: NodeId(v),
+                owner: AuthorId(v),
+                capacity: 1,
+                availability: 1.0,
+            });
+        }
+        let mut ids = Vec::new();
+        for (i, &(replicas, hits, misses)) in datasets.iter().enumerate() {
+            let d = DatasetId(i as u32);
+            let owner = NodeId(i as u32 % members);
+            srv.register_dataset(d, 1, owner).expect("registered");
+            for j in 1..replicas {
+                let _ = srv.add_replica(d, NodeId((i as u32 + j as u32) % members));
+            }
+            // Hops <= 1 records a hit, further records a miss.
+            for _ in 0..hits {
+                srv.commit_resolution(d, Some(Some(1)));
+            }
+            for _ in 0..misses {
+                srv.commit_resolution(d, Some(Some(3)));
+            }
+            ids.push(d);
+        }
+        let policy = ReplicationPolicy {
+            requests_per_replica,
+            ..ReplicationPolicy::default()
+        };
+        // The pre-trait plan, recomputed from the public formula.
+        let mut legacy: Vec<(DatasetId, usize, usize)> = Vec::new();
+        for &d in &ids {
+            let current = srv.replicas_of(d).expect("known").len();
+            let demand = srv.demand_of(d).expect("known");
+            let mut target = policy.target_replicas(current, demand);
+            if policy.should_shrink(current, demand) {
+                target = target
+                    .min(current.saturating_sub(1))
+                    .max(policy.min_replicas);
+            }
+            if target != current {
+                legacy.push((d, current, target));
+            }
+        }
+        let got: Vec<_> = srv.rebalance_plan(&policy).triples().collect();
+        prop_assert_eq!(&got, &legacy);
+        // StaticRebalance = legacy plan + the old grow-path clamp.
+        let static_policy = StaticRebalance { policy, grow_floor };
+        let clamped: Vec<_> = legacy
+            .iter()
+            .map(|&(d, c, t)| (d, c, if t > c { t.max(grow_floor) } else { t }))
+            .collect();
+        let got_static: Vec<_> = srv.rebalance_plan(&static_policy).triples().collect();
+        prop_assert_eq!(&got_static, &clamped);
     }
 }
 

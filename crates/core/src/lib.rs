@@ -23,4 +23,4 @@ pub mod scenario;
 pub mod system;
 
 pub use casestudy::{CaseStudy, HitRateCurve};
-pub use system::{Scdn, ScdnConfig, ScdnError};
+pub use system::{RebalanceStrategy, Scdn, ScdnConfig, ScdnError};

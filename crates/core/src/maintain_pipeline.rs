@@ -71,7 +71,9 @@ use scdn_sim::engine::SimTime;
 use scdn_storage::object::{DatasetId, Segment, SegmentId};
 use scdn_storage::repository::Partition;
 
-use super::{Availability, Scdn};
+use scdn_alloc::replication::RebalancePolicy;
+
+use super::{Availability, RebalanceStrategy, Scdn};
 
 /// One work item of a maintenance or repair cycle.
 struct WorkItem {
@@ -149,9 +151,10 @@ struct MaintainPlan {
 }
 
 impl Scdn {
-    /// Run one maintenance cycle: apply the replication policy to every
-    /// dataset (growing hot datasets, shrinking idle ones), then reset
-    /// the demand windows. Returns the number of replica changes made.
+    /// Run one maintenance cycle: apply the configured rebalance strategy
+    /// to every dataset (growing hot datasets, shrinking idle ones), then
+    /// drain the demand windows to the totals the plan observed. Returns
+    /// the number of replica changes made.
     ///
     /// Grow/shrink decisions, host selection, and transfer simulation
     /// run in parallel against an immutable snapshot; effects apply in
@@ -159,16 +162,33 @@ impl Scdn {
     /// [`maintain_serial`](Self::maintain_serial) under a fixed seed —
     /// see the module docs for the determinism argument.
     pub fn maintain(&mut self) -> usize {
-        let items: Vec<WorkItem> = self
-            .alloc
-            .rebalance_plan(&self.config.replication)
-            .into_iter()
+        match self.config.rebalance {
+            RebalanceStrategy::Static => {
+                let policy = self.static_rebalance();
+                self.maintain_with(&policy)
+            }
+            RebalanceStrategy::Adaptive(policy) => self.maintain_with(&policy),
+        }
+    }
+
+    /// [`maintain`](Self::maintain) with an explicit [`RebalancePolicy`].
+    /// The policy's target is honored verbatim — the old
+    /// `replicas_per_dataset.max(target)` clamp is gone (the static
+    /// strategy reproduces it inside [`StaticRebalance`]'s grow floor), so
+    /// a demand-driven policy can hold a cold dataset below the configured
+    /// count. Bit-identical to
+    /// [`maintain_serial_with`](Self::maintain_serial_with) under a fixed
+    /// seed.
+    ///
+    /// [`StaticRebalance`]: scdn_alloc::replication::StaticRebalance
+    pub fn maintain_with<P: RebalancePolicy>(&mut self, policy: &P) -> usize {
+        let plan = self.alloc.rebalance_plan(policy);
+        let items: Vec<WorkItem> = plan
+            .triples()
             .map(|(dataset, current, target)| WorkItem {
                 dataset,
                 target: if target > current {
-                    Target::Grow {
-                        want: self.config.replicas_per_dataset.max(target),
-                    }
+                    Target::Grow { want: target }
                 } else {
                     Target::Shrink {
                         drop: current - target,
@@ -177,7 +197,9 @@ impl Scdn {
             })
             .collect();
         let changes = self.run_maintenance_cycle(&items);
-        self.alloc.reset_demand();
+        // Drain to plan-time totals: requests resolved mid-cycle stay in
+        // the next window instead of being dropped by a full reset.
+        self.alloc.drain_demand(&plan);
         changes
     }
 

@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use scdn_alloc::placement::PlacementAlgorithm;
 use scdn_alloc::ranking_cache::RankingCache;
-use scdn_alloc::replication::ReplicationPolicy;
+use scdn_alloc::replication::{
+    AdaptiveRebalance, RebalancePolicy, ReplicationPolicy, StaticRebalance,
+};
 use scdn_alloc::server::{AllocationError, AllocationServer, RepositoryInfo};
 use scdn_graph::{CsrGraph, Graph, NodeId};
 use scdn_middleware::audit::AuditLog;
@@ -51,6 +53,24 @@ pub enum AvailabilityConfig {
     },
 }
 
+/// Which [`RebalancePolicy`] maintenance cycles plan with.
+///
+/// `Static` reproduces the pre-policy-trait behavior exactly: the
+/// [`ReplicationPolicy`] formula with `replicas_per_dataset` as the grow
+/// floor. `Adaptive` distributes a global replica budget in proportion to
+/// each dataset's share of the demand window (see
+/// [`AdaptiveRebalance`]). Callers with their own policy impl can bypass
+/// the enum entirely via [`Scdn::maintain_with`] /
+/// [`Scdn::maintain_serial_with`].
+#[derive(Clone, Copy, Debug)]
+pub enum RebalanceStrategy {
+    /// The static [`ReplicationPolicy`] from `ScdnConfig::replication`,
+    /// with `replicas_per_dataset` as the grow floor.
+    Static,
+    /// Demand-proportional targets under a global replica budget.
+    Adaptive(AdaptiveRebalance),
+}
+
 /// Configuration of an S-CDN instance.
 #[derive(Clone, Debug)]
 pub struct ScdnConfig {
@@ -68,6 +88,9 @@ pub struct ScdnConfig {
     pub availability: AvailabilityConfig,
     /// Replication policy for maintenance cycles.
     pub replication: ReplicationPolicy,
+    /// How maintenance cycles pick per-dataset replica targets (see
+    /// [`RebalanceStrategy`]). `Static` keeps today's behavior.
+    pub rebalance: RebalanceStrategy,
     /// When set, requests are only served over the social overlay: a
     /// replica that is socially unreachable from the requester (e.g. in a
     /// different island of a pruned trust graph) cannot serve it — "data
@@ -104,6 +127,7 @@ impl Default for ScdnConfig {
             failure: FailureModel::reliable(),
             availability: AvailabilityConfig::AlwaysOn,
             replication: ReplicationPolicy::default(),
+            rebalance: RebalanceStrategy::Static,
             enforce_social_boundary: false,
             opportunistic_caching: false,
             transfer_concurrency: 1,
@@ -818,10 +842,23 @@ impl Scdn {
     /// catalog entries removed, stored segments evicted (CDN-initiated),
     /// cache bookkeeping forgotten. Returns the victims actually removed,
     /// in shedding order.
+    ///
+    /// The dataset owner's copy is never a victim: churn and repair can
+    /// reorder the replica list until the owner is no longer at the front,
+    /// and a shrink must not delete the primary copy — if the owner sits
+    /// within the last `n` entries, one fewer replica is shed instead.
     pub(crate) fn shed_replicas(&mut self, dataset: DatasetId, n: usize) -> Vec<NodeId> {
+        let owner = self.datasets.get(&dataset).map(|m| m.owner);
         let mut shed = Vec::new();
         if let Ok(replicas) = self.alloc.replicas_of(dataset) {
-            for &v in replicas.iter().rev().take(n) {
+            let victims: Vec<NodeId> = replicas
+                .iter()
+                .rev()
+                .filter(|&&v| Some(v) != owner)
+                .take(n)
+                .copied()
+                .collect();
+            for v in victims {
                 if self.alloc.remove_replica(dataset, v).unwrap_or(false) {
                     if let Ok(segments) = self.segment_ids(dataset) {
                         for s in segments {
@@ -836,19 +873,44 @@ impl Scdn {
         shed
     }
 
-    /// Serial oracle for [`maintain`](Self::maintain): the replication
-    /// policy applied one dataset at a time, in dataset order. Kept as the
-    /// reference implementation the equivalence tests and the
-    /// `bench_maintain` identical-outcome gate compare the plan/commit
-    /// pipeline against.
+    /// The [`RebalancePolicy`] equivalent of the configured
+    /// [`RebalanceStrategy::Static`] variant: the config's
+    /// [`ReplicationPolicy`] with `replicas_per_dataset` as the grow
+    /// floor (the floor the old maintain paths applied inline via
+    /// `replicas_per_dataset.max(target)`).
+    fn static_rebalance(&self) -> StaticRebalance {
+        StaticRebalance {
+            policy: self.config.replication,
+            grow_floor: self.config.replicas_per_dataset,
+        }
+    }
+
+    /// Serial oracle for [`maintain`](Self::maintain): the configured
+    /// rebalance strategy applied one dataset at a time, in dataset order.
+    /// Kept as the reference implementation the equivalence tests and the
+    /// `bench_maintain` / `bench_rebalance` identical-outcome gates compare
+    /// the plan/commit pipeline against.
     pub fn maintain_serial(&mut self) -> usize {
-        let plan = self.alloc.rebalance_plan(&self.config.replication);
+        match self.config.rebalance {
+            RebalanceStrategy::Static => {
+                let policy = self.static_rebalance();
+                self.maintain_serial_with(&policy)
+            }
+            RebalanceStrategy::Adaptive(policy) => self.maintain_serial_with(&policy),
+        }
+    }
+
+    /// [`maintain_serial`](Self::maintain_serial) with an explicit
+    /// [`RebalancePolicy`]. The policy's target is honored verbatim — no
+    /// config floor is re-applied here, so a demand-driven policy can hold
+    /// a cold dataset below `replicas_per_dataset`.
+    pub fn maintain_serial_with<P: RebalancePolicy>(&mut self, policy: &P) -> usize {
+        let plan = self.alloc.rebalance_plan(policy);
         let mut changes = 0usize;
-        for (dataset, current, target) in plan {
+        for (dataset, current, target) in plan.triples() {
             if target > current {
-                let want = self.config.replicas_per_dataset.max(target);
                 changes += self
-                    .replicate_to(dataset, want)
+                    .replicate_to(dataset, target)
                     .map(|added| added.len())
                     .unwrap_or(0);
             } else if target < current {
@@ -856,7 +918,11 @@ impl Scdn {
                 changes += self.shed_replicas(dataset, current - target).len();
             }
         }
-        self.alloc.reset_demand();
+        // Drain each window to the totals the plan observed: requests
+        // resolved between the plan read and this drain stay in the next
+        // window instead of vanishing (the old `reset_demand` dropped
+        // them).
+        self.alloc.drain_demand(&plan);
         changes
     }
 

@@ -290,6 +290,80 @@ fn maintenance_sheds_idle_replicas() {
 }
 
 #[test]
+fn shrinking_to_the_floor_never_evicts_the_owner() {
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    config.replicas_per_dataset = 5;
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let owner = NodeId(0);
+    let id = scdn
+        .publish(
+            owner,
+            "reordered",
+            Bytes::from(vec![0u8; 1024]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    scdn.replicate(id).expect("replicates");
+    assert_eq!(scdn.replicas_of(id).expect("known").len(), 5);
+    // Churn/repair can reorder the replica list; simulate the worst case
+    // by rotating the owner to the rear — the next shrink's victim pool.
+    scdn.allocation()
+        .remove_replica(id, owner)
+        .expect("owner listed");
+    scdn.allocation().add_replica(id, owner).expect("re-added");
+    assert_eq!(
+        *scdn.replicas_of(id).expect("known").last().expect("5 left"),
+        owner
+    );
+    // Shed all the way down to one replica: every non-owner is fair game,
+    // but the primary copy must survive.
+    let shed = scdn.shed_replicas(id, 4);
+    assert_eq!(shed.len(), 4);
+    assert!(!shed.contains(&owner), "owner must never be a shed victim");
+    assert_eq!(scdn.replicas_of(id).expect("known"), vec![owner]);
+    // Asking for more victims than there are non-owner replicas sheds one
+    // fewer instead of touching the owner.
+    assert!(scdn.shed_replicas(id, 3).is_empty());
+    assert_eq!(scdn.replicas_of(id).expect("known"), vec![owner]);
+}
+
+#[test]
+fn adaptive_targets_are_honored_below_the_configured_count() {
+    use scdn_alloc::replication::AdaptiveRebalance;
+
+    use crate::system::RebalanceStrategy;
+
+    let (c, sub) = community();
+    let mut config = ScdnConfig::default();
+    // The static floor is 4, but the adaptive budget only affords 2: the
+    // old `replicas_per_dataset.max(target)` clamp would force 4.
+    config.replicas_per_dataset = 4;
+    config.rebalance = RebalanceStrategy::Adaptive(AdaptiveRebalance::with_budget(2));
+    let mut scdn = Scdn::build(&sub, &c.corpus, config);
+    let id = scdn
+        .publish(
+            NodeId(0),
+            "capped",
+            Bytes::from(vec![0u8; 1024]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    // Some demand so the dataset earns its share of the budget.
+    for _ in 0..8 {
+        let _ = scdn.resolve_replica(NodeId(1), id);
+    }
+    scdn.maintain();
+    assert_eq!(
+        scdn.replicas_of(id).expect("known").len(),
+        2,
+        "policy target must be honored verbatim, not clamped to the config floor"
+    );
+}
+
+#[test]
 fn departure_and_repair_restore_redundancy() {
     let (c, sub) = community();
     let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());

@@ -21,7 +21,8 @@ use std::sync::OnceLock;
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use scdn_core::system::{AvailabilityConfig, Scdn, ScdnConfig};
+use scdn_alloc::replication::AdaptiveRebalance;
+use scdn_core::system::{AvailabilityConfig, RebalanceStrategy, Scdn, ScdnConfig};
 use scdn_graph::NodeId;
 use scdn_net::failure::FailureModel;
 use scdn_social::generator::{generate, CaseStudyParams};
@@ -55,12 +56,15 @@ fn community() -> &'static (SyntheticDblp, TrustSubgraph) {
 /// the shard-stale re-plan path: a 1-shard catalog makes every commit
 /// collide with every in-flight plan's stamp — including Noop replays —
 /// while 16 shards spread the datasets out (0 = server default).
-fn build_system(catalog_shards: usize) -> (Scdn, Vec<DatasetId>) {
+/// `rebalance` selects the maintenance policy: the equivalence holds for
+/// any `RebalancePolicy` impl, so the proptest sweeps both.
+fn build_system(catalog_shards: usize, rebalance: RebalanceStrategy) -> (Scdn, Vec<DatasetId>) {
     let (c, sub) = community();
     let config = ScdnConfig {
         segment_size: 2 << 10,
         repo_capacity: 4 << 20,
         replicas_per_dataset: 2,
+        rebalance,
         availability: AvailabilityConfig::Periodic {
             period_ms: 8_000,
             duty: 0.5,
@@ -164,9 +168,18 @@ proptest! {
             1..5,
         ),
         shards in (0usize..3).prop_map(|i| [1usize, 2, 16][i]),
+        adaptive in any::<bool>(),
     ) {
-        let (mut serial, datasets) = build_system(shards);
-        let (mut piped, datasets_b) = build_system(shards);
+        let rebalance = if adaptive {
+            // A tight budget (datasets × replicas_per_dataset) so the
+            // adaptive policy actually reclaims replicas from cold
+            // datasets mid-schedule.
+            RebalanceStrategy::Adaptive(AdaptiveRebalance::with_budget(8))
+        } else {
+            RebalanceStrategy::Static
+        };
+        let (mut serial, datasets) = build_system(shards, rebalance);
+        let (mut piped, datasets_b) = build_system(shards, rebalance);
         prop_assert_eq!(&datasets, &datasets_b, "builds are deterministic");
 
         let serial_changes = drive(&mut serial, &datasets, &ops, true);
@@ -250,7 +263,7 @@ fn replication_walks_past_offline_ranking_prefix() {
 /// still.
 #[test]
 fn repeated_cycles_hit_the_ranking_cache() {
-    let (mut scdn, datasets) = build_system(0);
+    let (mut scdn, datasets) = build_system(0, RebalanceStrategy::Static);
     let hits = |s: &Scdn| {
         s.registry()
             .counter("core.maintain.ranking_cache_hit")

@@ -163,6 +163,95 @@ pub fn group_by_arrival(reqs: &[Request]) -> Vec<&[Request]> {
     groups
 }
 
+/// One phase of a scripted workload: a fixed-duration regime with its own
+/// popularity skew, request rate, and optional flash crowd. Phases run
+/// back to back, so a script models a popularity *phase change* — the
+/// pattern adaptive replication must track (warm-up → skew shift → flash
+/// crowd → cooldown).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadPhase {
+    /// Phase length, milliseconds.
+    pub duration_ms: u64,
+    /// Zipf exponent for dataset popularity during this phase.
+    pub popularity_exponent: f64,
+    /// Mean request inter-arrival time during this phase, milliseconds.
+    pub mean_interarrival_ms: f64,
+    /// Flash crowd riding on the phase, if any.
+    pub flash: Option<FlashCrowd>,
+}
+
+/// A flash crowd within one [`WorkloadPhase`]: `fraction` of the phase's
+/// requests are redirected to one dataset regardless of its Zipf rank.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashCrowd {
+    /// The dataset everyone suddenly wants.
+    pub dataset: usize,
+    /// Fraction of the phase's requests (0..=1) that target it.
+    pub fraction: f64,
+}
+
+/// Configuration for [`generate_phased_requests`].
+#[derive(Clone, Debug)]
+pub struct PhasedWorkloadConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of users issuing requests.
+    pub users: usize,
+    /// Number of datasets.
+    pub datasets: usize,
+    /// Zipf exponent for user activity (constant across phases).
+    pub activity_exponent: f64,
+    /// The phase script, executed in order.
+    pub phases: Vec<WorkloadPhase>,
+}
+
+/// Generate a deterministic multi-phase request stream: each phase is a
+/// Poisson/Zipf regime over its time slice, with optional flash-crowd
+/// redirection. The output is time-sorted by construction and phases are
+/// contiguous (phase `i+1` starts where phase `i` ended), so a driver can
+/// split the stream back into phases by arrival time.
+pub fn generate_phased_requests(cfg: &PhasedWorkloadConfig) -> Vec<Request> {
+    assert!(cfg.users > 0 && cfg.datasets > 0, "need users and datasets");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let act = Zipf::new(cfg.users, cfg.activity_exponent);
+    let mut out = Vec::new();
+    let mut phase_start = 0.0f64;
+    for phase in &cfg.phases {
+        assert!(
+            phase.mean_interarrival_ms > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        if let Some(f) = phase.flash {
+            assert!(f.dataset < cfg.datasets, "flash dataset out of range");
+            assert!(
+                (0.0..=1.0).contains(&f.fraction),
+                "flash fraction must be in 0..=1"
+            );
+        }
+        let pop = Zipf::new(cfg.datasets, phase.popularity_exponent);
+        let end = phase_start + phase.duration_ms as f64;
+        let mut t = phase_start;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -phase.mean_interarrival_ms * u.ln();
+            if t >= end {
+                break;
+            }
+            let dataset = match phase.flash {
+                Some(f) if rng.gen::<f64>() < f.fraction => f.dataset,
+                _ => pop.sample(&mut rng),
+            };
+            out.push(Request {
+                at: SimTime::from_millis(t as u64),
+                user: act.sample(&mut rng),
+                dataset,
+            });
+        }
+        phase_start = end;
+    }
+    out
+}
+
 /// Superimpose a flash crowd on a base workload: between `start` and `end`,
 /// extra requests for `dataset` arrive at `burst_interarrival_ms` mean
 /// spacing from random users. Returns a merged, time-sorted stream — the
@@ -341,6 +430,78 @@ mod tests {
             on_target * 10 > in_window.len() * 8,
             "target >= 80% of window"
         );
+    }
+
+    #[test]
+    fn phased_stream_is_sorted_contiguous_and_deterministic() {
+        let cfg = PhasedWorkloadConfig {
+            seed: 11,
+            users: 50,
+            datasets: 30,
+            activity_exponent: 0.5,
+            phases: vec![
+                WorkloadPhase {
+                    duration_ms: 20_000,
+                    popularity_exponent: 0.0,
+                    mean_interarrival_ms: 40.0,
+                    flash: None,
+                },
+                WorkloadPhase {
+                    duration_ms: 20_000,
+                    popularity_exponent: 1.2,
+                    mean_interarrival_ms: 20.0,
+                    flash: None,
+                },
+            ],
+        };
+        let reqs = generate_phased_requests(&cfg);
+        assert_eq!(reqs, generate_phased_requests(&cfg), "seeded determinism");
+        for w in reqs.windows(2) {
+            assert!(w[0].at <= w[1].at, "stream stays sorted");
+        }
+        for r in &reqs {
+            assert!(r.user < cfg.users);
+            assert!(r.dataset < cfg.datasets);
+        }
+        // Both phases produced traffic in their own time slice.
+        let cut = SimTime::from_millis(20_000);
+        let first = reqs.iter().filter(|r| r.at < cut).count();
+        let second = reqs.len() - first;
+        assert!(first > 100, "phase one generated traffic ({first})");
+        assert!(second > 100, "phase two generated traffic ({second})");
+        // Phase two's skew concentrates on the head; phase one's uniform
+        // regime does not.
+        let head = |rs: &[&Request]| rs.iter().filter(|r| r.dataset < 3).count();
+        let p1: Vec<&Request> = reqs.iter().filter(|r| r.at < cut).collect();
+        let p2: Vec<&Request> = reqs.iter().filter(|r| r.at >= cut).collect();
+        assert!(
+            head(&p2) * p1.len() > 2 * head(&p1) * p2.len(),
+            "skewed phase concentrates on the head"
+        );
+    }
+
+    #[test]
+    fn phased_flash_crowd_redirects_the_requested_fraction() {
+        let cfg = PhasedWorkloadConfig {
+            seed: 23,
+            users: 40,
+            datasets: 25,
+            activity_exponent: 0.0,
+            phases: vec![WorkloadPhase {
+                duration_ms: 60_000,
+                popularity_exponent: 0.8,
+                mean_interarrival_ms: 15.0,
+                flash: Some(FlashCrowd {
+                    // A tail dataset nobody would hit this hard organically.
+                    dataset: 24,
+                    fraction: 0.7,
+                }),
+            }],
+        };
+        let reqs = generate_phased_requests(&cfg);
+        let on_target = reqs.iter().filter(|r| r.dataset == 24).count();
+        let frac = on_target as f64 / reqs.len() as f64;
+        assert!((0.6..0.85).contains(&frac), "flash fraction = {frac}");
     }
 
     #[test]
