@@ -23,18 +23,54 @@
 //! The cache is sharded (requester-hashed) so parallel
 //! [`resolve_batch`](crate::server::AllocationServer::resolve_batch)
 //! workers don't serialize on one mutex, and bounded: each shard evicts
-//! FIFO once it reaches its capacity share. A graph fingerprint
-//! (node + half-edge counts) guards against a caller swapping in a
-//! different social graph between calls — a mismatch flushes everything.
+//! FIFO once it reaches its capacity share. The graph guard is the CSR's
+//! monotonic [`CsrGraph::generation`] — an *unannounced* generation change
+//! (a caller swapping in a different graph without going through
+//! [`ResolveCache::apply_delta`]) flushes everything, exactly like the old
+//! fingerprint guard but without its equal-sized-graph collision.
+//!
+//! ## Scoped invalidation under churn
+//!
+//! When the graph changes via [`CsrGraph::apply_delta`], flushing
+//! wholesale throws away hop tables that provably cannot have changed.
+//! [`ResolveCache::apply_delta`] instead evicts only the entries whose
+//! cached BFS region *can* intersect a churn-touched endpoint:
+//!
+//! An entry for requester `q` whose cached hops are all `Some` with
+//! maximum `R` (its BFS radius) is retained iff every touched node is
+//! farther than `R` from `q` in **both** the old and the new graph. Any
+//! changed shortest path `q → replica` must cross a touched node `t`
+//! (both endpoints of every changed edge are touched): if a distance
+//! shrank, the new path crosses `t` at `d_new(q,t) ≤ d_new(q,replica) <
+//! d_old(q,replica) ≤ R`; if it grew, the broken old path crossed `t` at
+//! `d_old(q,t) ≤ R`. Either way a touched node sits within `R` on one
+//! side, so "touched frontier farther than `R` on both sides" implies
+//! every cached hop is still exact. Entries with an unreached (`None`)
+//! replica are always evicted — their verdict can flip without a nearby
+//! touched node when the budget clipped the traversal. Both frontier
+//! distances come from one bounded multi-source BFS per side, seeded with
+//! the touched set and capped at [`FRONTIER_DEPTH`]; a requester the
+//! frontier never reached is farther than the cap, so entries with
+//! `R ≥ FRONTIER_DEPTH` are conservatively evicted. False positives
+//! (extra evictions) only cost a recompute; false negatives are
+//! impossible — property-tested against full-BFS recomputation in
+//! `tests/delta_invalidation.rs`.
 
 use std::collections::{HashMap, VecDeque};
 
 use parking_lot::Mutex;
-use scdn_graph::{CsrGraph, NodeId};
+use scdn_graph::csr::UNVISITED;
+use scdn_graph::{CsrGraph, NodeId, TraversalScratch};
 use scdn_storage::object::DatasetId;
 
 /// Number of independent shards (power of two).
 const SHARDS: usize = 8;
+
+/// Hop cap for the scoped-invalidation frontier BFS. Entries whose cached
+/// radius reaches this deep are evicted unconditionally; social resolution
+/// radii are tiny (the paper's graphs have diameter ≪ 16), so in practice
+/// the cap never bites.
+pub(crate) const FRONTIER_DEPTH: u32 = 16;
 
 /// Cache key: one requester resolving one dataset.
 type Key = (NodeId, DatasetId);
@@ -63,14 +99,23 @@ pub(crate) struct InsertOutcome {
     pub evicted: u64,
 }
 
+/// Outcome of a scoped delta invalidation (for telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RetentionOutcome {
+    /// Entries that provably survived the graph change.
+    pub retained: u64,
+    /// Entries evicted because their BFS region may intersect the churn.
+    pub evicted: u64,
+}
+
 /// Sharded, bounded, version-keyed hop-distance cache.
 pub(crate) struct ResolveCache {
     shards: Vec<Mutex<Shard>>,
     /// Total capacity across shards; 0 disables the cache entirely.
     capacity: Mutex<usize>,
-    /// `(node_count, half_edge_count)` of the graph the cached hops were
-    /// computed on; `None` until the first traversal.
-    graph_fp: Mutex<Option<(usize, usize)>>,
+    /// [`CsrGraph::generation`] of the graph the cached hops were computed
+    /// on; `None` until the first traversal.
+    graph_gen: Mutex<Option<u64>>,
 }
 
 impl ResolveCache {
@@ -78,7 +123,7 @@ impl ResolveCache {
         ResolveCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             capacity: Mutex::new(capacity),
-            graph_fp: Mutex::new(None),
+            graph_gen: Mutex::new(None),
         }
     }
 
@@ -107,23 +152,101 @@ impl ResolveCache {
         *cap = capacity;
     }
 
-    /// Flush the cache if `csr` is not the graph the cached hops were
-    /// computed on (first call just records the fingerprint).
+    /// Flush the cache if `csr` is not the snapshot the cached hops were
+    /// computed on (first call just records the generation). A churned
+    /// graph that went through [`apply_delta`](ResolveCache::apply_delta)
+    /// already announced its new generation and keeps its survivors; any
+    /// *unannounced* generation change is an unknown graph swap and drops
+    /// everything.
     pub(crate) fn ensure_graph(&self, csr: &CsrGraph) {
-        let fp = csr.fingerprint();
-        let mut cur = self.graph_fp.lock();
+        let generation = csr.generation();
+        let mut cur = self.graph_gen.lock();
         match *cur {
-            Some(prev) if prev == fp => {}
+            Some(prev) if prev == generation => {}
             Some(_) => {
                 for shard in &self.shards {
                     let mut s = shard.lock();
                     s.map.clear();
                     s.fifo.clear();
                 }
-                *cur = Some(fp);
+                *cur = Some(generation);
             }
-            None => *cur = Some(fp),
+            None => *cur = Some(generation),
         }
+    }
+
+    /// Scoped invalidation for a graph change `old → new` produced by
+    /// [`CsrGraph::apply_delta`]: evict only the entries whose cached BFS
+    /// region can intersect a touched node (see the module docs for the
+    /// proof sketch), retain everything else, and adopt `new`'s
+    /// generation so subsequent [`ensure_graph`](ResolveCache::ensure_graph)
+    /// calls leave the survivors alone.
+    ///
+    /// Falls back to a wholesale flush when `old` is not the announced
+    /// snapshot or `new` carries no delta summary (not produced by
+    /// `apply_delta`). A delta that provably changed no hop distance
+    /// (weight-only reinforcement, isolated activation) retains every
+    /// entry without any traversal.
+    pub(crate) fn apply_delta(
+        &self,
+        old: &CsrGraph,
+        new: &CsrGraph,
+        scratch: &mut TraversalScratch,
+    ) -> RetentionOutcome {
+        let mut out = RetentionOutcome::default();
+        let mut cur = self.graph_gen.lock();
+        let announced = *cur == Some(old.generation()) || cur.is_none();
+        *cur = Some(new.generation());
+        match new.last_delta() {
+            Some(summary) if announced && summary.distances_unchanged() => {
+                out.retained = self.shards.iter().map(|s| s.lock().map.len() as u64).sum();
+            }
+            Some(summary) if announced => {
+                // One bounded multi-source BFS per side: distance from the
+                // touched set to every node within FRONTIER_DEPTH hops.
+                scratch.bfs_bounded(old, &summary.touched, FRONTIER_DEPTH);
+                let old_frontier: Vec<u32> = scratch.distances().to_vec();
+                scratch.bfs_bounded(new, &summary.touched, FRONTIER_DEPTH);
+                let fence = |dists: &[u32], q: NodeId| match dists.get(q.index()) {
+                    Some(&d) if d != UNVISITED => d,
+                    // Unreached within the cap: farther than FRONTIER_DEPTH.
+                    _ => FRONTIER_DEPTH + 1,
+                };
+                for shard in &self.shards {
+                    let mut sh = shard.lock();
+                    sh.map.retain(|&(requester, _), slot| {
+                        let mut radius = 0u32;
+                        let keep = slot.hops.iter().all(|h| match h {
+                            Some(d) => {
+                                radius = radius.max(*d);
+                                true
+                            }
+                            // A budget-clipped verdict can flip without a
+                            // nearby touched node: always evict.
+                            None => false,
+                        }) && radius < fence(&old_frontier, requester)
+                            && radius < fence(scratch.distances(), requester);
+                        if keep {
+                            out.retained += 1;
+                        } else {
+                            out.evicted += 1;
+                        }
+                        keep
+                        // Evicted keys stay in the FIFO as ghosts; pops
+                        // tolerate them, so order bookkeeping stays O(1).
+                    });
+                }
+            }
+            _ => {
+                for shard in &self.shards {
+                    let mut s = shard.lock();
+                    out.evicted += s.map.len() as u64;
+                    s.map.clear();
+                    s.fifo.clear();
+                }
+            }
+        }
+        out
     }
 
     /// Run `f` over the cached hops for `key` if they exist *and* were
@@ -178,9 +301,19 @@ impl ResolveCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scdn_graph::{Graph, GraphDelta};
 
     fn key(r: u32, d: u32) -> Key {
         (NodeId(r), DatasetId(d))
+    }
+
+    /// 0 — 1 — 2 — … — (n-1)
+    fn line(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1);
+        }
+        g
     }
 
     fn hops(v: &[Option<u32>]) -> Box<[Option<u32>]> {
@@ -234,6 +367,88 @@ mod tests {
         let c = ResolveCache::new(64);
         c.insert(key(1, 1), 1, hops(&[Some(1)]));
         c.set_capacity(8);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn unannounced_generation_change_flushes() {
+        let g = line(4);
+        let a = CsrGraph::from(&g);
+        let b = CsrGraph::from(&g); // structurally identical, new generation
+        let c = ResolveCache::new(64);
+        c.ensure_graph(&a);
+        c.insert(key(1, 1), 1, hops(&[Some(1)]));
+        c.ensure_graph(&a);
+        assert_eq!(c.len(), 1, "same snapshot keeps entries");
+        c.ensure_graph(&b);
+        assert_eq!(c.len(), 0, "generation change flushes even at equal shape");
+    }
+
+    #[test]
+    fn delta_scoped_eviction_retains_far_entries_only() {
+        let mut g = line(10);
+        let old = CsrGraph::from(&g);
+        let c = ResolveCache::new(64);
+        c.ensure_graph(&old);
+        // Requester 0, radius 1: far from the churn at 7—8.
+        c.insert(key(0, 1), 1, hops(&[Some(1)]));
+        // Requester 0, radius 9: its BFS region spans the churned edge.
+        c.insert(key(0, 2), 1, hops(&[Some(9)]));
+        // Unreached replica: always evicted regardless of distance.
+        c.insert(key(1, 3), 1, hops(&[Some(1), None]));
+
+        let mut d = GraphDelta::new();
+        d.remove_edge(NodeId(7), NodeId(8));
+        let new = old.apply_delta(&d);
+        d.apply_to(&mut g);
+
+        let mut scratch = TraversalScratch::new();
+        let out = c.apply_delta(&old, &new, &mut scratch);
+        assert_eq!(out.retained, 1);
+        assert_eq!(out.evicted, 2);
+        assert!(c.with_hops(key(0, 1), 1, |_| ()).is_some());
+        assert!(c.with_hops(key(0, 2), 1, |_| ()).is_none());
+        assert!(c.with_hops(key(1, 3), 1, |_| ()).is_none());
+        // The new generation is adopted: no flush on the next resolve.
+        c.ensure_graph(&new);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn weight_only_delta_retains_everything() {
+        let mut g = line(6);
+        let old = CsrGraph::from(&g);
+        let c = ResolveCache::new(64);
+        c.ensure_graph(&old);
+        c.insert(key(0, 1), 1, hops(&[Some(5)]));
+        c.insert(key(3, 2), 1, hops(&[Some(2), None]));
+
+        let mut d = GraphDelta::new();
+        d.add_edge(NodeId(2), NodeId(3), 9); // reinforce an existing edge
+        let new = old.apply_delta(&d);
+        d.apply_to(&mut g);
+
+        let mut scratch = TraversalScratch::new();
+        let out = c.apply_delta(&old, &new, &mut scratch);
+        assert_eq!(out.retained, 2, "hop distances provably unchanged");
+        assert_eq!(out.evicted, 0);
+    }
+
+    #[test]
+    fn delta_from_unknown_snapshot_flushes() {
+        let g = line(5);
+        let a = CsrGraph::from(&g);
+        let b = CsrGraph::from(&g);
+        let c = ResolveCache::new(64);
+        c.ensure_graph(&a);
+        c.insert(key(0, 1), 1, hops(&[Some(1)]));
+        let mut d = GraphDelta::new();
+        d.add_edge(NodeId(0), NodeId(4), 1);
+        let new = b.apply_delta(&d); // delta over a snapshot we never saw
+        let mut scratch = TraversalScratch::new();
+        let out = c.apply_delta(&b, &new, &mut scratch);
+        assert_eq!(out.retained, 0);
+        assert_eq!(out.evicted, 1);
         assert_eq!(c.len(), 0);
     }
 }

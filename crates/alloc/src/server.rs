@@ -74,8 +74,13 @@ pub struct AllocMetrics {
     pub cache_hits: Counter,
     /// Resolutions that had to run the bounded BFS.
     pub cache_misses: Counter,
-    /// Cache entries evicted by the capacity bound.
+    /// Cache entries evicted by the capacity bound or by delta-scoped
+    /// invalidation.
     pub cache_evictions: Counter,
+    /// Cache entries that provably survived a graph delta
+    /// ([`note_graph_delta`](AllocationServer::note_graph_delta)) instead
+    /// of being flushed wholesale.
+    pub cache_retained: Counter,
     /// Datasets flagged for replica-count changes by rebalance plans.
     pub rebalance_datasets: Counter,
     /// Catalog entries force-invalidated by
@@ -96,6 +101,7 @@ impl AllocMetrics {
             cache_hits: reg.counter("alloc.resolve.cache.hit"),
             cache_misses: reg.counter("alloc.resolve.cache.miss"),
             cache_evictions: reg.counter("alloc.resolve.cache.evict"),
+            cache_retained: reg.counter("alloc.resolve.cache.retained"),
             rebalance_datasets: reg.counter("alloc.rebalance.datasets"),
             touch_all: reg.counter("alloc.catalog.touch_all"),
         }
@@ -270,6 +276,26 @@ impl AllocationServer {
     /// latency). `u32::MAX` (the default) keeps exact full-BFS semantics.
     pub fn set_resolve_hop_budget(&self, hops: u32) {
         self.hop_budget.store(hops, Ordering::Relaxed);
+    }
+
+    /// Announce a social-graph change `old → new` produced by
+    /// [`CsrGraph::apply_delta`], scoping the hop-cache invalidation to
+    /// the churned region: only entries whose cached BFS radius can reach
+    /// a touched node are evicted (conservative frontier check — see
+    /// `resolve_cache` module docs for the proof sketch); everything else
+    /// stays warm and is served against `new` on the next resolve.
+    /// Without this call, the next resolve on `new` flushes the cache
+    /// wholesale (unannounced generation change).
+    ///
+    /// Returns `(retained, evicted)` entry counts; both are also exported
+    /// via `alloc.resolve.cache.retained` / `alloc.resolve.cache.evict`.
+    pub fn note_graph_delta(&self, old: &CsrGraph, new: &CsrGraph) -> (u64, u64) {
+        let mut scratch = self.scratch_pool.lock().pop().unwrap_or_default();
+        let outcome = self.cache.apply_delta(old, new, &mut scratch);
+        self.scratch_pool.lock().push(scratch);
+        self.metrics.cache_retained.add(outcome.retained);
+        self.metrics.cache_evictions.add(outcome.evicted);
+        (outcome.retained, outcome.evicted)
     }
 
     /// Number of catalog shards.
@@ -670,8 +696,11 @@ impl AllocationServer {
     /// caches them. Selection is identical to `resolve` on the same
     /// graph while the default `u32::MAX` hop budget is in effect.
     ///
-    /// The cache assumes `csr` is frozen: passing a structurally
-    /// different graph flushes it (node/edge-count fingerprint).
+    /// The cache assumes `csr` is the announced snapshot: passing a graph
+    /// with an unannounced [`CsrGraph::generation`] flushes it wholesale,
+    /// while churn routed through
+    /// [`note_graph_delta`](AllocationServer::note_graph_delta) keeps the
+    /// provably unaffected entries warm.
     pub fn resolve_csr(
         &self,
         dataset: DatasetId,

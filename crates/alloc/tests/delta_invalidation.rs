@@ -1,0 +1,197 @@
+//! Delta-scoped cache invalidation: stale-hop regression tests plus the
+//! conservative-frontier soundness property.
+//!
+//! The resolve cache may retain entries across a graph delta only when
+//! their cached BFS region provably cannot intersect the churn (see
+//! `resolve_cache` module docs). These tests drive the public
+//! `AllocationServer` surface: resolve to warm the cache, churn the
+//! graph, resolve again, and require the answer to be identical to a
+//! cold full recomputation — under both the scoped delta path
+//! (`note_graph_delta`) and the flush-everything oracle (an unannounced
+//! re-freeze).
+
+use proptest::prelude::*;
+use scdn_alloc::server::{AllocationServer, RepositoryInfo};
+use scdn_graph::{CsrGraph, Graph, GraphDelta, NodeId};
+use scdn_social::author::AuthorId;
+use scdn_storage::object::DatasetId;
+
+fn server_for(g: &Graph) -> AllocationServer {
+    let srv = AllocationServer::new();
+    srv.register_repositories(g.nodes().map(|v| RepositoryInfo {
+        node: v,
+        owner: AuthorId(v.0),
+        capacity: 1 << 30,
+        availability: 0.9,
+    }));
+    srv
+}
+
+fn resolve_hops(srv: &AllocationServer, d: DatasetId, q: NodeId, csr: &CsrGraph) -> Option<u32> {
+    srv.resolve_csr(d, q, csr, |_| true, |_| 1.0)
+        .expect("resolves")
+        .social_hops
+}
+
+/// After `remove_edge` on a cached shortest path, `resolve_csr` must
+/// never serve the stale hop distance — delta path.
+#[test]
+fn removed_shortest_path_edge_is_never_served_stale_delta_path() {
+    // 0 — 1 — 2 — 3 plus a detour 0 — 4 — 5 — 6 — 3.
+    let mut g = Graph::from_edges(
+        7,
+        [
+            (0, 1, 1),
+            (1, 2, 1),
+            (2, 3, 1),
+            (0, 4, 1),
+            (4, 5, 1),
+            (5, 6, 1),
+            (6, 3, 1),
+        ],
+    );
+    let srv = server_for(&g);
+    srv.register_dataset(DatasetId(0), 16, NodeId(3)).unwrap();
+    let old = CsrGraph::from(&g);
+    assert_eq!(resolve_hops(&srv, DatasetId(0), NodeId(0), &old), Some(3));
+    // Warm hit on the cached shortest path 0-1-2-3.
+    assert_eq!(resolve_hops(&srv, DatasetId(0), NodeId(0), &old), Some(3));
+    assert!(srv.metrics().cache_hits.get() >= 1);
+
+    let mut delta = GraphDelta::new();
+    delta.remove_edge(NodeId(1), NodeId(2));
+    let new = old.apply_delta(&delta);
+    delta.apply_to(&mut g);
+    srv.note_graph_delta(&old, &new);
+    // The cached 3-hop entry sat within the churn frontier: it must be
+    // gone, and the resolve must see the detour distance.
+    assert_eq!(resolve_hops(&srv, DatasetId(0), NodeId(0), &new), Some(4));
+}
+
+/// Same regression through the flush-everything oracle: an unannounced
+/// generation change (fresh re-freeze) drops the whole cache.
+#[test]
+fn removed_shortest_path_edge_is_never_served_stale_flush_path() {
+    let mut g = Graph::from_edges(
+        7,
+        [
+            (0, 1, 1),
+            (1, 2, 1),
+            (2, 3, 1),
+            (0, 4, 1),
+            (4, 5, 1),
+            (5, 6, 1),
+            (6, 3, 1),
+        ],
+    );
+    let srv = server_for(&g);
+    srv.register_dataset(DatasetId(0), 16, NodeId(3)).unwrap();
+    let old = CsrGraph::from(&g);
+    assert_eq!(resolve_hops(&srv, DatasetId(0), NodeId(0), &old), Some(3));
+
+    g.remove_edge(NodeId(1), NodeId(2));
+    let new = CsrGraph::from(&g); // no note_graph_delta: wholesale flush
+    assert_eq!(resolve_hops(&srv, DatasetId(0), NodeId(0), &new), Some(4));
+}
+
+/// A retained far-away entry keeps serving from cache — and still
+/// serves the *correct* (unchanged) distance.
+#[test]
+fn far_entries_survive_and_stay_exact() {
+    // Long line: requester 0 next to its replica, churn at the far end.
+    let mut g = Graph::new(30);
+    for i in 0..29u32 {
+        g.add_edge(NodeId(i), NodeId(i + 1), 1);
+    }
+    let srv = server_for(&g);
+    srv.register_dataset(DatasetId(0), 16, NodeId(1)).unwrap();
+    let old = CsrGraph::from(&g);
+    assert_eq!(resolve_hops(&srv, DatasetId(0), NodeId(0), &old), Some(1));
+
+    let mut delta = GraphDelta::new();
+    delta.remove_edge(NodeId(28), NodeId(29));
+    let new = old.apply_delta(&delta);
+    delta.apply_to(&mut g);
+    let (retained, evicted) = srv.note_graph_delta(&old, &new);
+    assert_eq!(
+        (retained, evicted),
+        (1, 0),
+        "radius-1 entry is 28 hops away"
+    );
+
+    let hits_before = srv.metrics().cache_hits.get();
+    assert_eq!(resolve_hops(&srv, DatasetId(0), NodeId(0), &new), Some(1));
+    assert_eq!(
+        srv.metrics().cache_hits.get(),
+        hits_before + 1,
+        "served warm"
+    );
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..28).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..60)
+            .prop_map(move |edges| Graph::from_edges(n, edges.into_iter().map(|(a, b)| (a, b, 1))))
+    })
+}
+
+fn arb_churn(max_ops: usize) -> impl Strategy<Value = Vec<(bool, u32, u32)>> {
+    proptest::collection::vec((any::<bool>(), any::<u32>(), any::<u32>()), 1..max_ops)
+}
+
+proptest! {
+    /// Soundness of the conservative frontier check, proven against
+    /// full-BFS recomputation: after any random delta, every resolve on
+    /// the delta path — warm survivors included — must return exactly
+    /// what a cold server computes on the post-churn graph with a fresh
+    /// full BFS. False positives (evictions) are invisible here; a false
+    /// negative (stale survivor) shows up as a hop mismatch.
+    #[test]
+    fn retained_entries_match_full_bfs_recomputation(
+        mut g in arb_graph(),
+        churn in arb_churn(12),
+        dataset_nodes in proptest::collection::vec(any::<u32>(), 1..5),
+    ) {
+        let n = g.node_count() as u32;
+        let srv = server_for(&g);
+        for (i, &p) in dataset_nodes.iter().enumerate() {
+            srv.register_dataset(DatasetId(i as u32), 16, NodeId(p % n)).unwrap();
+        }
+        let old = CsrGraph::from(&g);
+        // Warm the cache: every requester × dataset.
+        for q in 0..n {
+            for i in 0..dataset_nodes.len() {
+                let _ = resolve_hops(&srv, DatasetId(i as u32), NodeId(q), &old);
+            }
+        }
+        let mut delta = GraphDelta::new();
+        for &(add, a, b) in &churn {
+            if add {
+                delta.add_edge(NodeId(a % n), NodeId(b % n), 1);
+            } else {
+                delta.remove_edge(NodeId(a % n), NodeId(b % n));
+            }
+        }
+        let new = old.apply_delta(&delta);
+        delta.apply_to(&mut g);
+        srv.note_graph_delta(&old, &new);
+
+        // Cold oracle: a fresh server on the post-churn graph.
+        let oracle = server_for(&g);
+        for (i, &p) in dataset_nodes.iter().enumerate() {
+            oracle.register_dataset(DatasetId(i as u32), 16, NodeId(p % n)).unwrap();
+        }
+        for q in 0..n {
+            for i in 0..dataset_nodes.len() {
+                let d = DatasetId(i as u32);
+                let warm = resolve_hops(&srv, d, NodeId(q), &new);
+                let cold = resolve_hops(&oracle, d, NodeId(q), &new);
+                prop_assert_eq!(
+                    warm, cold,
+                    "requester {} dataset {:?}: scoped invalidation served stale hops", q, d
+                );
+            }
+        }
+        prop_assert!(srv.metrics().cache_retained.get() + srv.metrics().cache_evictions.get() > 0);
+    }
+}

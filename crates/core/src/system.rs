@@ -16,7 +16,7 @@ use scdn_alloc::replication::{
     AdaptiveRebalance, RebalancePolicy, ReplicationPolicy, StaticRebalance,
 };
 use scdn_alloc::server::{AllocationError, AllocationServer, RepositoryInfo};
-use scdn_graph::{CsrGraph, Graph, NodeId};
+use scdn_graph::{CsrGraph, Graph, GraphDelta, NodeId};
 use scdn_middleware::audit::AuditLog;
 use scdn_middleware::auth::{Middleware, MiddlewareError};
 use scdn_middleware::authz::{AccessDecision, AccessPolicy};
@@ -304,6 +304,32 @@ pub struct Scdn {
     maintain_replanned: Counter,
     ranking_hits: Counter,
     ranking_misses: Counter,
+    /// Graph-churn counters: deltas applied via
+    /// [`apply_graph_delta`](Scdn::apply_graph_delta)
+    /// (`core.graph.delta_applied`) and total CSR rows rebuilt by them
+    /// (`core.graph.delta_nodes_touched`).
+    delta_applied: Counter,
+    delta_nodes_touched: Counter,
+    /// Ranking-cache scoped-invalidation counters
+    /// (`alloc.ranking.cache.{retained,evicted}`).
+    ranking_retained: Counter,
+    ranking_evicted: Counter,
+}
+
+/// What one [`Scdn::apply_graph_delta`] call did: how much of the CSR was
+/// rebuilt and how much cached state survived the churn.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphDeltaStats {
+    /// Nodes whose CSR adjacency rows were rebuilt.
+    pub nodes_touched: usize,
+    /// Resolve-cache entries that provably survived.
+    pub resolve_retained: u64,
+    /// Resolve-cache entries evicted by the conservative frontier check.
+    pub resolve_evicted: u64,
+    /// Placement orderings that provably survived.
+    pub ranking_retained: u64,
+    /// Placement orderings dropped as potentially affected.
+    pub ranking_evicted: u64,
 }
 
 /// Wall-clock elapsed time in milliseconds (control-plane span timing).
@@ -438,6 +464,10 @@ impl Scdn {
         let maintain_replanned = registry.counter("core.maintain.replanned");
         let ranking_hits = registry.counter("core.maintain.ranking_cache_hit");
         let ranking_misses = registry.counter("core.maintain.ranking_cache_miss");
+        let delta_applied = registry.counter("core.graph.delta_applied");
+        let delta_nodes_touched = registry.counter("core.graph.delta_nodes_touched");
+        let ranking_retained = registry.counter("alloc.ranking.cache.retained");
+        let ranking_evicted = registry.counter("alloc.ranking.cache.evicted");
         Scdn {
             social: sub.graph.clone(),
             social_csr: CsrGraph::from(&sub.graph),
@@ -479,6 +509,10 @@ impl Scdn {
             maintain_replanned,
             ranking_hits,
             ranking_misses,
+            delta_applied,
+            delta_nodes_touched,
+            ranking_retained,
+            ranking_evicted,
             config,
         }
     }
@@ -595,6 +629,87 @@ impl Scdn {
         }
     }
 
+    /// The frozen CSR snapshot of the social graph currently serving
+    /// resolution and placement.
+    pub fn social_csr(&self) -> &CsrGraph {
+        &self.social_csr
+    }
+
+    /// Membership is fixed at build time (accounts, repositories, and
+    /// sessions are created per member), so a runtime delta may only
+    /// rewire edges between existing members — no `AddNodes` ops and no
+    /// out-of-range endpoints. "Join/leave" churn at this level is
+    /// edge-set activation: a member's collaborations forming or lapsing.
+    fn check_delta(&self, delta: &GraphDelta) -> Result<(), ScdnError> {
+        if delta.nodes_added() > 0 {
+            return Err(ScdnError::UnknownNode(NodeId(self.repos.len() as u32)));
+        }
+        for (a, b) in delta.edge_pairs() {
+            self.check_node(a)?;
+            self.check_node(b)?;
+        }
+        Ok(())
+    }
+
+    /// Apply a batch of social-graph churn end to end — the cheap path.
+    ///
+    /// The mutable graph absorbs the ops, the frozen CSR is refreshed
+    /// incrementally ([`CsrGraph::apply_delta`] rebuilds only the touched
+    /// rows), overlay links are re-verified for every churned pair, and
+    /// both caches are invalidated *scoped to the churn*: the resolve
+    /// cache keeps every hop table whose BFS region provably misses the
+    /// touched frontier, the ranking cache keeps every ordering the delta
+    /// class cannot affect. Both request and maintenance pipelines pick up
+    /// the new snapshot on their next batch/cycle — plan-phase staleness
+    /// is already version-keyed, so nothing else needs republishing.
+    ///
+    /// Exposes `core.graph.delta_{applied,nodes_touched}` and
+    /// `alloc.{resolve,ranking}.cache.retained` counters; the returned
+    /// [`GraphDeltaStats`] carries the same numbers per call.
+    pub fn apply_graph_delta(&mut self, delta: &GraphDelta) -> Result<GraphDeltaStats, ScdnError> {
+        self.check_delta(delta)?;
+        delta.apply_to(&mut self.social);
+        let new_csr = self.social_csr.apply_delta(delta);
+        let (resolve_retained, resolve_evicted) =
+            self.alloc.note_graph_delta(&self.social_csr, &new_csr);
+        let rankings = self
+            .rankings
+            .note_delta(self.social_csr.generation(), &new_csr);
+        self.ranking_retained.add(rankings.retained);
+        self.ranking_evicted.add(rankings.evicted);
+        for (a, b) in delta.edge_pairs() {
+            self.overlay.refresh_link(&self.social, a, b);
+        }
+        let nodes_touched = new_csr.last_delta().map_or(0, |s| s.touched.len());
+        self.delta_applied.inc();
+        self.delta_nodes_touched.add(nodes_touched as u64);
+        self.social_csr = new_csr;
+        Ok(GraphDeltaStats {
+            nodes_touched,
+            resolve_retained,
+            resolve_evicted,
+            ranking_retained: rankings.retained,
+            ranking_evicted: rankings.evicted,
+        })
+    }
+
+    /// Flush-everything oracle for [`apply_graph_delta`]: apply the same
+    /// ops but re-freeze the CSR from scratch *without* announcing the
+    /// delta, so every cache flushes wholesale on its next use
+    /// (unannounced generation change). Benchmarks replay identical churn
+    /// through both paths and gate on identical selections.
+    ///
+    /// [`apply_graph_delta`]: Scdn::apply_graph_delta
+    pub fn apply_graph_delta_flush(&mut self, delta: &GraphDelta) -> Result<(), ScdnError> {
+        self.check_delta(delta)?;
+        delta.apply_to(&mut self.social);
+        self.social_csr = CsrGraph::from(&self.social);
+        for (a, b) in delta.edge_pairs() {
+            self.overlay.refresh_link(&self.social, a, b);
+        }
+        Ok(())
+    }
+
     /// Publish a dataset from `node`'s repository: segments are stored in
     /// the owner's user partition and the dataset is registered with the
     /// allocation server under `policy` (pass `None` for a public dataset).
@@ -674,6 +789,15 @@ impl Scdn {
     /// cost — which is how `bench_maintain` prices its serial baseline.
     pub fn set_ranking_cache_enabled(&self, enabled: bool) {
         self.rankings.set_enabled(enabled);
+    }
+
+    /// Compute (and memoize) the placement ranking for the configured
+    /// algorithm without placing anything. Maintenance bursts and churn
+    /// studies call this to warm the ranking cache up front, so the next
+    /// [`apply_graph_delta`](Self::apply_graph_delta) has an entry to
+    /// retain or evict and the next grow cycle pays no ranking cost.
+    pub fn warm_placement_ranking(&self) {
+        let _ = self.placement_ranking();
     }
 
     /// [`replicate`](Self::replicate) with an explicit target replica

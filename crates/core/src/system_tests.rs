@@ -657,3 +657,116 @@ fn batch_never_selects_node_departed_after_cache_warm() {
         assert_ne!(o.served_by, victim, "departed node must never serve");
     }
 }
+
+#[test]
+fn graph_delta_rejects_membership_changes() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let gen_before = scdn.social_csr().generation();
+
+    // Membership is fixed at build: node-adding deltas are refused.
+    let mut grow = scdn_graph::GraphDelta::new();
+    grow.add_nodes(2);
+    assert!(matches!(
+        scdn.apply_graph_delta(&grow),
+        Err(ScdnError::UnknownNode(_))
+    ));
+
+    // Out-of-range endpoints are refused before any mutation.
+    let bogus = NodeId(scdn.member_count() as u32 + 1);
+    let mut wild = scdn_graph::GraphDelta::new();
+    wild.add_edge(NodeId(0), bogus, 1);
+    assert!(matches!(
+        scdn.apply_graph_delta(&wild),
+        Err(ScdnError::UnknownNode(n)) if n == bogus
+    ));
+    assert_eq!(
+        scdn.social_csr().generation(),
+        gen_before,
+        "rejected deltas must not touch the frozen snapshot"
+    );
+}
+
+#[test]
+fn graph_delta_refreshes_csr_and_counts_metrics() {
+    let (c, sub) = community();
+    let mut scdn = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let gen_before = scdn.social_csr().generation();
+    let (a, b, _) = sub.graph.edges().next().expect("has edges");
+
+    let mut delta = scdn_graph::GraphDelta::new();
+    delta.remove_edge(a, b);
+    let stats = scdn.apply_graph_delta(&delta).expect("applies");
+
+    assert!(scdn.social_csr().generation() > gen_before);
+    assert!(stats.nodes_touched >= 2, "both endpoints are touched");
+    assert_eq!(scdn.registry().counter("core.graph.delta_applied").get(), 1);
+    assert_eq!(
+        scdn.registry()
+            .counter("core.graph.delta_nodes_touched")
+            .get(),
+        stats.nodes_touched as u64
+    );
+    assert!(!scdn.social_csr().neighbors(a).any(|e| e.to == b));
+}
+
+#[test]
+fn graph_delta_path_matches_flush_oracle_resolutions() {
+    // Two identical systems absorb the same churn — one through the
+    // incremental delta path with scoped invalidation, one through the
+    // flush-everything oracle. Every subsequent resolution must agree,
+    // and the frozen snapshots must be bit-identical.
+    let (c, sub) = community();
+    let mut fast = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let mut oracle = Scdn::build(&sub, &c.corpus, ScdnConfig::default());
+    let owner = NodeId(0);
+    let publish = |s: &mut Scdn| {
+        let id = s
+            .publish(
+                owner,
+                "churned",
+                Bytes::from(vec![5u8; 8192]),
+                Sensitivity::Public,
+                None,
+            )
+            .expect("publishes");
+        s.replicate(id).expect("replicates");
+        id
+    };
+    let id_fast = publish(&mut fast);
+    let id_oracle = publish(&mut oracle);
+    assert_eq!(id_fast, id_oracle, "deterministic builds");
+
+    // Warm both resolve caches across the membership.
+    for q in 0..fast.member_count() as u32 {
+        let _ = fast.resolve_replica(NodeId(q), id_fast);
+        let _ = oracle.resolve_replica(NodeId(q), id_oracle);
+    }
+
+    // Churn: drop the first coauthorship edge, add a fresh long-range one.
+    let (a, b, _) = sub.graph.edges().next().expect("has edges");
+    let far = NodeId(fast.member_count() as u32 - 1);
+    let mut delta = scdn_graph::GraphDelta::new();
+    delta.remove_edge(a, b).add_edge(NodeId(0), far, 3);
+    let stats = fast.apply_graph_delta(&delta).expect("delta path");
+    oracle.apply_graph_delta_flush(&delta).expect("flush path");
+
+    assert_eq!(
+        fast.social_csr(),
+        oracle.social_csr(),
+        "incremental rebuild must be bit-identical to from-scratch"
+    );
+    for q in 0..fast.member_count() as u32 {
+        assert_eq!(
+            fast.resolve_replica(NodeId(q), id_fast).ok(),
+            oracle.resolve_replica(NodeId(q), id_oracle).ok(),
+            "requester {q} diverged after churn"
+        );
+    }
+    assert_eq!(
+        stats.resolve_retained,
+        fast.registry()
+            .counter("alloc.resolve.cache.retained")
+            .get()
+    );
+}

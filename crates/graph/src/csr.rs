@@ -20,18 +20,40 @@
 //! which is where the bulk of the speedup on repeated traversals comes
 //! from.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::delta::{DeltaOp, DeltaSummary, GraphDelta};
 use crate::graph::{EdgeRef, Graph, NodeId};
 
 /// Sentinel distance for nodes not reached by the current traversal.
 pub const UNVISITED: u32 = u32::MAX;
+
+/// Process-global generation source. Every freeze (`CsrGraph::from`) and
+/// every [`CsrGraph::apply_delta`] draws a fresh value, so two distinct
+/// CSR snapshots can never share a generation — unlike the deprecated
+/// `(node_count, half_edge_count)` fingerprint, which collides whenever an
+/// equal-sized graph is swapped in. Monotonicity makes the id double as a
+/// happened-before ordering between snapshots of the same lineage.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Immutable compressed-sparse-row view of an undirected weighted graph.
 ///
 /// Built once from a [`Graph`] via `CsrGraph::from(&g)`; node ids and the
 /// query surface ([`degree`](CsrGraph::degree),
 /// [`neighbors`](CsrGraph::neighbors), [`strength`](CsrGraph::strength),
-/// …) mirror the mutable graph exactly.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// …) mirror the mutable graph exactly. Graph churn is absorbed by
+/// [`apply_delta`](CsrGraph::apply_delta), which rebuilds only the touched
+/// rows and stamps the result with a fresh [`generation`](CsrGraph::generation).
+///
+/// Equality compares *structure only* (offsets, neighbors, weights, edge
+/// count) — a delta-applied snapshot equals its from-scratch twin even
+/// though their generations differ.
+#[derive(Clone, Debug)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v + 1]` indexes `neighbors`/`weights` for `v`.
     /// Length `n + 1`; `offsets[n]` equals `2 * edge_count`.
@@ -42,6 +64,30 @@ pub struct CsrGraph {
     weights: Vec<u32>,
     /// Number of undirected edges.
     edge_count: usize,
+    /// Globally unique, monotonically increasing snapshot id.
+    generation: u64,
+    /// Summary of the delta that produced this snapshot; `None` for a
+    /// from-scratch freeze.
+    last_delta: Option<DeltaSummary>,
+}
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // Structure only: generation and delta provenance are identity
+        // metadata, not content.
+        self.offsets == other.offsets
+            && self.neighbors == other.neighbors
+            && self.weights == other.weights
+            && self.edge_count == other.edge_count
+    }
+}
+
+impl Eq for CsrGraph {}
+
+impl Default for CsrGraph {
+    fn default() -> Self {
+        CsrGraph::from(&Graph::new(0))
+    }
 }
 
 impl From<&Graph> for CsrGraph {
@@ -68,6 +114,8 @@ impl From<&Graph> for CsrGraph {
             neighbors,
             weights,
             edge_count: g.edge_count(),
+            generation: next_generation(),
+            last_delta: None,
         }
     }
 }
@@ -87,16 +135,37 @@ impl CsrGraph {
 
     /// Cheap identity fingerprint: `(node_count, half_edge_count)`.
     ///
-    /// Caches keyed on traversal results over a frozen graph (hop
-    /// distances, placement rankings) store this alongside their entries
-    /// and flush when a caller swaps in a different graph. It is not a
-    /// content hash — two distinct graphs can collide — but the runtime
-    /// freezes its membership graph once at build time, so a mismatch can
-    /// only mean "different graph object", which is exactly the event the
-    /// caches must survive.
+    /// **Unsound as a cache key**: two distinct graphs collide whenever an
+    /// equal-sized graph is swapped in (one edge added plus one removed is
+    /// invisible). Every cache now keys on the collision-free
+    /// [`generation`](CsrGraph::generation) instead; see DESIGN.md §15 for
+    /// the deprecation rationale.
+    #[deprecated(
+        note = "collides on equal-sized graph swaps; key caches on `generation()` instead"
+    )]
     #[inline]
     pub fn fingerprint(&self) -> (usize, usize) {
         (self.node_count(), self.half_edge_count())
+    }
+
+    /// Globally unique, monotonically increasing snapshot id.
+    ///
+    /// Drawn from a process-wide counter at every freeze and every
+    /// [`apply_delta`](CsrGraph::apply_delta), so no two distinct
+    /// snapshots — even structurally identical ones — share a generation.
+    /// This is the sound cache key the deprecated
+    /// [`fingerprint`](CsrGraph::fingerprint) was not.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Summary of the delta that produced this snapshot, or `None` if it
+    /// was frozen from scratch. Caches use the touched-node set for
+    /// scoped invalidation.
+    #[inline]
+    pub fn last_delta(&self) -> Option<&DeltaSummary> {
+        self.last_delta.as_ref()
     }
 
     /// `true` if the graph has no nodes.
@@ -205,6 +274,162 @@ impl CsrGraph {
     pub fn half_edge_count(&self) -> usize {
         self.neighbors.len()
     }
+
+    /// Apply a batched [`GraphDelta`], rebuilding only the touched rows.
+    ///
+    /// Ops replay in order with exactly the mutable [`Graph`] semantics
+    /// (weight accumulation, self-loop rejection, tolerant removal), so
+    /// the result is bit-identical — [`PartialEq`]-equal, including
+    /// neighbor order and weights — to mutating the source `Graph` the
+    /// same way and freezing it from scratch. Only the adjacency rows of
+    /// nodes named by edge ops are re-materialized; every untouched row is
+    /// block-copied from this snapshot, making churn cost
+    /// `O(touched rows + n)` instead of `O(n + m)`.
+    ///
+    /// The result carries a fresh [`generation`](CsrGraph::generation) and
+    /// a [`DeltaSummary`] ([`last_delta`](CsrGraph::last_delta)) with the
+    /// touched-node set that drives scoped cache invalidation.
+    ///
+    /// # Panics
+    /// Panics where [`Graph::add_edge`] would: an `AddEdge` endpoint out
+    /// of range at its point in the op sequence.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> CsrGraph {
+        let old_n = self.node_count();
+        let mut n = old_n;
+        let mut edge_count = self.edge_count;
+        let mut nodes_added = 0u32;
+        let mut structural = false;
+        let mut weights_changed = false;
+
+        // Working rows, materialized lazily on first touch from the old
+        // CSR row (new nodes start empty).
+        let mut rows: HashMap<u32, Vec<EdgeRef>> = HashMap::new();
+        fn row_mut<'m>(
+            rows: &'m mut HashMap<u32, Vec<EdgeRef>>,
+            csr: &CsrGraph,
+            old_n: usize,
+            v: NodeId,
+        ) -> &'m mut Vec<EdgeRef> {
+            rows.entry(v.0).or_insert_with(|| {
+                if v.index() < old_n {
+                    csr.neighbors(v).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+        }
+
+        for op in delta.ops() {
+            match *op {
+                DeltaOp::AddNodes { count } => {
+                    n += count as usize;
+                    nodes_added += count;
+                }
+                DeltaOp::AddEdge { a, b, weight } => {
+                    assert!(a.index() < n, "node {a:?} out of range");
+                    assert!(b.index() < n, "node {b:?} out of range");
+                    if a == b {
+                        continue;
+                    }
+                    let inserted =
+                        Graph::insert_half(row_mut(&mut rows, self, old_n, a), b, weight);
+                    Graph::insert_half(row_mut(&mut rows, self, old_n, b), a, weight);
+                    if inserted {
+                        edge_count += 1;
+                        structural = true;
+                    } else {
+                        weights_changed = true;
+                    }
+                }
+                DeltaOp::RemoveEdge { a, b } => {
+                    if a == b || a.index() >= n || b.index() >= n {
+                        continue;
+                    }
+                    let row_a = row_mut(&mut rows, self, old_n, a);
+                    let removed = match row_a.binary_search_by_key(&b, |e| e.to) {
+                        Ok(i) => {
+                            row_a.remove(i);
+                            true
+                        }
+                        Err(_) => false,
+                    };
+                    if removed {
+                        let row_b = row_mut(&mut rows, self, old_n, b);
+                        if let Ok(i) = row_b.binary_search_by_key(&a, |e| e.to) {
+                            row_b.remove(i);
+                        }
+                        edge_count -= 1;
+                        structural = true;
+                    }
+                }
+            }
+        }
+
+        // Touched = every materialized row plus every activated node
+        // (activated nodes get rows even when no edge op named them).
+        let mut touched: Vec<u32> = rows.keys().copied().collect();
+        touched.extend(old_n as u32..n as u32);
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Assemble: walk the touched list in id order, block-copying each
+        // untouched span `[next, t)` straight out of the old arrays.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.neighbors.len() + 2 * delta.len());
+        let mut weights = Vec::with_capacity(self.neighbors.len() + 2 * delta.len());
+        offsets.push(0u32);
+        let mut next = 0usize;
+        for &t in &touched {
+            let t = t as usize;
+            if next < t {
+                debug_assert!(t <= old_n, "untouched span beyond the old graph");
+                let shift = neighbors.len() as i64 - self.offsets[next] as i64;
+                let span = self.offsets[next] as usize..self.offsets[t] as usize;
+                neighbors.extend_from_slice(&self.neighbors[span.clone()]);
+                weights.extend_from_slice(&self.weights[span]);
+                for v in next..t {
+                    offsets.push((self.offsets[v + 1] as i64 + shift) as u32);
+                }
+            }
+            if let Some(row) = rows.get(&(t as u32)) {
+                for e in row {
+                    neighbors.push(e.to.0);
+                    weights.push(e.weight);
+                }
+            }
+            offsets.push(neighbors.len() as u32);
+            next = t + 1;
+        }
+        if next < old_n {
+            let shift = neighbors.len() as i64 - self.offsets[next] as i64;
+            let span = self.offsets[next] as usize..self.offsets[old_n] as usize;
+            neighbors.extend_from_slice(&self.neighbors[span.clone()]);
+            weights.extend_from_slice(&self.weights[span]);
+            for v in next..old_n {
+                offsets.push((self.offsets[v + 1] as i64 + shift) as u32);
+            }
+        }
+        debug_assert_eq!(offsets.len(), n + 1);
+        debug_assert_eq!(neighbors.len(), 2 * edge_count);
+        assert!(
+            u32::try_from(neighbors.len()).is_ok(),
+            "graph too large for u32 CSR offsets"
+        );
+
+        CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+            edge_count,
+            generation: next_generation(),
+            last_delta: Some(DeltaSummary {
+                touched: touched.into_iter().map(NodeId).collect(),
+                nodes_added,
+                structural,
+                weights_changed,
+            }),
+        }
+    }
 }
 
 /// Reusable working memory for BFS/Brandes-style traversals on a
@@ -298,6 +523,41 @@ impl TraversalScratch {
             let v = self.order[head] as usize;
             head += 1;
             let dv = self.dist[v];
+            for &w in g.neighbor_ids(NodeId(v as u32)) {
+                if self.dist[w as usize] == UNVISITED {
+                    self.dist[w as usize] = dv + 1;
+                    self.order.push(w);
+                }
+            }
+        }
+    }
+
+    /// Depth-bounded multi-source BFS: like [`bfs`](TraversalScratch::bfs)
+    /// but stops expanding at `max_hops`, so [`distance`] is `Some(d)` iff
+    /// `d <= max_hops`. Used by the scoped cache invalidation to ask "is
+    /// any churn-touched node within `h` hops of this requester?" without
+    /// paying for the full component.
+    ///
+    /// [`distance`]: TraversalScratch::distance
+    pub fn bfs_bounded(&mut self, g: &CsrGraph, sources: &[NodeId], max_hops: u32) {
+        self.reset(g);
+        let n = g.node_count();
+        for &s in sources {
+            if s.index() < n && self.dist[s.index()] == UNVISITED {
+                self.dist[s.index()] = 0;
+                self.order.push(s.0);
+            }
+        }
+        let mut head = 0;
+        while head < self.order.len() {
+            let v = self.order[head] as usize;
+            head += 1;
+            let dv = self.dist[v];
+            if dv >= max_hops {
+                // Distance-ordered queue: everything later is at least
+                // this far out, so the budget is spent.
+                break;
+            }
             for &w in g.neighbor_ids(NodeId(v as u32)) {
                 if self.dist[w as usize] == UNVISITED {
                     self.dist[w as usize] = dv + 1;
@@ -506,5 +766,89 @@ mod tests {
         scratch.bfs(&c, &[NodeId(0), NodeId(0), NodeId(99), NodeId(3)]);
         assert_eq!(scratch.distance(NodeId(1)), Some(1));
         assert_eq!(scratch.distance(NodeId(2)), Some(1));
+    }
+
+    #[test]
+    fn bounded_bfs_respects_hop_budget() {
+        let g = Graph::from_edges(6, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)]);
+        let c = CsrGraph::from(&g);
+        let mut scratch = TraversalScratch::new();
+        scratch.bfs_bounded(&c, &[NodeId(0)], 2);
+        assert_eq!(scratch.distance(NodeId(2)), Some(2));
+        assert_eq!(scratch.distance(NodeId(3)), None);
+        // Multi-source: nearest source wins, budget still applies.
+        scratch.bfs_bounded(&c, &[NodeId(0), NodeId(5)], 1);
+        assert_eq!(scratch.distance(NodeId(1)), Some(1));
+        assert_eq!(scratch.distance(NodeId(4)), Some(1));
+        assert_eq!(scratch.distance(NodeId(2)), None);
+        assert_eq!(scratch.distance(NodeId(3)), None);
+    }
+
+    #[test]
+    fn generations_are_unique_and_monotonic() {
+        let g = path4();
+        let a = CsrGraph::from(&g);
+        let b = CsrGraph::from(&g);
+        assert_eq!(a, b, "structural equality ignores generation");
+        assert_ne!(a.generation(), b.generation());
+        assert!(b.generation() > a.generation());
+        let c = a.apply_delta(&GraphDelta::new());
+        assert!(c.generation() > b.generation());
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn apply_delta_matches_from_scratch() {
+        let mut g = barabasi_albert(200, 3, 11);
+        let base = CsrGraph::from(&g);
+        let mut d = GraphDelta::new();
+        d.add_edge(NodeId(0), NodeId(199), 4)
+            .remove_edge(NodeId(0), NodeId(1))
+            .add_edge(NodeId(0), NodeId(1), 2) // re-add after removal
+            .add_edge(NodeId(5), NodeId(6), 1) // may reinforce an existing edge
+            .remove_edge(NodeId(100), NodeId(150))
+            .add_nodes(3)
+            .add_edge(NodeId(200), NodeId(7), 9)
+            .add_edge(NodeId(201), NodeId(200), 1);
+        let incremental = base.apply_delta(&d);
+        d.apply_to(&mut g);
+        let scratch = CsrGraph::from(&g);
+        assert_eq!(incremental, scratch);
+        assert_eq!(incremental.edge_count(), g.edge_count());
+        assert_eq!(incremental.node_count(), 203);
+    }
+
+    #[test]
+    fn apply_delta_summary_classifies_change() {
+        let g = path4();
+        let base = CsrGraph::from(&g);
+
+        let mut reinforce = GraphDelta::new();
+        reinforce.add_edge(NodeId(0), NodeId(1), 5);
+        let c = base.apply_delta(&reinforce);
+        let s = c.last_delta().unwrap();
+        assert!(!s.structural);
+        assert!(s.weights_changed);
+        assert!(s.distances_unchanged());
+        assert_eq!(s.touched, vec![NodeId(0), NodeId(1)]);
+
+        let mut structural = GraphDelta::new();
+        structural.remove_edge(NodeId(1), NodeId(2)).add_nodes(1);
+        let c2 = base.apply_delta(&structural);
+        let s2 = c2.last_delta().unwrap();
+        assert!(s2.structural);
+        assert!(!s2.weights_changed);
+        assert_eq!(s2.nodes_added, 1);
+        assert_eq!(s2.touched, vec![NodeId(1), NodeId(2), NodeId(4)]);
+        assert!(base.last_delta().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_delta_out_of_range_panics() {
+        let base = CsrGraph::from(&path4());
+        let mut d = GraphDelta::new();
+        d.add_edge(NodeId(0), NodeId(9), 1);
+        base.apply_delta(&d);
     }
 }

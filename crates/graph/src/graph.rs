@@ -136,7 +136,8 @@ impl Graph {
     }
 
     /// Insert or accumulate a half edge; returns `true` if it was new.
-    fn insert_half(list: &mut Vec<EdgeRef>, to: NodeId, w: u32) -> bool {
+    /// Shared with the CSR delta path so both mutate rows identically.
+    pub(crate) fn insert_half(list: &mut Vec<EdgeRef>, to: NodeId, w: u32) -> bool {
         match list.binary_search_by_key(&to, |e| e.to) {
             Ok(i) => {
                 list[i].weight = list[i].weight.saturating_add(w);

@@ -31,6 +31,7 @@ pub mod community;
 pub mod components;
 pub mod cover;
 pub mod csr;
+pub mod delta;
 pub mod dot;
 pub mod generators;
 pub mod graph;
@@ -43,6 +44,7 @@ pub mod traversal;
 pub mod union_find;
 
 pub use csr::{CsrGraph, TraversalScratch};
+pub use delta::{DeltaOp, DeltaSummary, GraphDelta};
 pub use graph::{EdgeRef, Graph, NodeId};
 pub use union_find::UnionFind;
 

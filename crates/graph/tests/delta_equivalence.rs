@@ -1,0 +1,112 @@
+//! Property tests for the incremental CSR delta path: applying a random
+//! interleaving of `add_edge`/`remove_edge` (and node activations) via
+//! [`GraphDelta`] must produce a `CsrGraph` bit-identical (`PartialEq`,
+//! which covers offsets, neighbor order, weights, and edge count) to
+//! mutating the `Graph` the same way and freezing it from scratch.
+
+use proptest::prelude::*;
+use scdn_graph::{CsrGraph, Graph, GraphDelta, NodeId};
+
+/// Strategy: a random simple graph with up to `max_n` nodes and `max_m`
+/// edge insertions (duplicates accumulate weight, as in production).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..5), 0..max_m)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+/// One randomly chosen delta op, encoded independent of graph size:
+/// endpoints are taken modulo the node count at application time.
+#[derive(Clone, Debug)]
+enum RawOp {
+    Add(u32, u32, u32),
+    Remove(u32, u32),
+    Activate(u32),
+}
+
+fn arb_ops(max_ops: usize) -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec(
+        (0u8..8, any::<u32>(), any::<u32>(), 1u32..5).prop_map(|(kind, a, b, w)| match kind {
+            0..=3 => RawOp::Add(a, b, w),
+            4..=6 => RawOp::Remove(a, b),
+            _ => RawOp::Activate(1 + (a % 2)),
+        }),
+        0..max_ops,
+    )
+}
+
+/// Resolve raw ops into a concrete delta, tracking the growing node count
+/// so activated nodes are immediately addressable by later ops.
+fn build_delta(g: &Graph, ops: &[RawOp]) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    let mut n = g.node_count() as u32;
+    for op in ops {
+        match *op {
+            RawOp::Add(a, b, w) => {
+                delta.add_edge(NodeId(a % n), NodeId(b % n), w);
+            }
+            RawOp::Remove(a, b) => {
+                delta.remove_edge(NodeId(a % n), NodeId(b % n));
+            }
+            RawOp::Activate(count) => {
+                delta.add_nodes(count);
+                n += count;
+            }
+        }
+    }
+    delta
+}
+
+proptest! {
+    #[test]
+    fn delta_applied_csr_is_bit_identical_to_from_scratch(
+        mut g in arb_graph(40, 120),
+        ops in arb_ops(60),
+    ) {
+        let base = CsrGraph::from(&g);
+        let delta = build_delta(&g, &ops);
+
+        let incremental = base.apply_delta(&delta);
+        delta.apply_to(&mut g);
+        let scratch = CsrGraph::from(&g);
+
+        prop_assert_eq!(&incremental, &scratch);
+        prop_assert_eq!(incremental.edge_count(), g.edge_count());
+        prop_assert_eq!(incremental.node_count(), g.node_count());
+        // Generations are fresh and ordered even though the content matches.
+        prop_assert!(incremental.generation() > base.generation());
+        prop_assert!(scratch.generation() > incremental.generation());
+    }
+
+    #[test]
+    fn delta_touched_set_covers_every_changed_row(
+        mut g in arb_graph(30, 80),
+        ops in arb_ops(40),
+    ) {
+        let base = CsrGraph::from(&g);
+        let delta = build_delta(&g, &ops);
+        let updated = base.apply_delta(&delta);
+        delta.apply_to(&mut g);
+
+        let summary = updated.last_delta().expect("delta result carries a summary");
+        prop_assert_eq!(summary.nodes_added, delta.nodes_added());
+        // Soundness direction that the scoped invalidation relies on:
+        // any node whose row differs from the old snapshot MUST be in
+        // `touched` (over-approximation is fine, omission is not).
+        for v in updated.nodes() {
+            let changed = if v.index() < base.node_count() {
+                base.neighbors(v).ne(updated.neighbors(v))
+            } else {
+                true
+            };
+            if changed {
+                prop_assert!(
+                    summary.touched.binary_search(&v).is_ok(),
+                    "changed row {:?} missing from touched set",
+                    v
+                );
+            }
+        }
+    }
+}

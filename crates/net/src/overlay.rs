@@ -145,6 +145,51 @@ impl SocialOverlay {
         up
     }
 
+    /// Tear down the link `a — b` if present (e.g. the social edge
+    /// backing it lapsed). Returns `true` if a link was removed.
+    pub fn teardown_link(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a.index() >= self.n || b.index() >= self.n {
+            return false;
+        }
+        let Some(i) = self.links[a.index()].iter().position(|&x| x == b) else {
+            return false;
+        };
+        // Preserve insertion order on both sides: `route` walks link
+        // lists in order, and path tie-breaks must stay deterministic.
+        self.links[a.index()].remove(i);
+        if let Some(j) = self.links[b.index()].iter().position(|&x| x == a) {
+            self.links[b.index()].remove(j);
+        }
+        true
+    }
+
+    /// Re-verify one pair after a social-graph change: the link comes up
+    /// iff a social edge now exists and both published certificates
+    /// verify, and is torn down otherwise. Returns `true` if the link is
+    /// up afterwards.
+    pub fn refresh_link(&mut self, social: &Graph, a: NodeId, b: NodeId) -> bool {
+        if a == b || a.index() >= self.n || b.index() >= self.n {
+            return false;
+        }
+        if social.has_edge(a, b) {
+            let fa = self.certificates.get(&a).map(|c| c.fingerprint);
+            let fb = self.certificates.get(&b).map(|c| c.fingerprint);
+            match (fa, fb) {
+                (Some(fa), Some(fb)) => {
+                    self.establish_link(social, a, b, fa, fb).is_ok() || self.linked(a, b)
+                }
+                // Certificate-less members can't hold links up.
+                _ => {
+                    self.teardown_link(a, b);
+                    false
+                }
+            }
+        } else {
+            self.teardown_link(a, b);
+            false
+        }
+    }
+
     /// `true` if a verified link exists.
     pub fn linked(&self, a: NodeId, b: NodeId) -> bool {
         self.links
@@ -207,6 +252,25 @@ mod tests {
             ));
         }
         o
+    }
+
+    #[test]
+    fn teardown_and_refresh_follow_social_churn() {
+        let social = Graph::from_edges(3, [(0, 1, 1), (1, 2, 1)]);
+        let mut o = overlay_with_certs(3);
+        o.establish_all(&social);
+        assert!(o.linked(NodeId(0), NodeId(1)));
+        // Collaboration lapses: refresh tears the link down.
+        let mut churned = social.clone();
+        churned.remove_edge(NodeId(0), NodeId(1));
+        assert!(!o.refresh_link(&churned, NodeId(0), NodeId(1)));
+        assert!(!o.linked(NodeId(0), NodeId(1)));
+        assert!(o.linked(NodeId(1), NodeId(2)), "other links untouched");
+        // New collaboration: refresh brings the link up.
+        churned.add_edge(NodeId(0), NodeId(2), 1);
+        assert!(o.refresh_link(&churned, NodeId(0), NodeId(2)));
+        assert!(o.linked(NodeId(2), NodeId(0)));
+        assert!(!o.teardown_link(NodeId(0), NodeId(1)), "already down");
     }
 
     #[test]

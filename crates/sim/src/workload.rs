@@ -252,6 +252,193 @@ pub fn generate_phased_requests(cfg: &PhasedWorkloadConfig) -> Vec<Request> {
     out
 }
 
+/// One social-graph mutation in a churn stream. Endpoints are membership
+/// indices (same space as [`Request::user`]); the driver maps them onto
+/// `NodeId`s and batches consecutive ops into one `GraphDelta`.
+///
+/// `Leave`/`Join` model collaboration-level churn, not membership churn:
+/// a member whose active coauthorships all lapse (leave) or who forms a
+/// fresh set of ties (join). The S-CDN membership itself is fixed at
+/// build time, so the driver translates `Leave` into removing the node's
+/// incident edges and `Join` into adding edges to `peers`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A new coauthorship tie between `a` and `b`.
+    AddEdge { a: usize, b: usize, weight: u32 },
+    /// A lapsed tie between `a` and `b` (tolerant: may already be gone).
+    RemoveEdge { a: usize, b: usize },
+    /// All of `node`'s active ties lapse at once.
+    Leave { node: usize },
+    /// `node` (re-)activates with fresh ties to `peers`.
+    Join { node: usize, peers: Vec<usize> },
+}
+
+/// A timed churn op within a workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the mutation lands.
+    pub at: SimTime,
+    /// What changes.
+    pub op: ChurnOp,
+}
+
+/// Configuration for [`generate_churn`]. The four `*_weight` fields set
+/// the relative frequency of each op kind (they need not sum to one;
+/// zero disables a kind).
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Membership size — op endpoints are drawn from `0..users`.
+    pub users: usize,
+    /// Mean churn inter-arrival time in milliseconds (Poisson process).
+    pub mean_interarrival_ms: f64,
+    /// Total number of churn events to generate.
+    pub count: usize,
+    /// Relative frequency of `AddEdge`.
+    pub add_edge_weight: f64,
+    /// Relative frequency of `RemoveEdge`.
+    pub remove_edge_weight: f64,
+    /// Relative frequency of `Leave`.
+    pub leave_weight: f64,
+    /// Relative frequency of `Join`.
+    pub join_weight: f64,
+    /// Number of fresh ties a `Join` forms.
+    pub join_degree: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            seed: 42,
+            users: 100,
+            mean_interarrival_ms: 10_000.0,
+            count: 100,
+            add_edge_weight: 4.0,
+            remove_edge_weight: 4.0,
+            leave_weight: 1.0,
+            join_weight: 1.0,
+            join_degree: 3,
+        }
+    }
+}
+
+/// Generate a deterministic Poisson churn stream over the membership.
+///
+/// `RemoveEdge` preferentially targets ties the stream itself added
+/// earlier (so removals usually hit live edges rather than no-oping);
+/// when none exist yet it falls back to a random pair, which the
+/// tolerant `remove_edge` semantics absorb. Self-loops are never
+/// emitted. The stream is time-sorted by construction.
+pub fn generate_churn(cfg: &ChurnConfig) -> Vec<ChurnEvent> {
+    assert!(cfg.users >= 2, "churn needs at least two members");
+    assert!(
+        cfg.mean_interarrival_ms > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    let total = cfg.add_edge_weight + cfg.remove_edge_weight + cfg.leave_weight + cfg.join_weight;
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "at least one op kind must have positive weight"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.count);
+    // Ties this stream has added and not yet removed, so removals bite.
+    let mut live: Vec<(usize, usize)> = Vec::new();
+    let mut t = 0.0f64;
+    let pair = |rng: &mut StdRng| loop {
+        let a = rng.gen_range(0..cfg.users);
+        let b = rng.gen_range(0..cfg.users);
+        if a != b {
+            return (a, b);
+        }
+    };
+    for _ in 0..cfg.count {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -cfg.mean_interarrival_ms * u.ln();
+        let roll: f64 = rng.gen_range(0.0..total);
+        let op = if roll < cfg.add_edge_weight {
+            let (a, b) = pair(&mut rng);
+            live.push((a, b));
+            ChurnOp::AddEdge {
+                a,
+                b,
+                weight: rng.gen_range(1..5),
+            }
+        } else if roll < cfg.add_edge_weight + cfg.remove_edge_weight {
+            let (a, b) = if live.is_empty() {
+                pair(&mut rng)
+            } else {
+                live.swap_remove(rng.gen_range(0..live.len()))
+            };
+            ChurnOp::RemoveEdge { a, b }
+        } else if roll < cfg.add_edge_weight + cfg.remove_edge_weight + cfg.leave_weight {
+            let node = rng.gen_range(0..cfg.users);
+            live.retain(|&(a, b)| a != node && b != node);
+            ChurnOp::Leave { node }
+        } else {
+            let node = rng.gen_range(0..cfg.users);
+            let mut peers = Vec::with_capacity(cfg.join_degree);
+            while peers.len() < cfg.join_degree.min(cfg.users - 1) {
+                let p = rng.gen_range(0..cfg.users);
+                if p != node && !peers.contains(&p) {
+                    peers.push(p);
+                }
+            }
+            for &p in &peers {
+                live.push((node, p));
+            }
+            ChurnOp::Join { node, peers }
+        };
+        out.push(ChurnEvent {
+            at: SimTime::from_millis(t as u64),
+            op,
+        });
+    }
+    out
+}
+
+/// One event of a merged request+churn stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A data-access request.
+    Request(Request),
+    /// A social-graph mutation.
+    Churn(ChurnEvent),
+}
+
+impl StreamEvent {
+    /// Arrival time of the event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            StreamEvent::Request(r) => r.at,
+            StreamEvent::Churn(c) => c.at,
+        }
+    }
+}
+
+/// Merge a time-sorted request stream with a time-sorted churn stream
+/// into one chronological event stream. At equal timestamps churn lands
+/// first, so a request issued "at" a mutation already observes it — the
+/// same order a driver applying deltas between request batches produces.
+/// The merge is stable within each input.
+pub fn interleave_churn(requests: &[Request], churn: &[ChurnEvent]) -> Vec<StreamEvent> {
+    let mut out = Vec::with_capacity(requests.len() + churn.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < requests.len() && j < churn.len() {
+        if churn[j].at <= requests[i].at {
+            out.push(StreamEvent::Churn(churn[j].clone()));
+            j += 1;
+        } else {
+            out.push(StreamEvent::Request(requests[i]));
+            i += 1;
+        }
+    }
+    out.extend(requests[i..].iter().copied().map(StreamEvent::Request));
+    out.extend(churn[j..].iter().cloned().map(StreamEvent::Churn));
+    out
+}
+
 /// Superimpose a flash crowd on a base workload: between `start` and `end`,
 /// extra requests for `dataset` arrive at `burst_interarrival_ms` mean
 /// spacing from random users. Returns a merged, time-sorted stream — the
@@ -502,6 +689,128 @@ mod tests {
         let on_target = reqs.iter().filter(|r| r.dataset == 24).count();
         let frac = on_target as f64 / reqs.len() as f64;
         assert!((0.6..0.85).contains(&frac), "flash fraction = {frac}");
+    }
+
+    #[test]
+    fn churn_stream_is_sorted_deterministic_and_in_range() {
+        let cfg = ChurnConfig {
+            seed: 7,
+            users: 40,
+            count: 300,
+            ..Default::default()
+        };
+        let churn = generate_churn(&cfg);
+        assert_eq!(churn.len(), 300);
+        assert_eq!(churn, generate_churn(&cfg), "seeded determinism");
+        for w in churn.windows(2) {
+            assert!(w[0].at <= w[1].at, "stream stays sorted");
+        }
+        let in_range = |v: usize| v < cfg.users;
+        for e in &churn {
+            match &e.op {
+                ChurnOp::AddEdge { a, b, weight } => {
+                    assert!(in_range(*a) && in_range(*b) && a != b);
+                    assert!(*weight >= 1);
+                }
+                ChurnOp::RemoveEdge { a, b } => {
+                    assert!(in_range(*a) && in_range(*b) && a != b);
+                }
+                ChurnOp::Leave { node } => assert!(in_range(*node)),
+                ChurnOp::Join { node, peers } => {
+                    assert!(in_range(*node));
+                    assert_eq!(peers.len(), cfg.join_degree, "full join degree");
+                    for (i, p) in peers.iter().enumerate() {
+                        assert!(in_range(*p) && p != node, "peer valid");
+                        assert!(!peers[..i].contains(p), "peers distinct");
+                    }
+                }
+            }
+        }
+        // All four kinds occur at the default weights over 300 events.
+        let count = |f: fn(&ChurnOp) -> bool| churn.iter().filter(|e| f(&e.op)).count();
+        assert!(count(|o| matches!(o, ChurnOp::AddEdge { .. })) > 0);
+        assert!(count(|o| matches!(o, ChurnOp::RemoveEdge { .. })) > 0);
+        assert!(count(|o| matches!(o, ChurnOp::Leave { .. })) > 0);
+        assert!(count(|o| matches!(o, ChurnOp::Join { .. })) > 0);
+    }
+
+    #[test]
+    fn churn_removals_mostly_target_previously_added_ties() {
+        let churn = generate_churn(&ChurnConfig {
+            seed: 3,
+            users: 60,
+            count: 500,
+            ..Default::default()
+        });
+        // Replay the stream against a live tie set: removals drawn from
+        // the generator's book-keeping must hit an existing tie.
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        let (mut hit, mut total) = (0usize, 0usize);
+        for e in &churn {
+            match &e.op {
+                ChurnOp::AddEdge { a, b, .. } => live.push((*a, *b)),
+                ChurnOp::Join { node, peers } => {
+                    live.extend(peers.iter().map(|&p| (*node, p)));
+                }
+                ChurnOp::Leave { node } => live.retain(|&(a, b)| a != *node && b != *node),
+                ChurnOp::RemoveEdge { a, b } => {
+                    total += 1;
+                    if let Some(i) = live.iter().position(|&e| e == (*a, *b)) {
+                        live.swap_remove(i);
+                        hit += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 50, "enough removals to judge ({total})");
+        assert!(
+            hit * 10 >= total * 8,
+            "removals should usually bite: {hit}/{total}"
+        );
+    }
+
+    #[test]
+    fn interleave_merges_chronologically_with_churn_first_on_ties() {
+        let reqs = generate_requests(&WorkloadConfig {
+            count: 200,
+            mean_interarrival_ms: 25.0,
+            ..Default::default()
+        });
+        let churn = generate_churn(&ChurnConfig {
+            count: 60,
+            mean_interarrival_ms: 80.0,
+            ..Default::default()
+        });
+        let merged = interleave_churn(&reqs, &churn);
+        assert_eq!(merged.len(), reqs.len() + churn.len());
+        for w in merged.windows(2) {
+            assert!(w[0].at() <= w[1].at(), "chronological");
+            if w[0].at() == w[1].at() {
+                // Churn never follows a request at the same instant.
+                assert!(
+                    !(matches!(w[0], StreamEvent::Request(_))
+                        && matches!(w[1], StreamEvent::Churn(_))),
+                    "churn lands before same-time requests"
+                );
+            }
+        }
+        // Both inputs survive the merge in their original order.
+        let back_r: Vec<Request> = merged
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Request(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        let back_c: Vec<ChurnEvent> = merged
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Churn(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(back_r, reqs);
+        assert_eq!(back_c, churn);
     }
 
     #[test]
