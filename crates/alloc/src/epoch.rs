@@ -54,6 +54,7 @@ use parking_lot::{RwLock, RwLockWriteGuard};
 use scdn_graph::NodeId;
 use scdn_obs::Counter;
 use scdn_social::author::AuthorId;
+use scdn_storage::coding::CodingSpec;
 use scdn_storage::object::DatasetId;
 
 use crate::replication::DemandWindow;
@@ -181,6 +182,11 @@ impl DemandState {
     }
 }
 
+/// Per-host coded-block inventory of one dataset: `(host, sorted block
+/// indices)`, ordered by node id. Inventories are `Arc`'d so publishing
+/// a snapshot with an untouched host costs one pointer bump.
+pub type CodedInventory = Vec<(NodeId, Arc<Vec<u32>>)>;
+
 /// One published version of a catalog entry. Immutable once published;
 /// mutations copy-on-write a new version (the demand state is shared
 /// across versions — see [`DemandState`]).
@@ -194,18 +200,39 @@ pub(crate) struct EntryState {
     /// consistently across shards.
     pub(crate) version: u64,
     pub(crate) demand: Arc<DemandState>,
+    /// Erasure-coding parameters, when the dataset is stored coded
+    /// (`None` for whole-replica datasets — the pre-coding behavior).
+    pub(crate) coding: Option<CodingSpec>,
+    /// Per-host coded-block inventories, sorted by node id: which of the
+    /// dataset's n coded blocks each host holds. Tracked *next to* the
+    /// whole-replica list — a node may appear in both (the owner's full
+    /// copy coexists with coded blocks spread across peers). Inventories
+    /// are `Arc`'d so republishing an untouched host costs one pointer
+    /// bump.
+    pub(crate) coded_hosts: CodedInventory,
 }
 
 impl EntryState {
-    /// Clone for catalog sync: replica set and version copied, demand
-    /// snapshotted into fresh counters.
+    /// Clone for catalog sync: replica set, version, and coded
+    /// inventories copied, demand snapshotted into fresh counters.
     pub(crate) fn sync_clone(&self) -> EntryState {
         EntryState {
             replicas: self.replicas.clone(),
             segments: self.segments,
             version: self.version,
             demand: Arc::new(self.demand.sync_snapshot()),
+            coding: self.coding,
+            coded_hosts: self.coded_hosts.clone(),
         }
+    }
+
+    /// Nodes hosting at least one coded block, in inventory (node-id)
+    /// order.
+    pub(crate) fn coded_host_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.coded_hosts
+            .iter()
+            .filter(|(_, blocks)| !blocks.is_empty())
+            .map(|&(n, _)| n)
     }
 }
 
@@ -329,14 +356,37 @@ impl ShardSnapshot {
         }
     }
 
+    /// Re-derive whether `node` belongs in the hosted index for
+    /// `dataset` — it does iff it holds a whole replica *or* at least one
+    /// coded block — and make the index agree. The single mutation point
+    /// all replica/coded-host edits funnel through, so the index can
+    /// never leak a node that only lost one of its two hosting roles.
+    pub(crate) fn sync_host_index(&mut self, dataset: DatasetId, node: NodeId) {
+        let hosts = self.entries.get(&dataset).is_some_and(|e| {
+            e.replicas.contains(&node)
+                || e.coded_hosts
+                    .iter()
+                    .any(|(n, blocks)| *n == node && !blocks.is_empty())
+        });
+        if hosts {
+            self.index_add(dataset, node);
+        } else {
+            self.index_remove(dataset, node);
+        }
+    }
+
     /// `true` if the hosted index is exactly the inversion of the entry
-    /// table (test/diagnostic surface). Entries and index are published
+    /// table — whole replicas and coded-block holders both count as
+    /// hosting (test/diagnostic surface). Entries and index are published
     /// together in one `Arc` swap, so any reader-visible shard must pass
     /// — a failure means a torn publication.
     pub fn is_consistent(&self) -> bool {
         let mut expect: HashMap<NodeId, BTreeSet<DatasetId>> = HashMap::new();
         for (&d, e) in &self.entries {
             for &n in &e.replicas {
+                expect.entry(n).or_default().insert(d);
+            }
+            for n in e.coded_host_nodes() {
                 expect.entry(n).or_default().insert(d);
             }
         }
@@ -425,6 +475,21 @@ impl CatalogSnapshot {
     /// Per-entry version of `dataset` in this snapshot.
     pub fn version_of(&self, dataset: DatasetId) -> Option<u64> {
         self.entry(dataset).map(|e| e.version)
+    }
+
+    /// Erasure-coding parameters of `dataset` in this snapshot (`None`
+    /// for unregistered or whole-replica datasets).
+    pub fn coding_of(&self, dataset: DatasetId) -> Option<CodingSpec> {
+        self.entry(dataset).and_then(|e| e.coding)
+    }
+
+    /// Per-host coded-block inventory of `dataset` in this snapshot:
+    /// `(host, sorted block indices)`, ordered by node id. Empty for
+    /// whole-replica datasets.
+    pub fn coded_inventory_of(&self, dataset: DatasetId) -> CodedInventory {
+        self.entry(dataset)
+            .map(|e| e.coded_hosts.clone())
+            .unwrap_or_default()
     }
 
     /// Datasets in this snapshot.

@@ -28,7 +28,7 @@ pub mod replication;
 mod resolve_cache;
 pub mod server;
 
-pub use epoch::{CatalogSnapshot, ShardStamp, DEFAULT_CATALOG_SHARDS};
+pub use epoch::{CatalogSnapshot, CodedInventory, ShardStamp, DEFAULT_CATALOG_SHARDS};
 pub use group::ServerGroup;
 pub use placement::PlacementAlgorithm;
 pub use ranking_cache::RankingCache;

@@ -42,12 +42,13 @@ use scdn_graph::parallel::par_map_collect;
 use scdn_graph::{CsrGraph, Graph, NodeId, TraversalScratch};
 use scdn_obs::{Counter, Registry};
 use scdn_social::author::AuthorId;
+use scdn_storage::coding::CodingSpec;
 use scdn_storage::object::DatasetId;
 
 use crate::discovery::{rank_key, select_replica, Candidate, Selection};
 use crate::epoch::{
-    shard_index, CatalogSnapshot, DemandState, EntryState, Published, RepoRecord, RepoTable,
-    ShardSnapshot, ShardStamp, DEFAULT_CATALOG_SHARDS,
+    shard_index, CatalogSnapshot, CodedInventory, DemandState, EntryState, Published, RepoRecord,
+    RepoTable, ShardSnapshot, ShardStamp, DEFAULT_CATALOG_SHARDS,
 };
 use crate::placement::PlacementAlgorithm;
 use crate::replication::{CycleStats, DatasetStats, DemandWindow, RebalancePolicy};
@@ -410,12 +411,163 @@ impl AllocationServer {
                 segments,
                 version,
                 demand: Arc::new(DemandState::new()),
+                coding: None,
+                coded_hosts: Vec::new(),
             }),
         );
         next.index_add(dataset, primary);
         next.epoch += 1;
         *guard = Arc::new(next);
         Ok(())
+    }
+
+    /// Register an erasure-coded dataset: like
+    /// [`register_dataset`](Self::register_dataset), but the catalog also
+    /// records the coding parameters so maintenance and multi-source
+    /// fetch know the dataset's blocks are `spec.k`-of-`spec.n()`
+    /// reconstructible. The primary starts with a whole (plain) copy;
+    /// coded blocks are announced per host via
+    /// [`add_coded_blocks`](Self::add_coded_blocks) as they land.
+    pub fn register_dataset_coded(
+        &self,
+        dataset: DatasetId,
+        segments: u32,
+        primary: NodeId,
+        spec: CodingSpec,
+    ) -> Result<(), AllocationError> {
+        if !self.repos.load().contains_key(&primary) {
+            return Err(AllocationError::UnknownRepository(primary));
+        }
+        let cell = &self.shards[self.shard_of(dataset)];
+        let mut guard = cell.write();
+        if guard.entries.contains_key(&dataset) {
+            return Err(AllocationError::DuplicateDataset(dataset));
+        }
+        let version = self.next_version();
+        let mut next = guard.cow();
+        next.entries.insert(
+            dataset,
+            Arc::new(EntryState {
+                replicas: vec![primary],
+                segments,
+                version,
+                demand: Arc::new(DemandState::new()),
+                coding: Some(spec),
+                coded_hosts: Vec::new(),
+            }),
+        );
+        next.index_add(dataset, primary);
+        next.epoch += 1;
+        *guard = Arc::new(next);
+        Ok(())
+    }
+
+    /// Erasure-coding parameters of `dataset` (`None` for whole-replica
+    /// datasets).
+    pub fn coding_of(&self, dataset: DatasetId) -> Result<Option<CodingSpec>, AllocationError> {
+        self.shards[self.shard_of(dataset)]
+            .load()
+            .entries
+            .get(&dataset)
+            .map(|e| e.coding)
+            .ok_or(AllocationError::UnknownDataset(dataset))
+    }
+
+    /// Current per-host coded-block inventory of `dataset`:
+    /// `(host, sorted block indices)`, ordered by node id.
+    pub fn coded_inventory(&self, dataset: DatasetId) -> Result<CodedInventory, AllocationError> {
+        self.shards[self.shard_of(dataset)]
+            .load()
+            .entries
+            .get(&dataset)
+            .map(|e| e.coded_hosts.clone())
+            .ok_or(AllocationError::UnknownDataset(dataset))
+    }
+
+    /// Announce that `node` now holds coded blocks `blocks` of `dataset`
+    /// (merged into any inventory it already advertised). Returns `true`
+    /// if the inventory actually changed; a no-op announcement burns no
+    /// version and no epoch, mirroring
+    /// [`add_replica`](Self::add_replica)'s idempotence.
+    pub fn add_coded_blocks(
+        &self,
+        dataset: DatasetId,
+        node: NodeId,
+        blocks: &[u32],
+    ) -> Result<bool, AllocationError> {
+        if !self.repos.load().contains_key(&node) {
+            return Err(AllocationError::UnknownRepository(node));
+        }
+        let cell = &self.shards[self.shard_of(dataset)];
+        let mut guard = cell.write();
+        let Some(entry) = guard.entries.get(&dataset) else {
+            return Err(AllocationError::UnknownDataset(dataset));
+        };
+        let mut merged: Vec<u32> = entry
+            .coded_hosts
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, b)| (**b).clone())
+            .unwrap_or_default();
+        let before = merged.len();
+        for &b in blocks {
+            if !merged.contains(&b) {
+                merged.push(b);
+            }
+        }
+        if merged.len() == before {
+            // No new block (or an empty announcement): no catalog change,
+            // so don't burn a version or an epoch — same idempotence
+            // contract as `add_replica`.
+            return Ok(false);
+        }
+        merged.sort_unstable();
+        let version = self.next_version();
+        let mut next = guard.cow();
+        {
+            let entry = next.entry_mut(dataset);
+            match entry.coded_hosts.iter().position(|(n, _)| *n == node) {
+                Some(i) => entry.coded_hosts[i].1 = Arc::new(merged),
+                None => {
+                    let at = entry.coded_hosts.partition_point(|&(n, _)| n < node);
+                    entry.coded_hosts.insert(at, (node, Arc::new(merged)));
+                }
+            }
+            entry.version = version;
+        }
+        next.sync_host_index(dataset, node);
+        next.epoch += 1;
+        *guard = Arc::new(next);
+        Ok(true)
+    }
+
+    /// Drop `node`'s entire coded-block inventory for `dataset` (host
+    /// departed or its blocks were found corrupt). Returns `true` if it
+    /// held anything; removing an absent host burns no version/epoch.
+    pub fn remove_coded_host(
+        &self,
+        dataset: DatasetId,
+        node: NodeId,
+    ) -> Result<bool, AllocationError> {
+        let cell = &self.shards[self.shard_of(dataset)];
+        let mut guard = cell.write();
+        let Some(entry) = guard.entries.get(&dataset) else {
+            return Err(AllocationError::UnknownDataset(dataset));
+        };
+        if !entry.coded_hosts.iter().any(|(n, _)| *n == node) {
+            return Ok(false);
+        }
+        let version = self.next_version();
+        let mut next = guard.cow();
+        {
+            let entry = next.entry_mut(dataset);
+            entry.coded_hosts.retain(|(n, _)| *n != node);
+            entry.version = version;
+        }
+        next.sync_host_index(dataset, node);
+        next.epoch += 1;
+        *guard = Arc::new(next);
+        Ok(true)
     }
 
     /// Number of datasets in the catalog.
@@ -558,7 +710,9 @@ impl AllocationServer {
             entry.replicas.retain(|&n| n != node);
             entry.version = version;
         }
-        next.index_remove(dataset, node);
+        // Re-derive rather than blindly remove: the node may still hold
+        // coded blocks of this dataset, which keep it in the hosted index.
+        next.sync_host_index(dataset, node);
         next.epoch += 1;
         *guard = Arc::new(next);
         Ok(true)
@@ -597,8 +751,8 @@ impl AllocationServer {
             }
             entry.version = version;
         }
-        next.index_remove(dataset, from);
-        next.index_add(dataset, to);
+        next.sync_host_index(dataset, from);
+        next.sync_host_index(dataset, to);
         next.epoch += 1;
         *guard = Arc::new(next);
         Ok(())
@@ -1096,17 +1250,27 @@ impl AllocationServer {
             }
             let mut next = guard.cow();
             for (d, e) in winners {
-                let old_replicas: Vec<NodeId> = next
+                // Every node that hosted under the old entry or hosts
+                // under the new one gets its index membership re-derived
+                // (whole replicas and coded-block holders both count).
+                let mut affected: Vec<NodeId> = next
                     .entries
                     .get(&d)
-                    .map(|p| p.replicas.clone())
+                    .map(|p| {
+                        p.replicas
+                            .iter()
+                            .copied()
+                            .chain(p.coded_host_nodes())
+                            .collect()
+                    })
                     .unwrap_or_default();
+                affected.extend(e.replicas.iter().copied());
+                affected.extend(e.coded_host_nodes());
+                affected.sort_unstable();
+                affected.dedup();
                 next.entries.insert(d, Arc::new(e.sync_clone()));
-                for n in old_replicas {
-                    next.index_remove(d, n);
-                }
-                for &n in &e.replicas {
-                    next.index_add(d, n);
+                for n in affected {
+                    next.sync_host_index(d, n);
                 }
             }
             next.epoch += 1;
@@ -1669,5 +1833,122 @@ mod tests {
             NodeId(3),
             "snapshot still serves the pre-commit replica set"
         );
+    }
+
+    #[test]
+    fn coded_inventory_tracked_next_to_replicas() {
+        let g = barabasi_albert(10, 2, 8);
+        let srv = server_with_repos(&g);
+        let spec = CodingSpec {
+            k: 3,
+            m: 2,
+            seed: 7,
+            total_len: 1000,
+        };
+        srv.register_dataset_coded(DatasetId(0), 4, NodeId(0), spec)
+            .expect("registers");
+        assert_eq!(srv.coding_of(DatasetId(0)).expect("known"), Some(spec));
+        assert!(srv
+            .add_coded_blocks(DatasetId(0), NodeId(3), &[1, 0])
+            .expect("ok"));
+        assert!(srv
+            .add_coded_blocks(DatasetId(0), NodeId(1), &[2])
+            .expect("ok"));
+        let inv = srv.coded_inventory(DatasetId(0)).expect("known");
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv[0].0, NodeId(1), "inventory sorted by node");
+        assert_eq!(*inv[1].1, vec![0, 1], "block lists sorted");
+        // Coded hosts show up in the hosted reverse index next to the
+        // primary's whole replica.
+        assert_eq!(srv.datasets_hosted_by(NodeId(3)), vec![DatasetId(0)]);
+        assert_eq!(srv.datasets_hosted_by(NodeId(0)), vec![DatasetId(0)]);
+        // Departure drops the inventory and the index entry.
+        assert!(srv.remove_coded_host(DatasetId(0), NodeId(3)).expect("ok"));
+        assert_eq!(srv.datasets_hosted_by(NodeId(3)), vec![]);
+        assert!(!srv.remove_coded_host(DatasetId(0), NodeId(3)).expect("ok"));
+    }
+
+    #[test]
+    fn redundant_coded_announcements_publish_nothing() {
+        // Same idempotence contract as `add_replica`: a no-op
+        // announcement must not burn a version (hop caches) or an epoch
+        // (in-flight plans).
+        let g = barabasi_albert(10, 2, 8);
+        let srv = server_with_repos(&g);
+        let spec = CodingSpec {
+            k: 2,
+            m: 1,
+            seed: 0,
+            total_len: 64,
+        };
+        srv.register_dataset_coded(DatasetId(0), 1, NodeId(0), spec)
+            .expect("ok");
+        srv.add_coded_blocks(DatasetId(0), NodeId(2), &[0, 1])
+            .expect("ok");
+        let epochs = srv.shard_epochs();
+        let version = srv.catalog_version(DatasetId(0));
+        assert!(!srv
+            .add_coded_blocks(DatasetId(0), NodeId(2), &[1])
+            .expect("ok"));
+        assert!(!srv
+            .add_coded_blocks(DatasetId(0), NodeId(2), &[])
+            .expect("ok"));
+        assert_eq!(srv.shard_epochs(), epochs, "no-ops publish nothing");
+        assert_eq!(srv.catalog_version(DatasetId(0)), version);
+    }
+
+    #[test]
+    fn replica_removal_keeps_coded_host_in_index() {
+        // A node holding both a whole replica and coded blocks must stay
+        // in the hosted index when it loses just one of the two roles.
+        let g = barabasi_albert(10, 2, 8);
+        let srv = server_with_repos(&g);
+        let spec = CodingSpec {
+            k: 2,
+            m: 1,
+            seed: 1,
+            total_len: 128,
+        };
+        srv.register_dataset_coded(DatasetId(0), 1, NodeId(4), spec)
+            .expect("ok");
+        srv.add_coded_blocks(DatasetId(0), NodeId(4), &[2])
+            .expect("ok");
+        assert!(srv.remove_replica(DatasetId(0), NodeId(4)).expect("ok"));
+        assert_eq!(
+            srv.datasets_hosted_by(NodeId(4)),
+            vec![DatasetId(0)],
+            "still a coded host"
+        );
+        assert!(srv.remove_coded_host(DatasetId(0), NodeId(4)).expect("ok"));
+        assert_eq!(srv.datasets_hosted_by(NodeId(4)), vec![]);
+    }
+
+    #[test]
+    fn sync_carries_coded_inventories() {
+        let g = barabasi_albert(10, 2, 5);
+        let a = server_with_repos(&g);
+        let b = AllocationServer::new();
+        let spec = CodingSpec {
+            k: 2,
+            m: 2,
+            seed: 3,
+            total_len: 500,
+        };
+        a.register_dataset_coded(DatasetId(0), 2, NodeId(1), spec)
+            .expect("ok");
+        a.add_coded_blocks(DatasetId(0), NodeId(5), &[0, 3])
+            .expect("ok");
+        b.sync_from(&a);
+        assert_eq!(b.coding_of(DatasetId(0)).expect("known"), Some(spec));
+        let inv = b.coded_inventory(DatasetId(0)).expect("known");
+        assert_eq!(inv.len(), 1);
+        assert_eq!((inv[0].0, (*inv[0].1).clone()), (NodeId(5), vec![0, 3]));
+        assert_eq!(b.datasets_hosted_by(NodeId(5)), vec![DatasetId(0)]);
+        // A newer version without the coded host wins and the index
+        // follows (re-derived, not leaked).
+        b.remove_coded_host(DatasetId(0), NodeId(5)).expect("ok");
+        a.sync_from(&b);
+        assert_eq!(a.coded_inventory(DatasetId(0)).expect("known"), vec![]);
+        assert_eq!(a.datasets_hosted_by(NodeId(5)), vec![]);
     }
 }

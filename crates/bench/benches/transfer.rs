@@ -54,6 +54,7 @@ fn transfers(c: &mut Criterion) {
             loss_prob: 0.05,
             corruption_prob: 0.01,
             seed: 3,
+            ..FailureModel::default()
         },
         max_attempts: 3,
         concurrency: 1,

@@ -68,6 +68,7 @@ use scdn_alloc::{CatalogSnapshot, ShardStamp};
 use scdn_graph::parallel::par_map_collect;
 use scdn_graph::NodeId;
 use scdn_sim::engine::SimTime;
+use scdn_storage::coding::{encode_blocks, CodingSpec};
 use scdn_storage::object::{DatasetId, Segment, SegmentId};
 use scdn_storage::repository::Partition;
 
@@ -123,6 +124,37 @@ struct GrowXfer {
     failed: bool,
 }
 
+/// One candidate considered by a coded block-shipping plan, in ranking
+/// order — the coded analogue of [`GrowCand`], carrying at most one
+/// regenerated block instead of a whole segment set.
+struct CodedStep {
+    cand: NodeId,
+    /// Liveness at the plan's simulated clock (serial-walk replay, like
+    /// [`GrowCand::online`]).
+    online: bool,
+    /// Owner → candidate latency.
+    latency_ms: f64,
+    /// Planned single-block transfer; `None` when the candidate is
+    /// offline.
+    xfer: Option<CodedXfer>,
+}
+
+/// Simulated transfer of one regenerated coded block to one candidate.
+struct CodedXfer {
+    /// Attempt tallies `(delivered, lost, corrupted)` of the retry chain.
+    attempts: (u64, u64, u64),
+    /// The staged block `(index, payload)`; `None` when the chain
+    /// exhausted its retries or the block overflowed the candidate's
+    /// quota (the serial path stores nothing in either case and retries
+    /// the block on the next candidate).
+    delivery: Option<(u32, Segment)>,
+    /// Wall-clock of the successful chain (charged only on delivery,
+    /// mirroring `transfer_payload_observed`'s `Ok` report).
+    elapsed_ms: f64,
+    /// Block payload size.
+    bytes: u64,
+}
+
 /// What the plan phase decided for one work item.
 enum PlanKind {
     /// Nothing to do (already at target, or the dataset vanished — the
@@ -130,9 +162,36 @@ enum PlanKind {
     Noop,
     /// Grow: the exact candidate sequence the serial walk would process.
     Grow { owner: NodeId, cands: Vec<GrowCand> },
+    /// Coded repair with the owner online at plan time: the exact
+    /// block-shipping walk `Scdn::restore_coded` would perform, with the
+    /// regenerated payloads staged.
+    CodedGrow {
+        owner: NodeId,
+        spec: CodingSpec,
+        steps: Vec<CodedStep>,
+    },
+    /// Coded repair that must run from live state: the owner was offline
+    /// at plan time, and the reconstruct path's any-k multi-source fetch
+    /// reads donor repositories mid-flight — state no snapshot covers.
+    CodedLive,
     /// Shrink: victim selection is deferred to commit time (live state),
     /// exactly like the serial path.
     Shrink { drop: usize },
+}
+
+/// Coded-block indices of `dataset` absent from every host inventory in
+/// the snapshot (`0..n` minus the union). Empty when fully provisioned.
+fn coded_missing(snap: &CatalogSnapshot, dataset: DatasetId, spec: &CodingSpec) -> Vec<u32> {
+    let n = spec.n();
+    let mut present = vec![false; n as usize];
+    for (_, blocks) in snap.coded_inventory_of(dataset) {
+        for &b in blocks.iter() {
+            if b < n {
+                present[b as usize] = true;
+            }
+        }
+    }
+    (0..n).filter(|&b| !present[b as usize]).collect()
 }
 
 /// A fully planned work item: pure output of the parallel phase.
@@ -244,9 +303,15 @@ impl Scdn {
         let ranking: Option<Arc<Vec<NodeId>>> = items
             .iter()
             .any(|item| match item.target {
-                Target::Grow { want } => snap
-                    .replicas_of(item.dataset)
-                    .is_some_and(|r| r.len() < want),
+                // A coded dataset walks the ranking whenever any block is
+                // missing (both the owner-online ship walk and the live
+                // reconstruct path rank), regardless of `want`.
+                Target::Grow { want } => match snap.coding_of(item.dataset) {
+                    Some(spec) => !coded_missing(&snap, item.dataset, &spec).is_empty(),
+                    None => snap
+                        .replicas_of(item.dataset)
+                        .is_some_and(|r| r.len() < want),
+                },
                 Target::Shrink { .. } => false,
             })
             .then(|| self.placement_ranking());
@@ -288,6 +353,12 @@ impl Scdn {
                 kind: PlanKind::Shrink { drop },
             },
             Target::Grow { want } => {
+                // The serial path (`replicate_to`) checks for a coding
+                // spec before comparing replica counts: coded datasets
+                // measure durability in blocks, not whole replicas.
+                if let Some(spec) = snap.coding_of(item.dataset) {
+                    return self.plan_coded(snap, item.dataset, spec, ranked);
+                }
                 if current.len() >= want {
                     return noop();
                 }
@@ -354,6 +425,120 @@ impl Scdn {
                     kind: PlanKind::Grow { owner, cands },
                 }
             }
+        }
+    }
+
+    /// Plan the coded repair of one dataset: regenerate the full block
+    /// set from the owner's plain copy (read-only) and replay the exact
+    /// block-shipping walk [`Scdn::restore_coded`] would perform against
+    /// the snapshot's inventory — one missing block per accepted
+    /// candidate, a failed chain retrying the same block on the next one,
+    /// a simulated clock advancing per delivered block.
+    fn plan_coded(
+        &self,
+        snap: &CatalogSnapshot,
+        dataset: DatasetId,
+        spec: CodingSpec,
+        ranked: &[NodeId],
+    ) -> MaintainPlan {
+        let stamp = snap.stamp_of(dataset);
+        let noop = |kind| MaintainPlan {
+            stamp,
+            repos_read: Vec::new(),
+            kind,
+        };
+        let missing = coded_missing(snap, dataset, &spec);
+        if missing.is_empty() {
+            return noop(PlanKind::Noop);
+        }
+        let Some(owner) = self.datasets.get(&dataset).map(|m| m.owner) else {
+            return noop(PlanKind::Noop);
+        };
+        if self.departed[owner.index()] || !self.availability.is_online(owner.index(), self.clock) {
+            return noop(PlanKind::CodedLive);
+        }
+        // Re-encode from the owner's plain segment set. A fetch failure
+        // aborts the serial path before any effect (`reassemble_plain`
+        // errors out of `replicate_to`), so a Noop reproduces it.
+        let Some(segment_count) = snap.segments_of(dataset) else {
+            return noop(PlanKind::Noop);
+        };
+        let src_repo = &self.repos[owner.index()];
+        let mut content = Vec::new();
+        for ordinal in 0..segment_count {
+            let Ok(seg) = src_repo.fetch(Partition::User, SegmentId { dataset, ordinal }) else {
+                return noop(PlanKind::Noop);
+            };
+            content.extend_from_slice(&seg.data);
+        }
+        let blocks = encode_blocks(&spec, dataset, &content);
+        let used: Vec<NodeId> = snap
+            .coded_inventory_of(dataset)
+            .into_iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(n, _)| n)
+            .collect();
+        let mut steps = Vec::new();
+        let mut repos_read = Vec::new();
+        let mut sim_clock = self.clock;
+        let mut queue = missing.into_iter();
+        let mut next = queue.next();
+        for &cand in ranked {
+            let Some(block) = next else { break };
+            if cand == owner || used.contains(&cand) {
+                continue;
+            }
+            let online = !self.departed[cand.index()]
+                && self.availability.is_online(cand.index(), sim_clock);
+            let latency_ms = self.engine.topology.latency_ms(owner.index(), cand.index());
+            if !online {
+                steps.push(CodedStep {
+                    cand,
+                    online,
+                    latency_ms,
+                    xfer: None,
+                });
+                continue;
+            }
+            repos_read.push((cand.index() as u32, self.repo_epochs[cand.index()]));
+            let seg = &blocks[block as usize];
+            let dst_repo = &self.repos[cand.index()];
+            let sim =
+                self.engine
+                    .simulate_segment(owner.index(), cand.index(), seg.id, seg.len() as u64);
+            let mut attempts = (0u64, 0u64, 0u64);
+            for rec in &sim.attempts {
+                match rec.outcome {
+                    scdn_net::failure::AttemptOutcome::Delivered => attempts.0 += 1,
+                    scdn_net::failure::AttemptOutcome::Lost => attempts.1 += 1,
+                    scdn_net::failure::AttemptOutcome::Corrupted => attempts.2 += 1,
+                }
+            }
+            // Quota sim mirroring `StorageRepository::store`: an
+            // overwrite is size-neutral, a new block must fit.
+            let delivered = sim.delivered
+                && (dst_repo.contains_in(Partition::Replica, seg.id)
+                    || dst_repo.used() + seg.len() as u64 <= dst_repo.capacity());
+            if delivered {
+                sim_clock = sim_clock.plus_millis(sim.elapsed_ms as u64);
+                next = queue.next();
+            }
+            steps.push(CodedStep {
+                cand,
+                online,
+                latency_ms,
+                xfer: Some(CodedXfer {
+                    attempts,
+                    delivery: delivered.then(|| (block, seg.clone())),
+                    elapsed_ms: sim.elapsed_ms,
+                    bytes: seg.len() as u64,
+                }),
+            });
+        }
+        MaintainPlan {
+            stamp,
+            repos_read,
+            kind: PlanKind::CodedGrow { owner, spec, steps },
         }
     }
 
@@ -484,6 +669,20 @@ impl Scdn {
                 self.maintain_committed.inc();
                 self.apply_grow(item.dataset, owner, cands)
             }
+            PlanKind::CodedGrow { owner, spec, steps } => {
+                if self.grow_plan_stale(stamp, &repos_read, planned_clock) {
+                    self.maintain_replanned.inc();
+                    return self.commit_item_live(item);
+                }
+                self.maintain_committed.inc();
+                self.apply_coded(item.dataset, owner, spec, steps)
+            }
+            PlanKind::CodedLive => {
+                // Always executes against live state (like Shrink): the
+                // reconstruct path's donor reads are inherently live.
+                self.maintain_committed.inc();
+                self.commit_item_live(item)
+            }
         }
     }
 
@@ -579,6 +778,76 @@ impl Scdn {
             .map(|r| r.len())
             .unwrap_or(0);
         self.cdn_metrics.redundancy.record(replica_count as f64);
+        added
+    }
+
+    /// Apply a fresh coded plan's effects in the serial per-candidate
+    /// order — the commit-side mirror of [`Scdn::ship_coded_blocks`]:
+    /// hosting-request records, attempt counters, single-block store,
+    /// exchange/byte accounting, clock advance (successful chains only),
+    /// catalog inventory update, cache pin, closing durability sample.
+    fn apply_coded(
+        &mut self,
+        dataset: DatasetId,
+        owner: NodeId,
+        spec: CodingSpec,
+        steps: Vec<CodedStep>,
+    ) -> usize {
+        let mut added = 0usize;
+        for s in steps {
+            self.social_metrics.record_hosting_request(
+                s.online,
+                s.online.then(|| SimTime::from_millis(s.latency_ms as u64)),
+            );
+            let Some(x) = s.xfer else {
+                continue;
+            };
+            self.att_delivered.add(x.attempts.0);
+            self.att_lost.add(x.attempts.1);
+            self.att_corrupted.add(x.attempts.2);
+            let Some((block, seg)) = x.delivery else {
+                // Retries exhausted or quota overflow: the serial path
+                // charges neither bytes nor clock and burns the
+                // candidate.
+                self.social_metrics
+                    .record_exchange(owner.index(), s.cand.index(), 0, false);
+                continue;
+            };
+            let dst_repo = self.repos[s.cand.index()].clone();
+            let id = seg.id;
+            if dst_repo.store(Partition::Replica, seg).is_err() {
+                // Unreachable while the staleness triggers cover every
+                // quota the plan simulated; fail the candidate gracefully
+                // if they ever miss.
+                debug_assert!(false, "non-stale coded plan stores cannot fail");
+                self.social_metrics
+                    .record_exchange(owner.index(), s.cand.index(), 0, false);
+                continue;
+            }
+            self.social_metrics
+                .record_exchange(owner.index(), s.cand.index(), x.bytes, true);
+            self.cdn_metrics.bytes_transferred += x.bytes;
+            self.clock = self.clock.plus_millis(x.elapsed_ms as u64);
+            let _ = self.alloc.add_coded_blocks(dataset, s.cand, &[block]);
+            self.caches[s.cand.index()].set_pinned(id, true);
+            self.repo_epochs[s.cand.index()] += 1;
+            added += 1;
+        }
+        // Closing durability sample in replica-equivalents, from live
+        // state (mirrors `ship_coded_blocks`).
+        let inventory = self.alloc.coded_inventory(dataset).unwrap_or_default();
+        let mut present = vec![false; spec.n() as usize];
+        for (_, b) in &inventory {
+            for &i in b.iter() {
+                if i < spec.n() {
+                    present[i as usize] = true;
+                }
+            }
+        }
+        let distinct = present.iter().filter(|&&p| p).count();
+        self.cdn_metrics
+            .redundancy
+            .record(distinct as f64 / spec.k as f64);
         added
     }
 }

@@ -23,7 +23,7 @@ use scdn_middleware::authz::{AccessDecision, AccessPolicy};
 use scdn_net::failure::{AttemptOutcome, FailureModel};
 use scdn_net::overlay::{PeerCertificate, SocialOverlay};
 use scdn_net::topology::{LinkQuality, Topology};
-use scdn_net::transfer::{TransferEngine, TransferError};
+use scdn_net::transfer::{CodedSource, TransferEngine, TransferError};
 use scdn_obs::{Counter, Gauge, Registry, SpanStatus, TraceCollector};
 use scdn_sim::availability::{AvailabilityModel, PeriodicChurn};
 use scdn_sim::engine::SimTime;
@@ -33,7 +33,8 @@ use scdn_social::corpus::Corpus;
 use scdn_social::platform::SocialPlatform;
 use scdn_social::trustgraph::TrustSubgraph;
 use scdn_storage::cache::{CacheManager, EvictionPolicy};
-use scdn_storage::object::{Dataset, DatasetId, SegmentId, Sensitivity};
+use scdn_storage::coding::{decode_blocks, encode_blocks, CodedBlockId, CodingConfig, CodingSpec};
+use scdn_storage::object::{Dataset, DatasetId, Segment, SegmentId, Sensitivity};
 use scdn_storage::repository::{Partition, RepoError, StorageRepository};
 use scdn_trust::interaction::InteractionLedger;
 use scdn_trust::model::{TrustModel, TrustParams};
@@ -113,6 +114,13 @@ pub struct ScdnConfig {
     /// shard-stale and replan — the equivalence suites run tiny counts
     /// (down to 1) to stress exactly those replans.
     pub catalog_shards: usize,
+    /// Storage-redundancy scheme for published datasets. The default
+    /// [`CodingConfig::None`] keeps whole-replica replication exactly as
+    /// before; [`CodingConfig::Rs`] erasure-codes each dataset into
+    /// `k + m` blocks spread one per host, so any `k` reconstruct the
+    /// content ([`Scdn::request_coded`]) and repair regenerates only the
+    /// blocks that went missing ([`Scdn::replicate`] on a coded dataset).
+    pub coding: CodingConfig,
     /// Master RNG seed (placement + workload side).
     pub seed: u64,
 }
@@ -132,6 +140,7 @@ impl Default for ScdnConfig {
             opportunistic_caching: false,
             transfer_concurrency: 1,
             catalog_shards: 0,
+            coding: CodingConfig::None,
             seed: 7,
         }
     }
@@ -590,6 +599,7 @@ impl Scdn {
         let affected = self.alloc.datasets_hosted_by(node);
         for &d in &affected {
             let _ = self.alloc.remove_replica(d, node);
+            let _ = self.alloc.remove_coded_host(d, node);
         }
         Ok(affected)
     }
@@ -725,6 +735,7 @@ impl Scdn {
         self.middleware.authorize_op(self.sessions[node.index()])?;
         let id = DatasetId(self.next_dataset);
         self.next_dataset += 1;
+        let total_len = content.len() as u64;
         let dataset = Dataset::from_bytes(id, name, sensitivity, content, self.config.segment_size);
         for seg in &dataset.segments {
             self.repos[node.index()]
@@ -732,8 +743,33 @@ impl Scdn {
                 .map_err(ScdnError::Repo)?;
         }
         self.social_metrics.allocated_bytes += dataset.total_bytes();
-        self.alloc
-            .register_dataset(id, dataset.segment_count() as u32, node)?;
+        match self.config.coding {
+            CodingConfig::None => {
+                self.alloc
+                    .register_dataset(id, dataset.segment_count() as u32, node)?;
+            }
+            CodingConfig::Rs { k, m } => {
+                assert!(
+                    k >= 1 && m >= 1 && (k as usize + m as usize) <= 255,
+                    "invalid Rs coding config: need 1 <= k, 1 <= m, k + m <= 255"
+                );
+                // The owner keeps the plain segment set as the primary
+                // copy; durability comes from the k+m coded blocks that
+                // `replicate` spreads one per host.
+                let spec = CodingSpec {
+                    k,
+                    m,
+                    seed: self.config.seed,
+                    total_len,
+                };
+                self.alloc.register_dataset_coded(
+                    id,
+                    dataset.segment_count() as u32,
+                    node,
+                    spec,
+                )?;
+            }
+        }
         let policy = policy.unwrap_or_else(|| AccessPolicy {
             sensitivity,
             owner: self.authors[node.index()],
@@ -819,6 +855,12 @@ impl Scdn {
             .get(&dataset)
             .ok_or(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)))?;
         let owner = meta.owner;
+        if self.alloc.coding_of(dataset)?.is_some() {
+            // Coded datasets measure durability in blocks, not whole
+            // replicas: replication and repair both mean "bring the block
+            // inventory back to n", regardless of `want`.
+            return self.restore_coded(dataset);
+        }
         let current = self.alloc.replicas_of(dataset)?;
         if current.len() >= want {
             return Ok(Vec::new());
@@ -893,6 +935,492 @@ impl Scdn {
         let replica_count = self.alloc.replicas_of(dataset)?.len();
         self.cdn_metrics.redundancy.record(replica_count as f64);
         Ok(added)
+    }
+
+    /// Bring a coded dataset's block inventory back to `n = k + m` distinct
+    /// blocks, regenerating *only the missing ones*. Two regimes:
+    ///
+    /// * **Owner online** — the owner re-encodes from its plain copy and
+    ///   ships each missing block to a fresh host: `missing × (S/k)` bytes
+    ///   on the wire, versus the `r × S` a whole-replica repair would move.
+    /// * **Owner offline** — a rebuilder fetches any `k` surviving blocks
+    ///   (one coded multi-source fetch), decodes, re-encodes, keeps the
+    ///   first missing block, and ships the rest.
+    ///
+    /// Blocks a surviving peer already holds are never transferred again.
+    fn restore_coded(&mut self, dataset: DatasetId) -> Result<Vec<NodeId>, ScdnError> {
+        let owner = self
+            .datasets
+            .get(&dataset)
+            .map(|m| m.owner)
+            .ok_or(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)))?;
+        let spec = self
+            .alloc
+            .coding_of(dataset)?
+            .ok_or(ScdnError::Alloc(AllocationError::UnknownDataset(dataset)))?;
+        let inventory = self.alloc.coded_inventory(dataset)?;
+        let n = spec.n();
+        let mut present = vec![false; n as usize];
+        for (_, blocks) in &inventory {
+            for &b in blocks.iter() {
+                if b < n {
+                    present[b as usize] = true;
+                }
+            }
+        }
+        let missing: Vec<u32> = (0..n).filter(|&b| !present[b as usize]).collect();
+        if missing.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.is_online(owner) {
+            let content = self.reassemble_plain(dataset, owner)?;
+            let blocks = encode_blocks(&spec, dataset, &content);
+            self.ship_coded_blocks(dataset, owner, &spec, &missing, &blocks)
+        } else {
+            self.restore_coded_reconstruct(dataset, owner, &spec, &inventory, &missing)
+        }
+    }
+
+    /// Concatenate the owner's plain segment set back into the original
+    /// byte string (the inverse of the `publish` segmentation).
+    fn reassemble_plain(
+        &self,
+        dataset: DatasetId,
+        owner: NodeId,
+    ) -> Result<bytes::Bytes, ScdnError> {
+        let repo = &self.repos[owner.index()];
+        let mut buf = Vec::new();
+        for id in self.segment_ids(dataset)? {
+            let seg = repo.fetch(Partition::User, id).map_err(ScdnError::Repo)?;
+            buf.extend_from_slice(&seg.data);
+        }
+        Ok(bytes::Bytes::from(buf))
+    }
+
+    /// Ship `missing` coded blocks (ascending) from `src` — which holds the
+    /// freshly encoded block set in memory — to new hosts drawn from the
+    /// placement ranking, one block per accepted candidate. Candidates that
+    /// already hold blocks of this dataset are skipped (their inventory is
+    /// the point of erasure coding: one loss domain per block); offline
+    /// candidates burn a hosting request, exactly like whole-replica
+    /// placement; a failed transfer burns the candidate and retries the
+    /// same block on the next one.
+    fn ship_coded_blocks(
+        &mut self,
+        dataset: DatasetId,
+        src: NodeId,
+        spec: &CodingSpec,
+        missing: &[u32],
+        blocks: &[Segment],
+    ) -> Result<Vec<NodeId>, ScdnError> {
+        let owner = self.datasets.get(&dataset).map(|m| m.owner);
+        let used: Vec<NodeId> = self
+            .alloc
+            .coded_inventory(dataset)?
+            .into_iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(n, _)| n)
+            .collect();
+        let ranked = self.placement_ranking();
+        let mut added = Vec::new();
+        let mut queue = missing.iter().copied();
+        let mut next = queue.next();
+        for &cand in ranked.iter() {
+            let Some(block) = next else { break };
+            if Some(cand) == owner || cand == src || used.contains(&cand) {
+                continue;
+            }
+            let online = self.is_online(cand);
+            let latency = self.engine.topology.latency_ms(src.index(), cand.index());
+            self.social_metrics.record_hosting_request(
+                online,
+                online.then(|| SimTime::from_millis(latency as u64)),
+            );
+            if !online {
+                continue;
+            }
+            let dst_repo = self.repos[cand.index()].clone();
+            let seg = &blocks[block as usize];
+            let (att_ok, att_lost, att_bad) = (
+                self.att_delivered.clone(),
+                self.att_lost.clone(),
+                self.att_corrupted.clone(),
+            );
+            let res = self.engine.transfer_payload_observed(
+                src.index(),
+                cand.index(),
+                &dst_repo,
+                seg,
+                Partition::Replica,
+                &mut |r| match r.outcome {
+                    AttemptOutcome::Delivered => att_ok.inc(),
+                    AttemptOutcome::Lost => att_lost.inc(),
+                    AttemptOutcome::Corrupted => att_bad.inc(),
+                },
+            );
+            match res {
+                Ok(report) => {
+                    self.social_metrics.record_exchange(
+                        src.index(),
+                        cand.index(),
+                        report.bytes,
+                        true,
+                    );
+                    self.cdn_metrics.bytes_transferred += report.bytes;
+                    self.clock = self.clock.plus_millis(report.duration_ms as u64);
+                    self.alloc.add_coded_blocks(dataset, cand, &[block])?;
+                    self.caches[cand.index()].set_pinned(seg.id, true);
+                    added.push(cand);
+                    next = queue.next();
+                }
+                Err(_) => {
+                    self.social_metrics
+                        .record_exchange(src.index(), cand.index(), 0, false);
+                }
+            }
+        }
+        // Durability sample in replica-equivalents: n/k distinct blocks
+        // tolerate the same m losses as m+1 whole replicas.
+        let inventory = self.alloc.coded_inventory(dataset)?;
+        let mut present = vec![false; spec.n() as usize];
+        for (_, b) in &inventory {
+            for &i in b.iter() {
+                if i < spec.n() {
+                    present[i as usize] = true;
+                }
+            }
+        }
+        let distinct = present.iter().filter(|&&p| p).count();
+        self.cdn_metrics
+            .redundancy
+            .record(distinct as f64 / spec.k as f64);
+        Ok(added)
+    }
+
+    /// Owner-offline coded repair: pick the first ranked online non-host as
+    /// the rebuilder, fetch any `k` surviving blocks into it, decode,
+    /// re-encode, keep the first missing block locally and ship the rest.
+    /// Costs `k` blocks in plus `missing - 1` out — still far below a full
+    /// re-replication when few blocks are missing.
+    fn restore_coded_reconstruct(
+        &mut self,
+        dataset: DatasetId,
+        owner: NodeId,
+        spec: &CodingSpec,
+        inventory: &[(NodeId, Arc<Vec<u32>>)],
+        missing: &[u32],
+    ) -> Result<Vec<NodeId>, ScdnError> {
+        let k = spec.k as u32;
+        let donors: Vec<(NodeId, Arc<Vec<u32>>)> = inventory
+            .iter()
+            .filter(|(nid, b)| !b.is_empty() && self.is_online(*nid))
+            .cloned()
+            .collect();
+        let mut present = vec![false; spec.n() as usize];
+        for (_, b) in &donors {
+            for &i in b.iter() {
+                if i < spec.n() {
+                    present[i as usize] = true;
+                }
+            }
+        }
+        if present.iter().filter(|&&p| p).count() < k as usize {
+            // Not enough surviving blocks reachable: the dataset is not
+            // repairable until hosts return (the owner's plain copy may
+            // still come back).
+            return Ok(Vec::new());
+        }
+        let used: Vec<NodeId> = inventory
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(n, _)| *n)
+            .collect();
+        let ranked = self.placement_ranking();
+        let Some(rebuilder) = ranked
+            .iter()
+            .copied()
+            .find(|&c| c != owner && !used.contains(&c) && self.is_online(c))
+        else {
+            return Ok(Vec::new());
+        };
+        let latency = self
+            .engine
+            .topology
+            .latency_ms(donors[0].0.index(), rebuilder.index());
+        self.social_metrics
+            .record_hosting_request(true, Some(SimTime::from_millis(latency as u64)));
+        let dst_repo = self.repos[rebuilder.index()].clone();
+        let src_repos: Vec<Arc<StorageRepository>> = donors
+            .iter()
+            .map(|(nid, _)| self.repos[nid.index()].clone())
+            .collect();
+        let sources: Vec<CodedSource<'_>> = donors
+            .iter()
+            .zip(&src_repos)
+            .map(|((nid, blocks), repo)| CodedSource {
+                node: nid.index(),
+                repo,
+                blocks: blocks.to_vec(),
+            })
+            .collect();
+        let (att_ok, att_lost, att_bad) = (
+            self.att_delivered.clone(),
+            self.att_lost.clone(),
+            self.att_corrupted.clone(),
+        );
+        let (rep, err) = self.engine.transfer_coded_observed(
+            rebuilder.index(),
+            &dst_repo,
+            dataset,
+            k,
+            &sources,
+            Partition::Replica,
+            &mut |r| match r.outcome {
+                AttemptOutcome::Delivered => att_ok.inc(),
+                AttemptOutcome::Lost => att_lost.inc(),
+                AttemptOutcome::Corrupted => att_bad.inc(),
+            },
+        );
+        self.cdn_metrics.bytes_transferred += rep.total_bytes;
+        self.clock = self.clock.plus_millis(rep.total_ms as u64);
+        for ((_, donor), report) in rep.delivered.iter().zip(&rep.reports) {
+            self.social_metrics.record_exchange(
+                *donor,
+                rebuilder.index(),
+                report.bytes,
+                err.is_none(),
+            );
+        }
+        if err.is_some() {
+            return Ok(Vec::new());
+        }
+        let landed = dst_repo.list_coded(Partition::Replica, dataset);
+        let mut fetched = Vec::with_capacity(landed.len());
+        for &b in &landed {
+            let id = CodedBlockId { dataset, index: b }.segment_id();
+            fetched.push(
+                dst_repo
+                    .fetch(Partition::Replica, id)
+                    .map_err(ScdnError::Repo)?,
+            );
+        }
+        let content = decode_blocks(spec, &fetched).map_err(|_| {
+            ScdnError::Transfer(TransferError::InsufficientBlocks {
+                dataset,
+                have: fetched.len() as u32,
+                need: k,
+            })
+        })?;
+        let blocks = encode_blocks(spec, dataset, &content);
+        // The fetched donor blocks were scaffolding; the rebuilder keeps
+        // only the first regenerated missing block.
+        for &b in &landed {
+            let id = CodedBlockId { dataset, index: b }.segment_id();
+            let _ = dst_repo.remove(Partition::Replica, id, false);
+        }
+        let keep = missing[0];
+        dst_repo
+            .store(Partition::Replica, blocks[keep as usize].clone())
+            .map_err(ScdnError::Repo)?;
+        self.alloc.add_coded_blocks(dataset, rebuilder, &[keep])?;
+        self.caches[rebuilder.index()].set_pinned(blocks[keep as usize].id, true);
+        let mut added = vec![rebuilder];
+        added.extend(self.ship_coded_blocks(dataset, rebuilder, spec, &missing[1..], &blocks)?);
+        Ok(added)
+    }
+
+    /// Request a coded dataset from `node` by racing its blocks from every
+    /// online block host at once and completing as soon as any `k` land —
+    /// the any-k-of-n fast path. Falls back to the ordinary single-source
+    /// [`request`](Self::request) when the dataset is uncoded, the
+    /// requester owns it, or fewer than `k` distinct blocks are reachable
+    /// (the fallback decision is read-only, so no session budget is spent
+    /// twice).
+    pub fn request_coded(
+        &mut self,
+        node: NodeId,
+        dataset: DatasetId,
+    ) -> Result<RequestOutcome, ScdnError> {
+        self.check_node(node)?;
+        let ready = (|| {
+            let spec = self.alloc.coding_of(dataset).ok()??;
+            let meta = self.datasets.get(&dataset)?;
+            if meta.owner == node {
+                return None;
+            }
+            let donors: Vec<(NodeId, Arc<Vec<u32>>)> = self
+                .alloc
+                .coded_inventory(dataset)
+                .ok()?
+                .into_iter()
+                .filter(|(nid, b)| !b.is_empty() && *nid != node && self.is_online(*nid))
+                .collect();
+            let mut present = vec![false; spec.n() as usize];
+            for (_, b) in &donors {
+                for &i in b.iter() {
+                    if i < spec.n() {
+                        present[i as usize] = true;
+                    }
+                }
+            }
+            let distinct = present.iter().filter(|&&p| p).count();
+            (distinct >= spec.k as usize).then_some((spec, donors))
+        })();
+        let Some((spec, donors)) = ready else {
+            return self.request(node, dataset);
+        };
+        let user = self
+            .middleware
+            .authorize_op(self.sessions[node.index()])
+            .map_err(ScdnError::Auth)?;
+        let meta = self.datasets.get(&dataset).expect("readiness checked");
+        let decision = meta.policy.check(
+            &self.platform,
+            user,
+            Some(self.authors[node.index()]),
+            &self.trust_model,
+            &self.ledger,
+            self.clock.as_secs_f64(),
+        );
+        self.audit
+            .record(self.clock.as_millis(), user, dataset, decision.clone());
+        if !decision.allowed() {
+            return Err(ScdnError::Access(decision));
+        }
+        let dst_repo = self.repos[node.index()].clone();
+        let src_repos: Vec<Arc<StorageRepository>> = donors
+            .iter()
+            .map(|(nid, _)| self.repos[nid.index()].clone())
+            .collect();
+        let sources: Vec<CodedSource<'_>> = donors
+            .iter()
+            .zip(&src_repos)
+            .map(|((nid, blocks), repo)| CodedSource {
+                node: nid.index(),
+                repo,
+                blocks: blocks.to_vec(),
+            })
+            .collect();
+        let (att_ok, att_lost, att_bad) = (
+            self.att_delivered.clone(),
+            self.att_lost.clone(),
+            self.att_corrupted.clone(),
+        );
+        let (rep, err) = self.engine.transfer_coded_observed(
+            node.index(),
+            &dst_repo,
+            dataset,
+            spec.k as u32,
+            &sources,
+            Partition::User,
+            &mut |r| match r.outcome {
+                AttemptOutcome::Delivered => att_ok.inc(),
+                AttemptOutcome::Lost => att_lost.inc(),
+                AttemptOutcome::Corrupted => att_bad.inc(),
+            },
+        );
+        self.cdn_metrics.bytes_transferred += rep.total_bytes;
+        self.clock = self.clock.plus_millis(rep.total_ms as u64);
+        if let Some(e) = err {
+            self.cdn_metrics.failures += 1;
+            self.social_metrics
+                .record_exchange(donors[0].0.index(), node.index(), 0, false);
+            return Err(ScdnError::Transfer(e));
+        }
+        // Per-donor exchange and served accounting, in acceptance order.
+        let mut per_donor: Vec<(usize, u64)> = Vec::new();
+        for ((_, donor), report) in rep.delivered.iter().zip(&rep.reports) {
+            match per_donor.iter_mut().find(|(d, _)| d == donor) {
+                Some((_, bytes)) => *bytes += report.bytes,
+                None => per_donor.push((*donor, report.bytes)),
+            }
+        }
+        for &(donor, bytes) in &per_donor {
+            self.social_metrics
+                .record_exchange(donor, node.index(), bytes, true);
+            self.clients[donor].record_served(bytes);
+        }
+        // Decode the landed blocks back into the original bytes, then
+        // replace the scaffolding with the plain segment set the rest of
+        // the system expects in the requester's user partition.
+        let landed = dst_repo.list_coded(Partition::User, dataset);
+        let mut fetched = Vec::with_capacity(landed.len());
+        for &b in &landed {
+            let id = CodedBlockId { dataset, index: b }.segment_id();
+            fetched.push(
+                dst_repo
+                    .fetch(Partition::User, id)
+                    .map_err(ScdnError::Repo)?,
+            );
+        }
+        let content = decode_blocks(&spec, &fetched).map_err(|_| {
+            ScdnError::Transfer(TransferError::InsufficientBlocks {
+                dataset,
+                have: fetched.len() as u32,
+                need: spec.k as u32,
+            })
+        })?;
+        for &b in &landed {
+            let id = CodedBlockId { dataset, index: b }.segment_id();
+            let _ = dst_repo.remove(Partition::User, id, false);
+        }
+        let mut applied_new: Vec<SegmentId> = Vec::new();
+        let seg_size = self.config.segment_size.max(1);
+        let total = content.len();
+        let count = total.div_ceil(seg_size).max(1);
+        for ordinal in 0..count {
+            let start = ordinal * seg_size;
+            let end = (start + seg_size).min(total);
+            let seg = Segment::new(
+                SegmentId {
+                    dataset,
+                    ordinal: ordinal as u32,
+                },
+                content.slice(start..end),
+            );
+            let pre_existing = dst_repo.contains_in(Partition::User, seg.id);
+            match dst_repo.store(Partition::User, seg) {
+                Ok(()) => {
+                    if !pre_existing {
+                        applied_new.push(SegmentId {
+                            dataset,
+                            ordinal: ordinal as u32,
+                        });
+                    }
+                }
+                Err(e) => {
+                    for &d in &applied_new {
+                        let _ = dst_repo.remove(Partition::User, d, true);
+                    }
+                    self.cdn_metrics.failures += 1;
+                    return Err(ScdnError::Repo(e));
+                }
+            }
+        }
+        self.repo_epochs[node.index()] += 1;
+        let served_by = rep
+            .delivered
+            .first()
+            .map(|&(_, d)| NodeId(d as u32))
+            .unwrap_or(node);
+        let social_hit = rep.delivered.iter().any(|&(_, d)| {
+            self.social
+                .neighbors(node)
+                .iter()
+                .any(|e| e.to.index() == d)
+        });
+        if social_hit {
+            self.cdn_metrics.hits += 1;
+        } else {
+            self.cdn_metrics.misses += 1;
+        }
+        self.cdn_metrics.response_time_ms.record(rep.total_ms);
+        Ok(RequestOutcome {
+            served_by,
+            social_hit,
+            response_ms: rep.total_ms,
+            bytes: rep.total_bytes,
+        })
     }
 
     /// Request a dataset from `node`: authenticate, check access policy,

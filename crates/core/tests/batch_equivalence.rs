@@ -68,6 +68,7 @@ fn build_system(catalog_shards: usize) -> (Scdn, Vec<DatasetId>) {
             loss_prob: 0.25,
             corruption_prob: 0.1,
             seed: 11,
+            ..FailureModel::default()
         },
         opportunistic_caching: true,
         transfer_concurrency: 2,

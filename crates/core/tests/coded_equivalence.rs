@@ -1,0 +1,394 @@
+//! Equivalence properties of the erasure-coded storage scheme.
+//!
+//! Three contracts:
+//!
+//! 1. With [`CodingConfig::None`] (the default) the coded entry points
+//!    are pure pass-throughs: `request_coded` falls back to `request`
+//!    bit-identically, and repair/maintenance behave exactly as before
+//!    the coding layer existed.
+//! 2. With [`CodingConfig::Rs`] the pipelined `repair` / `maintain`
+//!    cycles are bit-identical to the serial oracles — the coded analogue
+//!    of the `maintain_equivalence` property.
+//! 3. Coded repair after host departure restores full block inventory
+//!    while transferring *only* the missing blocks — never a block a
+//!    surviving peer already holds, and strictly less than a whole-replica
+//!    copy.
+
+use std::sync::OnceLock;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use scdn_core::system::{AvailabilityConfig, Scdn, ScdnConfig};
+use scdn_graph::NodeId;
+use scdn_net::failure::FailureModel;
+use scdn_social::generator::{generate, CaseStudyParams};
+use scdn_social::trustgraph::{build_trust_subgraph, TrustFilter, TrustSubgraph};
+use scdn_social::SyntheticDblp;
+use scdn_storage::coding::CodingConfig;
+use scdn_storage::object::{DatasetId, Sensitivity};
+use scdn_storage::repository::Partition;
+
+fn community() -> &'static (SyntheticDblp, TrustSubgraph) {
+    static CELL: OnceLock<(SyntheticDblp, TrustSubgraph)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut params = CaseStudyParams::default();
+        params.level2_prob = 0.35;
+        params.level3_prob = 0.0;
+        params.mega_pub_authors = 0;
+        params.rng_seed = 91;
+        let c = generate(&params);
+        let sub = build_trust_subgraph(
+            &c.corpus,
+            c.seed_author,
+            3,
+            2009..=2010,
+            TrustFilter::Baseline,
+        )
+        .expect("seed present");
+        (c, sub)
+    })
+}
+
+/// Deterministic build: two calls with the same arguments produce
+/// bit-identical systems.
+fn build_system(coding: CodingConfig, catalog_shards: usize) -> (Scdn, Vec<DatasetId>) {
+    let (c, sub) = community();
+    let config = ScdnConfig {
+        segment_size: 2 << 10,
+        repo_capacity: 4 << 20,
+        replicas_per_dataset: 2,
+        availability: AvailabilityConfig::Periodic {
+            period_ms: 8_000,
+            duty: 0.5,
+        },
+        failure: FailureModel {
+            loss_prob: 0.15,
+            corruption_prob: 0.05,
+            seed: 23,
+            ..FailureModel::default()
+        },
+        opportunistic_caching: false,
+        transfer_concurrency: 2,
+        catalog_shards,
+        coding,
+        ..Default::default()
+    };
+    let mut scdn = Scdn::build(sub, &c.corpus, config);
+    let mut datasets = Vec::new();
+    for i in 0..4u32 {
+        let id = scdn
+            .publish(
+                NodeId(i),
+                &format!("coded-{i}"),
+                Bytes::from(vec![i as u8 + 1; 7 << 10]),
+                Sensitivity::Public,
+                None,
+            )
+            .expect("publish succeeds");
+        let _ = scdn.replicate(id);
+        datasets.push(id);
+    }
+    (scdn, datasets)
+}
+
+/// One schedule step: clock advance, demand burst, optional departure,
+/// repair-vs-maintain selector.
+type Op = (u16, Vec<(u8, u8)>, bool, (bool, u8));
+
+fn drive(scdn: &mut Scdn, datasets: &[DatasetId], ops: &[Op], serial: bool) -> Vec<usize> {
+    let members = scdn.member_count() as u32;
+    let mut changes = Vec::new();
+    for (dt, burst, repair, depart) in ops {
+        scdn.tick(u64::from(*dt));
+        for &(n, d) in burst {
+            let _ = scdn.request(
+                NodeId(u32::from(n) % members),
+                datasets[usize::from(d) % datasets.len()],
+            );
+        }
+        if depart.0 {
+            let _ = scdn.depart(NodeId(u32::from(depart.1) % members));
+        }
+        changes.push(match (repair, serial) {
+            (true, true) => scdn.repair_serial(),
+            (true, false) => scdn.repair(),
+            (false, true) => scdn.maintain_serial(),
+            (false, false) => scdn.maintain(),
+        });
+    }
+    changes
+}
+
+/// Exported snapshot minus the diagnostics that legitimately differ
+/// between serial and pipelined execution (see `maintain_equivalence`).
+fn comparable_snapshot(scdn: &Scdn) -> String {
+    scdn_obs::to_json(&scdn.observability_snapshot())
+        .lines()
+        .filter(|l| {
+            !l.contains("alloc.resolve.cache.")
+                && !l.contains("core.batch.")
+                && !l.contains("core.maintain.")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Catalog state per dataset: replica set, version token, and the full
+/// per-host coded-block inventory.
+#[allow(clippy::type_complexity)]
+fn catalog_state(
+    scdn: &Scdn,
+    datasets: &[DatasetId],
+) -> Vec<(Vec<NodeId>, Option<u64>, Vec<(NodeId, Vec<u32>)>)> {
+    datasets
+        .iter()
+        .map(|&d| {
+            (
+                scdn.replicas_of(d).unwrap_or_default(),
+                scdn.allocation().catalog_version(d),
+                scdn.allocation()
+                    .coded_inventory(d)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|(n, b)| (n, b.to_vec()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// Contract 2: pipelined coded repair/maintenance == serial oracle,
+    /// including the shard-stale replay path (1-shard catalogs force
+    /// stamp collisions).
+    #[test]
+    fn pipelined_coded_repair_matches_serial(
+        ops in proptest::collection::vec(
+            (
+                0u16..6_000,
+                proptest::collection::vec((any::<u8>(), any::<u8>()), 0..5),
+                any::<bool>(),
+                (any::<bool>(), any::<u8>()),
+            ),
+            1..5,
+        ),
+        shards in (0usize..3).prop_map(|i| [1usize, 2, 16][i]),
+    ) {
+        let coding = CodingConfig::Rs { k: 3, m: 2 };
+        let (mut serial, datasets) = build_system(coding, shards);
+        let (mut piped, datasets_b) = build_system(coding, shards);
+        prop_assert_eq!(&datasets, &datasets_b, "builds are deterministic");
+
+        let serial_changes = drive(&mut serial, &datasets, &ops, true);
+        let piped_changes = drive(&mut piped, &datasets, &ops, false);
+
+        prop_assert_eq!(serial_changes, piped_changes, "per-cycle change counts diverge");
+        prop_assert_eq!(serial.now(), piped.now(), "clocks diverge");
+        prop_assert_eq!(
+            catalog_state(&serial, &datasets),
+            catalog_state(&piped, &datasets),
+            "replica sets / versions / coded inventories diverge"
+        );
+        prop_assert_eq!(
+            comparable_snapshot(&serial),
+            comparable_snapshot(&piped),
+            "metric snapshots diverge"
+        );
+    }
+
+    /// Contract 1: with `CodingConfig::None`, `request_coded` is a
+    /// bit-identical alias of `request` — same outcomes, same clock, same
+    /// catalog, same full metric export.
+    #[test]
+    fn request_coded_is_identity_when_uncoded(
+        reqs in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+    ) {
+        let (mut plain, datasets) = build_system(CodingConfig::None, 0);
+        let (mut coded, _) = build_system(CodingConfig::None, 0);
+        let members = plain.member_count() as u32;
+        for &(n, d) in &reqs {
+            let node = NodeId(u32::from(n) % members);
+            let dataset = datasets[usize::from(d) % datasets.len()];
+            let a = plain.request(node, dataset);
+            let b = coded.request_coded(node, dataset);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x.served_by, y.served_by);
+                    prop_assert_eq!(x.social_hit, y.social_hit);
+                    prop_assert_eq!(x.bytes, y.bytes);
+                    prop_assert!((x.response_ms - y.response_ms).abs() < 1e-9);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "outcomes diverge: {a:?} vs {b:?}"),
+            }
+        }
+        prop_assert_eq!(plain.now(), coded.now(), "clocks diverge");
+        prop_assert_eq!(
+            catalog_state(&plain, &datasets),
+            catalog_state(&coded, &datasets),
+            "catalog diverges"
+        );
+        prop_assert_eq!(
+            scdn_obs::to_json(&plain.observability_snapshot()),
+            scdn_obs::to_json(&coded.observability_snapshot()),
+            "full metric snapshots diverge"
+        );
+    }
+}
+
+/// Contract 3: after a block host departs, repair ships exactly the
+/// missing blocks — `missing × (S/k)` bytes, never a surviving peer's
+/// block, far below the whole-replica copy a plain repair would move.
+#[test]
+fn coded_repair_transfers_only_missing_blocks() {
+    let (c, sub) = community();
+    let (k, m) = (4u8, 2u8);
+    let config = ScdnConfig {
+        segment_size: 2 << 10,
+        repo_capacity: 8 << 20,
+        replicas_per_dataset: usize::from(m) + 1,
+        availability: AvailabilityConfig::AlwaysOn,
+        failure: FailureModel::default(),
+        coding: CodingConfig::Rs { k, m },
+        ..Default::default()
+    };
+    let mut scdn = Scdn::build(sub, &c.corpus, config);
+    let owner = NodeId(0);
+    let total = 40usize << 10;
+    let dataset = scdn
+        .publish(
+            owner,
+            "coded-repair",
+            Bytes::from(vec![0xA5u8; total]),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    let added = scdn.replicate(dataset).expect("replicates");
+    let n = usize::from(k) + usize::from(m);
+    assert_eq!(added.len(), n, "one fresh host per coded block");
+    let inventory = scdn.allocation().coded_inventory(dataset).expect("coded");
+    let blocks_present = |inv: &[(NodeId, std::sync::Arc<Vec<u32>>)]| {
+        let mut all: Vec<u32> = inv.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+        all.sort_unstable();
+        all
+    };
+    assert_eq!(
+        blocks_present(&inventory),
+        (0..n as u32).collect::<Vec<_>>(),
+        "replication spreads every block exactly once"
+    );
+
+    // Depart one block host (never the owner): exactly one block goes
+    // missing.
+    let victim = *added.first().expect("nonempty");
+    let lost: Vec<u32> = inventory
+        .iter()
+        .find(|(host, _)| *host == victim)
+        .map(|(_, b)| b.to_vec())
+        .expect("victim holds a block");
+    assert_eq!(lost.len(), 1);
+    scdn.depart(victim).expect("departs");
+
+    let bytes_before = scdn
+        .observability_snapshot()
+        .counter("cdn.bytes_transferred")
+        .unwrap_or(0);
+    let survivors = scdn.allocation().coded_inventory(dataset).expect("coded");
+    let repaired = scdn.repair();
+    assert_eq!(repaired, 1, "exactly one block host restored");
+    let bytes_moved = scdn
+        .observability_snapshot()
+        .counter("cdn.bytes_transferred")
+        .unwrap_or(0)
+        - bytes_before;
+
+    let block_len = total.div_ceil(usize::from(k));
+    assert_eq!(
+        bytes_moved, block_len as u64,
+        "repair ships exactly the missing block"
+    );
+    assert!(
+        bytes_moved < total as u64,
+        "coded repair must move less than one whole replica"
+    );
+
+    // Full inventory restored; every surviving host kept exactly the
+    // blocks it had (no redundant re-transfer).
+    let after = scdn.allocation().coded_inventory(dataset).expect("coded");
+    assert_eq!(blocks_present(&after), (0..n as u32).collect::<Vec<_>>());
+    for (host, had) in &survivors {
+        let now = after
+            .iter()
+            .find(|(h, _)| h == host)
+            .map(|(_, b)| b.to_vec())
+            .unwrap_or_default();
+        assert_eq!(&now, &**had, "surviving host {host:?} inventory untouched");
+    }
+    // The restored block landed on a brand-new host.
+    let fresh: Vec<&NodeId> = after
+        .iter()
+        .filter(|(h, _)| !survivors.iter().any(|(s, _)| s == h))
+        .map(|(h, _)| h)
+        .collect();
+    assert_eq!(fresh.len(), 1, "one new block host");
+    assert_eq!(
+        after
+            .iter()
+            .find(|(h, _)| h == fresh[0])
+            .map(|(_, b)| b.to_vec()),
+        Some(lost),
+        "the new host holds exactly the lost block"
+    );
+}
+
+/// A requester racing any k of n blocks gets the original bytes back in
+/// its user partition, reassembled into the plain segment layout.
+#[test]
+fn request_coded_delivers_original_content() {
+    let (c, sub) = community();
+    let config = ScdnConfig {
+        segment_size: 2 << 10,
+        repo_capacity: 8 << 20,
+        availability: AvailabilityConfig::AlwaysOn,
+        failure: FailureModel::default(),
+        coding: CodingConfig::Rs { k: 3, m: 2 },
+        ..Default::default()
+    };
+    let mut scdn = Scdn::build(sub, &c.corpus, config);
+    let owner = NodeId(0);
+    let payload = vec![0x5Cu8; 30 << 10];
+    let dataset = scdn
+        .publish(
+            owner,
+            "coded-fetch",
+            Bytes::from(payload.clone()),
+            Sensitivity::Public,
+            None,
+        )
+        .expect("publishes");
+    let _ = scdn.replicate(dataset).expect("replicates");
+    let requester = NodeId(5);
+    let outcome = scdn.request_coded(requester, dataset).expect("served");
+    // k blocks of ceil(S/k) bytes — less than the full S the plain path
+    // would move only when padding is zero; never more than S + k.
+    let k = 3u64;
+    let block = (payload.len() as u64).div_ceil(k);
+    assert_eq!(outcome.bytes, k * block, "exactly k blocks on the wire");
+    // The reassembled plain segments hold the original bytes.
+    let repo = scdn.repo(requester).expect("known node").clone();
+    let mut got = Vec::new();
+    let seg_size = 2usize << 10;
+    for ordinal in 0..payload.len().div_ceil(seg_size) as u32 {
+        let seg = repo
+            .fetch(
+                Partition::User,
+                scdn_storage::object::SegmentId { dataset, ordinal },
+            )
+            .expect("plain segment stored");
+        got.extend_from_slice(&seg.data);
+    }
+    assert_eq!(got, payload, "decoded content matches the original");
+    // No coded scaffolding left behind.
+    assert!(repo.list_coded(Partition::User, dataset).is_empty());
+}

@@ -73,6 +73,7 @@ fn build_system(catalog_shards: usize, rebalance: RebalanceStrategy) -> (Scdn, V
             loss_prob: 0.2,
             corruption_prob: 0.1,
             seed: 23,
+            ..FailureModel::default()
         },
         opportunistic_caching: true,
         transfer_concurrency: 2,

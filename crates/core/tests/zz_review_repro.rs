@@ -46,6 +46,7 @@ fn build_system(period_ms: u64, seed: u64) -> (Scdn, Vec<DatasetId>) {
             loss_prob: 0.2,
             corruption_prob: 0.1,
             seed: 23,
+            ..FailureModel::default()
         },
         opportunistic_caching: true,
         transfer_concurrency: 1,

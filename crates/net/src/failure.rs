@@ -14,6 +14,16 @@ pub struct FailureModel {
     pub corruption_prob: f64,
     /// Seed for the deterministic outcome hash.
     pub seed: u64,
+    /// Fraction of nodes that behave Byzantine *as sources*: every byte
+    /// they serve arrives corrupted (caught by the destination's checksum,
+    /// like in-flight corruption, but persistent — retrying the same donor
+    /// never helps; the fetch must fall back to another one). Membership
+    /// is a pure hash of `byzantine_seed` and the node id, so runs replay
+    /// identically. `0.0` (the default) disables the mode entirely.
+    pub byzantine_frac: f64,
+    /// Seed selecting *which* nodes are Byzantine, independent of the
+    /// per-attempt outcome stream.
+    pub byzantine_seed: u64,
 }
 
 impl Default for FailureModel {
@@ -22,6 +32,8 @@ impl Default for FailureModel {
             loss_prob: 0.0,
             corruption_prob: 0.0,
             seed: 0,
+            byzantine_frac: 0.0,
+            byzantine_seed: 0,
         }
     }
 }
@@ -54,6 +66,25 @@ impl FailureModel {
         } else {
             AttemptOutcome::Delivered
         }
+    }
+
+    /// Deterministic membership test for the Byzantine-source set. Pure in
+    /// `(byzantine_seed, node)`; independent of the attempt stream so
+    /// turning the mode off (`byzantine_frac = 0.0`) leaves every other
+    /// outcome bit-identical.
+    pub fn is_byzantine_source(&self, node: usize) -> bool {
+        if self.byzantine_frac <= 0.0 {
+            return false;
+        }
+        let mut z = self
+            .byzantine_seed
+            .wrapping_add(0x6a09_e667_f3bc_c909)
+            .wrapping_add((node as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.byzantine_frac
     }
 
     /// Uniform value in [0, 1) from a SplitMix64-style hash.
@@ -89,6 +120,7 @@ mod tests {
             loss_prob: 0.3,
             corruption_prob: 0.2,
             seed: 9,
+            ..FailureModel::default()
         };
         for a in 0..32 {
             assert_eq!(m.outcome(3, 7, 11, a), m.outcome(3, 7, 11, a));
@@ -101,6 +133,7 @@ mod tests {
             loss_prob: 0.25,
             corruption_prob: 0.10,
             seed: 4,
+            ..FailureModel::default()
         };
         let mut lost = 0;
         let mut corrupted = 0;
@@ -124,9 +157,51 @@ mod tests {
             loss_prob: 0.5,
             corruption_prob: 0.0,
             seed: 1,
+            ..FailureModel::default()
         };
         let outcomes: Vec<AttemptOutcome> = (0..64).map(|a| m.outcome(0, 1, 5, a)).collect();
         assert!(outcomes.contains(&AttemptOutcome::Delivered));
         assert!(outcomes.contains(&AttemptOutcome::Lost));
+    }
+
+    #[test]
+    fn byzantine_membership_deterministic_and_rate_matches() {
+        let m = FailureModel {
+            byzantine_frac: 0.2,
+            byzantine_seed: 11,
+            ..FailureModel::default()
+        };
+        const N: usize = 20_000;
+        let bad = (0..N).filter(|&n| m.is_byzantine_source(n)).count();
+        let frac = bad as f64 / N as f64;
+        assert!((frac - 0.2).abs() < 0.02, "byzantine frac = {frac}");
+        for n in 0..100 {
+            assert_eq!(m.is_byzantine_source(n), m.is_byzantine_source(n));
+        }
+    }
+
+    #[test]
+    fn zero_byzantine_frac_marks_nobody() {
+        let m = FailureModel {
+            loss_prob: 0.9,
+            corruption_prob: 0.09,
+            seed: 3,
+            ..FailureModel::default()
+        };
+        assert!((0..1000).all(|n| !m.is_byzantine_source(n)));
+    }
+
+    #[test]
+    fn byzantine_set_independent_of_outcome_seed() {
+        let a = FailureModel {
+            seed: 1,
+            byzantine_frac: 0.3,
+            byzantine_seed: 77,
+            ..FailureModel::default()
+        };
+        let b = FailureModel { seed: 2, ..a };
+        for n in 0..500 {
+            assert_eq!(a.is_byzantine_source(n), b.is_byzantine_source(n));
+        }
     }
 }

@@ -18,4 +18,4 @@ pub mod transfer;
 pub use failure::FailureModel;
 pub use overlay::{PeerCertificate, SocialOverlay};
 pub use topology::{LinkQuality, Topology};
-pub use transfer::{TransferEngine, TransferError, TransferReport};
+pub use transfer::{CodedFetchReport, CodedSource, TransferEngine, TransferError, TransferReport};

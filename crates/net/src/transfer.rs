@@ -13,7 +13,8 @@
 //!   endpoint, exactly like Globus' control/data channel split.
 
 use bytes::Bytes;
-use scdn_storage::object::{Segment, SegmentId};
+use scdn_storage::coding::CodedBlockId;
+use scdn_storage::object::{DatasetId, Segment, SegmentId};
 use scdn_storage::repository::{Partition, RepoError, StorageRepository};
 
 use crate::failure::{AttemptOutcome, FailureModel};
@@ -33,6 +34,16 @@ pub enum TransferError {
         /// Number of attempts made.
         attempts: u32,
     },
+    /// A coded fetch ran out of donors before any k distinct blocks
+    /// landed.
+    InsufficientBlocks {
+        /// Dataset being fetched.
+        dataset: DatasetId,
+        /// Distinct blocks that did land.
+        have: u32,
+        /// Blocks required (k).
+        need: u32,
+    },
     /// The destination rejected the delivery (e.g. quota).
     Destination(RepoError),
 }
@@ -46,6 +57,16 @@ impl std::fmt::Display for TransferError {
                 write!(
                     f,
                     "transfer of {segment:?} failed after {attempts} attempts"
+                )
+            }
+            TransferError::InsufficientBlocks {
+                dataset,
+                have,
+                need,
+            } => {
+                write!(
+                    f,
+                    "coded fetch of {dataset:?} stalled at {have} of {need} blocks"
                 )
             }
             TransferError::Destination(e) => write!(f, "destination error: {e}"),
@@ -102,6 +123,42 @@ pub struct TransferReport {
     pub attempts: u32,
 }
 
+/// One donor in a coded multi-source fetch: a node that advertises some
+/// of a dataset's coded blocks (per the catalog's per-host inventory).
+pub struct CodedSource<'a> {
+    /// Topology index of the donor.
+    pub node: usize,
+    /// The donor's repository.
+    pub repo: &'a StorageRepository,
+    /// Coded-block indices this donor advertises.
+    pub blocks: Vec<u32>,
+}
+
+/// Outcome of a coded any-k-of-n fetch
+/// ([`transfer_coded_observed`](TransferEngine::transfer_coded_observed)).
+#[derive(Clone, Debug, Default)]
+pub struct CodedFetchReport {
+    /// `(block index, donor node)` for every block that landed over the
+    /// network, in acceptance order.
+    pub delivered: Vec<(u32, usize)>,
+    /// Block indices that already sat in the destination partition and
+    /// counted toward k without any transfer.
+    pub pre_existing: Vec<u32>,
+    /// Per-delivered-block transfer reports, in acceptance order.
+    pub reports: Vec<TransferReport>,
+    /// Wall-clock total across waves in milliseconds: each wave costs its
+    /// slowest member, except the final wave, which is cut at the moment
+    /// the k-th block lands (any still-running chains are abandoned).
+    pub total_ms: f64,
+    /// Bytes delivered over the network (accepted blocks only).
+    pub total_bytes: u64,
+    /// Chains abandoned because a donor served corrupt bytes — a
+    /// Byzantine source, in-flight corruption on every attempt, or a
+    /// stored copy failing checksum verification at the source. Each such
+    /// block was retried from another donor (when one existed).
+    pub discarded_corrupt: u32,
+}
+
 /// The transfer engine: topology + failure model + retry policy.
 #[derive(Clone, Debug)]
 pub struct TransferEngine {
@@ -151,11 +208,21 @@ impl TransferEngine {
         bytes: u64,
     ) -> SegmentSim {
         let key = (u64::from(segment.dataset.0) << 32) | u64::from(segment.ordinal);
+        // A Byzantine source garbles every byte it serves: attempts that
+        // would have delivered arrive corrupted instead (and are rejected
+        // by the destination checksum), so the chain can never succeed
+        // from this donor. With `byzantine_frac == 0.0` (the default) this
+        // branch is never taken and outcomes are bit-identical to before
+        // the mode existed.
+        let byzantine = self.failure.is_byzantine_source(src);
         let mut attempts = Vec::new();
         let mut elapsed = 0.0;
         for attempt in 1..=self.max_attempts {
             let attempt_ms = self.attempt_time_ms(src, dst, bytes);
-            let outcome = self.failure.outcome(src, dst, key, attempt);
+            let mut outcome = self.failure.outcome(src, dst, key, attempt);
+            if byzantine && outcome == AttemptOutcome::Delivered {
+                outcome = AttemptOutcome::Corrupted;
+            }
             // Lost attempts drop mid-flight and are charged half an
             // attempt; delivered/corrupted attempts are charged in full.
             let charged = match outcome {
@@ -260,9 +327,29 @@ impl TransferEngine {
             Err(RepoError::IntegrityFailure(id)) => return Err(TransferError::SourceCorrupt(id)),
             Err(_) => return Err(TransferError::SourceMissing(segment)),
         };
+        self.transfer_payload_observed(src, dst, dst_repo, &seg, partition, observe)
+    }
+
+    /// Deliver an in-memory segment from node `src` into the destination
+    /// repository, with the same retry chain, observer protocol, and
+    /// failure injection as
+    /// [`transfer_segment_observed`](Self::transfer_segment_observed) —
+    /// but without requiring any source repository to hold the bytes.
+    /// This is how a dataset owner ships freshly re-encoded coded blocks
+    /// that exist nowhere on disk yet.
+    pub fn transfer_payload_observed(
+        &self,
+        src: usize,
+        dst: usize,
+        dst_repo: &StorageRepository,
+        seg: &Segment,
+        partition: Partition,
+        observe: &mut dyn FnMut(AttemptRecord),
+    ) -> Result<TransferReport, TransferError> {
         // The network behaviour is a pure function of the endpoints and
         // segment identity: simulate the full retry chain, then replay it
         // against the observer and the destination repository.
+        let segment = seg.id;
         let sim = self.simulate_segment(src, dst, segment, seg.len() as u64);
         for record in &sim.attempts {
             observe(*record);
@@ -381,6 +468,246 @@ impl TransferEngine {
         }
         (out, None)
     }
+
+    /// Coded any-k-of-n multi-source fetch: race `dataset`'s coded blocks
+    /// from several donor replicas in waves of up to `concurrency`
+    /// parallel chains, completing as soon as **any k distinct blocks**
+    /// land in the destination partition — so one slow, lossy, corrupt, or
+    /// departed donor no longer gates the whole fetch.
+    ///
+    /// Scheduling is fully deterministic: missing blocks are taken in
+    /// ascending index order, each block's donor list is rotated by its
+    /// index (spreading fan-in across the sources), and a chain that fails
+    /// — retries exhausted, donor missing the block, or the donor's stored
+    /// copy failing its [integrity
+    /// checksum](scdn_storage::integrity::Checksum) — falls over to the
+    /// block's next donor in a later wave. Corrupt serves are counted in
+    /// [`CodedFetchReport::discarded_corrupt`] and never stored (the
+    /// destination checksum rejects them inside the retry chain).
+    ///
+    /// Blocks already present in the destination partition count toward k
+    /// for free. Each non-final wave costs its slowest member
+    /// (the [`aggregate_elapsed_ms`](Self::aggregate_elapsed_ms) model);
+    /// the final wave is cut at the chain that lands the k-th block, and
+    /// chains still in flight at that instant are abandoned — their
+    /// attempts are not observed and their bytes are not stored.
+    ///
+    /// **Partial-failure accounting** (distinct from
+    /// [`transfer_many_observed`](Self::transfer_many_observed)'s
+    /// all-or-nothing batches): once k blocks have landed the fetch *is*
+    /// the success — later failures cannot occur (no further waves
+    /// launch), and failures in earlier waves never roll back delivered
+    /// blocks. Only a fetch that exhausts every donor below k rolls back
+    /// what it delivered, leaving pre-existing blocks untouched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_coded_observed(
+        &self,
+        dst: usize,
+        dst_repo: &StorageRepository,
+        dataset: DatasetId,
+        k: u32,
+        sources: &[CodedSource<'_>],
+        partition: Partition,
+        observe: &mut dyn FnMut(AttemptRecord),
+    ) -> (CodedFetchReport, Option<TransferError>) {
+        // Blocks already on hand count toward k without any transfer.
+        let mut report = CodedFetchReport {
+            pre_existing: dst_repo.list_coded(partition, dataset),
+            ..CodedFetchReport::default()
+        };
+        let mut have: usize = report.pre_existing.len();
+        if have >= k as usize {
+            return (report, None);
+        }
+        // Donor lists per missing block, rotated by block index so the
+        // fan-in spreads across sources instead of hammering the first.
+        let mut donors: Vec<(u32, Vec<usize>)> = Vec::new();
+        let mut wanted: Vec<u32> = sources
+            .iter()
+            .flat_map(|s| s.blocks.iter().copied())
+            .collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+        for block in wanted {
+            if report.pre_existing.contains(&block) {
+                continue;
+            }
+            let mut holders: Vec<usize> = sources
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.blocks.contains(&block))
+                .map(|(i, _)| i)
+                .collect();
+            if holders.is_empty() {
+                continue;
+            }
+            let rot = block as usize % holders.len();
+            holders.rotate_left(rot);
+            donors.push((block, holders));
+        }
+        // Simulate every member chain first (pure), then decide which
+        // deliveries to accept and how much wall-clock the wave costs.
+        struct Member {
+            block: u32,
+            source: usize,
+            outcome: Result<(Segment, SegmentSim), TransferError>,
+        }
+        let wave_width = self.concurrency.max(1) as usize;
+        let mut newly_delivered: Vec<SegmentId> = Vec::new();
+        while have < k as usize && !donors.is_empty() {
+            // One wave: the first `wave_width` still-missing blocks, each
+            // from its current preferred donor.
+            let members: Vec<(u32, usize)> = donors
+                .iter()
+                .take(wave_width)
+                .map(|(block, holders)| (*block, holders[0]))
+                .collect();
+            let sims: Vec<Member> = members
+                .iter()
+                .map(|&(block, source)| {
+                    let id = CodedBlockId {
+                        dataset,
+                        index: block,
+                    }
+                    .segment_id();
+                    // Replica partition first (the CDN's copy), but keep an
+                    // integrity failure as such instead of letting the
+                    // user-partition miss mask it — corrupt donors must be
+                    // *counted* as corrupt so callers can see them.
+                    let fetched = match sources[source].repo.fetch(Partition::Replica, id) {
+                        Err(RepoError::NotFound(_)) => {
+                            sources[source].repo.fetch(Partition::User, id)
+                        }
+                        r => r,
+                    };
+                    let outcome = match fetched {
+                        Ok(seg) => {
+                            let sim = self.simulate_segment(
+                                sources[source].node,
+                                dst,
+                                id,
+                                seg.len() as u64,
+                            );
+                            Ok((seg, sim))
+                        }
+                        Err(RepoError::IntegrityFailure(bad)) => {
+                            Err(TransferError::SourceCorrupt(bad))
+                        }
+                        Err(_) => Err(TransferError::SourceMissing(id)),
+                    };
+                    Member {
+                        block,
+                        source,
+                        outcome,
+                    }
+                })
+                .collect();
+            // Completion order inside the wave: by chain elapsed time,
+            // ties broken by block index (control-channel failures, which
+            // never touch the network, complete at time zero).
+            let mut order: Vec<usize> = (0..sims.len()).collect();
+            order.sort_by(|&a, &b| {
+                let t = |m: &Member| match &m.outcome {
+                    Ok((_, sim)) => sim.elapsed_ms,
+                    Err(_) => 0.0,
+                };
+                t(&sims[a])
+                    .partial_cmp(&t(&sims[b]))
+                    .expect("elapsed times are finite")
+                    .then(sims[a].block.cmp(&sims[b].block))
+            });
+            let mut wave_ms = 0.0f64;
+            let mut cut = false;
+            let mut wave_failed: Vec<u32> = Vec::new();
+            for &i in &order {
+                let member = &sims[i];
+                match &member.outcome {
+                    Ok((seg, sim)) if sim.delivered => {
+                        for record in &sim.attempts {
+                            observe(*record);
+                        }
+                        if let Err(e) = dst_repo.store(partition, seg.clone()) {
+                            // Destination rejection (quota) is permanent:
+                            // no donor can fix it.
+                            for id in newly_delivered {
+                                dst_repo.remove(partition, id, false).ok();
+                            }
+                            return (report, Some(TransferError::Destination(e)));
+                        }
+                        newly_delivered.push(seg.id);
+                        report
+                            .delivered
+                            .push((member.block, sources[member.source].node));
+                        report.reports.push(TransferReport {
+                            bytes: seg.len() as u64,
+                            duration_ms: sim.elapsed_ms,
+                            attempts: sim.attempts.len() as u32,
+                        });
+                        report.total_bytes += seg.len() as u64;
+                        have += 1;
+                        wave_ms = sim.elapsed_ms;
+                        if have == k as usize {
+                            // The k-th block landed: abandon the chains
+                            // still in flight and stop the clock here.
+                            cut = true;
+                            break;
+                        }
+                    }
+                    Ok((_, sim)) => {
+                        for record in &sim.attempts {
+                            observe(*record);
+                        }
+                        if sim
+                            .attempts
+                            .iter()
+                            .any(|a| a.outcome == AttemptOutcome::Corrupted)
+                        {
+                            report.discarded_corrupt += 1;
+                        }
+                        wave_failed.push(member.block);
+                        wave_ms = wave_ms.max(sim.elapsed_ms);
+                    }
+                    Err(e) => {
+                        if matches!(e, TransferError::SourceCorrupt(_)) {
+                            report.discarded_corrupt += 1;
+                        }
+                        wave_failed.push(member.block);
+                    }
+                }
+            }
+            report.total_ms += wave_ms;
+            if cut {
+                return (report, None);
+            }
+            // Drop delivered blocks from the schedule; rotate failed
+            // blocks to their next donor (or give up on them).
+            let wave_blocks: Vec<u32> = members.iter().map(|&(b, _)| b).collect();
+            donors.retain_mut(|(block, holders)| {
+                if !wave_blocks.contains(block) {
+                    return true;
+                }
+                if wave_failed.contains(block) {
+                    holders.remove(0);
+                    !holders.is_empty()
+                } else {
+                    false
+                }
+            });
+        }
+        if have >= k as usize {
+            (report, None)
+        } else {
+            for id in newly_delivered {
+                dst_repo.remove(partition, id, false).ok();
+            }
+            let err = TransferError::InsufficientBlocks {
+                dataset,
+                have: have as u32,
+                need: k,
+            };
+            (report, Some(err))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +784,7 @@ mod tests {
             loss_prob: 0.5,
             corruption_prob: 0.0,
             seed: 11,
+            ..FailureModel::default()
         });
         let a = StorageRepository::new(1 << 24);
         let b = StorageRepository::new(1 << 24);
@@ -499,6 +827,7 @@ mod tests {
                 loss_prob: 0.5,
                 corruption_prob: 0.0,
                 seed,
+                ..FailureModel::default()
             });
             if let Ok(r) = e.transfer_segment(0, 1, &a, &b, s.id) {
                 if r.attempts == 2 {
@@ -615,6 +944,7 @@ mod tests {
             loss_prob: 0.4,
             corruption_prob: 0.1,
             seed: 23,
+            ..FailureModel::default()
         });
         for ds in 0..50 {
             let s = seg(ds, 0, 777);
@@ -679,6 +1009,324 @@ mod tests {
         assert_eq!(serial.aggregate_elapsed_ms(&times), sum);
     }
 
+    // ---- coded any-k-of-n fetch -------------------------------------
+
+    use scdn_storage::coding::{CodedBlockId, CodingSpec};
+
+    /// A topology of `n` sites and per-node repositories, with dataset 1
+    /// coded (k, m) and block `i` stored on node `i + 1` (node 0 is the
+    /// fetch destination and holds nothing).
+    fn coded_world(
+        k: u8,
+        m: u8,
+        failure: FailureModel,
+        concurrency: u32,
+    ) -> (TransferEngine, Vec<StorageRepository>, Vec<u8>, CodingSpec) {
+        let n = (k + m) as usize;
+        let coords: Vec<(f64, f64)> = (0..=n).map(|i| (10.0 + i as f64, 20.0)).collect();
+        let engine = TransferEngine {
+            topology: Topology::uniform(coords, LinkQuality::default()),
+            failure,
+            max_attempts: 3,
+            concurrency,
+        };
+        let content: Vec<u8> = (0..4000u32).map(|i| (i % 251) as u8).collect();
+        let spec = CodingSpec {
+            k,
+            m,
+            seed: 7,
+            total_len: content.len() as u64,
+        };
+        let blocks = scdn_storage::coding::encode_blocks(&spec, DatasetId(1), &content);
+        let repos: Vec<StorageRepository> =
+            (0..=n).map(|_| StorageRepository::new(1 << 24)).collect();
+        for (i, b) in blocks.iter().enumerate() {
+            repos[i + 1]
+                .store(Partition::Replica, b.clone())
+                .expect("stored");
+        }
+        (engine, repos, content, spec)
+    }
+
+    fn one_block_sources<'a>(repos: &'a [StorageRepository], n: usize) -> Vec<CodedSource<'a>> {
+        (0..n)
+            .map(|i| CodedSource {
+                node: i + 1,
+                repo: &repos[i + 1],
+                blocks: vec![i as u32],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coded_fetch_completes_at_k_and_decodes() {
+        let (e, repos, content, spec) = coded_world(3, 2, FailureModel::reliable(), 2);
+        let sources = one_block_sources(&repos, 5);
+        let mut records = Vec::new();
+        let (report, error) = e.transfer_coded_observed(
+            0,
+            &repos[0],
+            DatasetId(1),
+            3,
+            &sources,
+            Partition::User,
+            &mut |r| records.push(r),
+        );
+        assert!(error.is_none());
+        assert_eq!(report.delivered.len(), 3);
+        assert!(report.total_ms > 0.0);
+        assert_eq!(report.total_bytes, 3 * spec.block_len() as u64);
+        assert_eq!(records.len(), 3, "one reliable attempt per block");
+        // Exactly k blocks landed — never more.
+        let held = repos[0].list_coded(Partition::User, DatasetId(1));
+        assert_eq!(held.len(), 3);
+        // And they decode back to the original content.
+        let segs: Vec<Segment> = held
+            .iter()
+            .map(|&i| {
+                repos[0]
+                    .fetch(
+                        Partition::User,
+                        CodedBlockId {
+                            dataset: DatasetId(1),
+                            index: i,
+                        }
+                        .segment_id(),
+                    )
+                    .expect("held")
+            })
+            .collect();
+        let got = scdn_storage::coding::decode_blocks(&spec, &segs).expect("decodes");
+        assert_eq!(got.as_ref(), &content[..]);
+    }
+
+    #[test]
+    fn coded_fetch_succeeds_when_wave_member_fails_after_k_landed() {
+        // Satellite regression: a wave containing a permanently failing
+        // chain must still count as success once k blocks have landed, and
+        // the delivered blocks must NOT be rolled back (the old
+        // transfer_many semantics would have removed them).
+        let (e, repos, _, _) = coded_world(2, 2, FailureModel::reliable(), 4);
+        let mut sources = one_block_sources(&repos, 4);
+        // Donor of block 1 advertises it but does not hold it: that chain
+        // fails at time zero inside the very wave that delivers k = 2.
+        sources[1] = CodedSource {
+            node: 2,
+            repo: &repos[3],
+            blocks: vec![1],
+        };
+        let (report, error) = e.transfer_coded_observed(
+            0,
+            &repos[0],
+            DatasetId(1),
+            2,
+            &sources,
+            Partition::User,
+            &mut |_| {},
+        );
+        assert!(error.is_none(), "k landed: the failing member is moot");
+        assert_eq!(report.delivered.len(), 2);
+        assert_eq!(
+            repos[0].list_coded(Partition::User, DatasetId(1)).len(),
+            2,
+            "delivered blocks survive the wave member's failure"
+        );
+    }
+
+    #[test]
+    fn coded_fetch_below_k_rolls_back_but_keeps_pre_existing() {
+        let (e, repos, _, _) = coded_world(3, 1, FailureModel::reliable(), 2);
+        // Destination already holds block 3.
+        let pre = CodedBlockId {
+            dataset: DatasetId(1),
+            index: 3,
+        };
+        repos[0]
+            .store(
+                Partition::User,
+                repos[4]
+                    .fetch(Partition::Replica, pre.segment_id())
+                    .expect("held"),
+            )
+            .expect("stored");
+        // Only one live donor (block 0): 2 of 3 reachable.
+        let sources = vec![CodedSource {
+            node: 1,
+            repo: &repos[1],
+            blocks: vec![0],
+        }];
+        let (report, error) = e.transfer_coded_observed(
+            0,
+            &repos[0],
+            DatasetId(1),
+            3,
+            &sources,
+            Partition::User,
+            &mut |_| {},
+        );
+        assert_eq!(
+            error,
+            Some(TransferError::InsufficientBlocks {
+                dataset: DatasetId(1),
+                have: 2,
+                need: 3,
+            })
+        );
+        assert_eq!(report.pre_existing, vec![3]);
+        assert_eq!(
+            repos[0].list_coded(Partition::User, DatasetId(1)),
+            vec![3],
+            "newly delivered rolled back, pre-existing kept"
+        );
+    }
+
+    #[test]
+    fn byzantine_donor_discarded_and_fetched_elsewhere() {
+        // Find a byzantine seed that marks exactly node 1 (the holder of
+        // block 0) as Byzantine among nodes 0..=4.
+        let mut failure = FailureModel {
+            byzantine_frac: 0.25,
+            ..FailureModel::default()
+        };
+        let mut found = false;
+        for seed in 0..500 {
+            failure.byzantine_seed = seed;
+            if failure.is_byzantine_source(1) && !(2..=4).any(|n| failure.is_byzantine_source(n)) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no suitable byzantine seed in range");
+        let (e, repos, content, spec) = coded_world(2, 2, failure, 2);
+        // Every donor advertises every block it could serve: give block 0
+        // a fallback donor (node 2 also stores block 0's segment).
+        let block0 = repos[1]
+            .fetch(
+                Partition::Replica,
+                CodedBlockId {
+                    dataset: DatasetId(1),
+                    index: 0,
+                }
+                .segment_id(),
+            )
+            .expect("held");
+        repos[2].store(Partition::Replica, block0).expect("stored");
+        let mut sources = one_block_sources(&repos, 4);
+        sources[1].blocks = vec![0, 1];
+        let mut records = Vec::new();
+        let (report, error) = e.transfer_coded_observed(
+            0,
+            &repos[0],
+            DatasetId(1),
+            2,
+            &sources,
+            Partition::User,
+            &mut |r| records.push(r),
+        );
+        assert!(error.is_none(), "k-of-n absorbs the Byzantine donor");
+        assert_eq!(report.delivered.len(), 2);
+        assert!(
+            report.delivered.iter().all(|&(_, node)| node != 1),
+            "nothing accepted from the Byzantine donor: {:?}",
+            report.delivered
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| r.outcome == AttemptOutcome::Corrupted),
+            "the Byzantine donor's corrupt serves were observed"
+        );
+        assert!(report.discarded_corrupt >= 1);
+        // Delivered blocks still decode.
+        let segs: Vec<Segment> = repos[0]
+            .list_coded(Partition::User, DatasetId(1))
+            .iter()
+            .map(|&i| {
+                repos[0]
+                    .fetch(
+                        Partition::User,
+                        CodedBlockId {
+                            dataset: DatasetId(1),
+                            index: i,
+                        }
+                        .segment_id(),
+                    )
+                    .expect("held")
+            })
+            .collect();
+        let got = scdn_storage::coding::decode_blocks(&spec, &segs).expect("decodes");
+        assert_eq!(got.as_ref(), &content[..]);
+    }
+
+    #[test]
+    fn tampered_stored_block_detected_at_source_and_skipped() {
+        let (e, repos, _, _) = coded_world(2, 2, FailureModel::reliable(), 2);
+        // Tamper node 1's stored copy of block 0 behind the CDN's back.
+        let id = CodedBlockId {
+            dataset: DatasetId(1),
+            index: 0,
+        }
+        .segment_id();
+        let good = repos[1].fetch(Partition::Replica, id).expect("intact");
+        let mut raw = good.data.to_vec();
+        raw[0] ^= 0xff;
+        repos[1]
+            .store(
+                Partition::Replica,
+                Segment {
+                    id,
+                    data: Bytes::from(raw),
+                    checksum: good.checksum,
+                },
+            )
+            .expect("stored tampered");
+        let sources = one_block_sources(&repos, 4);
+        let (report, error) = e.transfer_coded_observed(
+            0,
+            &repos[0],
+            DatasetId(1),
+            2,
+            &sources,
+            Partition::User,
+            &mut |_| {},
+        );
+        assert!(error.is_none());
+        assert!(report.discarded_corrupt >= 1, "source checksum caught it");
+        assert!(
+            report.delivered.iter().all(|&(b, _)| b != 0),
+            "the tampered block was never accepted"
+        );
+    }
+
+    #[test]
+    fn transfer_payload_observed_matches_repo_transfer() {
+        let e = two_node_engine(FailureModel {
+            loss_prob: 0.3,
+            corruption_prob: 0.1,
+            seed: 31,
+            ..FailureModel::default()
+        });
+        for ds in 0..20 {
+            let s = seg(ds, 0, 999);
+            let a = StorageRepository::new(1 << 20);
+            let b1 = StorageRepository::new(1 << 20);
+            let b2 = StorageRepository::new(1 << 20);
+            a.store(Partition::User, s.clone()).expect("stored");
+            let via_repo =
+                e.transfer_segment_observed(0, 1, &a, &b1, s.id, Partition::Replica, &mut |_| {});
+            let via_payload =
+                e.transfer_payload_observed(0, 1, &b2, &s, Partition::Replica, &mut |_| {});
+            assert_eq!(via_repo.is_ok(), via_payload.is_ok(), "dataset {ds}");
+            if let (Ok(r1), Ok(r2)) = (via_repo, via_payload) {
+                assert_eq!(r1, r2, "identical retry chain either way");
+                assert_eq!(
+                    b1.fetch(Partition::Replica, s.id).expect("held").data,
+                    b2.fetch(Partition::Replica, s.id).expect("held").data
+                );
+            }
+        }
+    }
+
     #[test]
     fn observer_sees_every_attempt_in_order() {
         let a = StorageRepository::new(1 << 20);
@@ -692,6 +1340,7 @@ mod tests {
                 loss_prob: 0.5,
                 corruption_prob: 0.0,
                 seed,
+                ..FailureModel::default()
             });
             let mut records: Vec<AttemptRecord> = Vec::new();
             let result =

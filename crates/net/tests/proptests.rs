@@ -49,6 +49,7 @@ proptest! {
             loss_prob: loss,
             corruption_prob: 0.0,
             seed,
+            ..FailureModel::default()
         };
         let mut lost = 0u32;
         const N: u32 = 2_000;
@@ -72,6 +73,7 @@ proptest! {
                 loss_prob: loss,
                 corruption_prob: 0.1,
                 seed: 5,
+                ..FailureModel::default()
             },
             max_attempts: 10,
             concurrency: 1,

@@ -1,0 +1,612 @@
+//! Deterministic, seedable systematic erasure coding for datasets.
+//!
+//! The availability problem the paper leaves open is that user-contributed
+//! repositories churn: a requester needs one replica holding a *complete*
+//! copy, and repair re-replicates whole datasets when a host departs. This
+//! module codes a dataset's bytes into `n = k + m` fixed-size blocks such
+//! that **any k** of them reconstruct the original content exactly —
+//! requesters can fan in from many partial holders, and repair regenerates
+//! only the *missing* blocks (each `ceil(len / k)` bytes) instead of
+//! shipping full copies.
+//!
+//! The code is a systematic Reed–Solomon code over GF(2^8):
+//!
+//! * the generator matrix is `[I_k; C]` where `C` is an `m x k` Cauchy
+//!   matrix `C[j][i] = 1 / (x_j ^ y_i)` over distinct field points
+//!   `y_i = off + i`, `x_j = off + k + j`. Every square submatrix of a
+//!   Cauchy matrix is nonsingular, so any k rows of the generator are
+//!   invertible — the any-k-of-n property holds by construction;
+//! * `off` is derived from the seed, making the whole code book a pure
+//!   function of `(k, m, seed)` — encode and decode replay identically on
+//!   every host with no shared state;
+//! * blocks 0..k are the raw data shards (systematic), so an uncoded
+//!   reader that happens to hold the first k blocks can concatenate them.
+//!
+//! Everything is implemented here — GF(2^8) log/exp tables and
+//! Gauss–Jordan inversion included — per the vendored-offline constraint
+//! (no external coding crates).
+
+use bytes::Bytes;
+
+use crate::object::{DatasetId, Segment, SegmentId};
+
+/// Ordinal base for coded blocks: a coded block with index `i` is stored
+/// and transferred as the segment `(dataset, CODED_ORDINAL_BASE + i)`.
+/// Plain segment ordinals are dataset offsets (far below 2^30), so coded
+/// and plain segments never collide in repositories, transfer-failure
+/// hashes, or quota accounting.
+pub const CODED_ORDINAL_BASE: u32 = 1 << 30;
+
+/// Per-dataset coding policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CodingConfig {
+    /// Whole-replica storage, exactly as before coding existed.
+    #[default]
+    None,
+    /// Systematic Reed–Solomon: k data blocks + m parity blocks; any k of
+    /// the n = k + m blocks reconstruct the dataset.
+    Rs {
+        /// Data blocks (k >= 1).
+        k: u8,
+        /// Parity blocks (m >= 1, k + m <= 255).
+        m: u8,
+    },
+}
+
+/// The fully-determined coding parameters of one published dataset, as
+/// recorded in the allocation catalog: everything a peer needs to encode,
+/// decode, or repair blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodingSpec {
+    /// Data blocks.
+    pub k: u8,
+    /// Parity blocks.
+    pub m: u8,
+    /// Seed the generator matrix is derived from.
+    pub seed: u64,
+    /// Exact content length in bytes (decode truncates padding to this).
+    pub total_len: u64,
+}
+
+impl CodingSpec {
+    /// Total block count `n = k + m`.
+    pub fn n(&self) -> u32 {
+        self.k as u32 + self.m as u32
+    }
+
+    /// Bytes per coded block: `ceil(total_len / k)`, at least 1 so empty
+    /// datasets still produce addressable blocks.
+    pub fn block_len(&self) -> usize {
+        (self.total_len as usize).div_ceil(self.k as usize).max(1)
+    }
+
+    /// The coder for this spec.
+    pub fn coder(&self) -> ErasureCoder {
+        ErasureCoder::new(self.k, self.m, self.seed)
+    }
+}
+
+/// Address of one coded block of a dataset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CodedBlockId {
+    /// Owning dataset.
+    pub dataset: DatasetId,
+    /// Block index in `0..n` (indices `0..k` are systematic data shards).
+    pub index: u32,
+}
+
+impl CodedBlockId {
+    /// The segment id this block is stored and transferred under.
+    pub fn segment_id(self) -> SegmentId {
+        SegmentId {
+            dataset: self.dataset,
+            ordinal: CODED_ORDINAL_BASE + self.index,
+        }
+    }
+
+    /// Recover a block id from a segment id, if it addresses a coded block.
+    pub fn from_segment_id(id: SegmentId) -> Option<CodedBlockId> {
+        if id.ordinal >= CODED_ORDINAL_BASE {
+            Some(CodedBlockId {
+                dataset: id.dataset,
+                index: id.ordinal - CODED_ORDINAL_BASE,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// `true` if the ordinal addresses a coded block rather than a plain
+/// segment.
+pub fn is_coded_ordinal(ordinal: u32) -> bool {
+    ordinal >= CODED_ORDINAL_BASE
+}
+
+/// Decode failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodingError {
+    /// Fewer than k distinct blocks were supplied.
+    NotEnoughBlocks {
+        /// Distinct blocks supplied.
+        have: usize,
+        /// Blocks required (k).
+        need: usize,
+    },
+    /// A supplied block's index is outside `0..n` or duplicated.
+    BadBlockIndex(u32),
+    /// A supplied block's length differs from the spec's block length.
+    BadBlockLength {
+        /// Offending block index.
+        index: u32,
+        /// Its length.
+        got: usize,
+        /// The spec's block length.
+        want: usize,
+    },
+    /// Invalid parameters (k = 0, m = 0, or k + m > 255).
+    BadParameters,
+}
+
+impl std::fmt::Display for CodingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodingError::NotEnoughBlocks { have, need } => {
+                write!(f, "decode needs {need} distinct blocks, have {have}")
+            }
+            CodingError::BadBlockIndex(i) => write!(f, "block index {i} out of range or duplicate"),
+            CodingError::BadBlockLength { index, got, want } => {
+                write!(f, "block {index} is {got} B, expected {want} B")
+            }
+            CodingError::BadParameters => write!(f, "invalid coding parameters"),
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic, generated at compile time (polynomial 0x11d).
+
+const GF_POLY: u16 = 0x11d;
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0usize;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= GF_POLY;
+        }
+        i += 1;
+    }
+    // Mirror the cycle so mul can index log(a) + log(b) without a mod.
+    while i < 512 {
+        exp[i] = exp[i - 255];
+        i += 1;
+    }
+    (exp, log)
+}
+
+const GF_TABLES: ([u8; 512], [u8; 256]) = build_tables();
+const GF_EXP: [u8; 512] = GF_TABLES.0;
+const GF_LOG: [u8; 256] = GF_TABLES.1;
+
+#[inline]
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        GF_EXP[GF_LOG[a as usize] as usize + GF_LOG[b as usize] as usize]
+    }
+}
+
+#[inline]
+fn gf_inv(a: u8) -> u8 {
+    debug_assert!(a != 0, "zero has no inverse in GF(256)");
+    GF_EXP[255 - GF_LOG[a as usize] as usize]
+}
+
+#[inline]
+fn gf_div(a: u8, b: u8) -> u8 {
+    if a == 0 {
+        0
+    } else {
+        GF_EXP[GF_LOG[a as usize] as usize + 255 - GF_LOG[b as usize] as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Systematic Reed–Solomon coder: a pure function of `(k, m, seed)`.
+#[derive(Clone, Debug)]
+pub struct ErasureCoder {
+    k: usize,
+    m: usize,
+    /// Parity rows of the generator matrix: `m` rows of `k` coefficients.
+    parity: Vec<Vec<u8>>,
+}
+
+impl ErasureCoder {
+    /// Build the coder. Panics on invalid parameters (`k == 0`, `m == 0`,
+    /// or `k + m > 255`) — configs are validated at publish time.
+    pub fn new(k: u8, m: u8, seed: u64) -> ErasureCoder {
+        assert!(k >= 1 && m >= 1, "k and m must be at least 1");
+        let n = k as usize + m as usize;
+        assert!(n <= 255, "k + m must be at most 255");
+        // Distinct field points: seed only shifts the window, so every
+        // seed yields a valid Cauchy construction.
+        let off = (seed % (256 - n as u64)) as usize;
+        let parity = (0..m as usize)
+            .map(|j| {
+                let x = (off + k as usize + j) as u8;
+                (0..k as usize)
+                    .map(|i| {
+                        let y = (off + i) as u8;
+                        gf_inv(x ^ y)
+                    })
+                    .collect()
+            })
+            .collect();
+        ErasureCoder {
+            k: k as usize,
+            m: m as usize,
+            parity,
+        }
+    }
+
+    /// Data block count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total block count.
+    pub fn n(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Row `index` of the generator matrix (identity for data blocks,
+    /// Cauchy for parity blocks).
+    fn generator_row(&self, index: usize) -> Vec<u8> {
+        if index < self.k {
+            let mut row = vec![0u8; self.k];
+            row[index] = 1;
+            row
+        } else {
+            self.parity[index - self.k].clone()
+        }
+    }
+
+    /// Encode `content` into `n` blocks of `ceil(len / k).max(1)` bytes.
+    /// Blocks `0..k` are the zero-padded data shards; `k..n` are parity.
+    pub fn encode(&self, content: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = content.len().div_ceil(self.k).max(1);
+        let mut blocks: Vec<Vec<u8>> = (0..self.k)
+            .map(|i| {
+                let start = (i * shard_len).min(content.len());
+                let end = ((i + 1) * shard_len).min(content.len());
+                let mut shard = content[start..end].to_vec();
+                shard.resize(shard_len, 0);
+                shard
+            })
+            .collect();
+        for row in &self.parity {
+            let mut parity = vec![0u8; shard_len];
+            for (i, &coef) in row.iter().enumerate() {
+                if coef == 0 {
+                    continue;
+                }
+                for (p, &d) in parity.iter_mut().zip(blocks[i].iter()) {
+                    *p ^= gf_mul(coef, d);
+                }
+            }
+            blocks.push(parity);
+        }
+        blocks
+    }
+
+    /// Reconstruct the original content from any `k` distinct blocks.
+    /// `blocks` pairs each block index with its bytes; `total_len` is the
+    /// original content length (padding is truncated). Extra blocks beyond
+    /// the first `k` usable ones are ignored.
+    pub fn decode(&self, blocks: &[(u32, &[u8])], total_len: usize) -> Result<Bytes, CodingError> {
+        let shard_len = total_len.div_ceil(self.k).max(1);
+        // Pick the first k distinct, well-formed blocks.
+        let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(self.k);
+        for &(index, data) in blocks {
+            let idx = index as usize;
+            if idx >= self.n() {
+                return Err(CodingError::BadBlockIndex(index));
+            }
+            if chosen.iter().any(|&(c, _)| c == idx) {
+                continue;
+            }
+            if data.len() != shard_len {
+                return Err(CodingError::BadBlockLength {
+                    index,
+                    got: data.len(),
+                    want: shard_len,
+                });
+            }
+            chosen.push((idx, data));
+            if chosen.len() == self.k {
+                break;
+            }
+        }
+        if chosen.len() < self.k {
+            return Err(CodingError::NotEnoughBlocks {
+                have: chosen.len(),
+                need: self.k,
+            });
+        }
+        // Invert the k x k submatrix of generator rows via Gauss–Jordan,
+        // carrying the identity alongside.
+        let k = self.k;
+        let mut mat: Vec<Vec<u8>> = chosen.iter().map(|&(i, _)| self.generator_row(i)).collect();
+        let mut inv: Vec<Vec<u8>> = (0..k)
+            .map(|r| {
+                let mut row = vec![0u8; k];
+                row[r] = 1;
+                row
+            })
+            .collect();
+        for col in 0..k {
+            // Any k generator rows are linearly independent (Cauchy), so a
+            // pivot always exists.
+            let pivot = (col..k)
+                .find(|&r| mat[r][col] != 0)
+                .expect("any k generator rows are invertible");
+            mat.swap(col, pivot);
+            inv.swap(col, pivot);
+            let p = mat[col][col];
+            for c in 0..k {
+                mat[col][c] = gf_div(mat[col][c], p);
+                inv[col][c] = gf_div(inv[col][c], p);
+            }
+            for r in 0..k {
+                if r == col || mat[r][col] == 0 {
+                    continue;
+                }
+                let factor = mat[r][col];
+                for c in 0..k {
+                    let m = gf_mul(factor, mat[col][c]);
+                    mat[r][c] ^= m;
+                    let i = gf_mul(factor, inv[col][c]);
+                    inv[r][c] ^= i;
+                }
+            }
+        }
+        // data_shard[r] = sum_j inv[r][j] * chosen[j].
+        let mut content = Vec::with_capacity(k * shard_len);
+        for inv_row in inv.iter() {
+            let mut shard = vec![0u8; shard_len];
+            for (j, &coef) in inv_row.iter().enumerate() {
+                if coef == 0 {
+                    continue;
+                }
+                for (s, &b) in shard.iter_mut().zip(chosen[j].1.iter()) {
+                    *s ^= gf_mul(coef, b);
+                }
+            }
+            content.extend_from_slice(&shard);
+        }
+        content.truncate(total_len);
+        Ok(Bytes::from(content))
+    }
+}
+
+/// Encode a dataset's full content into checksummed coded-block segments
+/// (ordinals `CODED_ORDINAL_BASE..CODED_ORDINAL_BASE + n`), ready for
+/// repository storage and transfer.
+pub fn encode_blocks(spec: &CodingSpec, dataset: DatasetId, content: &[u8]) -> Vec<Segment> {
+    debug_assert_eq!(content.len() as u64, spec.total_len);
+    spec.coder()
+        .encode(content)
+        .into_iter()
+        .enumerate()
+        .map(|(i, bytes)| {
+            Segment::new(
+                CodedBlockId {
+                    dataset,
+                    index: i as u32,
+                }
+                .segment_id(),
+                Bytes::from(bytes),
+            )
+        })
+        .collect()
+}
+
+/// Decode the original content from any k coded-block segments (as
+/// produced by [`encode_blocks`] and addressed by [`CodedBlockId`]).
+pub fn decode_blocks(spec: &CodingSpec, blocks: &[Segment]) -> Result<Bytes, CodingError> {
+    let pairs: Vec<(u32, &[u8])> = blocks
+        .iter()
+        .filter_map(|s| CodedBlockId::from_segment_id(s.id).map(|b| (b.index, s.data.as_ref())))
+        .collect();
+    spec.coder().decode(&pairs, spec.total_len as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_mul_inverse_round_trip() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a = {a}");
+            for b in 1..=255u8 {
+                assert_eq!(gf_div(gf_mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_prefix_is_raw_data() {
+        let coder = ErasureCoder::new(4, 2, 7);
+        let content: Vec<u8> = (0..100u8).collect();
+        let blocks = coder.encode(&content);
+        assert_eq!(blocks.len(), 6);
+        let shard_len = content.len().div_ceil(4);
+        let mut padded = content.clone();
+        padded.resize(4 * shard_len, 0);
+        for (i, block) in blocks.iter().take(4).enumerate() {
+            assert_eq!(&block[..], &padded[i * shard_len..(i + 1) * shard_len]);
+        }
+    }
+
+    #[test]
+    fn decode_from_every_k_subset() {
+        let coder = ErasureCoder::new(3, 3, 42);
+        let content: Vec<u8> = (0..250u8).map(|i| i.wrapping_mul(31)).collect();
+        let blocks = coder.encode(&content);
+        let n = blocks.len();
+        // All C(6, 3) = 20 subsets.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let picked: Vec<(u32, &[u8])> = [a, b, c]
+                        .iter()
+                        .map(|&i| (i as u32, blocks[i].as_slice()))
+                        .collect();
+                    let got = coder.decode(&picked, content.len()).expect("decodes");
+                    assert_eq!(got.as_ref(), &content[..], "subset ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seed_changes_parity_not_data() {
+        let content: Vec<u8> = (0..64u8).collect();
+        let a = ErasureCoder::new(4, 2, 1).encode(&content);
+        let b = ErasureCoder::new(4, 2, 2).encode(&content);
+        assert_eq!(a[..4], b[..4], "data shards are seed-independent");
+        assert_ne!(a[4..], b[4..], "parity depends on the seed");
+        // And each seed decodes its own parity.
+        for (seed, blocks) in [(1u64, &a), (2u64, &b)] {
+            let coder = ErasureCoder::new(4, 2, seed);
+            let picked: Vec<(u32, &[u8])> = vec![
+                (4, blocks[4].as_slice()),
+                (5, blocks[5].as_slice()),
+                (0, blocks[0].as_slice()),
+                (1, blocks[1].as_slice()),
+            ];
+            assert_eq!(
+                coder
+                    .decode(&picked, content.len())
+                    .expect("decodes")
+                    .as_ref(),
+                &content[..]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_content_round_trips() {
+        let coder = ErasureCoder::new(3, 2, 0);
+        let blocks = coder.encode(&[]);
+        assert!(blocks.iter().all(|b| b.len() == 1));
+        let picked: Vec<(u32, &[u8])> = [2usize, 3, 4]
+            .iter()
+            .map(|&i| (i as u32, blocks[i].as_slice()))
+            .collect();
+        assert_eq!(coder.decode(&picked, 0).expect("decodes").len(), 0);
+    }
+
+    #[test]
+    fn not_enough_blocks_is_an_error() {
+        let coder = ErasureCoder::new(3, 2, 0);
+        let blocks = coder.encode(&[1, 2, 3, 4, 5, 6]);
+        let picked: Vec<(u32, &[u8])> = vec![
+            (0, blocks[0].as_slice()),
+            (0, blocks[0].as_slice()),
+            (1, blocks[1].as_slice()),
+        ];
+        assert_eq!(
+            coder.decode(&picked, 6).unwrap_err(),
+            CodingError::NotEnoughBlocks { have: 2, need: 3 }
+        );
+    }
+
+    #[test]
+    fn bad_index_and_length_are_errors() {
+        let coder = ErasureCoder::new(2, 1, 0);
+        let blocks = coder.encode(&[9, 8, 7]);
+        assert_eq!(
+            coder
+                .decode(&[(3, blocks[0].as_slice()), (1, blocks[1].as_slice())], 3)
+                .unwrap_err(),
+            CodingError::BadBlockIndex(3)
+        );
+        let short = [0u8; 1];
+        assert_eq!(
+            coder
+                .decode(&[(0, &short[..]), (1, blocks[1].as_slice())], 3)
+                .unwrap_err(),
+            CodingError::BadBlockLength {
+                index: 0,
+                got: 1,
+                want: 2
+            }
+        );
+    }
+
+    #[test]
+    fn coded_block_segment_ids_round_trip() {
+        let b = CodedBlockId {
+            dataset: DatasetId(7),
+            index: 5,
+        };
+        let sid = b.segment_id();
+        assert!(is_coded_ordinal(sid.ordinal));
+        assert_eq!(CodedBlockId::from_segment_id(sid), Some(b));
+        let plain = SegmentId {
+            dataset: DatasetId(7),
+            ordinal: 12,
+        };
+        assert!(!is_coded_ordinal(plain.ordinal));
+        assert_eq!(CodedBlockId::from_segment_id(plain), None);
+    }
+
+    #[test]
+    fn spec_helpers_and_segment_round_trip() {
+        let spec = CodingSpec {
+            k: 4,
+            m: 3,
+            seed: 99,
+            total_len: 1000,
+        };
+        assert_eq!(spec.n(), 7);
+        assert_eq!(spec.block_len(), 250);
+        let content: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let segs = encode_blocks(&spec, DatasetId(3), &content);
+        assert_eq!(segs.len(), 7);
+        assert!(segs.iter().all(|s| s.verify()));
+        // Decode from the last four blocks (pure parity + one data shard).
+        let got = decode_blocks(&spec, &segs[3..]).expect("decodes");
+        assert_eq!(got.as_ref(), &content[..]);
+    }
+
+    #[test]
+    fn large_km_still_invertible() {
+        // Stress the Cauchy construction near the field boundary.
+        let coder = ErasureCoder::new(20, 10, 0xdead_beef);
+        let content: Vec<u8> = (0..997).map(|i| (i * 7 % 256) as u8).collect();
+        let blocks = coder.encode(&content);
+        // Decode from the *last* k blocks (all parity plus tail data).
+        let picked: Vec<(u32, &[u8])> =
+            (10..30).map(|i| (i as u32, blocks[i].as_slice())).collect();
+        assert_eq!(
+            coder
+                .decode(&picked, content.len())
+                .expect("decodes")
+                .as_ref(),
+            &content[..]
+        );
+    }
+}

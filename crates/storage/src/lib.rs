@@ -7,12 +7,16 @@
 //! allocation servers can partition data across replicas.
 //!
 //! * [`object`] — datasets, segments, sensitivity levels;
+//! * [`coding`] — deterministic systematic erasure coding (any k of n
+//!   coded blocks reconstruct a dataset; implemented here — no external
+//!   coding crates);
 //! * [`integrity`] — checksum algorithms (FNV-1a and CRC-32, implemented
 //!   here: no external hashing crates) and corruption detection;
 //! * [`repository`] — the partitioned repository with quotas and eviction;
 //! * [`vfs`] — the DropBox-like shared folder tree users interact with.
 
 pub mod cache;
+pub mod coding;
 pub mod integrity;
 pub mod object;
 pub mod provenance;
@@ -20,6 +24,10 @@ pub mod repository;
 pub mod vfs;
 
 pub use cache::{CacheManager, EvictionPolicy};
+pub use coding::{
+    decode_blocks, encode_blocks, is_coded_ordinal, CodedBlockId, CodingConfig, CodingError,
+    CodingSpec, ErasureCoder, CODED_ORDINAL_BASE,
+};
 pub use object::{Dataset, DatasetId, Segment, SegmentId, Sensitivity};
 pub use provenance::{ProvenanceRecord, ProvenanceStore};
 pub use repository::{Partition, RepoError, StorageRepository};

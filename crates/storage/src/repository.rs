@@ -9,7 +9,8 @@ use std::collections::HashMap;
 
 use parking_lot::RwLock;
 
-use crate::object::{Segment, SegmentId};
+use crate::coding::CodedBlockId;
+use crate::object::{DatasetId, Segment, SegmentId};
 
 /// Which half of the repository an operation targets.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -181,6 +182,27 @@ impl StorageRepository {
         ids.sort_unstable();
         ids
     }
+
+    /// Coded-block indices of `dataset` held in partition `p` (sorted).
+    /// Plain segments of the same dataset are not included.
+    pub fn list_coded(&self, p: Partition, dataset: DatasetId) -> Vec<u32> {
+        let mut indices: Vec<u32> = self
+            .shelf(p)
+            .read()
+            .keys()
+            .filter(|id| id.dataset == dataset)
+            .filter_map(|id| CodedBlockId::from_segment_id(*id))
+            .map(|b| b.index)
+            .collect();
+        indices.sort_unstable();
+        indices
+    }
+
+    /// `true` if the repository holds coded block `index` of `dataset` in
+    /// partition `p`.
+    pub fn contains_coded(&self, p: Partition, dataset: DatasetId, index: u32) -> bool {
+        self.contains_in(p, CodedBlockId { dataset, index }.segment_id())
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +314,34 @@ mod tests {
         let ids = repo.list(Partition::User);
         assert_eq!(ids.len(), 3);
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn coded_blocks_enumerate_separately_from_plain_segments() {
+        use crate::coding::CodedBlockId;
+        let repo = StorageRepository::new(4096);
+        repo.store(Partition::Replica, seg(4, 0, 10)).expect("ok");
+        repo.store(Partition::Replica, seg(4, 1, 10)).expect("ok");
+        for index in [2u32, 0, 5] {
+            let id = CodedBlockId {
+                dataset: DatasetId(4),
+                index,
+            }
+            .segment_id();
+            repo.store(
+                Partition::Replica,
+                Segment::new(id, Bytes::from(vec![1u8; 8])),
+            )
+            .expect("ok");
+        }
+        assert_eq!(
+            repo.list_coded(Partition::Replica, DatasetId(4)),
+            vec![0, 2, 5]
+        );
+        assert!(repo.list_coded(Partition::User, DatasetId(4)).is_empty());
+        assert!(repo.list_coded(Partition::Replica, DatasetId(5)).is_empty());
+        assert!(repo.contains_coded(Partition::Replica, DatasetId(4), 2));
+        assert!(!repo.contains_coded(Partition::Replica, DatasetId(4), 3));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
+use scdn_storage::coding::{decode_blocks, encode_blocks, CodingError, CodingSpec};
 use scdn_storage::integrity::{corrupt_bit, Checksum};
 use scdn_storage::object::{Dataset, DatasetId, Segment, SegmentId, Sensitivity};
 use scdn_storage::repository::{Partition, StorageRepository};
@@ -29,6 +30,41 @@ proptest! {
                 prop_assert_eq!(s.len(), segment_size);
             }
             prop_assert!(d.segments.last().expect("non-empty").len() <= segment_size);
+        }
+    }
+
+    #[test]
+    fn decode_from_any_k_subset_recovers_content(
+        content in proptest::collection::vec(any::<u8>(), 0..2048),
+        k in 1u8..12,
+        m in 1u8..6,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let spec = CodingSpec { k, m, seed, total_len: content.len() as u64 };
+        let blocks = encode_blocks(&spec, DatasetId(7), &content);
+        prop_assert_eq!(blocks.len(), spec.n() as usize);
+        // A pseudo-random k-subset of the n blocks, drawn from `pick`.
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        order.sort_by_key(|&i| {
+            (i as u64 ^ pick)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .rotate_left((pick % 61) as u32)
+        });
+        let subset: Vec<Segment> = order
+            .iter()
+            .take(k as usize)
+            .map(|&i| blocks[i].clone())
+            .collect();
+        let decoded = decode_blocks(&spec, &subset).expect("any k distinct blocks decode");
+        prop_assert_eq!(decoded.to_vec(), content);
+        // One block short must fail loudly, never mis-decode.
+        if k > 1 {
+            let short = &subset[..k as usize - 1];
+            prop_assert!(matches!(
+                decode_blocks(&spec, short),
+                Err(CodingError::NotEnoughBlocks { .. })
+            ));
         }
     }
 
