@@ -14,11 +14,11 @@
 //! `(algorithm, seed)` and hands out a shared slice; callers take
 //! whatever prefix they need and apply their own owner / current-replica
 //! / offline filtering. A [`CsrGraph::generation`] mismatch flushes the
-//! cache (the graph changed under us — the old
-//! `CsrGraph::fingerprint` guard collided on equal-sized swaps and is
-//! deprecated), and a disabled cache recomputes the full ordering on
-//! every call — same candidates, no memoization — which benchmarks use
-//! to price the uncached baseline honestly.
+//! cache (the graph changed under us — the long-deleted
+//! `CsrGraph::fingerprint` guard collided on equal-sized swaps, which
+//! is why the generation replaced it), and a disabled cache recomputes
+//! the full ordering on every call — same candidates, no memoization —
+//! which benchmarks use to price the uncached baseline honestly.
 //!
 //! Rankings never read the catalog, so catalog commits — and the shard
 //! epochs they advance (see [`crate::epoch`]) — cannot invalidate an
@@ -33,6 +33,14 @@
 //! churn; the unweighted structural algorithms survive weight-only
 //! reinforcement. Survivors are re-stamped to the new generation so the
 //! next [`full_ranking`](RankingCache::full_ranking) hits.
+//!
+//! The CSR's chunked copy-on-write storage does not interact with this
+//! cache: generations stay globally monotonic across the O(touched)
+//! delta path (a delta-applied snapshot gets a *fresh* generation, never
+//! its base's), and the change classes `note_delta` inspects come from
+//! the [`DeltaSummary`](scdn_graph::DeltaSummary), which is computed from
+//! the ops — not from which chunks happened to be rewritten. Keying and
+//! invalidation are layout-independent.
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -55,6 +55,19 @@
 //! (extra evictions) only cost a recompute; false negatives are
 //! impossible — property-tested against full-BFS recomputation in
 //! `tests/delta_invalidation.rs`.
+//!
+//! ## Chunked COW storage changes nothing here
+//!
+//! `CsrGraph` stores its columns as `Arc`-shared row chunks and
+//! [`CsrGraph::apply_delta`] rewrites only touched chunks. That is a
+//! *storage* optimization: the generation counter stays globally
+//! monotonic (every apply/freeze mints a fresh value, never reuses one),
+//! and the `touched` set in [`DeltaSummary`](scdn_graph::DeltaSummary)
+//! still over-approximates every changed row regardless of how many
+//! chunks the rows map onto. Both guards this cache relies on are
+//! therefore layout-independent — no rekeying, and no sensitivity to
+//! `chunk_rows`, which the chunk-size sweep in
+//! `tests/delta_invalidation.rs` pins.
 
 use std::collections::{HashMap, VecDeque};
 

@@ -194,4 +194,50 @@ proptest! {
         }
         prop_assert!(srv.metrics().cache_retained.get() + srv.metrics().cache_evictions.get() > 0);
     }
+
+    /// The frontier check is layout-independent: the same churn on the
+    /// same graph, frozen at different chunk sizes, must never serve a
+    /// stale hop. Generation keying and the touched set come from the
+    /// ops, not from which COW chunks got rewritten, so the chunk size
+    /// can change what is *copied* but never what is *correct*.
+    #[test]
+    fn scoped_invalidation_is_chunk_size_independent(
+        mut g in arb_graph(),
+        churn in arb_churn(8),
+        publisher in any::<u32>(),
+    ) {
+        let n = g.node_count() as u32;
+        let mut delta = GraphDelta::new();
+        for &(add, a, b) in &churn {
+            if add {
+                delta.add_edge(NodeId(a % n), NodeId(b % n), 1);
+            } else {
+                delta.remove_edge(NodeId(a % n), NodeId(b % n));
+            }
+        }
+        let pre = g.clone();
+        delta.apply_to(&mut g); // g is now post-churn
+
+        for &rows in &[1usize, 64, 4096] {
+            let srv = server_for(&pre);
+            srv.register_dataset(DatasetId(0), 16, NodeId(publisher % n)).unwrap();
+            let old = CsrGraph::from_graph_chunked(&pre, rows);
+            for q in 0..n {
+                let _ = resolve_hops(&srv, DatasetId(0), NodeId(q), &old);
+            }
+            let new = old.apply_delta(&delta);
+            srv.note_graph_delta(&old, &new);
+
+            let oracle = server_for(&g);
+            oracle.register_dataset(DatasetId(0), 16, NodeId(publisher % n)).unwrap();
+            let fresh = CsrGraph::from(&g);
+            for q in 0..n {
+                prop_assert_eq!(
+                    resolve_hops(&srv, DatasetId(0), NodeId(q), &new),
+                    resolve_hops(&oracle, DatasetId(0), NodeId(q), &fresh),
+                    "chunk_rows {} requester {}: stale hop served", rows, q
+                );
+            }
+        }
+    }
 }

@@ -1,16 +1,19 @@
 //! Criterion benches: adjacency-list vs frozen-CSR backends on the two
 //! placement hot paths — exact Brandes betweenness and a full `PAPER_SET`
-//! placement sweep on a 10k-node generator graph.
+//! placement sweep on a 10k-node generator graph — plus the chunked
+//! copy-on-write `apply_delta` at fixed touch fractions on a 100k-node
+//! graph (the machine-readable twin with bytes accounting and gates is
+//! `bench_churn`'s touch sweep).
 //!
-//! The machine-readable version of this comparison is produced by the
-//! `bench_graph` binary (`cargo run --release -p scdn-bench --bin
+//! The machine-readable version of the backend comparison is produced by
+//! the `bench_graph` binary (`cargo run --release -p scdn-bench --bin
 //! bench_graph`), which writes `BENCH_graph.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use scdn_alloc::placement::PlacementAlgorithm;
 use scdn_graph::centrality::{betweenness, betweenness_csr};
 use scdn_graph::generators::barabasi_albert;
-use scdn_graph::CsrGraph;
+use scdn_graph::{CsrGraph, GraphDelta, NodeId};
 
 fn brandes_backends(c: &mut Criterion) {
     let g = barabasi_albert(2_000, 3, 11);
@@ -55,5 +58,74 @@ fn paper_sweep_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, brandes_backends, paper_sweep_backends);
+/// splitmix64 — deterministic touched-row picks without an RNG dep.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A delta whose edge adds land on exactly `rows` distinct rows of an
+/// `n`-node graph (consecutive pairs of the picked nodes).
+fn delta_touching(n: u32, rows: usize, seed: u64) -> GraphDelta {
+    let mut rng = seed;
+    let mut picked = Vec::with_capacity(rows);
+    let mut seen = std::collections::HashSet::with_capacity(rows);
+    while picked.len() < rows {
+        let v = (splitmix64(&mut rng) % n as u64) as u32;
+        if seen.insert(v) {
+            picked.push(NodeId(v));
+        }
+    }
+    let mut delta = GraphDelta::new();
+    for pair in picked.chunks(2) {
+        let b = if pair.len() == 2 { pair[1] } else { picked[0] };
+        delta.add_edge(pair[0], b, 1);
+    }
+    delta
+}
+
+/// Chunked COW `apply_delta` wall time at touch fractions spanning four
+/// orders of magnitude, against the from-scratch freeze as the baseline
+/// every fraction competes with. Bytes copied per point are printed once
+/// so a criterion run also shows the O(touched) memory story.
+fn apply_delta_touch_fractions(c: &mut Criterion) {
+    const N: usize = 100_000;
+    let g = barabasi_albert(N, 3, 33);
+    let base = CsrGraph::from(&g);
+    let mut group = c.benchmark_group("csr/apply-delta-100k");
+    group.sample_size(20);
+    for (label, frac) in [
+        ("touch-0.01pct", 0.0001),
+        ("touch-0.1pct", 0.001),
+        ("touch-1pct", 0.01),
+        ("touch-10pct", 0.1),
+    ] {
+        let rows = ((frac * N as f64) as usize).max(2);
+        let delta = delta_touching(N as u32, rows, 0x70c4 ^ rows as u64);
+        let cow = base.apply_delta(&delta).cow_stats();
+        eprintln!(
+            "{label}: {rows} rows touched, {} bytes copied, {} of {} chunks shared",
+            cow.bytes_copied,
+            cow.chunks_shared,
+            base.chunk_count(),
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(&base).apply_delta(std::hint::black_box(&delta)));
+        });
+    }
+    group.bench_function("from-scratch-freeze", |b| {
+        b.iter(|| CsrGraph::from(std::hint::black_box(&g)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    brandes_backends,
+    paper_sweep_backends,
+    apply_delta_touch_fractions
+);
 criterion_main!(benches);

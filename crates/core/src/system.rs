@@ -315,10 +315,16 @@ pub struct Scdn {
     ranking_misses: Counter,
     /// Graph-churn counters: deltas applied via
     /// [`apply_graph_delta`](Scdn::apply_graph_delta)
-    /// (`core.graph.delta_applied`) and total CSR rows rebuilt by them
-    /// (`core.graph.delta_nodes_touched`).
+    /// (`core.graph.delta_applied`), total CSR rows rebuilt by them
+    /// (`core.graph.delta_nodes_touched`), bytes of CSR column data the
+    /// chunked copy-on-write assembly actually copied
+    /// (`core.graph.delta_bytes_copied`), and chunks it shared with the
+    /// predecessor snapshot by refcount bump
+    /// (`core.graph.delta_chunks_shared`).
     delta_applied: Counter,
     delta_nodes_touched: Counter,
+    delta_bytes_copied: Counter,
+    delta_chunks_shared: Counter,
     /// Ranking-cache scoped-invalidation counters
     /// (`alloc.ranking.cache.{retained,evicted}`).
     ranking_retained: Counter,
@@ -331,6 +337,11 @@ pub struct Scdn {
 pub struct GraphDeltaStats {
     /// Nodes whose CSR adjacency rows were rebuilt.
     pub nodes_touched: usize,
+    /// Bytes of CSR column data copied by the chunked COW assembly
+    /// (untouched chunks are shared by refcount bump, not copied).
+    pub bytes_copied: u64,
+    /// Chunks the new CSR snapshot shares with its predecessor.
+    pub chunks_shared: usize,
     /// Resolve-cache entries that provably survived.
     pub resolve_retained: u64,
     /// Resolve-cache entries evicted by the conservative frontier check.
@@ -475,6 +486,8 @@ impl Scdn {
         let ranking_misses = registry.counter("core.maintain.ranking_cache_miss");
         let delta_applied = registry.counter("core.graph.delta_applied");
         let delta_nodes_touched = registry.counter("core.graph.delta_nodes_touched");
+        let delta_bytes_copied = registry.counter("core.graph.delta_bytes_copied");
+        let delta_chunks_shared = registry.counter("core.graph.delta_chunks_shared");
         let ranking_retained = registry.counter("alloc.ranking.cache.retained");
         let ranking_evicted = registry.counter("alloc.ranking.cache.evicted");
         Scdn {
@@ -520,6 +533,8 @@ impl Scdn {
             ranking_misses,
             delta_applied,
             delta_nodes_touched,
+            delta_bytes_copied,
+            delta_chunks_shared,
             ranking_retained,
             ranking_evicted,
             config,
@@ -673,8 +688,8 @@ impl Scdn {
     /// the new snapshot on their next batch/cycle — plan-phase staleness
     /// is already version-keyed, so nothing else needs republishing.
     ///
-    /// Exposes `core.graph.delta_{applied,nodes_touched}` and
-    /// `alloc.{resolve,ranking}.cache.retained` counters; the returned
+    /// Exposes `core.graph.delta_{applied,nodes_touched,bytes_copied,chunks_shared}`
+    /// and `alloc.{resolve,ranking}.cache.retained` counters; the returned
     /// [`GraphDeltaStats`] carries the same numbers per call.
     pub fn apply_graph_delta(&mut self, delta: &GraphDelta) -> Result<GraphDeltaStats, ScdnError> {
         self.check_delta(delta)?;
@@ -691,11 +706,16 @@ impl Scdn {
             self.overlay.refresh_link(&self.social, a, b);
         }
         let nodes_touched = new_csr.last_delta().map_or(0, |s| s.touched.len());
+        let cow = new_csr.cow_stats();
         self.delta_applied.inc();
         self.delta_nodes_touched.add(nodes_touched as u64);
+        self.delta_bytes_copied.add(cow.bytes_copied);
+        self.delta_chunks_shared.add(cow.chunks_shared as u64);
         self.social_csr = new_csr;
         Ok(GraphDeltaStats {
             nodes_touched,
+            bytes_copied: cow.bytes_copied,
+            chunks_shared: cow.chunks_shared,
             resolve_retained,
             resolve_evicted,
             ranking_retained: rankings.retained,

@@ -707,6 +707,22 @@ fn graph_delta_refreshes_csr_and_counts_metrics() {
             .get(),
         stats.nodes_touched as u64
     );
+    // COW accounting: a two-endpoint delta on a multi-chunk graph copies
+    // strictly less than a full re-freeze would, and shares the rest.
+    assert!(stats.bytes_copied > 0, "rebuilt chunks cost bytes");
+    assert!(stats.chunks_shared > 0, "untouched chunks are shared");
+    assert_eq!(
+        scdn.registry()
+            .counter("core.graph.delta_bytes_copied")
+            .get(),
+        stats.bytes_copied
+    );
+    assert_eq!(
+        scdn.registry()
+            .counter("core.graph.delta_chunks_shared")
+            .get(),
+        stats.chunks_shared as u64
+    );
     assert!(!scdn.social_csr().neighbors(a).any(|e| e.to == b));
 }
 

@@ -158,8 +158,10 @@ fn brandes_from_source(g: &Graph, s: NodeId, bc: &mut [f64]) {
 }
 
 /// One Brandes iteration on a frozen [`CsrGraph`] using the reusable
-/// scratch: flat predecessor slots bounded by the graph's own CSR offsets
-/// (a node's BFS-tree predecessors are a subset of its neighbors) and the
+/// scratch: flat predecessor slots bounded by the graph's own row starts
+/// (a node's BFS-tree predecessors are a subset of its neighbors, so
+/// `row_start(w)..row_start(w) + degree(w)` bounds `w`'s slots even
+/// though the chunked columns have no single flat offsets array) and the
 /// visit-order vector doubling as queue, stack, and touched list. No
 /// allocation after the scratch's first growth.
 fn brandes_from_source_csr(
@@ -178,7 +180,6 @@ fn brandes_from_source_csr(
         order,
         ..
     } = scratch;
-    let offsets = g.offsets();
     sigma[s.index()] = 1.0;
     dist[s.index()] = 0;
     order.push(s.0);
@@ -195,7 +196,7 @@ fn brandes_from_source_csr(
             }
             if dist[wi] == dv + 1 {
                 sigma[wi] += sigma[v];
-                pred_buf[(offsets[wi] + pred_len[wi]) as usize] = v as u32;
+                pred_buf[g.row_start(NodeId(w)) + pred_len[wi] as usize] = v as u32;
                 pred_len[wi] += 1;
             }
         }
@@ -203,7 +204,7 @@ fn brandes_from_source_csr(
     // Reverse visit order = the Brandes stack's pop order.
     for &w in order.iter().rev() {
         let wi = w as usize;
-        let start = offsets[wi] as usize;
+        let start = g.row_start(NodeId(w));
         for &v in &pred_buf[start..start + pred_len[wi] as usize] {
             let vi = v as usize;
             delta[vi] += sigma[vi] / sigma[wi] * (1.0 + delta[wi]);

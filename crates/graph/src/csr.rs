@@ -5,9 +5,19 @@
 //! that absorb incremental coauthorship edges cheaply. Once a trust
 //! subgraph is fixed, every downstream consumer (placement sweeps,
 //! centrality rankings, hit-rate scoring) only *reads* it — and reads it
-//! thousands of times. [`CsrGraph`] freezes the adjacency into three flat
-//! arrays (`offsets`, `neighbors`, `weights`) so traversals walk
+//! thousands of times. [`CsrGraph`] freezes the adjacency into CSR
+//! columns (`offsets`, `neighbors`, `weights`) so traversals walk
 //! contiguous memory instead of chasing one heap allocation per node.
+//!
+//! The columns are stored as **fixed-size row chunks behind `Arc`**
+//! ([`DEFAULT_CHUNK_ROWS`] rows per chunk): every row's neighbor list is
+//! contiguous inside its chunk, so per-row reads are still flat slices,
+//! while [`CsrGraph::apply_delta`] clones and rewrites only the chunks
+//! containing touched rows and bumps the refcount on every other chunk.
+//! A small-delta update on a million-node graph therefore moves
+//! `O(touched chunks + ops)` bytes instead of re-copying the whole
+//! `O(n + m)` arrays; [`CsrGraph::cow_stats`] reports exactly how many
+//! bytes each snapshot assembly copied and how many chunks it shared.
 //!
 //! Neighbor order is preserved exactly (sorted by id, like [`Graph`]), so
 //! every kernel ported to CSR visits nodes and edges in the same order as
@@ -22,12 +32,25 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::delta::{DeltaOp, DeltaSummary, GraphDelta};
 use crate::graph::{EdgeRef, Graph, NodeId};
 
 /// Sentinel distance for nodes not reached by the current traversal.
 pub const UNVISITED: u32 = u32::MAX;
+
+/// Default rows per CSR chunk (must be a power of two).
+///
+/// Small on purpose: delta application copies every chunk a touched row
+/// lands in, and churn touches rows *uniformly* — at a 1% touch rate on a
+/// 100k-node graph, 4096-row chunks alias essentially every chunk (the
+/// graph only has ~25) and degrade to a full copy, while 8-row chunks
+/// keep the expected rewritten fraction under 8%. The cost of small
+/// chunks is one extra pointer hop per row read and ~30% per-chunk
+/// metadata overhead on low-degree graphs; the win is that delta bytes
+/// track the touch rate instead of the graph size. See DESIGN.md §17.
+pub const DEFAULT_CHUNK_ROWS: usize = 8;
 
 /// Process-global generation source. Every freeze (`CsrGraph::from`) and
 /// every [`CsrGraph::apply_delta`] draws a fresh value, so two distinct
@@ -41,27 +64,88 @@ fn next_generation() -> u64 {
     NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Immutable compressed-sparse-row view of an undirected weighted graph.
+/// One fixed-size run of CSR rows: chunk-local `offsets` (length
+/// `rows + 1`, `offsets[0] == 0`) indexing chunk-local `neighbors` /
+/// `weights`. A chunk is immutable once built and shared between
+/// snapshots behind `Arc`; a delta that touches none of its rows costs
+/// one refcount bump instead of a copy.
+#[derive(Debug, Default)]
+struct Chunk {
+    /// `offsets[l]..offsets[l + 1]` indexes `neighbors`/`weights` for the
+    /// chunk's `l`-th row.
+    offsets: Vec<u32>,
+    /// Neighbor ids, grouped per row, sorted by id within each group.
+    neighbors: Vec<u32>,
+    /// Edge weights parallel to `neighbors`.
+    weights: Vec<u32>,
+}
+
+impl Chunk {
+    /// Half-edges stored in this chunk.
+    #[inline]
+    fn half_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Bytes of column data this chunk holds (offsets + neighbors +
+    /// weights entries, 4 bytes each) — what building it from scratch
+    /// copies.
+    #[inline]
+    fn column_bytes(&self) -> u64 {
+        4 * (self.offsets.len() + self.neighbors.len() + self.weights.len()) as u64
+    }
+}
+
+/// How a [`CsrGraph`] snapshot was assembled: bytes of column data copied
+/// into freshly allocated chunks versus chunks shared (refcount-bumped)
+/// from the predecessor snapshot.
+///
+/// `bytes_copied` counts every `u32` written into rebuilt chunks
+/// (offsets, neighbors, weights) plus the per-snapshot chunk-base index;
+/// it deliberately excludes the `Arc` pointer table itself (8 bytes per
+/// chunk, pure pointer memcpy), which is reported via `chunks_shared` /
+/// `chunks_rewritten` instead. A from-scratch freeze shares nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Bytes of CSR column data written into newly allocated storage.
+    pub bytes_copied: u64,
+    /// Chunks rebuilt (freshly allocated and filled) by this assembly.
+    pub chunks_rewritten: usize,
+    /// Chunks shared with the predecessor snapshot via refcount bump.
+    pub chunks_shared: usize,
+}
+
+/// Immutable compressed-sparse-row view of an undirected weighted graph,
+/// stored as fixed-size row chunks shared copy-on-write behind `Arc`.
 ///
 /// Built once from a [`Graph`] via `CsrGraph::from(&g)`; node ids and the
 /// query surface ([`degree`](CsrGraph::degree),
 /// [`neighbors`](CsrGraph::neighbors), [`strength`](CsrGraph::strength),
 /// …) mirror the mutable graph exactly. Graph churn is absorbed by
-/// [`apply_delta`](CsrGraph::apply_delta), which rebuilds only the touched
-/// rows and stamps the result with a fresh [`generation`](CsrGraph::generation).
+/// [`apply_delta`](CsrGraph::apply_delta), which rebuilds only the chunks
+/// containing touched rows — sharing every other chunk with its
+/// predecessor — and stamps the result with a fresh
+/// [`generation`](CsrGraph::generation).
 ///
-/// Equality compares *structure only* (offsets, neighbors, weights, edge
-/// count) — a delta-applied snapshot equals its from-scratch twin even
-/// though their generations differ.
+/// Equality compares *logical structure only* (per-row neighbor lists,
+/// weights, and edge count), independent of chunk size and of which
+/// chunks are shared — a delta-applied snapshot equals its from-scratch
+/// twin even though their generations and chunk layouts differ.
 #[derive(Clone, Debug)]
 pub struct CsrGraph {
-    /// `offsets[v]..offsets[v + 1]` indexes `neighbors`/`weights` for `v`.
-    /// Length `n + 1`; `offsets[n]` equals `2 * edge_count`.
-    offsets: Vec<u32>,
-    /// Neighbor ids, grouped per node, sorted by id within each group.
-    neighbors: Vec<u32>,
-    /// Edge weights parallel to `neighbors`.
-    weights: Vec<u32>,
+    /// Row chunks: node `v` lives in `chunks[v >> shift]` at local row
+    /// `v & mask`. The last chunk may hold fewer than `chunk_rows` rows.
+    chunks: Vec<Arc<Chunk>>,
+    /// Global half-edge index of each chunk's first neighbor slot —
+    /// per-snapshot (never shared) because an upstream chunk changing
+    /// length rebases everything after it. Length == `chunks.len()`.
+    bases: Vec<u32>,
+    /// `log2(chunk_rows)`.
+    shift: u32,
+    /// `chunk_rows - 1`.
+    mask: u32,
+    /// Number of nodes.
+    node_count: usize,
     /// Number of undirected edges.
     edge_count: usize,
     /// Globally unique, monotonically increasing snapshot id.
@@ -69,16 +153,21 @@ pub struct CsrGraph {
     /// Summary of the delta that produced this snapshot; `None` for a
     /// from-scratch freeze.
     last_delta: Option<DeltaSummary>,
+    /// Copy/share accounting for this snapshot's assembly.
+    cow: CowStats,
 }
 
 impl PartialEq for CsrGraph {
     fn eq(&self, other: &Self) -> bool {
-        // Structure only: generation and delta provenance are identity
-        // metadata, not content.
-        self.offsets == other.offsets
-            && self.neighbors == other.neighbors
-            && self.weights == other.weights
+        // Logical structure only: generation, delta provenance, chunk
+        // size, and chunk sharing are identity/layout metadata, not
+        // content.
+        self.node_count == other.node_count
             && self.edge_count == other.edge_count
+            && self.nodes().all(|v| {
+                self.neighbor_ids(v) == other.neighbor_ids(v)
+                    && self.neighbor_weights(v) == other.neighbor_weights(v)
+            })
     }
 }
 
@@ -92,39 +181,79 @@ impl Default for CsrGraph {
 
 impl From<&Graph> for CsrGraph {
     fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph_chunked(g, DEFAULT_CHUNK_ROWS)
+    }
+}
+
+impl CsrGraph {
+    /// Freeze `g` with an explicit chunk size (`chunk_rows` must be a
+    /// power of two). `CsrGraph::from(&g)` uses [`DEFAULT_CHUNK_ROWS`];
+    /// tests and benchmarks sweep other sizes to pin layout independence.
+    pub fn from_graph_chunked(g: &Graph, chunk_rows: usize) -> Self {
+        assert!(
+            chunk_rows.is_power_of_two(),
+            "chunk_rows must be a power of two, got {chunk_rows}"
+        );
         let n = g.node_count();
         let half_edges = 2 * g.edge_count();
         assert!(
             u32::try_from(half_edges).is_ok(),
             "graph too large for u32 CSR offsets"
         );
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut neighbors = Vec::with_capacity(half_edges);
-        let mut weights = Vec::with_capacity(half_edges);
-        offsets.push(0);
-        for v in g.nodes() {
-            for e in g.neighbors(v) {
-                neighbors.push(e.to.0);
-                weights.push(e.weight);
+        let shift = chunk_rows.trailing_zeros();
+        let n_chunks = n.div_ceil(chunk_rows);
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut bases = Vec::with_capacity(n_chunks);
+        let mut base = 0u32;
+        let mut bytes_copied = 0u64;
+        for c in 0..n_chunks {
+            let lo = c * chunk_rows;
+            let hi = (lo + chunk_rows).min(n);
+            let len: usize = (lo..hi).map(|v| g.degree(NodeId(v as u32))).sum();
+            let mut offsets = Vec::with_capacity(hi - lo + 1);
+            let mut neighbors = Vec::with_capacity(len);
+            let mut weights = Vec::with_capacity(len);
+            offsets.push(0u32);
+            for v in lo..hi {
+                for e in g.neighbors(NodeId(v as u32)) {
+                    neighbors.push(e.to.0);
+                    weights.push(e.weight);
+                }
+                offsets.push(neighbors.len() as u32);
             }
-            offsets.push(neighbors.len() as u32);
+            let chunk = Chunk {
+                offsets,
+                neighbors,
+                weights,
+            };
+            bytes_copied += chunk.column_bytes();
+            bases.push(base);
+            base += chunk.half_edges() as u32;
+            chunks.push(Arc::new(chunk));
         }
+        bytes_copied += 4 * bases.len() as u64;
+        debug_assert_eq!(base as usize, half_edges);
         CsrGraph {
-            offsets,
-            neighbors,
-            weights,
+            chunks,
+            bases,
+            shift,
+            mask: (chunk_rows - 1) as u32,
+            node_count: n,
             edge_count: g.edge_count(),
             generation: next_generation(),
             last_delta: None,
+            cow: CowStats {
+                bytes_copied,
+                chunks_rewritten: n_chunks,
+                chunks_shared: 0,
+            },
         }
     }
-}
 
-impl CsrGraph {
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.offsets.len().saturating_sub(1)
+        self.node_count
     }
 
     /// Number of undirected edges.
@@ -133,19 +262,38 @@ impl CsrGraph {
         self.edge_count
     }
 
-    /// Cheap identity fingerprint: `(node_count, half_edge_count)`.
-    ///
-    /// **Unsound as a cache key**: two distinct graphs collide whenever an
-    /// equal-sized graph is swapped in (one edge added plus one removed is
-    /// invisible). Every cache now keys on the collision-free
-    /// [`generation`](CsrGraph::generation) instead; see DESIGN.md §15 for
-    /// the deprecation rationale.
-    #[deprecated(
-        note = "collides on equal-sized graph swaps; key caches on `generation()` instead"
-    )]
+    /// Rows per chunk for this snapshot's layout.
     #[inline]
-    pub fn fingerprint(&self) -> (usize, usize) {
-        (self.node_count(), self.half_edge_count())
+    pub fn chunk_rows(&self) -> usize {
+        1 << self.shift
+    }
+
+    /// Number of row chunks backing this snapshot.
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// How this snapshot was assembled: bytes copied into fresh chunks
+    /// vs chunks shared with the predecessor. A from-scratch freeze
+    /// copies everything and shares nothing; a small delta shares almost
+    /// everything.
+    #[inline]
+    pub fn cow_stats(&self) -> CowStats {
+        self.cow
+    }
+
+    /// Number of chunks this snapshot physically shares (same `Arc`
+    /// allocation, position for position) with `other`. Only meaningful
+    /// between snapshots of the same lineage and chunk size; used by
+    /// tests and benches to prove the copy-on-write path actually
+    /// shares.
+    pub fn shared_chunks_with(&self, other: &CsrGraph) -> usize {
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
     }
 
     /// Globally unique, monotonically increasing snapshot id.
@@ -153,8 +301,9 @@ impl CsrGraph {
     /// Drawn from a process-wide counter at every freeze and every
     /// [`apply_delta`](CsrGraph::apply_delta), so no two distinct
     /// snapshots — even structurally identical ones — share a generation.
-    /// This is the sound cache key the deprecated
-    /// [`fingerprint`](CsrGraph::fingerprint) was not.
+    /// This is the sound cache key the long-deleted
+    /// `(node_count, half_edge_count)` fingerprint was not (it collided
+    /// whenever an equal-sized graph was swapped in).
     #[inline]
     pub fn generation(&self) -> u64 {
         self.generation
@@ -179,44 +328,58 @@ impl CsrGraph {
         (0..self.node_count() as u32).map(NodeId)
     }
 
-    /// Half-edge index range of `v` into [`neighbor_ids`] / weights.
-    ///
-    /// [`neighbor_ids`]: CsrGraph::neighbor_ids
+    /// Chunk index and chunk-local row of `v`.
     #[inline]
-    fn range(&self, v: NodeId) -> std::ops::Range<usize> {
-        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+    fn loc(&self, v: NodeId) -> (usize, usize) {
+        ((v.0 >> self.shift) as usize, (v.0 & self.mask) as usize)
+    }
+
+    /// The chunk holding `v` plus `v`'s local half-edge range inside it.
+    /// Panics (index out of bounds) when `v` is out of range, exactly
+    /// like the flat layout did.
+    #[inline]
+    fn row(&self, v: NodeId) -> (&Chunk, std::ops::Range<usize>) {
+        let (c, l) = self.loc(v);
+        let chunk = &*self.chunks[c];
+        (
+            chunk,
+            chunk.offsets[l] as usize..chunk.offsets[l + 1] as usize,
+        )
     }
 
     /// Degree (number of distinct neighbors) of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.range(v).len()
+        self.row(v).1.len()
     }
 
     /// Sum of incident edge weights of `v` (weighted degree / strength).
     pub fn strength(&self, v: NodeId) -> u64 {
-        self.weights[self.range(v)].iter().map(|&w| w as u64).sum()
+        self.neighbor_weights(v).iter().map(|&w| w as u64).sum()
     }
 
-    /// Neighbor ids of `v`, sorted ascending — the flat fast path.
+    /// Neighbor ids of `v`, sorted ascending — still one flat contiguous
+    /// slice: a row never straddles a chunk boundary.
     #[inline]
     pub fn neighbor_ids(&self, v: NodeId) -> &[u32] {
-        &self.neighbors[self.range(v)]
+        let (chunk, r) = self.row(v);
+        &chunk.neighbors[r]
     }
 
     /// Edge weights of `v`, parallel to [`neighbor_ids`](CsrGraph::neighbor_ids).
     #[inline]
     pub fn neighbor_weights(&self, v: NodeId) -> &[u32] {
-        &self.weights[self.range(v)]
+        let (chunk, r) = self.row(v);
+        &chunk.weights[r]
     }
 
     /// Neighbors of `v` as [`EdgeRef`]s, in the same order as
     /// [`Graph::neighbors`].
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
-        let r = self.range(v);
-        self.neighbors[r.clone()]
+        let (chunk, r) = self.row(v);
+        chunk.neighbors[r.clone()]
             .iter()
-            .zip(&self.weights[r])
+            .zip(&chunk.weights[r])
             .map(|(&to, &weight)| EdgeRef {
                 to: NodeId(to),
                 weight,
@@ -236,11 +399,11 @@ impl CsrGraph {
         if a.index() >= self.node_count() {
             return None;
         }
-        let r = self.range(a);
-        self.neighbors[r.clone()]
+        let (chunk, r) = self.row(a);
+        chunk.neighbors[r.clone()]
             .binary_search(&b.0)
             .ok()
-            .map(|i| self.weights[r.start + i])
+            .map(|i| chunk.weights[r.start + i])
     }
 
     /// Iterator over each undirected edge exactly once as `(a, b, w)` with
@@ -255,40 +418,53 @@ impl CsrGraph {
 
     /// Maximum degree over all nodes (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        self.offsets
-            .windows(2)
+        self.chunks
+            .iter()
+            .flat_map(|c| c.offsets.windows(2))
             .map(|w| (w[1] - w[0]) as usize)
             .max()
             .unwrap_or(0)
     }
 
-    /// The raw offsets array (length `n + 1`); exposed for kernels that
-    /// index flat per-half-edge storage (e.g. Brandes predecessor slots).
+    /// Global half-edge index of the first neighbor slot of `v` — the
+    /// position `neighbor_ids(v)` would start at if every chunk were
+    /// concatenated into one flat array. Kernels that keep flat
+    /// per-half-edge side storage (e.g. the Brandes predecessor slots in
+    /// [`TraversalScratch`]) index it with this; `row_start(v) + degree(v)`
+    /// bounds `v`'s slots.
     #[inline]
-    pub fn offsets(&self) -> &[u32] {
-        &self.offsets
+    pub fn row_start(&self, v: NodeId) -> usize {
+        let (c, l) = self.loc(v);
+        self.bases[c] as usize + self.chunks[c].offsets[l] as usize
     }
 
     /// Total number of half-edges (`2 * edge_count`).
     #[inline]
     pub fn half_edge_count(&self) -> usize {
-        self.neighbors.len()
+        2 * self.edge_count
     }
 
-    /// Apply a batched [`GraphDelta`], rebuilding only the touched rows.
+    /// Apply a batched [`GraphDelta`], rewriting only the chunks that
+    /// contain touched rows.
     ///
     /// Ops replay in order with exactly the mutable [`Graph`] semantics
     /// (weight accumulation, self-loop rejection, tolerant removal), so
     /// the result is bit-identical — [`PartialEq`]-equal, including
     /// neighbor order and weights — to mutating the source `Graph` the
     /// same way and freezing it from scratch. Only the adjacency rows of
-    /// nodes named by edge ops are re-materialized; every untouched row is
-    /// block-copied from this snapshot, making churn cost
-    /// `O(touched rows + n)` instead of `O(n + m)`.
+    /// nodes named by edge ops are re-materialized; chunks containing
+    /// none of them are shared with this snapshot by `Arc` refcount bump,
+    /// making delta application `O(touched chunks + ops)` in bytes copied
+    /// (plus an `O(chunk count)` pointer-table clone and base-index
+    /// rebuild). Each rebuilt chunk is sized *exactly* from its final row
+    /// lengths — removal-heavy deltas no longer over-allocate the way the
+    /// old flat layout's `old_len + 2·ops` reserve did.
     ///
-    /// The result carries a fresh [`generation`](CsrGraph::generation) and
-    /// a [`DeltaSummary`] ([`last_delta`](CsrGraph::last_delta)) with the
-    /// touched-node set that drives scoped cache invalidation.
+    /// The result carries a fresh [`generation`](CsrGraph::generation), a
+    /// [`DeltaSummary`] ([`last_delta`](CsrGraph::last_delta)) with the
+    /// touched-node set that drives scoped cache invalidation, and
+    /// [`CowStats`] ([`cow_stats`](CsrGraph::cow_stats)) pricing the
+    /// assembly.
     ///
     /// # Panics
     /// Panics where [`Graph::add_edge`] would: an `AddEdge` endpoint out
@@ -372,54 +548,86 @@ impl CsrGraph {
         touched.sort_unstable();
         touched.dedup();
 
-        // Assemble: walk the touched list in id order, block-copying each
-        // untouched span `[next, t)` straight out of the old arrays.
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut neighbors = Vec::with_capacity(self.neighbors.len() + 2 * delta.len());
-        let mut weights = Vec::with_capacity(self.neighbors.len() + 2 * delta.len());
-        offsets.push(0u32);
-        let mut next = 0usize;
+        // Assemble: a chunk is dirty iff a touched row lands in it. Every
+        // clean chunk of the old snapshot is shared by refcount bump —
+        // correct even when the graph grew, because growth dirties the
+        // old partial last chunk via the activated rows in `touched`.
+        let chunk_rows = 1usize << self.shift;
+        let n_chunks = n.div_ceil(chunk_rows);
+        let mut dirty = vec![false; n_chunks];
         for &t in &touched {
-            let t = t as usize;
-            if next < t {
-                debug_assert!(t <= old_n, "untouched span beyond the old graph");
-                let shift = neighbors.len() as i64 - self.offsets[next] as i64;
-                let span = self.offsets[next] as usize..self.offsets[t] as usize;
-                neighbors.extend_from_slice(&self.neighbors[span.clone()]);
-                weights.extend_from_slice(&self.weights[span]);
-                for v in next..t {
-                    offsets.push((self.offsets[v + 1] as i64 + shift) as u32);
-                }
-            }
-            if let Some(row) = rows.get(&(t as u32)) {
-                for e in row {
-                    neighbors.push(e.to.0);
-                    weights.push(e.weight);
-                }
-            }
-            offsets.push(neighbors.len() as u32);
-            next = t + 1;
+            dirty[(t >> self.shift) as usize] = true;
         }
-        if next < old_n {
-            let shift = neighbors.len() as i64 - self.offsets[next] as i64;
-            let span = self.offsets[next] as usize..self.offsets[old_n] as usize;
-            neighbors.extend_from_slice(&self.neighbors[span.clone()]);
-            weights.extend_from_slice(&self.weights[span]);
-            for v in next..old_n {
-                offsets.push((self.offsets[v + 1] as i64 + shift) as u32);
-            }
+
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut bases = Vec::with_capacity(n_chunks);
+        let mut base = 0u64;
+        let mut bytes_copied = 0u64;
+        let mut chunks_shared = 0usize;
+        for (c, dirty) in dirty.into_iter().enumerate() {
+            let chunk = if !dirty && c < self.chunks.len() {
+                chunks_shared += 1;
+                Arc::clone(&self.chunks[c])
+            } else {
+                let lo = c * chunk_rows;
+                let hi = (lo + chunk_rows).min(n);
+                // Exact sizing from the final row lengths — no op-count
+                // over-reserve on removal-heavy deltas.
+                let len: usize = (lo..hi)
+                    .map(|v| match rows.get(&(v as u32)) {
+                        Some(row) => row.len(),
+                        None if v < old_n => self.degree(NodeId(v as u32)),
+                        None => 0,
+                    })
+                    .sum();
+                let mut offsets = Vec::with_capacity(hi - lo + 1);
+                let mut neighbors = Vec::with_capacity(len);
+                let mut weights = Vec::with_capacity(len);
+                offsets.push(0u32);
+                for v in lo..hi {
+                    match rows.get(&(v as u32)) {
+                        Some(row) => {
+                            for e in row {
+                                neighbors.push(e.to.0);
+                                weights.push(e.weight);
+                            }
+                        }
+                        None if v < old_n => {
+                            let u = NodeId(v as u32);
+                            neighbors.extend_from_slice(self.neighbor_ids(u));
+                            weights.extend_from_slice(self.neighbor_weights(u));
+                        }
+                        // A freshly activated node no edge op named:
+                        // empty row.
+                        None => {}
+                    }
+                    offsets.push(neighbors.len() as u32);
+                }
+                let chunk = Chunk {
+                    offsets,
+                    neighbors,
+                    weights,
+                };
+                bytes_copied += chunk.column_bytes();
+                Arc::new(chunk)
+            };
+            bases.push(base as u32);
+            base += chunk.half_edges() as u64;
+            chunks.push(chunk);
         }
-        debug_assert_eq!(offsets.len(), n + 1);
-        debug_assert_eq!(neighbors.len(), 2 * edge_count);
+        bytes_copied += 4 * bases.len() as u64;
         assert!(
-            u32::try_from(neighbors.len()).is_ok(),
+            u32::try_from(base).is_ok(),
             "graph too large for u32 CSR offsets"
         );
+        debug_assert_eq!(base as usize, 2 * edge_count);
 
         CsrGraph {
-            offsets,
-            neighbors,
-            weights,
+            chunks,
+            bases,
+            shift: self.shift,
+            mask: self.mask,
+            node_count: n,
             edge_count,
             generation: next_generation(),
             last_delta: Some(DeltaSummary {
@@ -428,6 +636,11 @@ impl CsrGraph {
                 structural,
                 weights_changed,
             }),
+            cow: CowStats {
+                bytes_copied,
+                chunks_rewritten: n_chunks - chunks_shared,
+                chunks_shared,
+            },
         }
     }
 }
@@ -850,5 +1063,96 @@ mod tests {
         let mut d = GraphDelta::new();
         d.add_edge(NodeId(0), NodeId(9), 1);
         base.apply_delta(&d);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_logical_structure() {
+        let g = barabasi_albert(300, 3, 9);
+        let default = CsrGraph::from(&g);
+        for rows in [1usize, 2, 64, 4096] {
+            let chunked = CsrGraph::from_graph_chunked(&g, rows);
+            assert_eq!(chunked.chunk_rows(), rows);
+            assert_eq!(chunked.chunk_count(), 300usize.div_ceil(rows));
+            assert_eq!(chunked, default, "layout must not leak into equality");
+            assert_eq!(chunked.max_degree(), default.max_degree());
+            // row_start must walk the same flat positions in every layout.
+            let mut flat = 0usize;
+            for v in chunked.nodes() {
+                assert_eq!(chunked.row_start(v), flat);
+                flat += chunked.degree(v);
+            }
+            assert_eq!(flat, chunked.half_edge_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_chunk_rows_rejected() {
+        CsrGraph::from_graph_chunked(&path4(), 3);
+    }
+
+    #[test]
+    fn apply_delta_shares_untouched_chunks() {
+        // 64 nodes over 8-row chunks = 8 chunks; touch only node 0's and
+        // node 63's rows → chunks 0 and 7 rebuilt, 6 shared.
+        let mut g = barabasi_albert(64, 2, 3);
+        let base = CsrGraph::from(&g);
+        assert_eq!(base.chunk_count(), 8);
+        assert_eq!(base.cow_stats().chunks_shared, 0, "freeze shares nothing");
+        let mut d = GraphDelta::new();
+        d.add_edge(NodeId(0), NodeId(63), 7);
+        let updated = base.apply_delta(&d);
+        let stats = updated.cow_stats();
+        assert_eq!(stats.chunks_shared, 6);
+        assert_eq!(stats.chunks_rewritten, 2);
+        assert_eq!(updated.shared_chunks_with(&base), 6);
+        assert!(
+            stats.bytes_copied < base.cow_stats().bytes_copied / 2,
+            "two touched chunks must copy far less than a full freeze \
+             ({} vs {})",
+            stats.bytes_copied,
+            base.cow_stats().bytes_copied
+        );
+        d.apply_to(&mut g);
+        assert_eq!(updated, CsrGraph::from(&g));
+    }
+
+    #[test]
+    fn empty_delta_shares_every_chunk() {
+        let base = CsrGraph::from(&barabasi_albert(100, 3, 5));
+        let same = base.apply_delta(&GraphDelta::new());
+        assert_eq!(same, base);
+        assert_eq!(same.cow_stats().chunks_rewritten, 0);
+        assert_eq!(same.cow_stats().chunks_shared, base.chunk_count());
+        assert_eq!(same.shared_chunks_with(&base), base.chunk_count());
+        // Only the base index is rebuilt.
+        assert_eq!(same.cow_stats().bytes_copied, 4 * base.chunk_count() as u64);
+    }
+
+    #[test]
+    fn node_activation_dirties_only_the_tail() {
+        // 16 nodes = 2 full 8-row chunks; activating 3 nodes appends a
+        // fresh partial chunk and must not rebuild the old full ones.
+        let g = barabasi_albert(16, 2, 8);
+        let base = CsrGraph::from(&g);
+        assert_eq!(base.chunk_count(), 2);
+        let mut d = GraphDelta::new();
+        d.add_nodes(3);
+        let grown = base.apply_delta(&d);
+        assert_eq!(grown.node_count(), 19);
+        assert_eq!(grown.chunk_count(), 3);
+        assert_eq!(grown.cow_stats().chunks_shared, 2);
+        assert_eq!(grown.cow_stats().chunks_rewritten, 1);
+        for v in (16..19).map(NodeId) {
+            assert_eq!(grown.degree(v), 0);
+        }
+        // Growing into a partial last chunk rebuilds it, keeps the rest.
+        let mut d2 = GraphDelta::new();
+        d2.add_nodes(1).add_edge(NodeId(19), NodeId(0), 2);
+        let grown2 = grown.apply_delta(&d2);
+        assert_eq!(grown2.node_count(), 20);
+        assert_eq!(grown2.chunk_count(), 3);
+        assert_eq!(grown2.cow_stats().chunks_shared, 1, "chunk 1 survives");
+        assert_eq!(grown2.edge_weight(NodeId(0), NodeId(19)), Some(2));
     }
 }

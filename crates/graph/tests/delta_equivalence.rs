@@ -1,8 +1,11 @@
 //! Property tests for the incremental CSR delta path: applying a random
 //! interleaving of `add_edge`/`remove_edge` (and node activations) via
 //! [`GraphDelta`] must produce a `CsrGraph` bit-identical (`PartialEq`,
-//! which covers offsets, neighbor order, weights, and edge count) to
-//! mutating the `Graph` the same way and freezing it from scratch.
+//! which covers per-row neighbor order, weights, and edge count,
+//! independent of chunk layout) to mutating the `Graph` the same way and
+//! freezing it from scratch — at *every* chunk size, since the chunked
+//! copy-on-write assembly shares whole chunks and the sharing/rebuild
+//! boundary moves with the chunk size.
 
 use proptest::prelude::*;
 use scdn_graph::{CsrGraph, Graph, GraphDelta, NodeId};
@@ -58,6 +61,11 @@ fn build_delta(g: &Graph, ops: &[RawOp]) -> GraphDelta {
     delta
 }
 
+/// Chunk sizes the copy-on-write sweep pins: one row per chunk (maximum
+/// sharing granularity), a mid size, and one big enough that small test
+/// graphs fit in a single chunk (degenerate no-sharing case).
+const CHUNK_SWEEP: [usize; 3] = [1, 64, 4096];
+
 proptest! {
     #[test]
     fn delta_applied_csr_is_bit_identical_to_from_scratch(
@@ -77,6 +85,74 @@ proptest! {
         // Generations are fresh and ordered even though the content matches.
         prop_assert!(incremental.generation() > base.generation());
         prop_assert!(scratch.generation() > incremental.generation());
+    }
+
+    #[test]
+    fn delta_equivalence_holds_at_every_chunk_size(
+        mut g in arb_graph(40, 120),
+        ops in arb_ops(60),
+    ) {
+        let delta = build_delta(&g, &ops);
+        let bases: Vec<CsrGraph> = CHUNK_SWEEP
+            .iter()
+            .map(|&rows| CsrGraph::from_graph_chunked(&g, rows))
+            .collect();
+        delta.apply_to(&mut g);
+        let scratch = CsrGraph::from(&g);
+
+        for base in &bases {
+            let incremental = base.apply_delta(&delta);
+            prop_assert_eq!(&incremental, &scratch,
+                "chunk_rows = {}", base.chunk_rows());
+            // The delta-applied snapshot keeps its base's layout, and the
+            // assembly accounts for every chunk exactly once.
+            prop_assert_eq!(incremental.chunk_rows(), base.chunk_rows());
+            let stats = incremental.cow_stats();
+            prop_assert_eq!(
+                stats.chunks_shared + stats.chunks_rewritten,
+                incremental.chunk_count()
+            );
+            prop_assert_eq!(
+                incremental.shared_chunks_with(base),
+                stats.chunks_shared
+            );
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_identity_and_shares_everything(
+        g in arb_graph(40, 120),
+    ) {
+        for &rows in &CHUNK_SWEEP {
+            let base = CsrGraph::from_graph_chunked(&g, rows);
+            let same = base.apply_delta(&GraphDelta::new());
+            prop_assert_eq!(&same, &base);
+            prop_assert_eq!(same.cow_stats().chunks_rewritten, 0);
+            prop_assert_eq!(same.cow_stats().chunks_shared, base.chunk_count());
+        }
+    }
+
+    #[test]
+    fn activation_only_delta_rebuilds_no_full_old_chunk(
+        g in arb_graph(40, 120),
+        fresh in 1u32..6,
+    ) {
+        for &rows in &CHUNK_SWEEP {
+            let base = CsrGraph::from_graph_chunked(&g, rows);
+            let mut delta = GraphDelta::new();
+            delta.add_nodes(fresh);
+            let grown = base.apply_delta(&delta);
+            let mut twin = g.clone();
+            delta.apply_to(&mut twin);
+            prop_assert_eq!(&grown, &CsrGraph::from_graph_chunked(&twin, rows));
+            // Every *full* old chunk survives; only a partial tail chunk
+            // (if any) is rebuilt to absorb the fresh rows.
+            let full_old_chunks = base.node_count() / rows;
+            prop_assert!(grown.cow_stats().chunks_shared >= full_old_chunks.min(base.chunk_count()));
+            for v in (base.node_count()..grown.node_count()).map(|v| NodeId(v as u32)) {
+                prop_assert_eq!(grown.degree(v), 0);
+            }
+        }
     }
 
     #[test]
